@@ -1,0 +1,104 @@
+// Ablation benches for the design choices DESIGN.md calls out. Each
+// ablation runs the same contended SmallBank workload and reports the
+// paper-style CSV rows, varying exactly one engine option:
+//
+//   tracking   — kFlags (Fig 3.1-3.5) vs kReferences (Fig 3.9-3.10): the
+//                §3.6 false-positive reduction shows up as a lower
+//                unsafe_per_commit at equal throughput.
+//   victim     — kPivot vs kYoungest (§3.7.2).
+//   abortearly — §3.7.1 on/off: same abort totals, earlier detection
+//                (less wasted work, slightly higher throughput).
+//   upgrade    — §3.7.3 SIREAD upgrade on/off: fewer retained locks.
+//   latesnap   — §4.5 late snapshot allocation on/off: FCW abort rate of
+//                single-statement updates.
+//   elr        — §4.4 early lock release on/off under commit flushes.
+
+#include <cstdio>
+
+#include "bench/figure_common.h"
+#include "src/workloads/smallbank.h"
+
+namespace ssidb::bench {
+namespace {
+
+using workloads::SmallBank;
+using workloads::SmallBankConfig;
+
+SetupFn MakeSetup(const DBOptions& opts, uint64_t customers) {
+  return [opts, customers]() {
+    FigureSetup setup;
+    Status st = DB::Open(opts, &setup.db);
+    if (!st.ok()) abort();
+    SmallBankConfig config;
+    config.customers = customers;
+    std::unique_ptr<SmallBank> bank;
+    st = SmallBank::Setup(setup.db.get(), config, &bank);
+    if (!st.ok()) abort();
+    setup.workload = std::move(bank);
+    return setup;
+  };
+}
+
+/// All ablations run SSI only (the options under study are SSI-specific),
+/// on a small, contended account pool.
+void RunAblation(const std::string& name, const DBOptions& opts,
+                 uint64_t customers = 200) {
+  const std::vector<SeriesConfig> ssi_only = {
+      SeriesConfig{"SSI", IsolationLevel::kSerializableSSI, std::nullopt}};
+  RunFigure(name, MakeSetup(opts, customers), ssi_only);
+}
+
+}  // namespace
+}  // namespace ssidb::bench
+
+int main() {
+  using namespace ssidb;
+  using namespace ssidb::bench;
+  PrintHeaderOnce();
+
+  {
+    DBOptions opts;
+    opts.conflict_tracking = ConflictTracking::kFlags;
+    RunAblation("ablation_tracking_flags", opts);
+    opts.conflict_tracking = ConflictTracking::kReferences;
+    RunAblation("ablation_tracking_references", opts);
+  }
+  {
+    DBOptions opts;
+    opts.victim_policy = VictimPolicy::kPivot;
+    RunAblation("ablation_victim_pivot", opts);
+    opts.victim_policy = VictimPolicy::kYoungest;
+    RunAblation("ablation_victim_youngest", opts);
+  }
+  {
+    DBOptions opts;
+    opts.abort_early = true;
+    RunAblation("ablation_abortearly_on", opts);
+    opts.abort_early = false;
+    RunAblation("ablation_abortearly_off", opts);
+  }
+  {
+    DBOptions opts;
+    opts.upgrade_siread_locks = true;
+    RunAblation("ablation_upgrade_on", opts);
+    opts.upgrade_siread_locks = false;
+    RunAblation("ablation_upgrade_off", opts);
+  }
+  {
+    DBOptions opts;
+    opts.late_snapshot = true;
+    RunAblation("ablation_latesnap_on", opts);
+    opts.late_snapshot = false;
+    RunAblation("ablation_latesnap_off", opts);
+  }
+  {
+    DBOptions opts;
+    opts.log.flush_on_commit = true;
+    opts.log.flush_latency_us = EnvFlushUs(1000);
+    opts.log.early_lock_release = false;
+    RunAblation("ablation_elr_off", opts);
+    opts.log.early_lock_release = true;
+    RunAblation("ablation_elr_on", opts);
+  }
+  return 0;
+}

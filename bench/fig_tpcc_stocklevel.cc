@@ -1,0 +1,78 @@
+// Figures 6.17-6.18: the TPC-C++ Stock Level mix (§5.3.5, §6.4.3).
+//
+// Only New Order and Stock Level transactions, 10 SLEV per NEWO: ~100 rows
+// read per row written. The read-dominated regime where multiversioning
+// shines — SI and SSI keep readers off the lock manager's blocking paths
+// while S2PL's shared locks collide with New Order's stock updates.
+//
+//   Fig 6.17  W=W_BIG standard scale
+//   Fig 6.18  W=W_BIG tiny scale (contention isolated from data volume)
+//
+// Additionally reproduces the §3.8 mixing configuration as a fourth series
+// ("SSI+SIRO"): updates at Serializable SI, read-only transactions at
+// plain SI — the deployment the paper predicts will be popular.
+
+#include <cstdlib>
+
+#include "bench/figure_common.h"
+#include "src/workloads/tpcc_workload.h"
+
+namespace ssidb::bench {
+namespace {
+
+using workloads::tpcc::Mix;
+using workloads::tpcc::TpccConfig;
+using workloads::tpcc::TpccWorkload;
+
+uint32_t EnvWarehouses(uint32_t dflt) {
+  const char* v = std::getenv("SSIDB_TPCC_WAREHOUSES");
+  if (v == nullptr) return dflt;
+  const long w = std::atol(v);
+  return w > 0 ? static_cast<uint32_t>(w) : dflt;
+}
+
+SetupFn MakeSetup(uint32_t warehouses, bool tiny) {
+  return [warehouses, tiny]() {
+    DBOptions opts;
+    opts.log.flush_on_commit = true;
+    opts.log.flush_latency_us = EnvFlushUs(100);
+    FigureSetup setup;
+    Status st = DB::Open(opts, &setup.db);
+    if (!st.ok()) abort();
+    TpccConfig config;
+    config.warehouses = warehouses;
+    config.tiny = tiny;
+    config.mix = Mix::kStockLevel;
+    std::unique_ptr<TpccWorkload> workload;
+    st = TpccWorkload::Setup(setup.db.get(), config, 42, &workload);
+    if (!st.ok()) {
+      fprintf(stderr, "tpcc setup failed: %s\n", st.ToString().c_str());
+      abort();
+    }
+    setup.workload = std::move(workload);
+    return setup;
+  };
+}
+
+std::vector<SeriesConfig> SeriesWithMixing() {
+  std::vector<SeriesConfig> series = StandardSeries();
+  series.push_back(SeriesConfig{"SSI+SIRO", IsolationLevel::kSerializableSSI,
+                                IsolationLevel::kSnapshot});
+  return series;
+}
+
+}  // namespace
+}  // namespace ssidb::bench
+
+int main() {
+  using namespace ssidb::bench;
+  PrintHeaderOnce();
+  const uint32_t w_big = EnvWarehouses(2);
+  RunFigure("fig6.17_tpcc_stocklevel_wbig", MakeSetup(w_big, false),
+            SeriesWithMixing(), /*default_seconds=*/0.3,
+            /*fresh_db_per_point=*/false);
+  RunFigure("fig6.18_tpcc_stocklevel_tiny", MakeSetup(w_big, true),
+            SeriesWithMixing(), /*default_seconds=*/0.3,
+            /*fresh_db_per_point=*/false);
+  return 0;
+}

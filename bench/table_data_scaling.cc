@@ -1,0 +1,98 @@
+// The §5.3.6 data-scaling table: loads each TPC-C++ scale configuration
+// and reports per-table row counts, total rows, approximate resident bytes
+// and load time — the reproduction of the thesis's data-volume table
+// (standard vs tiny scale at W = 1 and W = W_BIG).
+//
+// The paper's table (SQL rows on InnoDB pages):
+//                 W = 1      W = 10
+//   standard      120 MB     1.2 GB
+//   tiny          2 MB       20 MB
+// Our encoded key/value rows are leaner, so absolute bytes are smaller,
+// but the ratios (x60 standard/tiny, xW across warehouses) must hold.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/db/db.h"
+#include "src/workloads/tpcc_loader.h"
+
+namespace ssidb::workloads::tpcc {
+namespace {
+
+struct TableStat {
+  const char* name;
+  TableId id;
+};
+
+void Report(uint32_t warehouses, bool tiny) {
+  DBOptions opts;
+  std::unique_ptr<DB> db;
+  if (!DB::Open(opts, &db).ok()) abort();
+  TpccConfig config;
+  config.warehouses = warehouses;
+  config.tiny = tiny;
+  TpccTables tables;
+  const auto start = std::chrono::steady_clock::now();
+  Status st = LoadTpcc(db.get(), config, 42, &tables);
+  const double load_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  if (!st.ok()) {
+    fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    abort();
+  }
+
+  const TableStat stats[] = {
+      {"warehouse", tables.warehouse},
+      {"district", tables.district},
+      {"customer", tables.customer},
+      {"customer_credit", tables.customer_credit},
+      {"customer_name", tables.customer_name},
+      {"item", tables.item},
+      {"stock", tables.stock},
+      {"order", tables.order},
+      {"order_customer", tables.order_customer},
+      {"new_order", tables.new_order},
+      {"order_line", tables.order_line},
+  };
+
+  printf("scale=%s W=%u (load %.2fs)\n", tiny ? "tiny" : "standard",
+         warehouses, load_s);
+  size_t total_rows = 0;
+  size_t total_bytes = 0;
+  auto txn = db->Begin({IsolationLevel::kSnapshot});
+  for (const TableStat& t : stats) {
+    size_t rows = 0;
+    size_t bytes = 0;
+    Status s = txn->Scan(t.id, Slice("", 0), std::string(64, '\xff'),
+                         [&rows, &bytes](Slice key, Slice value) {
+                           ++rows;
+                           bytes += key.size() + value.size();
+                           return true;
+                         });
+    if (!s.ok()) abort();
+    printf("  %-16s %9zu rows %12zu bytes\n", t.name, rows, bytes);
+    total_rows += rows;
+    total_bytes += bytes;
+  }
+  txn->Commit();
+  printf("  %-16s %9zu rows %12.1f MB\n\n", "TOTAL", total_rows,
+         total_bytes / (1024.0 * 1024.0));
+}
+
+}  // namespace
+}  // namespace ssidb::workloads::tpcc
+
+int main() {
+  using ssidb::workloads::tpcc::Report;
+  const char* env = std::getenv("SSIDB_TPCC_WAREHOUSES");
+  const uint32_t w_big =
+      env != nullptr && std::atol(env) > 0 ? std::atol(env) : 2;
+  printf("TPC-C++ data scaling (the §5.3.6 table)\n\n");
+  Report(1, /*tiny=*/true);
+  Report(w_big, /*tiny=*/true);
+  Report(1, /*tiny=*/false);
+  Report(w_big, /*tiny=*/false);
+  return 0;
+}

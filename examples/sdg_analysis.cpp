@@ -1,0 +1,41 @@
+// Static dependency graph analysis (§2.6) of the paper's workloads: the
+// design-time alternative to runtime SSI. Prints each SDG with its
+// vulnerable edges and pivots — reproducing the conclusions of Figs 2.8,
+// 2.9, 2.10 and 5.3 — and shows how the §2.8.5 fixes close SmallBank's
+// dangerous structure.
+//
+//   $ ./build/examples/sdg_analysis
+
+#include <cstdio>
+
+#include "src/sgt/sdg.h"
+#include "src/sgt/sdg_catalog.h"
+
+using namespace ssidb::sgt;
+
+namespace {
+
+void Show(const char* title, const std::vector<Program>& programs) {
+  printf("=== %s ===\n%s\n", title,
+         DescribeSdg(programs, AnalyzeSdg(programs)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  Show("sibench (§5.2)", SiBenchPrograms());
+  Show("SmallBank (Fig 2.9) — WriteCheck is the pivot",
+       SmallBankPrograms());
+  Show("SmallBank + PromoteBW (Fig 2.10) — fixed, at a price",
+       SmallBankPromoteBW());
+  Show("SmallBank + MaterializeWT — the cheap fix",
+       SmallBankMaterializeWT());
+  Show("TPC-C (Fig 2.8) — serializable under plain SI", TpccPrograms());
+  Show("TPC-C++ (Fig 5.3) — Credit Check breaks it",
+       TpccPlusPlusPrograms());
+  printf(
+      "The runtime alternative: Serializable SI needs none of this "
+      "analysis —\nit detects the same dangerous structures as they "
+      "happen (Chapter 3).\n");
+  return 0;
+}

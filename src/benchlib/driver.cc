@@ -1,0 +1,93 @@
+#include "src/benchlib/driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace ssidb::bench {
+
+std::vector<SeriesConfig> StandardSeries() {
+  return {
+      SeriesConfig{"S2PL", IsolationLevel::kSerializable2PL, std::nullopt},
+      SeriesConfig{"SI", IsolationLevel::kSnapshot, std::nullopt},
+      SeriesConfig{"SSI", IsolationLevel::kSerializableSSI, std::nullopt},
+  };
+}
+
+RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
+                      const DriverConfig& config) {
+  // Phases: 0 = warmup, 1 = measure, 2 = stop. Workers only count during
+  // the measurement window.
+  std::atomic<int> phase{0};
+  std::vector<RunResult> per_worker(config.mpl);
+  std::vector<std::thread> workers;
+  workers.reserve(config.mpl);
+
+  for (int w = 0; w < config.mpl; ++w) {
+    workers.emplace_back([&, w] {
+      Random rng(config.seed * 7919 + w * 104729 + 1);
+      RunResult& local = per_worker[w];
+      for (;;) {
+        const int p = phase.load(std::memory_order_acquire);
+        if (p == 2) break;
+        const Status st = workload->RunOne(db, series, w, &rng);
+        if (p == 1) local.Count(st);
+      }
+    });
+  }
+
+  const auto sleep_for = [](double seconds) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  };
+  sleep_for(config.warmup_seconds);
+  const auto start = std::chrono::steady_clock::now();
+  phase.store(1, std::memory_order_release);
+  sleep_for(config.measure_seconds);
+  phase.store(2, std::memory_order_release);
+  const auto end = std::chrono::steady_clock::now();
+  for (std::thread& t : workers) t.join();
+
+  RunResult total;
+  total.seconds = std::chrono::duration<double>(end - start).count();
+  for (const RunResult& r : per_worker) {
+    total.commits += r.commits;
+    total.deadlocks += r.deadlocks;
+    total.update_conflicts += r.update_conflicts;
+    total.unsafe += r.unsafe;
+    total.timeouts += r.timeouts;
+    total.app_rollbacks += r.app_rollbacks;
+  }
+  return total;
+}
+
+double EnvSeconds(double dflt) {
+  const char* v = std::getenv("SSIDB_BENCH_SECONDS");
+  if (v == nullptr) return dflt;
+  const double s = std::atof(v);
+  return s > 0 ? s : dflt;
+}
+
+std::vector<int> EnvMpls(const std::vector<int>& dflt) {
+  const char* v = std::getenv("SSIDB_BENCH_MPLS");
+  if (v == nullptr) return dflt;
+  std::vector<int> out;
+  std::stringstream ss(v);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    const int m = std::atoi(tok.c_str());
+    if (m > 0) out.push_back(m);
+  }
+  return out.empty() ? dflt : out;
+}
+
+uint32_t EnvFlushUs(uint32_t dflt) {
+  const char* v = std::getenv("SSIDB_FLUSH_US");
+  if (v == nullptr) return dflt;
+  const long us = std::atol(v);
+  return us >= 0 ? static_cast<uint32_t>(us) : dflt;
+}
+
+}  // namespace ssidb::bench

@@ -1,0 +1,74 @@
+// Benchmark driver: the MPL worker-pool harness the paper's db_perf tool
+// provided for Berkeley DB (§6.1) — N client threads execute transactions
+// back-to-back with no think time, a warmup phase fills caches, then a
+// timed measurement window counts commits and classifies aborts.
+
+#ifndef SSIDB_BENCHLIB_DRIVER_H_
+#define SSIDB_BENCHLIB_DRIVER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/benchlib/stats.h"
+#include "src/common/options.h"
+#include "src/common/random.h"
+#include "src/db/db.h"
+
+namespace ssidb::bench {
+
+/// One line in a figure: a concurrency-control mode under test.
+struct SeriesConfig {
+  std::string name;  ///< "S2PL", "SI", "SSI" (figure legend).
+  IsolationLevel isolation = IsolationLevel::kSerializableSSI;
+  /// §3.8 mixing: run read-only transaction types at this level instead
+  /// (e.g. queries at plain SI while updates run Serializable SI).
+  std::optional<IsolationLevel> read_only_isolation;
+
+  /// Isolation to use for a transaction program; workloads call this with
+  /// read_only=true for query-only programs.
+  IsolationLevel For(bool read_only) const {
+    return (read_only && read_only_isolation) ? *read_only_isolation
+                                              : isolation;
+  }
+};
+
+/// The three standard series of every figure in Chapter 6.
+std::vector<SeriesConfig> StandardSeries();
+
+/// A transaction program mix. One instance is shared by all workers; per
+/// worker state lives in the Random and worker_id arguments.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Execute ONE transaction attempt (begin..commit/abort) and return its
+  /// outcome. The driver classifies the status and retries aborted work by
+  /// simply calling again (the Chapter 6 retry discipline).
+  virtual Status RunOne(DB* db, const SeriesConfig& series, uint64_t worker,
+                        Random* rng) = 0;
+};
+
+struct DriverConfig {
+  int mpl = 1;
+  double warmup_seconds = 0.05;
+  double measure_seconds = 0.25;
+  uint64_t seed = 42;
+};
+
+/// Run `workload` on `db` with config.mpl concurrent workers and return
+/// the measured-window counts.
+RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
+                      const DriverConfig& config);
+
+/// Environment knobs shared by the figure binaries:
+///   SSIDB_BENCH_SECONDS  - measurement window per point (default `dflt`).
+///   SSIDB_BENCH_MPLS     - comma-separated MPL sweep (default `dflt`).
+///   SSIDB_FLUSH_US       - simulated log flush latency override.
+double EnvSeconds(double dflt);
+std::vector<int> EnvMpls(const std::vector<int>& dflt);
+uint32_t EnvFlushUs(uint32_t dflt);
+
+}  // namespace ssidb::bench
+
+#endif  // SSIDB_BENCHLIB_DRIVER_H_

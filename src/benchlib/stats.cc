@@ -1,0 +1,47 @@
+#include "src/benchlib/stats.h"
+
+#include <cstdio>
+
+namespace ssidb::bench {
+
+void RunResult::Count(const Status& status) {
+  if (status.ok()) {
+    ++commits;
+    return;
+  }
+  switch (status.code()) {
+    case Status::Code::kDeadlock:
+      ++deadlocks;
+      break;
+    case Status::Code::kUpdateConflict:
+      ++update_conflicts;
+      break;
+    case Status::Code::kUnsafe:
+      ++unsafe;
+      break;
+    case Status::Code::kTimedOut:
+      ++timeouts;
+      break;
+    default:
+      ++app_rollbacks;
+      break;
+  }
+}
+
+std::string ResultHeader() {
+  return "figure,series,mpl,commits_per_sec,deadlocks_per_commit,"
+         "conflicts_per_commit,unsafe_per_commit,total_commits";
+}
+
+std::string ResultRow(const std::string& figure, const std::string& series,
+                      int mpl, const RunResult& r) {
+  char buf[256];
+  const double c = r.commits > 0 ? static_cast<double>(r.commits) : 1.0;
+  snprintf(buf, sizeof(buf), "%s,%s,%d,%.1f,%.4f,%.4f,%.4f,%llu",
+           figure.c_str(), series.c_str(), mpl, r.Throughput(),
+           r.deadlocks / c, r.update_conflicts / c, r.unsafe / c,
+           static_cast<unsigned long long>(r.commits));
+  return buf;
+}
+
+}  // namespace ssidb::bench

@@ -1,0 +1,77 @@
+// Pseudo-random utilities for workloads and tests: a fast xorshift generator
+// plus the TPC-C NURand non-uniform distribution and a bounded Zipf sampler.
+
+#ifndef SSIDB_COMMON_RANDOM_H_
+#define SSIDB_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssidb {
+
+/// xorshift128+ generator; deterministic per seed, cheap enough to sit on a
+/// benchmark worker's hot path.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x5bd1e995) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// TPC-C NURand(A, x, y): non-uniform value in [x, y] (spec clause 2.1.6).
+  uint64_t NURand(uint64_t a, uint64_t x, uint64_t y);
+
+  /// Random alphanumeric string with length in [min_len, max_len].
+  std::string AlphaString(size_t min_len, size_t max_len);
+
+  /// Shuffle a vector in place (Fisher-Yates).
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      std::swap((*v)[i], (*v)[Uniform(i + 1)]);
+    }
+  }
+
+ private:
+  uint64_t s_[2];
+};
+
+/// Zipf-distributed sampler over [0, n) with parameter theta, using the
+/// Gray et al. quick method (precomputed zeta). Used for skewed-contention
+/// ablations.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Random* rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_COMMON_RANDOM_H_

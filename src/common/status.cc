@@ -1,0 +1,38 @@
+#include "src/common/status.h"
+
+namespace ssidb {
+
+const char* StatusCodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "ok";
+    case Status::Code::kNotFound:
+      return "not_found";
+    case Status::Code::kDuplicateKey:
+      return "duplicate_key";
+    case Status::Code::kDeadlock:
+      return "deadlock";
+    case Status::Code::kUpdateConflict:
+      return "update_conflict";
+    case Status::Code::kUnsafe:
+      return "unsafe";
+    case Status::Code::kTxnInvalid:
+      return "txn_invalid";
+    case Status::Code::kInvalidArgument:
+      return "invalid_argument";
+    case Status::Code::kTimedOut:
+      return "timed_out";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  std::string out = StatusCodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace ssidb

@@ -1,0 +1,107 @@
+// Status: RocksDB-style error propagation without exceptions.
+//
+// The code taxonomy mirrors the error classes of the paper's evaluation
+// (Chapter 6): kDeadlock for S2PL lock cycles, kUpdateConflict for the
+// snapshot-isolation first-committer-wins rule (Berkeley DB's
+// DB_SNAPSHOT_CONFLICT / InnoDB's DB_UPDATE_CONFLICT), and kUnsafe for the
+// Serializable SI dangerous-structure aborts (DB_SNAPSHOT_UNSAFE /
+// DB_UNSAFE_TRANSACTION).
+
+#ifndef SSIDB_COMMON_STATUS_H_
+#define SSIDB_COMMON_STATUS_H_
+
+#include <string>
+
+namespace ssidb {
+
+/// Outcome of every fallible ssidb operation.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    /// Key not present (or not visible in this transaction's snapshot).
+    kNotFound,
+    /// Insert of a key that already has a live, visible row.
+    kDuplicateKey,
+    /// S2PL: this transaction was chosen as a deadlock victim.
+    kDeadlock,
+    /// SI first-committer-wins: a concurrent transaction committed a
+    /// conflicting write first.
+    kUpdateConflict,
+    /// Serializable SI: committing would risk a non-serializable execution
+    /// (two consecutive rw-antidependencies were detected).
+    kUnsafe,
+    /// Operation on a transaction that already committed or aborted.
+    kTxnInvalid,
+    /// Malformed argument (unknown table, empty key, bad option...).
+    kInvalidArgument,
+    /// Lock wait exceeded the configured timeout.
+    kTimedOut,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status DuplicateKey(std::string msg = "") {
+    return Status(Code::kDuplicateKey, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status UpdateConflict(std::string msg = "") {
+    return Status(Code::kUpdateConflict, std::move(msg));
+  }
+  static Status Unsafe(std::string msg = "") {
+    return Status(Code::kUnsafe, std::move(msg));
+  }
+  static Status TxnInvalid(std::string msg = "") {
+    return Status(Code::kTxnInvalid, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsDuplicateKey() const { return code_ == Code::kDuplicateKey; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsUpdateConflict() const { return code_ == Code::kUpdateConflict; }
+  bool IsUnsafe() const { return code_ == Code::kUnsafe; }
+  bool IsTxnInvalid() const { return code_ == Code::kTxnInvalid; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+
+  /// True for the three error classes that abort the enclosing transaction
+  /// (the ones the paper's benchmarks count and retry).
+  bool IsAbort() const {
+    return code_ == Code::kDeadlock || code_ == Code::kUpdateConflict ||
+           code_ == Code::kUnsafe || code_ == Code::kTimedOut;
+  }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "<code>: <message>" string.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Short name for a status code ("ok", "deadlock", "unsafe", ...).
+const char* StatusCodeName(Status::Code code);
+
+}  // namespace ssidb
+
+#endif  // SSIDB_COMMON_STATUS_H_

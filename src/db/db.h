@@ -1,0 +1,222 @@
+// Public API of ssidb: an embedded, in-memory, multiversion transactional
+// key-value engine whose concurrency control runs in the three modes the
+// paper evaluates — strict two-phase locking (S2PL), snapshot isolation
+// (SI), and the paper's contribution, Serializable Snapshot Isolation (SSI).
+//
+//   ssidb::DBOptions opts;
+//   std::unique_ptr<ssidb::DB> db;
+//   ssidb::DB::Open(opts, &db);
+//   ssidb::TableId accounts;
+//   db->CreateTable("accounts", &accounts);
+//   auto txn = db->Begin({.isolation = ssidb::IsolationLevel::kSerializableSSI});
+//   std::string v;
+//   ssidb::Status s = txn->Get(accounts, "alice", &v);
+//   s = txn->Put(accounts, "alice", "42");
+//   s = txn->Commit();   // may fail kUnsafe / kUpdateConflict / kDeadlock
+//
+// A Transaction is used by a single thread. Any operation returning a
+// status for which Status::IsAbort() is true has already rolled the
+// transaction back; the caller simply retries with a fresh transaction
+// (every benchmark in Chapter 6 follows this retry discipline).
+
+#ifndef SSIDB_DB_DB_H_
+#define SSIDB_DB_DB_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/options.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/lock/lock_manager.h"
+#include "src/sgt/history.h"
+#include "src/ssi/conflict_tracker.h"
+#include "src/storage/table.h"
+#include "src/txn/log_manager.h"
+#include "src/txn/txn_manager.h"
+
+namespace ssidb {
+
+class DB;
+
+/// A single client transaction. Obtained from DB::Begin; one thread only.
+class Transaction {
+ public:
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Point read. kNotFound if the key has no visible, live version.
+  /// Under S2PL/SSI the read also locks the *absence* of the key, so later
+  /// inserts of `key` by concurrent transactions conflict.
+  Status Get(TableId table, Slice key, std::string* value);
+
+  /// Locking read — the paper's SELECT ... FOR UPDATE (§2.6.2), with the
+  /// Oracle/InnoDB semantics the paper endorses for promotion: acquires
+  /// the EXCLUSIVE lock *before* the snapshot is chosen (§4.5), then
+  /// applies the first-committer-wins check, so a transaction whose first
+  /// statement is GetForUpdate always reads the latest committed value and
+  /// a later conflicting writer cannot slip between read and write.
+  /// Returns kUpdateConflict if a version newer than this transaction's
+  /// snapshot has already committed (the unsafe-promotion case the paper
+  /// shows PostgreSQL admits, §2.6.2).
+  Status GetForUpdate(TableId table, Slice key, std::string* value);
+
+  /// Upsert: update the key if its index entry exists, insert otherwise
+  /// (the insert path takes the Fig 3.7 gap lock).
+  Status Put(TableId table, Slice key, Slice value);
+
+  /// Insert; kDuplicateKey if a live version is already committed or the
+  /// transaction itself already wrote the key.
+  Status Insert(TableId table, Slice key, Slice value);
+
+  /// Delete by installing a tombstone version (§3.5). kNotFound if no
+  /// visible live version exists.
+  Status Delete(TableId table, Slice key);
+
+  /// Predicate read over the inclusive range [lo, hi] (Fig 3.6's scanRead
+  /// applied to every index entry in range). `fn` receives each visible
+  /// key/value; returning false stops the iteration early (locks already
+  /// taken are kept). Keys are visited in ascending order.
+  using ScanCallback = std::function<bool(Slice key, Slice value)>;
+  Status Scan(TableId table, Slice lo, Slice hi, const ScanCallback& fn);
+
+  /// Commit. For SSI transactions runs the dangerous-structure check
+  /// (Fig 3.2 / Fig 3.10) atomically with the committed transition; on
+  /// kUnsafe the transaction has been rolled back. Waits for the group
+  /// commit flush when LogOptions::flush_on_commit is set.
+  Status Commit();
+
+  /// Roll back. Idempotent; safe after a failed operation.
+  Status Abort();
+
+  TxnId id() const { return state_->id; }
+  IsolationLevel isolation() const { return state_->isolation; }
+  /// The transaction's snapshot timestamp (0 before late allocation, §4.5).
+  Timestamp snapshot_ts() const { return state_->read_ts.load(); }
+  /// Commit timestamp (0 unless committed).
+  Timestamp commit_ts() const { return state_->commit_ts.load(); }
+  bool active() const { return !finished_; }
+
+ private:
+  friend class DB;
+  Transaction(DB* db, std::shared_ptr<TxnState> state);
+
+  /// Pre-flight for every operation: reject finished transactions, honour
+  /// an asynchronous victim mark (§3.7.2) by aborting now.
+  Status CheckUsable();
+
+  /// Assign the read snapshot if still unassigned, per the §4.5 rule
+  /// (after the first statement's locks), and record history Begin once.
+  void EnsureSnapshot();
+
+  /// Abort and return `cause` (the paper's "abort as soon as the problem
+  /// is discovered", §3.7.1).
+  Status AbortWith(const Status& cause);
+
+  /// Lock key for a row operation under the configured granularity:
+  /// the row itself (kRow) or its page bucket (kPage, §4.1).
+  LockKey RowLockKey(TableId table, Slice key) const;
+  /// Gap lock key protecting the open interval below `next_key`;
+  /// `next_key` == nullopt means the table's supremum gap (Fig 3.6/3.7).
+  LockKey GapLockKey(TableId table,
+                     const std::optional<std::string>& next_key) const;
+
+  /// Acquire `mode` on `lk` and route any rw-conflict evidence to the SSI
+  /// tracker (Fig 3.4 line 3 / Fig 3.5 line 4). Aborts this transaction on
+  /// deadlock/timeout/unsafe and returns the cause.
+  Status AcquireAndMark(const LockKey& lk, LockMode mode);
+
+  /// The paper's modified read applied to one chain: snapshot-read (or
+  /// latest-committed for S2PL) and mark rw-conflicts with creators of
+  /// ignored newer versions (Fig 3.4 lines 8-9).
+  Status ReadChainAndMark(TableId table, Slice key, VersionChain* chain,
+                          std::string* value, ReadResult* out);
+
+  /// First-committer-wins check (§2.5/§4.2) for a write to `chain`; in
+  /// page mode also consults the page write table. Call with the exclusive
+  /// lock held and the snapshot assigned.
+  Status CheckFirstCommitterWins(VersionChain* chain, const LockKey& row_lk);
+
+  /// Shared body of Put/Insert/Delete.
+  enum class WriteKind { kUpsert, kInsert, kDelete };
+  Status WriteImpl(TableId table, Slice key, Slice value, WriteKind kind);
+
+  DB* const db_;
+  std::shared_ptr<TxnState> state_;
+  bool finished_ = false;
+  bool history_begin_recorded_ = false;
+};
+
+/// Aggregate engine counters surfaced to benchmarks and tests.
+struct DBStats {
+  uint64_t unsafe_aborts = 0;      ///< SSI dangerous structures detected.
+  uint64_t deadlocks = 0;          ///< Lock cycles detected.
+  uint64_t lock_waits = 0;         ///< Blocking lock acquisitions.
+  uint64_t log_records = 0;        ///< Commit records appended.
+  uint64_t log_flush_batches = 0;  ///< Group-commit flushes.
+  size_t active_txns = 0;
+  size_t suspended_txns = 0;       ///< Committed-but-retained (§3.3).
+  size_t lock_grants = 0;          ///< Live (txn, key, mode) grants.
+};
+
+class DB {
+ public:
+  /// Open a fresh in-memory engine. Never fails today, but keeps the
+  /// fallible signature so callers are ready for persistent variants.
+  static Status Open(const DBOptions& options, std::unique_ptr<DB>* db);
+
+  ~DB();
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  /// Create a table. kInvalidArgument on duplicate name.
+  Status CreateTable(const std::string& name, TableId* id);
+  /// Look up a table id by name. kNotFound if absent.
+  Status FindTable(const std::string& name, TableId* id) const;
+
+  std::unique_ptr<Transaction> Begin(const TxnOptions& options = {});
+
+  DBStats GetStats() const;
+  const DBOptions& options() const { return options_; }
+
+  /// The §3.1.1 after-the-fact history oracle; non-null only when
+  /// DBOptions::record_history was set.
+  sgt::HistoryRecorder* history() { return history_.get(); }
+
+  /// Reclaim versions unreachable by any active snapshot in `table`
+  /// (inline pruning is driven by writes; this is the full sweep).
+  /// Returns the number of versions freed.
+  size_t PruneVersions(TableId table);
+
+  // Internal subsystem access (tests, benchmarks).
+  TxnManager* txn_manager() { return txn_manager_.get(); }
+  LockManager* lock_manager() { return lock_manager_.get(); }
+  ConflictTracker* conflict_tracker() { return tracker_.get(); }
+  Table* table(TableId id);
+
+ private:
+  friend class Transaction;
+  explicit DB(const DBOptions& options);
+
+  const DBOptions options_;
+  std::unique_ptr<LogManager> log_manager_;
+  std::unique_ptr<LockManager> lock_manager_;
+  std::unique_ptr<TxnManager> txn_manager_;
+  std::unique_ptr<ConflictTracker> tracker_;
+  std::unique_ptr<sgt::HistoryRecorder> history_;
+
+  mutable std::mutex tables_mu_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, TableId> table_names_;
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_DB_DB_H_

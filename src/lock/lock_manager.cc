@@ -1,0 +1,307 @@
+#include "src/lock/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace ssidb {
+
+namespace {
+
+constexpr uint8_t kSharedBit = static_cast<uint8_t>(LockMode::kShared);
+constexpr uint8_t kExclusiveBit = static_cast<uint8_t>(LockMode::kExclusive);
+constexpr uint8_t kSIReadBit = static_cast<uint8_t>(LockMode::kSIRead);
+
+/// Granted bits of another owner that are incompatible with `mode`.
+/// SIREAD neither blocks nor is blocked (Fig 3.4): compatibility only
+/// constrains kShared/kExclusive. On gap keys, kExclusive plays InnoDB's
+/// insert-intention role: two inserts into the same gap do not block each
+/// other, but either blocks (and is blocked by) a scanner's kShared gap
+/// lock (§2.5.2).
+uint8_t IncompatibleMask(LockMode mode, LockKind kind) {
+  const bool gap = kind == LockKind::kGap || kind == LockKind::kSupremum;
+  switch (mode) {
+    case LockMode::kShared:
+      return kExclusiveBit;
+    case LockMode::kExclusive:
+      return gap ? kSharedBit : (kSharedBit | kExclusiveBit);
+    case LockMode::kSIRead:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+LockManager::LockManager(const Config& config) : config_(config) {
+  if (config_.deadlock_policy == DeadlockPolicy::kPeriodic) {
+    detector_ = std::thread([this] { DetectorLoop(); });
+  }
+}
+
+LockManager::~LockManager() {
+  stop_.store(true);
+  if (detector_.joinable()) detector_.join();
+}
+
+void LockManager::CollectBlockers(const LockEntry& entry, TxnId txn,
+                                  LockMode mode, LockKind kind,
+                                  std::vector<TxnId>* blockers) {
+  blockers->clear();
+  const uint8_t mask = IncompatibleMask(mode, kind);
+  if (mask == 0) return;
+  for (const auto& [owner, bits] : entry.holders) {
+    if (owner != txn && (bits & mask) != 0) blockers->push_back(owner);
+  }
+}
+
+AcquireResult LockManager::Acquire(TxnId txn, const LockKey& key,
+                                   LockMode mode) {
+  AcquireResult result;
+  Shard& shard = ShardFor(key);
+  const uint8_t bit = static_cast<uint8_t>(mode);
+
+  std::unique_lock<std::mutex> guard(shard.mu);
+
+  // Grants `bit` to txn in the entry currently stored for `key` and gathers
+  // rw-conflict evidence atomically with the grant (§3.2). Re-looked-up on
+  // every call because the entries map may rehash while we wait.
+  auto grant = [&] {
+    LockEntry& entry = shard.entries[key];
+    uint8_t& bits = entry.holders[txn];
+    const bool is_new_holder = (bits == 0);
+    if ((bits & bit) == 0) {
+      bits |= bit;
+      if (is_new_holder) shard.held[txn].push_back(key);
+    }
+    // §3.7.3: an EXCLUSIVE grant subsumes the owner's SIREAD lock; the new
+    // version the writer creates will detect later conflicts instead.
+    if (mode == LockMode::kExclusive && config_.upgrade_siread_locks) {
+      bits &= static_cast<uint8_t>(~kSIReadBit);
+    }
+    const uint8_t probe = (mode == LockMode::kExclusive) ? kSIReadBit
+                          : (mode == LockMode::kSIRead)  ? kExclusiveBit
+                                                         : 0;
+    if (probe != 0) {
+      for (const auto& [owner, obits] : entry.holders) {
+        if (owner != txn && (obits & probe) != 0) {
+          result.rw_conflicts.push_back(owner);
+        }
+      }
+    }
+  };
+
+  std::vector<TxnId> blockers;
+  CollectBlockers(shard.entries[key], txn, mode, key.kind, &blockers);
+  if (blockers.empty()) {
+    grant();
+    return result;
+  }
+
+  // Must wait.
+  waits_.fetch_add(1, std::memory_order_relaxed);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.lock_timeout_ms);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> g(graph_mu_);
+      waits_for_[txn] = blockers;
+      if (config_.deadlock_policy == DeadlockPolicy::kImmediate &&
+          OnCycleLocked(txn)) {
+        waits_for_.erase(txn);
+        deadlocks_detected_.fetch_add(1, std::memory_order_relaxed);
+        result.status = Status::Deadlock("lock cycle");
+        return result;
+      }
+      if (killed_.erase(txn) > 0) {
+        waits_for_.erase(txn);
+        result.status = Status::Deadlock("chosen as deadlock victim");
+        return result;
+      }
+    }
+    // Bounded waits so periodic kills and external abort marks are seen
+    // promptly even if no lock in this shard is released.
+    shard.cv.wait_for(guard, std::chrono::milliseconds(2));
+    if (std::chrono::steady_clock::now() > deadline) {
+      ClearWaits(txn);
+      result.status = Status::TimedOut("lock wait timeout");
+      return result;
+    }
+    CollectBlockers(shard.entries[key], txn, mode, key.kind, &blockers);
+    if (blockers.empty()) {
+      ClearWaits(txn);
+      grant();
+      return result;
+    }
+  }
+}
+
+void LockManager::ReleaseLocked(Shard& shard, TxnId txn, uint8_t keep_mask) {
+  auto held_it = shard.held.find(txn);
+  if (held_it == shard.held.end()) return;
+  std::vector<LockKey> still_held;
+  for (const LockKey& key : held_it->second) {
+    auto entry_it = shard.entries.find(key);
+    if (entry_it == shard.entries.end()) continue;
+    auto holder_it = entry_it->second.holders.find(txn);
+    if (holder_it == entry_it->second.holders.end()) continue;
+    holder_it->second &= keep_mask;
+    if (holder_it->second == 0) {
+      entry_it->second.holders.erase(holder_it);
+      if (entry_it->second.holders.empty()) shard.entries.erase(entry_it);
+    } else {
+      still_held.push_back(key);
+    }
+  }
+  if (still_held.empty()) {
+    shard.held.erase(held_it);
+  } else {
+    held_it->second = std::move(still_held);
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  for (Shard& shard : shards_) {
+    bool notify;
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      notify = shard.held.count(txn) > 0;
+      ReleaseLocked(shard, txn, 0);
+    }
+    if (notify) shard.cv.notify_all();
+  }
+  ClearWaits(txn);
+}
+
+void LockManager::ReleaseAllExceptSIRead(TxnId txn) {
+  for (Shard& shard : shards_) {
+    bool notify;
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      notify = shard.held.count(txn) > 0;
+      ReleaseLocked(shard, txn, kSIReadBit);
+    }
+    if (notify) shard.cv.notify_all();
+  }
+  ClearWaits(txn);
+}
+
+bool LockManager::HoldsAnySIRead(TxnId txn) const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    auto held_it = shard.held.find(txn);
+    if (held_it == shard.held.end()) continue;
+    for (const LockKey& key : held_it->second) {
+      auto entry_it = shard.entries.find(key);
+      if (entry_it == shard.entries.end()) continue;
+      auto holder_it = entry_it->second.holders.find(txn);
+      if (holder_it != entry_it->second.holders.end() &&
+          (holder_it->second & kSIReadBit) != 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool LockManager::Holds(TxnId txn, const LockKey& key, LockMode mode) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto entry_it = shard.entries.find(key);
+  if (entry_it == shard.entries.end()) return false;
+  auto holder_it = entry_it->second.holders.find(txn);
+  if (holder_it == entry_it->second.holders.end()) return false;
+  return (holder_it->second & static_cast<uint8_t>(mode)) != 0;
+}
+
+size_t LockManager::GrantCount() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      for (const auto& [owner, bits] : entry.holders) {
+        n += __builtin_popcount(bits);
+      }
+    }
+  }
+  return n;
+}
+
+void LockManager::SetWaits(TxnId txn, const std::vector<TxnId>& blockers) {
+  std::lock_guard<std::mutex> guard(graph_mu_);
+  waits_for_[txn] = blockers;
+}
+
+void LockManager::ClearWaits(TxnId txn) {
+  std::lock_guard<std::mutex> guard(graph_mu_);
+  waits_for_.erase(txn);
+}
+
+bool LockManager::OnCycleLocked(TxnId start) const {
+  // Iterative DFS over waits-for edges looking for a path back to start.
+  std::vector<TxnId> stack;
+  std::unordered_set<TxnId> visited;
+  stack.push_back(start);
+  while (!stack.empty()) {
+    const TxnId t = stack.back();
+    stack.pop_back();
+    auto it = waits_for_.find(t);
+    if (it == waits_for_.end()) continue;
+    for (TxnId next : it->second) {
+      if (next == start) return true;
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+void LockManager::KillCyclesLocked() {
+  // For each waiting transaction on a cycle, kill the youngest (largest
+  // id) member of that cycle, mimicking a coarse periodic detector.
+  std::unordered_set<TxnId> already_killed;
+  for (const auto& [txn, edges] : waits_for_) {
+    (void)edges;
+    if (already_killed.count(txn) > 0) continue;
+    if (!OnCycleLocked(txn)) continue;
+    // Walk the cycle to find the youngest member: restrict to nodes that
+    // can reach txn and are reachable from txn. Cheap approximation: all
+    // waiting nodes reachable from txn that are on a cycle themselves.
+    TxnId victim = txn;
+    std::vector<TxnId> stack{txn};
+    std::unordered_set<TxnId> seen{txn};
+    while (!stack.empty()) {
+      const TxnId t = stack.back();
+      stack.pop_back();
+      auto it = waits_for_.find(t);
+      if (it == waits_for_.end()) continue;
+      for (TxnId next : it->second) {
+        if (seen.insert(next).second) {
+          if (waits_for_.count(next) > 0 && next > victim) victim = next;
+          stack.push_back(next);
+        }
+      }
+    }
+    killed_.insert(victim);
+    already_killed.insert(victim);
+    deadlocks_detected_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void LockManager::DetectorLoop() {
+  while (!stop_.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.deadlock_scan_interval_ms));
+    bool found;
+    {
+      std::lock_guard<std::mutex> guard(graph_mu_);
+      const size_t before = killed_.size();
+      KillCyclesLocked();
+      found = killed_.size() > before;
+    }
+    if (found) {
+      for (Shard& shard : shards_) shard.cv.notify_all();
+    }
+  }
+}
+
+}  // namespace ssidb

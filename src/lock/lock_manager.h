@@ -1,0 +1,207 @@
+// Lock manager (paper §2.2.1, §3.2, §3.5).
+//
+// Three modes:
+//   kShared     - S2PL read locks; block and are blocked by kExclusive.
+//   kExclusive  - write locks (all isolation levels).
+//   kSIRead     - the paper's new mode: records that an SI transaction read
+//                 an item. Never blocks and never delays anyone (Fig 3.4);
+//                 its coexistence with kExclusive on one key is the signal
+//                 of an rw-antidependency, which Acquire() reports to the
+//                 caller from *both* acquisition orders so that the §3.2
+//                 race cannot lose a conflict.
+//
+// Keys carry a kind: row locks, gap locks (the InnoDB-style "gap before
+// this key" used for phantom detection, §2.5.2), a per-table supremum gap,
+// and page locks (Berkeley DB granularity). Locks of different kinds never
+// interact. SIREAD locks outlive their owner's commit (§3.3): the
+// transaction manager releases them during suspended-transaction cleanup.
+//
+// Deadlocks: a waits-for graph keyed by transaction id. kImmediate runs a
+// DFS before each block (requester aborts on a cycle); kPeriodic models
+// Berkeley DB's db_perf detector: a background thread scans every interval
+// and kills the youngest transaction of each cycle (§6.1.3).
+
+#ifndef SSIDB_LOCK_LOCK_MANAGER_H_
+#define SSIDB_LOCK_LOCK_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/options.h"
+#include "src/common/status.h"
+#include "src/storage/table.h"
+#include "src/storage/version.h"
+
+namespace ssidb {
+
+enum class LockMode : uint8_t {
+  kShared = 1,
+  kExclusive = 2,
+  kSIRead = 4,
+};
+
+/// What a lock protects.
+enum class LockKind : uint8_t {
+  kRow = 0,
+  /// The open interval below `key` (insert/delete phantoms, Figs 3.6/3.7).
+  kGap = 1,
+  /// The gap above the largest key of the table (next(x) when x is last).
+  kSupremum = 2,
+  /// A whole page bucket (Berkeley DB granularity, §4.1).
+  kPage = 3,
+};
+
+struct LockKey {
+  TableId table = 0;
+  LockKind kind = LockKind::kRow;
+  std::string key;
+
+  bool operator==(const LockKey& o) const {
+    return table == o.table && kind == o.kind && key == o.key;
+  }
+};
+
+struct LockKeyHash {
+  size_t operator()(const LockKey& k) const {
+    uint64_t h = 1469598103934665603ULL;
+    auto feed = [&h](const char* p, size_t n) {
+      for (size_t i = 0; i < n; ++i) {
+        h ^= static_cast<unsigned char>(p[i]);
+        h *= 1099511628211ULL;
+      }
+    };
+    feed(reinterpret_cast<const char*>(&k.table), sizeof(k.table));
+    feed(reinterpret_cast<const char*>(&k.kind), sizeof(k.kind));
+    feed(k.key.data(), k.key.size());
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Outcome of an Acquire call.
+struct AcquireResult {
+  /// kOk, kDeadlock (victim of immediate or periodic detection) or
+  /// kTimedOut. SIREAD acquisition always succeeds.
+  Status status;
+  /// rw-antidependency evidence gathered atomically at grant time:
+  /// acquiring kExclusive reports current kSIRead holders (Fig 3.5 line 4);
+  /// acquiring kSIRead reports current kExclusive holders (Fig 3.4 line 3).
+  std::vector<TxnId> rw_conflicts;
+};
+
+class LockManager {
+ public:
+  struct Config {
+    DeadlockPolicy deadlock_policy = DeadlockPolicy::kImmediate;
+    uint32_t deadlock_scan_interval_ms = 500;
+    uint32_t lock_timeout_ms = 10000;
+    /// §3.7.3: granting kExclusive drops the owner's own kSIRead lock on
+    /// the same key.
+    bool upgrade_siread_locks = true;
+  };
+
+  explicit LockManager(const Config& config);
+  ~LockManager();
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquire `mode` on `key` for `txn`. Blocks for kShared/kExclusive when
+  /// incompatible locks are granted to other transactions; never blocks for
+  /// kSIRead. Re-acquiring an already-held mode is a no-op (returns any
+  /// current conflict evidence again). Holding kShared and requesting
+  /// kExclusive upgrades once other holders drain.
+  AcquireResult Acquire(TxnId txn, const LockKey& key, LockMode mode);
+
+  /// Release every lock `txn` holds (commit/abort of non-suspended
+  /// transactions, and cleanup of suspended ones).
+  void ReleaseAll(TxnId txn);
+
+  /// Release everything except kSIRead locks (commit of a transaction that
+  /// must stay suspended, Fig 3.2 line 9).
+  void ReleaseAllExceptSIRead(TxnId txn);
+
+  /// True if `txn` currently holds at least one kSIRead lock (commit-time
+  /// suspension test, Fig 3.2 line 11).
+  bool HoldsAnySIRead(TxnId txn) const;
+
+  /// True if `txn` holds `mode` on `key` (tests).
+  bool Holds(TxnId txn, const LockKey& key, LockMode mode) const;
+
+  /// Total number of (txn, key, mode-bit) grants in the table (tests and
+  /// lock-table-pressure benchmarks).
+  size_t GrantCount() const;
+
+  /// Counters for the benchmark reports.
+  uint64_t deadlocks_detected() const {
+    return deadlocks_detected_.load(std::memory_order_relaxed);
+  }
+  uint64_t waits() const { return waits_.load(std::memory_order_relaxed); }
+
+ private:
+  struct LockEntry {
+    /// owner -> bitmask of LockMode bits granted.
+    std::unordered_map<TxnId, uint8_t> holders;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<LockKey, LockEntry, LockKeyHash> entries;
+    /// Per-transaction list of keys with at least one grant in this shard.
+    std::unordered_map<TxnId, std::vector<LockKey>> held;
+  };
+
+  static constexpr size_t kNumShards = 64;
+
+  Shard& ShardFor(const LockKey& key) {
+    return shards_[LockKeyHash()(key) % kNumShards];
+  }
+  const Shard& ShardFor(const LockKey& key) const {
+    return shards_[LockKeyHash()(key) % kNumShards];
+  }
+
+  /// Owners (other than txn) whose granted bits block `mode` on a key of
+  /// the given kind (gap keys use insert-intention compatibility).
+  static void CollectBlockers(const LockEntry& entry, TxnId txn,
+                              LockMode mode, LockKind kind,
+                              std::vector<TxnId>* blockers);
+
+  /// Record/clear the waits-for edge set of a blocked transaction.
+  void SetWaits(TxnId txn, const std::vector<TxnId>& blockers);
+  void ClearWaits(TxnId txn);
+
+  /// DFS from `start` through waits-for edges; true if `start` is on a
+  /// cycle. Caller holds graph_mu_.
+  bool OnCycleLocked(TxnId start) const;
+
+  /// Periodic detector body.
+  void DetectorLoop();
+  void KillCyclesLocked();
+
+  void ReleaseLocked(Shard& shard, TxnId txn, uint8_t keep_mask);
+
+  const Config config_;
+
+  Shard shards_[kNumShards];
+
+  mutable std::mutex graph_mu_;
+  std::unordered_map<TxnId, std::vector<TxnId>> waits_for_;
+  std::unordered_set<TxnId> killed_;
+
+  std::atomic<uint64_t> deadlocks_detected_{0};
+  std::atomic<uint64_t> waits_{0};
+
+  std::atomic<bool> stop_{false};
+  std::thread detector_;
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_LOCK_LOCK_MANAGER_H_

@@ -1,0 +1,84 @@
+#include "src/sgt/history.h"
+
+namespace ssidb::sgt {
+
+void HistoryRecorder::Append(HistoryOp op) {
+  std::lock_guard<std::mutex> guard(mu_);
+  op.seq = next_seq_++;
+  ops_.push_back(std::move(op));
+}
+
+void HistoryRecorder::Begin(TxnId txn, Timestamp snapshot_ts) {
+  HistoryOp op;
+  op.txn = txn;
+  op.type = OpType::kBegin;
+  op.version_cts = snapshot_ts;
+  Append(std::move(op));
+}
+
+void HistoryRecorder::Read(TxnId txn, TableId table, Slice key,
+                           Timestamp version_cts, bool own_write) {
+  HistoryOp op;
+  op.txn = txn;
+  op.type = OpType::kRead;
+  op.table = table;
+  op.key = key.ToString();
+  op.version_cts = version_cts;
+  op.own_write = own_write;
+  Append(std::move(op));
+}
+
+void HistoryRecorder::Write(TxnId txn, TableId table, Slice key,
+                            bool tombstone) {
+  HistoryOp op;
+  op.txn = txn;
+  op.type = OpType::kWrite;
+  op.table = table;
+  op.key = key.ToString();
+  op.tombstone = tombstone;
+  Append(std::move(op));
+}
+
+void HistoryRecorder::Scan(TxnId txn, TableId table, Slice lo, Slice hi,
+                           Timestamp snapshot_ts) {
+  HistoryOp op;
+  op.txn = txn;
+  op.type = OpType::kScan;
+  op.table = table;
+  op.key = lo.ToString();
+  op.key2 = hi.ToString();
+  op.version_cts = snapshot_ts;
+  Append(std::move(op));
+}
+
+void HistoryRecorder::Commit(TxnId txn, Timestamp commit_ts) {
+  HistoryOp op;
+  op.txn = txn;
+  op.type = OpType::kCommit;
+  op.version_cts = commit_ts;
+  Append(std::move(op));
+}
+
+void HistoryRecorder::Abort(TxnId txn) {
+  HistoryOp op;
+  op.txn = txn;
+  op.type = OpType::kAbort;
+  Append(std::move(op));
+}
+
+std::vector<HistoryOp> HistoryRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return ops_;
+}
+
+void HistoryRecorder::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  ops_.clear();
+}
+
+size_t HistoryRecorder::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return ops_.size();
+}
+
+}  // namespace ssidb::sgt

@@ -1,0 +1,74 @@
+// Execution history recording (the after-the-fact analysis tool the paper
+// considered in §3.1.1, built here as a first-class test oracle).
+//
+// When DBOptions::record_history is set, the operation layer records every
+// begin/read/write/scan/commit/abort with enough version information to
+// reconstruct the multiversion serialization graph (MVSG, §2.5.1) offline.
+
+#ifndef SSIDB_SGT_HISTORY_H_
+#define SSIDB_SGT_HISTORY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/storage/table.h"
+#include "src/storage/version.h"
+
+namespace ssidb::sgt {
+
+enum class OpType : uint8_t {
+  kBegin,
+  kRead,     // point read; version_cts = commit ts of version observed
+  kWrite,    // update/insert (tombstone=false) or delete (tombstone=true)
+  kScan,     // predicate read over [lo, hi] at snapshot_ts
+  kCommit,   // commit_ts recorded
+  kAbort,
+};
+
+struct HistoryOp {
+  uint64_t seq = 0;  // Global order of completion.
+  TxnId txn = 0;
+  OpType type = OpType::kBegin;
+  TableId table = 0;
+  std::string key;   // Read/write key; scan lower bound.
+  std::string key2;  // Scan upper bound.
+  /// kRead: commit ts of the version read (0 = own write or none visible).
+  /// kScan: the snapshot the predicate evaluated against.
+  /// kCommit: the transaction's commit timestamp.
+  Timestamp version_cts = 0;
+  bool own_write = false;
+  bool tombstone = false;
+};
+
+/// Thread-safe append-only op log.
+class HistoryRecorder {
+ public:
+  /// Recorded when the snapshot is assigned; `snapshot_ts` defines the
+  /// transaction's begin time for concurrency (vulnerability) analysis.
+  void Begin(TxnId txn, Timestamp snapshot_ts);
+  void Read(TxnId txn, TableId table, Slice key, Timestamp version_cts,
+            bool own_write);
+  void Write(TxnId txn, TableId table, Slice key, bool tombstone);
+  void Scan(TxnId txn, TableId table, Slice lo, Slice hi,
+            Timestamp snapshot_ts);
+  void Commit(TxnId txn, Timestamp commit_ts);
+  void Abort(TxnId txn);
+
+  std::vector<HistoryOp> Snapshot() const;
+  void Clear();
+  size_t size() const;
+
+ private:
+  void Append(HistoryOp op);
+
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 1;
+  std::vector<HistoryOp> ops_;
+};
+
+}  // namespace ssidb::sgt
+
+#endif  // SSIDB_SGT_HISTORY_H_

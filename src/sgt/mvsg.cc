@@ -1,0 +1,238 @@
+#include "src/sgt/mvsg.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ssidb::sgt {
+
+namespace {
+
+struct TxnInfo {
+  Timestamp snapshot_ts = 0;
+  Timestamp commit_ts = 0;
+  bool committed = false;
+};
+
+using Item = std::pair<TableId, std::string>;
+
+struct ItemHash {
+  size_t operator()(const Item& item) const {
+    size_t h = std::hash<std::string>()(item.second);
+    return h * 31 + item.first;
+  }
+};
+
+struct VersionWrite {
+  Timestamp cts;
+  TxnId txn;
+  bool operator<(const VersionWrite& o) const { return cts < o.cts; }
+};
+
+bool Concurrent(const TxnInfo& a, const TxnInfo& b) {
+  // Lifetimes [snapshot, commit) intersect.
+  return a.snapshot_ts < b.commit_ts && b.snapshot_ts < a.commit_ts;
+}
+
+}  // namespace
+
+MVSGResult AnalyzeHistory(const std::vector<HistoryOp>& ops) {
+  MVSGResult result;
+
+  std::unordered_map<TxnId, TxnInfo> txns;
+  for (const HistoryOp& op : ops) {
+    switch (op.type) {
+      case OpType::kBegin:
+        txns[op.txn].snapshot_ts = op.version_cts;
+        break;
+      case OpType::kCommit:
+        txns[op.txn].commit_ts = op.version_cts;
+        txns[op.txn].committed = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  auto committed = [&](TxnId t) {
+    auto it = txns.find(t);
+    return it != txns.end() && it->second.committed;
+  };
+
+  // Writes per item, in version (= commit timestamp) order.
+  std::unordered_map<Item, std::vector<VersionWrite>, ItemHash> writes;
+  for (const HistoryOp& op : ops) {
+    if (op.type != OpType::kWrite || !committed(op.txn)) continue;
+    writes[{op.table, op.key}].push_back(
+        VersionWrite{txns[op.txn].commit_ts, op.txn});
+  }
+  for (auto& [item, list] : writes) {
+    std::sort(list.begin(), list.end());
+    // One logical version per (txn, item): a transaction overwriting its
+    // own write installs a single version.
+    list.erase(std::unique(list.begin(), list.end(),
+                           [](const VersionWrite& a, const VersionWrite& b) {
+                             return a.txn == b.txn;
+                           }),
+               list.end());
+  }
+
+  std::set<std::tuple<TxnId, TxnId, EdgeType>> seen;
+  auto add_edge = [&](TxnId from, TxnId to, EdgeType type) {
+    if (from == to) return;
+    if (!seen.insert({from, to, type}).second) return;
+    Edge e;
+    e.from = from;
+    e.to = to;
+    e.type = type;
+    e.vulnerable =
+        type == EdgeType::kRW && Concurrent(txns[from], txns[to]);
+    result.edges.push_back(e);
+  };
+
+  // ww edges: adjacent pairs in version order (transitively sufficient).
+  for (const auto& [item, list] : writes) {
+    (void)item;
+    for (size_t i = 1; i < list.size(); ++i) {
+      add_edge(list[i - 1].txn, list[i].txn, EdgeType::kWW);
+    }
+  }
+
+  // wr and rw edges from point reads.
+  for (const HistoryOp& op : ops) {
+    if (op.type != OpType::kRead || op.own_write || !committed(op.txn)) {
+      continue;
+    }
+    auto it = writes.find({op.table, op.key});
+    if (it == writes.end()) continue;
+    const std::vector<VersionWrite>& list = it->second;
+    if (op.version_cts != 0) {
+      // wr: creator -> reader.
+      auto w = std::lower_bound(list.begin(), list.end(),
+                                VersionWrite{op.version_cts, 0});
+      if (w != list.end() && w->cts == op.version_cts) {
+        add_edge(w->txn, op.txn, EdgeType::kWR);
+      }
+    }
+    // rw: reader -> first writer of a newer version.
+    auto w = std::upper_bound(list.begin(), list.end(),
+                              VersionWrite{op.version_cts, UINT64_MAX});
+    if (w != list.end()) {
+      add_edge(op.txn, w->txn, EdgeType::kRW);
+    }
+  }
+
+  // Predicate rw edges from scans: T1 scanned [lo, hi] at snapshot s; any
+  // committed write into the range with cts > s that T1 did not observe is
+  // a phantom antidependency.
+  for (const HistoryOp& op : ops) {
+    if (op.type != OpType::kScan || !committed(op.txn)) continue;
+    for (const auto& [item, list] : writes) {
+      if (item.first != op.table) continue;
+      if (item.second < op.key || item.second > op.key2) continue;
+      auto w = std::upper_bound(list.begin(), list.end(),
+                                VersionWrite{op.version_cts, UINT64_MAX});
+      while (w != list.end() && w->txn == op.txn) ++w;
+      if (w != list.end()) {
+        add_edge(op.txn, w->txn, EdgeType::kRW);
+      }
+    }
+  }
+
+  // Count committed nodes.
+  for (const auto& [id, info] : txns) {
+    (void)id;
+    if (info.committed) ++result.committed_txns;
+  }
+
+  // Cycle detection: iterative DFS, white/grey/black.
+  std::unordered_map<TxnId, std::vector<TxnId>> adj;
+  for (const Edge& e : result.edges) adj[e.from].push_back(e.to);
+
+  enum Color : uint8_t { kWhite, kGrey, kBlack };
+  std::unordered_map<TxnId, Color> color;
+  std::unordered_map<TxnId, TxnId> parent;
+
+  for (const auto& [start, _] : adj) {
+    (void)_;
+    if (color[start] != kWhite) continue;
+    std::vector<std::pair<TxnId, size_t>> stack{{start, 0}};
+    color[start] = kGrey;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      const std::vector<TxnId>& next = adj[node];
+      if (idx >= next.size()) {
+        color[node] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const TxnId child = next[idx++];
+      if (color[child] == kGrey) {
+        // Found a cycle: unwind node -> ... -> child.
+        result.serializable = false;
+        // Each node appears once; printers close the loop back to front().
+        std::vector<TxnId> cycle;
+        for (auto rit = stack.rbegin(); rit != stack.rend(); ++rit) {
+          cycle.push_back(rit->first);
+          if (rit->first == child) break;
+        }
+        std::reverse(cycle.begin(), cycle.end());
+        result.cycle = std::move(cycle);
+        break;
+      }
+      if (color[child] == kWhite) {
+        color[child] = kGrey;
+        parent[child] = node;
+        stack.push_back({child, 0});
+      }
+    }
+    if (!result.serializable) break;
+  }
+
+  // Dangerous structures: pivot with consecutive vulnerable edges.
+  constexpr size_t kMaxStructures = 64;
+  std::unordered_map<TxnId, std::vector<TxnId>> vuln_in, vuln_out;
+  for (const Edge& e : result.edges) {
+    if (e.type == EdgeType::kRW && e.vulnerable) {
+      vuln_out[e.from].push_back(e.to);
+      vuln_in[e.to].push_back(e.from);
+    }
+  }
+  for (const auto& [pivot, ins] : vuln_in) {
+    auto out_it = vuln_out.find(pivot);
+    if (out_it == vuln_out.end()) continue;
+    for (TxnId in : ins) {
+      for (TxnId out : out_it->second) {
+        if (result.dangerous_structures.size() >= kMaxStructures) break;
+        result.dangerous_structures.push_back(
+            DangerousStructure{in, pivot, out});
+      }
+    }
+  }
+
+  return result;
+}
+
+std::string DescribeResult(const MVSGResult& result) {
+  std::ostringstream os;
+  os << "MVSG: " << result.committed_txns << " committed transactions, "
+     << result.edges.size() << " edges, "
+     << result.dangerous_structures.size() << " dangerous structure(s)\n";
+  os << (result.serializable ? "history is serializable (acyclic MVSG)\n"
+                             : "history is NOT serializable; cycle: ");
+  if (!result.serializable) {
+    for (size_t i = 0; i < result.cycle.size(); ++i) {
+      if (i > 0) os << " -> ";
+      os << "T" << result.cycle[i];
+    }
+    os << " -> T" << result.cycle.front() << "\n";
+  }
+  for (const DangerousStructure& d : result.dangerous_structures) {
+    os << "  dangerous: T" << d.in << " --rw--> T" << d.pivot << " --rw--> T"
+       << d.out << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ssidb::sgt

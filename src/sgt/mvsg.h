@@ -1,0 +1,63 @@
+// Multiversion serialization graph construction and cycle analysis
+// (§2.5.1, Figs 2.1/2.2). Used as the repository's serializability oracle:
+// a committed history is serializable if its MVSG is acyclic.
+//
+// Edge rules over committed transactions (SI version order = commit order):
+//   ww: T1 and T2 write the same item, commit(T1) < commit(T2)   T1 -> T2
+//   wr: T2 reads the version T1 created                           T1 -> T2
+//   rw: T1 reads a version older than one T2 creates              T1 -> T2
+//       (the antidependency; the only edge between concurrent txns)
+// Predicate rw edges: a scan by T1 at snapshot s, and any write by T2 into
+// the scanned range with commit(T2) > s, gives T1 -> T2 (phantoms, §2.5.2).
+
+#ifndef SSIDB_SGT_MVSG_H_
+#define SSIDB_SGT_MVSG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sgt/history.h"
+
+namespace ssidb::sgt {
+
+enum class EdgeType : uint8_t { kWW, kWR, kRW };
+
+struct Edge {
+  TxnId from = 0;
+  TxnId to = 0;
+  EdgeType type = EdgeType::kWW;
+  /// True for rw edges between transactions whose lifetimes overlap — the
+  /// "vulnerable" edges of the dangerous-structure theory (§2.5.1).
+  bool vulnerable = false;
+};
+
+/// A pivot with consecutive vulnerable in/out edges (Fig 2.2). The paper's
+/// detector keys on exactly this pattern.
+struct DangerousStructure {
+  TxnId in = 0;
+  TxnId pivot = 0;
+  TxnId out = 0;
+};
+
+struct MVSGResult {
+  bool serializable = true;
+  /// One witness cycle (transaction ids in order) when not serializable.
+  std::vector<TxnId> cycle;
+  std::vector<Edge> edges;
+  std::vector<DangerousStructure> dangerous_structures;
+  size_t committed_txns = 0;
+};
+
+/// Build the MVSG for the committed transactions of `ops` and test for
+/// cycles. Aborted/unfinished transactions are excluded (they never appear
+/// in the graph, §2.2).
+MVSGResult AnalyzeHistory(const std::vector<HistoryOp>& ops);
+
+/// Pretty-print an analysis (for the history_analyzer example).
+std::string DescribeResult(const MVSGResult& result);
+
+}  // namespace ssidb::sgt
+
+#endif  // SSIDB_SGT_MVSG_H_

@@ -1,0 +1,135 @@
+#include "src/sgt/sdg.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <sstream>
+
+namespace ssidb::sgt {
+
+namespace {
+
+/// First item class in both sets, or empty.
+std::string FirstShared(const std::set<std::string>& a,
+                        const std::set<std::string>& b) {
+  for (const std::string& x : a) {
+    if (b.count(x) > 0) return x;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<std::string> SdgAnalysis::Pivots() const {
+  std::vector<std::string> out;
+  for (const SdgDangerousStructure& d : dangerous_structures) {
+    if (std::find(out.begin(), out.end(), d.pivot) == out.end()) {
+      out.push_back(d.pivot);
+    }
+  }
+  return out;
+}
+
+SdgAnalysis AnalyzeSdg(const std::vector<Program>& programs) {
+  SdgAnalysis result;
+
+  // Edges. Self-edges (P with itself) count: the paper's TPC-C++ SDG shows
+  // CCHECK's ww self-loop, and Definition 1 allows P == Q == R cases.
+  for (const Program& p1 : programs) {
+    for (const Program& p2 : programs) {
+      // ww: both write a class. Recorded once per ordered pair.
+      const std::string ww = FirstShared(p1.writes, p2.writes);
+      if (!ww.empty()) {
+        result.edges.push_back(
+            SdgEdge{p1.name, p2.name, SdgEdgeType::kWW, false, ww});
+      }
+      if (p1.name == p2.name) continue;
+      // wr: p1 writes a class p2 reads.
+      const std::string wr = FirstShared(p1.writes, p2.reads);
+      if (!wr.empty()) {
+        result.edges.push_back(
+            SdgEdge{p1.name, p2.name, SdgEdgeType::kWR, false, wr});
+      }
+      // rw: p1 reads a class p2 writes. Vulnerable unless every such
+      // conflict is accompanied by a write-write conflict (§2.6: "some
+      // item is written in both, in all cases where a read-write conflict
+      // exists"), which first-committer-wins then serializes.
+      const std::string rw = FirstShared(p1.reads, p2.writes);
+      if (!rw.empty()) {
+        const bool shielded = !FirstShared(p1.writes, p2.writes).empty();
+        result.edges.push_back(
+            SdgEdge{p1.name, p2.name, SdgEdgeType::kRW, !shielded, rw});
+      }
+    }
+  }
+
+  // Reachability over ALL edges (Definition 1(c): "path in the graph").
+  std::map<std::string, std::set<std::string>> adj;
+  for (const SdgEdge& e : result.edges) adj[e.from].insert(e.to);
+  auto reaches = [&adj](const std::string& from, const std::string& to) {
+    std::set<std::string> seen{from};
+    std::queue<std::string> frontier;
+    frontier.push(from);
+    while (!frontier.empty()) {
+      const std::string node = frontier.front();
+      frontier.pop();
+      if (node == to) return true;
+      for (const std::string& next : adj[node]) {
+        if (seen.insert(next).second) frontier.push(next);
+      }
+    }
+    return false;
+  };
+
+  // Dangerous structures: vulnerable R->P and P->Q with Q ->* R (or Q==R).
+  std::map<std::string, std::vector<std::string>> vuln_in, vuln_out;
+  for (const SdgEdge& e : result.edges) {
+    if (e.type == SdgEdgeType::kRW && e.vulnerable) {
+      vuln_in[e.to].push_back(e.from);
+      vuln_out[e.from].push_back(e.to);
+    }
+  }
+  for (const auto& [pivot, ins] : vuln_in) {
+    auto out_it = vuln_out.find(pivot);
+    if (out_it == vuln_out.end()) continue;
+    for (const std::string& r : ins) {
+      for (const std::string& q : out_it->second) {
+        if (q == r || reaches(q, r)) {
+          result.dangerous_structures.push_back(
+              SdgDangerousStructure{r, pivot, q});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::string DescribeSdg(const std::vector<Program>& programs,
+                        const SdgAnalysis& analysis) {
+  std::ostringstream os;
+  os << "programs:\n";
+  for (const Program& p : programs) {
+    os << "  " << p.name << (p.read_only() ? " (RO)" : "") << "\n";
+  }
+  os << "edges:\n";
+  for (const SdgEdge& e : analysis.edges) {
+    const char* type = e.type == SdgEdgeType::kWW   ? "ww"
+                       : e.type == SdgEdgeType::kWR ? "wr"
+                                                    : "rw";
+    os << "  " << e.from << " --" << type
+       << (e.vulnerable ? "! " : "  ") << "--> " << e.to << "  [" << e.item
+       << "]\n";
+  }
+  if (analysis.serializable_under_si()) {
+    os << "no dangerous structure: serializable under plain SI "
+          "(Theorem 3)\n";
+  } else {
+    for (const SdgDangerousStructure& d : analysis.dangerous_structures) {
+      os << "dangerous: " << d.in << " --rw!--> " << d.pivot << " --rw!--> "
+         << d.out << " (pivot: " << d.pivot << ")\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ssidb::sgt

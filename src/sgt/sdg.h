@@ -1,0 +1,90 @@
+// Static Dependency Graph analysis (paper §2.6, §2.8.4; Fekete et al.
+// 2005): the *design-time* counterpart of the runtime SSI detector.
+//
+// A transaction program declares which item classes it reads and writes
+// (item classes are table/column groups parameterized by the same key —
+// e.g. "Saving" meaning Saving(c) for the program's customer c, exactly
+// the granularity the paper's SmallBank and TPC-C analyses use). From a
+// set of programs the SDG is built:
+//
+//   edge P1 -> P2      if P1 accesses an item class P2 writes (or reads,
+//                      for wr direction), i.e. executions can produce a
+//                      dependency T1 -> T2;
+//   vulnerable edge    an rw edge that can occur between *concurrent*
+//                      transactions: P1 reads x, P2 writes x, and no item
+//                      class is written by both (a shared write would make
+//                      first-committer-wins forbid the concurrency);
+//   dangerous          Definition 1: vulnerable R -> P, vulnerable P -> Q,
+//   structure          and Q == R or a path Q ->* R. P is the pivot.
+//
+// Theorem 3: an application whose SDG has no dangerous structure is
+// serializable under plain SI. The catalogs in sdg_catalog.h encode the
+// paper's graphs (Figs 2.8, 2.9, 2.10, 5.3) and the tests verify each
+// analysis conclusion.
+
+#ifndef SSIDB_SGT_SDG_H_
+#define SSIDB_SGT_SDG_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ssidb::sgt {
+
+/// A transaction program's declared access sets. Item-class names are
+/// application-chosen strings; two programs conflict on a class when both
+/// name it (same-parameter semantics, as in the paper's analyses).
+struct Program {
+  std::string name;
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+
+  bool read_only() const { return writes.empty(); }
+};
+
+enum class SdgEdgeType { kWW, kWR, kRW };
+
+struct SdgEdge {
+  std::string from;
+  std::string to;
+  SdgEdgeType type = SdgEdgeType::kRW;
+  /// Set on rw edges that can occur between concurrent executions.
+  bool vulnerable = false;
+  /// One witnessing item class.
+  std::string item;
+};
+
+/// A Definition 1 dangerous structure: R --rw--> P --rw--> Q with both
+/// edges vulnerable and Q == R or Q ->* R.
+struct SdgDangerousStructure {
+  std::string in;     ///< R
+  std::string pivot;  ///< P
+  std::string out;    ///< Q
+};
+
+struct SdgAnalysis {
+  std::vector<SdgEdge> edges;
+  std::vector<SdgDangerousStructure> dangerous_structures;
+
+  /// Theorem 3's conclusion: no dangerous structure => every execution of
+  /// the programs under plain SI is serializable.
+  bool serializable_under_si() const {
+    return dangerous_structures.empty();
+  }
+
+  /// Distinct pivot program names, for the paper's "which program must be
+  /// modified/promoted" discussions (§2.6, §2.8.5).
+  std::vector<std::string> Pivots() const;
+};
+
+/// Build and analyze the SDG for a set of programs.
+SdgAnalysis AnalyzeSdg(const std::vector<Program>& programs);
+
+/// Pretty-print an analysis (programs, edges with vulnerability marks,
+/// dangerous structures) in the style of the paper's figures.
+std::string DescribeSdg(const std::vector<Program>& programs,
+                        const SdgAnalysis& analysis);
+
+}  // namespace ssidb::sgt
+
+#endif  // SSIDB_SGT_SDG_H_

@@ -1,0 +1,115 @@
+#include "src/sgt/sdg_catalog.h"
+
+#include <functional>
+
+namespace ssidb::sgt {
+
+std::vector<Program> SmallBankPrograms() {
+  // All programs start by reading Account (name -> id). Balance columns
+  // are the Saving/Checking item classes, parameterized by the customer.
+  return {
+      Program{"Bal", {"Account", "Saving", "Checking"}, {}},
+      Program{"DC", {"Account", "Checking"}, {"Checking"}},
+      Program{"TS", {"Account", "Saving"}, {"Saving"}},
+      Program{"Amg",
+              {"Account", "Saving", "Checking"},
+              {"Saving", "Checking"}},
+      Program{"WC", {"Account", "Saving", "Checking"}, {"Checking"}},
+  };
+}
+
+namespace {
+
+std::vector<Program> WithFix(
+    const std::function<void(std::vector<Program>*)>& apply) {
+  std::vector<Program> programs = SmallBankPrograms();
+  apply(&programs);
+  return programs;
+}
+
+Program* Find(std::vector<Program>* programs, const std::string& name) {
+  for (Program& p : *programs) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<Program> SmallBankMaterializeWT() {
+  // §2.8.5: WC and TS both update the customer's Conflict row.
+  return WithFix([](std::vector<Program>* p) {
+    Find(p, "WC")->reads.insert("Conflict");
+    Find(p, "WC")->writes.insert("Conflict");
+    Find(p, "TS")->reads.insert("Conflict");
+    Find(p, "TS")->writes.insert("Conflict");
+  });
+}
+
+std::vector<Program> SmallBankPromoteWT() {
+  // WC's Saving read becomes an identity write (or SELECT FOR UPDATE).
+  return WithFix(
+      [](std::vector<Program>* p) { Find(p, "WC")->writes.insert("Saving"); });
+}
+
+std::vector<Program> SmallBankMaterializeBW() {
+  return WithFix([](std::vector<Program>* p) {
+    Find(p, "Bal")->reads.insert("Conflict");
+    Find(p, "Bal")->writes.insert("Conflict");
+    Find(p, "WC")->reads.insert("Conflict");
+    Find(p, "WC")->writes.insert("Conflict");
+  });
+}
+
+std::vector<Program> SmallBankPromoteBW() {
+  // Fig 2.10: Bal updates the Checking row it read — the query becomes an
+  // update (the costly option the vendor docs recommend).
+  return WithFix([](std::vector<Program>* p) {
+    Find(p, "Bal")->writes.insert("Checking");
+  });
+}
+
+std::vector<Program> TpccPrograms() {
+  // Item classes per the Fekete et al. 2005 column-group analysis:
+  // D.NEXT (district next order id), S.QTY (stock levels), W.YTD/D.YTD,
+  // C.BAL, O.* / NO.* / OL.* rows, I.* (read-only catalog).
+  return {
+      Program{"NEWO",
+              {"D.NEXT", "S.QTY", "C.INFO", "I.INFO"},
+              {"D.NEXT", "S.QTY", "O", "NO", "OL"}},
+      Program{"PAY",
+              {"W.YTD", "D.YTD", "C.BAL"},
+              {"W.YTD", "D.YTD", "C.BAL"}},
+      // The paper splits Delivery: DLVY1 found no undelivered order (a
+      // pure predicate read of NO), DLVY2 delivers one.
+      Program{"DLVY1", {"NO"}, {}},
+      Program{"DLVY2",
+              {"NO", "O", "OL", "C.BAL"},
+              {"NO", "O", "OL", "C.BAL"}},
+      Program{"OSTAT", {"C.BAL", "O", "OL"}, {}},
+      Program{"SLEV", {"D.NEXT", "OL", "S.QTY"}, {}},
+  };
+}
+
+std::vector<Program> TpccPlusPlusPrograms() {
+  std::vector<Program> programs = TpccPrograms();
+  // §5.3.2: Credit Check reads the unpaid balance (C.BAL + undelivered
+  // orders) and writes the partitioned C.CREDIT; New Order reads C.CREDIT
+  // (it is shown on the terminal).
+  for (Program& p : programs) {
+    if (p.name == "NEWO") p.reads.insert("C.CREDIT");
+  }
+  programs.push_back(Program{"CCHECK",
+                             {"C.BAL", "C.LIM", "NO", "O", "OL"},
+                             {"C.CREDIT"}});
+  return programs;
+}
+
+std::vector<Program> SiBenchPrograms() {
+  return {
+      Program{"Query", {"sitest"}, {}},
+      Program{"Update", {"sitest"}, {"sitest"}},
+  };
+}
+
+}  // namespace ssidb::sgt

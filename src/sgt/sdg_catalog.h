@@ -1,0 +1,39 @@
+// The paper's static dependency graphs as program catalogs, for the SDG
+// analyzer: SmallBank (Fig 2.9) with its §2.8.5 fixes (Fig 2.10), TPC-C
+// (Fig 2.8), TPC-C++ with the Credit Check transaction (Fig 5.3), and
+// sibench (§5.2). Item-class names follow the papers' column groups.
+
+#ifndef SSIDB_SGT_SDG_CATALOG_H_
+#define SSIDB_SGT_SDG_CATALOG_H_
+
+#include <vector>
+
+#include "src/sgt/sdg.h"
+
+namespace ssidb::sgt {
+
+/// Fig 2.9: Bal, DC, TS, Amg, WC over Account/Saving/Checking. The
+/// analysis must find exactly one pivot: WriteCheck.
+std::vector<Program> SmallBankPrograms();
+
+/// §2.8.5 modifications, each of which must remove every dangerous
+/// structure (Fig 2.10 shows PromoteBW's graph).
+std::vector<Program> SmallBankMaterializeWT();
+std::vector<Program> SmallBankPromoteWT();
+std::vector<Program> SmallBankMaterializeBW();
+std::vector<Program> SmallBankPromoteBW();
+
+/// Fig 2.8: NEWO, PAY, DLVY1, DLVY2, OSTAT, SLEV. Dangerous-structure
+/// free — the formal proof that TPC-C is serializable under SI.
+std::vector<Program> TpccPrograms();
+
+/// Fig 5.3: TPC-C plus Credit Check. Two pivots: NEWO and CCHECK.
+std::vector<Program> TpccPlusPlusPrograms();
+
+/// §5.2: a query and an update over one table; a single vulnerable edge,
+/// no cycle.
+std::vector<Program> SiBenchPrograms();
+
+}  // namespace ssidb::sgt
+
+#endif  // SSIDB_SGT_SDG_CATALOG_H_

@@ -1,0 +1,333 @@
+#include "src/ssi/conflict_tracker.h"
+
+#include <cassert>
+
+namespace ssidb {
+
+namespace {
+
+/// Only Serializable SI transactions carry conflict state. SI queries mixed
+/// into an SSI system (§3.8) and S2PL transactions are transparent to the
+/// tracker.
+bool Participates(const TxnState& txn) {
+  return txn.isolation == IsolationLevel::kSerializableSSI;
+}
+
+}  // namespace
+
+ConflictTracker::ConflictTracker(const DBOptions& options,
+                                 TxnManager* txn_manager)
+    : options_(options), txn_manager_(txn_manager) {}
+
+void ConflictTracker::TidyRefLocked(ConflictRef* ref) {
+  if (ref->kind != ConflictRef::Kind::kOther) return;
+  const TxnState& partner = *ref->other;
+  const TxnStatus st = partner.status.load(std::memory_order_acquire);
+  if (st == TxnStatus::kCommitted) {
+    // The thesis's Fig 3.10 lines 9-12, made precise: remember the commit
+    // time, drop the pointer so reference chains cannot accumulate.
+    ref->Collapse(partner.commit_ts.load(std::memory_order_acquire));
+  } else if (st == TxnStatus::kAborted) {
+    // Aborted transactions never appear in the MVSG; the edge is gone.
+    ref->Clear();
+  }
+}
+
+void ConflictTracker::SetOutLocked(TxnState* txn,
+                                   const std::shared_ptr<TxnState>& partner) {
+  if (options_.conflict_tracking == ConflictTracking::kFlags) {
+    txn->out_conflict_flag = true;
+    return;
+  }
+  TidyRefLocked(&txn->out_ref);
+  ConflictRef& ref = txn->out_ref;
+  switch (ref.kind) {
+    case ConflictRef::Kind::kNone:
+      ref.SetOther(partner);
+      break;
+    case ConflictRef::Kind::kOther:
+      if (ref.other.get() != partner.get()) ref.SetSelf();
+      break;
+    case ConflictRef::Kind::kCollapsed:
+    case ConflictRef::Kind::kSelf:
+      // A second, distinct out-conflict: degrade to the conservative
+      // multi-conflict representation (Fig 3.9 lines 11-12).
+      ref.SetSelf();
+      break;
+  }
+}
+
+void ConflictTracker::SetInLocked(TxnState* txn,
+                                  const std::shared_ptr<TxnState>& partner) {
+  if (options_.conflict_tracking == ConflictTracking::kFlags) {
+    txn->in_conflict_flag = true;
+    return;
+  }
+  TidyRefLocked(&txn->in_ref);
+  ConflictRef& ref = txn->in_ref;
+  switch (ref.kind) {
+    case ConflictRef::Kind::kNone:
+      ref.SetOther(partner);
+      break;
+    case ConflictRef::Kind::kOther:
+      if (ref.other.get() != partner.get()) ref.SetSelf();
+      break;
+    case ConflictRef::Kind::kCollapsed:
+    case ConflictRef::Kind::kSelf:
+      ref.SetSelf();
+      break;
+  }
+}
+
+ConflictTracker::EdgeTime ConflictTracker::OutEdgeTimeLocked(
+    const TxnState& txn) const {
+  EdgeTime edge;
+  const ConflictRef& ref = txn.out_ref;
+  switch (ref.kind) {
+    case ConflictRef::Kind::kNone:
+      return edge;
+    case ConflictRef::Kind::kSelf:
+      // Several out-partners: some may have committed arbitrarily early.
+      edge.present = true;
+      edge.cts = 0;
+      return edge;
+    case ConflictRef::Kind::kCollapsed:
+      edge.present = true;
+      edge.cts = ref.collapsed_cts;
+      return edge;
+    case ConflictRef::Kind::kOther: {
+      const TxnStatus st = ref.other->status.load(std::memory_order_acquire);
+      if (st == TxnStatus::kAborted) return edge;  // Edge vanished.
+      edge.present = true;
+      edge.cts = st == TxnStatus::kCommitted
+                     ? ref.other->commit_ts.load(std::memory_order_acquire)
+                     : kMaxTimestamp;  // Active: has not committed first.
+      return edge;
+    }
+  }
+  return edge;
+}
+
+ConflictTracker::EdgeTime ConflictTracker::InEdgeTimeLocked(
+    const TxnState& txn) const {
+  EdgeTime edge;
+  const ConflictRef& ref = txn.in_ref;
+  switch (ref.kind) {
+    case ConflictRef::Kind::kNone:
+      return edge;
+    case ConflictRef::Kind::kSelf:
+      // Several in-partners: some may still be active (commit later than
+      // any out-partner), so the edge cannot rule danger out.
+      edge.present = true;
+      edge.cts = kMaxTimestamp;
+      return edge;
+    case ConflictRef::Kind::kCollapsed:
+      edge.present = true;
+      edge.cts = ref.collapsed_cts;
+      return edge;
+    case ConflictRef::Kind::kOther: {
+      const TxnStatus st = ref.other->status.load(std::memory_order_acquire);
+      if (st == TxnStatus::kAborted) return edge;
+      edge.present = true;
+      edge.cts = st == TxnStatus::kCommitted
+                     ? ref.other->commit_ts.load(std::memory_order_acquire)
+                     : kMaxTimestamp;
+      return edge;
+    }
+  }
+  return edge;
+}
+
+bool ConflictTracker::DangerousLocked(const TxnState& txn,
+                                      bool committing_now) const {
+  if (options_.conflict_tracking == ConflictTracking::kFlags) {
+    return txn.in_conflict_flag && txn.out_conflict_flag;
+  }
+  const EdgeTime out = OutEdgeTimeLocked(txn);
+  if (!out.present || out.cts == kMaxTimestamp) {
+    // No out-edge, or the out-partner has not committed: it cannot have
+    // committed first of the structure (§3.6).
+    return false;
+  }
+  const EdgeTime in = InEdgeTimeLocked(txn);
+  if (!in.present) return false;
+  const Timestamp own_cts =
+      (committing_now || !txn.IsCommitted())
+          ? kMaxTimestamp
+          : txn.commit_ts.load(std::memory_order_acquire);
+  // Fig 3.10 line 4: dangerous iff the out-partner committed no later than
+  // the in-partner (and before the pivot itself).
+  return out.cts <= in.cts && out.cts <= own_cts;
+}
+
+Status ConflictTracker::AbortVictimLocked(TxnState* caller, TxnState* pivot,
+                                          TxnState* reader, TxnState* writer) {
+  unsafe_aborts_.fetch_add(1, std::memory_order_relaxed);
+
+  TxnState* counterpart = (pivot == reader) ? writer : reader;
+  TxnState* victim = nullptr;
+  if (!pivot->IsActive()) {
+    // The pivot already committed; the only abortable member of the newly
+    // completed structure is the other endpoint of this edge — which is
+    // always the caller (§3.4: "the transaction responsible for the last
+    // detected dependency will be aborted").
+    victim = counterpart;
+  } else {
+    switch (options_.victim_policy) {
+      case VictimPolicy::kPivot:
+        victim = pivot;
+        break;
+      case VictimPolicy::kYoungest: {
+        victim = pivot;
+        if (counterpart->IsActive() && counterpart->id > pivot->id) {
+          victim = counterpart;
+        }
+        break;
+      }
+    }
+  }
+  assert(victim != nullptr && victim->IsActive());
+  if (victim == caller) {
+    return Status::Unsafe("dangerous structure: consecutive rw-conflicts");
+  }
+  victim->marked_for_abort.store(true, std::memory_order_release);
+  victim->abort_reason =
+      Status::Unsafe("dangerous structure: chosen as victim");
+  return Status::OK();
+}
+
+Status ConflictTracker::MarkLocked(TxnState* caller,
+                                   const std::shared_ptr<TxnState>& reader,
+                                   const std::shared_ptr<TxnState>& writer) {
+  if (reader.get() == writer.get()) return Status::OK();
+  // §4.6: conflicts are not recorded against transactions already destined
+  // to abort.
+  for (const TxnState* t : {reader.get(), writer.get()}) {
+    if (t->status.load(std::memory_order_acquire) == TxnStatus::kAborted ||
+        t->marked_for_abort.load(std::memory_order_acquire)) {
+      return Status::OK();
+    }
+  }
+
+  const bool flags_mode =
+      options_.conflict_tracking == ConflictTracking::kFlags;
+
+  // Fig 3.3 (basic): a committed pivot can no longer abort itself; its
+  // still-active counterpart must go instead.
+  if (flags_mode) {
+    if (writer->IsCommitted() && writer->out_conflict_flag) {
+      unsafe_aborts_.fetch_add(1, std::memory_order_relaxed);
+      assert(caller == reader.get());
+      return Status::Unsafe("committed pivot (writer) has out-conflict");
+    }
+    if (reader->IsCommitted() && reader->in_conflict_flag) {
+      unsafe_aborts_.fetch_add(1, std::memory_order_relaxed);
+      assert(caller == writer.get());
+      return Status::Unsafe("committed pivot (reader) has in-conflict");
+    }
+  }
+
+  // Record the rw-antidependency reader -> writer — tentatively: §3.7.1
+  // says conflicts are never recorded against transactions that will abort
+  // because of them, so if the edge completes a dangerous structure we
+  // abort the victim and roll the recording back (the victim's edges never
+  // enter the MVSG, and the survivor must not carry a dead edge into its
+  // own commit check).
+  const bool saved_reader_out_flag = reader->out_conflict_flag;
+  const bool saved_writer_in_flag = writer->in_conflict_flag;
+  const ConflictRef saved_reader_out = reader->out_ref;
+  const ConflictRef saved_writer_in = writer->in_ref;
+  SetOutLocked(reader.get(), writer);
+  SetInLocked(writer.get(), reader);
+
+  // Evaluate both endpoints as potential pivots. Committed pivots must be
+  // resolved now (their own commit check already passed); active pivots are
+  // resolved now only under the abort-early optimization (§3.7.1),
+  // otherwise at their commit (Fig 3.2 / 3.10).
+  for (TxnState* t : {reader.get(), writer.get()}) {
+    if (t->IsActive() && !options_.abort_early) continue;
+    if (t->marked_for_abort.load(std::memory_order_relaxed)) continue;
+    if (DangerousLocked(*t, /*committing_now=*/false)) {
+      reader->out_conflict_flag = saved_reader_out_flag;
+      writer->in_conflict_flag = saved_writer_in_flag;
+      reader->out_ref = saved_reader_out;
+      writer->in_ref = saved_writer_in;
+      return AbortVictimLocked(caller, t, reader.get(), writer.get());
+    }
+  }
+  return Status::OK();
+}
+
+Status ConflictTracker::MarkReadOfNewerVersion(TxnState* reader,
+                                               TxnId creator_id,
+                                               Timestamp creator_cts) {
+  (void)creator_cts;
+  if (!Participates(*reader)) return Status::OK();
+  std::lock_guard<std::mutex> guard(txn_manager_->system_mutex());
+  std::shared_ptr<TxnState> creator = txn_manager_->FindLocked(creator_id);
+  if (creator == nullptr || !Participates(*creator)) return Status::OK();
+  std::shared_ptr<TxnState> reader_ref = txn_manager_->FindLocked(reader->id);
+  if (reader_ref == nullptr) return Status::OK();
+  // creator_cts > reader's snapshot by construction, so they overlap.
+  return MarkLocked(reader, reader_ref, creator);
+}
+
+Status ConflictTracker::OnReaderSawExclusiveHolder(TxnState* reader,
+                                                   TxnId writer_id) {
+  if (!Participates(*reader)) return Status::OK();
+  std::lock_guard<std::mutex> guard(txn_manager_->system_mutex());
+  std::shared_ptr<TxnState> writer = txn_manager_->FindLocked(writer_id);
+  if (writer == nullptr || !Participates(*writer)) return Status::OK();
+  // The holder may have committed between the lock-table snapshot and now;
+  // if it committed inside the reader's snapshot there is no
+  // antidependency (the reader sees its version).
+  if (writer->IsCommitted() &&
+      writer->commit_ts.load(std::memory_order_acquire) <=
+          reader->read_ts.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  std::shared_ptr<TxnState> reader_ref = txn_manager_->FindLocked(reader->id);
+  if (reader_ref == nullptr) return Status::OK();
+  return MarkLocked(reader, reader_ref, writer);
+}
+
+Status ConflictTracker::OnWriterSawSIReadHolder(TxnState* writer,
+                                                TxnId reader_id) {
+  if (!Participates(*writer)) return Status::OK();
+  std::lock_guard<std::mutex> guard(txn_manager_->system_mutex());
+  std::shared_ptr<TxnState> reader = txn_manager_->FindLocked(reader_id);
+  if (reader == nullptr || !Participates(*reader)) return Status::OK();
+  // Fig 3.5: "where rl.owner has not committed or
+  // commit(rl.owner) > begin(T)" — only overlapping readers matter. A
+  // writer without a snapshot yet (late allocation, §4.5) will snapshot
+  // after this lock grant, hence after any committed reader: no overlap.
+  if (reader->IsCommitted()) {
+    const Timestamp begin = writer->read_ts.load(std::memory_order_acquire);
+    const Timestamp reader_cts =
+        reader->commit_ts.load(std::memory_order_acquire);
+    if (begin == 0 || reader_cts <= begin) return Status::OK();
+  }
+  std::shared_ptr<TxnState> writer_ref = txn_manager_->FindLocked(writer->id);
+  if (writer_ref == nullptr) return Status::OK();
+  return MarkLocked(writer, reader, writer_ref);
+}
+
+Status ConflictTracker::CommitCheck(TxnState* txn) {
+  if (!Participates(*txn)) return Status::OK();
+  if (options_.conflict_tracking == ConflictTracking::kFlags) {
+    if (txn->in_conflict_flag && txn->out_conflict_flag) {
+      unsafe_aborts_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unsafe("pivot at commit: in- and out-conflict set");
+    }
+    return Status::OK();
+  }
+  TidyRefLocked(&txn->in_ref);
+  TidyRefLocked(&txn->out_ref);
+  if (DangerousLocked(*txn, /*committing_now=*/true)) {
+    unsafe_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unsafe("pivot at commit: out-partner committed first");
+  }
+  return Status::OK();
+}
+
+}  // namespace ssidb

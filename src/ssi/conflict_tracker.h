@@ -1,0 +1,122 @@
+// ConflictTracker: the Serializable Snapshot Isolation algorithm (Ch. 3).
+//
+// SSI lets ordinary snapshot isolation run, but records every
+// rw-antidependency between concurrent transactions and aborts one
+// transaction whenever a single transaction accumulates both an incoming
+// and an outgoing antidependency — the pivot of the dangerous structure
+// that Fekete et al.'s theorem proves is present in every non-serializable
+// SI execution (Theorem 2, §2.5.1). Detection is conservative (no cycle
+// tracing), so false positives are possible; the kReferences mode trims
+// them using commit-time comparisons (§3.6).
+//
+// The tracker is invoked from the paper's two detection points:
+//   * MarkReadOfNewerVersion - a read ignored a newer committed version
+//     (Fig 3.4 lines 8-9);
+//   * OnReaderSawExclusiveHolder / OnWriterSawSIReadHolder - the lock
+//     manager observed SIREAD and EXCLUSIVE locks coexisting on one key,
+//     in either acquisition order (Fig 3.4 line 3 / Fig 3.5 line 4).
+// and from the commit path (TxnManager::CommitCheck):
+//   * CommitCheck - Fig 3.2 lines 3-5 (kFlags) or Fig 3.10 (kReferences).
+//
+// Every mutation of conflict state runs under the TxnManager system mutex
+// (the paper's atomic blocks), so marking is serialized against the
+// "mark T as committed" transition, closing the race discussed in §3.2.
+//
+// Soundness note on kReferences (documented deviation, DESIGN.md): a
+// transaction's dangerous structure is only lethal when its out-partner
+// committed first among {in, pivot, out} (§3.6). We evaluate:
+//   out side:  kOther(active) => not committed first; kOther/kCollapsed
+//              (committed) => its commit time; kSelf => conservatively 0.
+//   in side:   kOther(active)/kSelf => +inf; committed => commit time.
+// Multi-conflict transactions therefore degrade to the basic-flag
+// behaviour instead of adopting the thesis's literal self-commit-time
+// rule, which can underestimate danger on the out side.
+
+#ifndef SSIDB_SSI_CONFLICT_TRACKER_H_
+#define SSIDB_SSI_CONFLICT_TRACKER_H_
+
+#include <memory>
+
+#include "src/common/options.h"
+#include "src/common/status.h"
+#include "src/txn/txn_manager.h"
+
+namespace ssidb {
+
+class ConflictTracker {
+ public:
+  ConflictTracker(const DBOptions& options, TxnManager* txn_manager);
+
+  /// A read by `reader` ignored a newer committed version created by
+  /// `creator_id` (commit time `creator_cts` > reader's snapshot): an
+  /// rw-antidependency reader -> creator. Returns kUnsafe if the *reader*
+  /// must abort; other victims are marked asynchronously.
+  Status MarkReadOfNewerVersion(TxnState* reader, TxnId creator_id,
+                                Timestamp creator_cts);
+
+  /// `reader`'s SIREAD acquisition found `writer_id` holding EXCLUSIVE on
+  /// the same key (Fig 3.4 line 3). Returns kUnsafe if the reader must
+  /// abort.
+  Status OnReaderSawExclusiveHolder(TxnState* reader, TxnId writer_id);
+
+  /// `writer`'s EXCLUSIVE acquisition found `reader_id` holding SIREAD on
+  /// the same key (Fig 3.5 line 4). The overlap filter of Fig 3.5
+  /// ("rl.owner has not committed or commit(rl.owner) > begin(T)") is
+  /// applied here. Returns kUnsafe if the writer must abort.
+  Status OnWriterSawSIReadHolder(TxnState* writer, TxnId reader_id);
+
+  /// The commit-time dangerous-structure test; wire into
+  /// TxnManager::Commit as the CommitCheck hook. Runs under the system
+  /// mutex. In kReferences mode this also collapses references to
+  /// committed partners (the thesis's Fig 3.10 lines 9-12).
+  Status CommitCheck(TxnState* txn);
+
+  /// Number of dangerous structures detected (aborts issued), for tests.
+  uint64_t unsafe_aborts() const {
+    return unsafe_aborts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Shared marking body. `caller` is the transaction executing on this
+  /// thread; exactly one of reader/writer equals caller. Caller must hold
+  /// the system mutex.
+  Status MarkLocked(TxnState* caller, const std::shared_ptr<TxnState>& reader,
+                    const std::shared_ptr<TxnState>& writer);
+
+  /// True if `txn` currently has both an in- and an out-conflict whose
+  /// commit-time pattern is (or may be) dangerous. `committing_now` means
+  /// the transaction is at its commit point (its own timestamp is later
+  /// than every existing one).
+  bool DangerousLocked(const TxnState& txn, bool committing_now) const;
+
+  /// Effective commit time of an out-/in-conflict edge for the danger
+  /// test; kMaxTimestamp when absent or not constraining.
+  struct EdgeTime {
+    bool present = false;
+    Timestamp cts = kMaxTimestamp;  // kMaxTimestamp => not committed (yet)
+  };
+  EdgeTime OutEdgeTimeLocked(const TxnState& txn) const;
+  EdgeTime InEdgeTimeLocked(const TxnState& txn) const;
+
+  /// Record an edge endpoint in the mode-appropriate representation.
+  void SetOutLocked(TxnState* txn, const std::shared_ptr<TxnState>& partner);
+  void SetInLocked(TxnState* txn, const std::shared_ptr<TxnState>& partner);
+
+  /// Drop shared_ptrs to finished partners (collapse committed ones to
+  /// their commit time, clear aborted ones).
+  static void TidyRefLocked(ConflictRef* ref);
+
+  /// Pick and dispatch the victim once `pivot` is dangerous. Returns
+  /// kUnsafe if the victim is `caller`; otherwise marks the victim and
+  /// returns OK.
+  Status AbortVictimLocked(TxnState* caller, TxnState* pivot,
+                           TxnState* reader, TxnState* writer);
+
+  const DBOptions options_;
+  TxnManager* const txn_manager_;
+  std::atomic<uint64_t> unsafe_aborts_{0};
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_SSI_CONFLICT_TRACKER_H_

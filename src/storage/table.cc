@@ -1,0 +1,83 @@
+#include "src/storage/table.h"
+
+#include "src/common/encoding.h"
+
+namespace ssidb {
+
+VersionChain* Table::Find(Slice key) const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  auto it = index_.find(key.view());
+  return it == index_.end() ? nullptr : it->second.get();
+}
+
+VersionChain* Table::GetOrCreate(Slice key) {
+  {
+    std::shared_lock<std::shared_mutex> guard(mutex_);
+    auto it = index_.find(key.view());
+    if (it != index_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  auto [it, inserted] =
+      index_.try_emplace(key.ToString(), std::make_unique<VersionChain>());
+  (void)inserted;
+  return it->second.get();
+}
+
+std::optional<std::string> Table::NextKey(Slice key) const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  auto it = index_.upper_bound(std::string(key.view()));
+  if (it == index_.end()) return std::nullopt;
+  return it->first;
+}
+
+std::optional<std::string> Table::SeekCeil(Slice lo) const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  auto it = index_.lower_bound(std::string(lo.view()));
+  if (it == index_.end()) return std::nullopt;
+  return it->first;
+}
+
+void Table::CollectRange(Slice lo, Slice hi, std::vector<ScanEntry>* entries,
+                         std::optional<std::string>* successor) const {
+  entries->clear();
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  auto it = index_.lower_bound(std::string(lo.view()));
+  for (; it != index_.end(); ++it) {
+    if (Slice(it->first).compare(hi) > 0) break;
+    entries->push_back(ScanEntry{it->first, it->second.get()});
+  }
+  if (it == index_.end()) {
+    *successor = std::nullopt;
+  } else {
+    *successor = it->first;
+  }
+}
+
+void Table::ForEachChain(
+    const std::function<void(const std::string&, VersionChain*)>& fn) const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  for (const auto& [key, chain] : index_) {
+    fn(key, chain.get());
+  }
+}
+
+size_t Table::EntryCount() const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  return index_.size();
+}
+
+uint64_t Table::PageOf(Slice key, uint32_t rows_per_page) {
+  if (rows_per_page == 0) rows_per_page = 1;
+  if (key.size() == 8) {
+    return DecodeU64Key(key) / rows_per_page;
+  }
+  // FNV-1a, truncated to a coarse page id space.
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < key.size(); ++i) {
+    h ^= static_cast<unsigned char>(key[i]);
+    h *= 1099511628211ULL;
+  }
+  return h % (1u << 20);
+}
+
+}  // namespace ssidb

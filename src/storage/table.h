@@ -1,0 +1,84 @@
+// Table: an ordered index from key to version chain.
+//
+// The index models a B+Tree leaf level: entries are never physically removed
+// during normal operation (deletes leave tombstone versions, §3.5), so the
+// key space seen by next-key/gap locking is stable. A shared_mutex protects
+// index structure; version chains carry their own latches. The index latch
+// is never held across lock-manager calls (scans collect (key, chain)
+// batches first), avoiding latch/lock deadlocks.
+
+#ifndef SSIDB_STORAGE_TABLE_H_
+#define SSIDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/version.h"
+
+namespace ssidb {
+
+using TableId = uint32_t;
+
+/// An index entry surfaced to the scan protocol.
+struct ScanEntry {
+  std::string key;
+  VersionChain* chain;
+};
+
+class Table {
+ public:
+  Table(TableId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Find the chain for a key, or nullptr. The pointer stays valid for the
+  /// table's lifetime (chains are heap-allocated and never freed).
+  VersionChain* Find(Slice key) const;
+
+  /// Find the chain for a key, creating an empty one if absent.
+  VersionChain* GetOrCreate(Slice key);
+
+  /// Smallest index key strictly greater than `key`, or nullopt if `key`
+  /// is the last (the caller then uses the table's supremum lock key).
+  /// This is next(x) of Figs 3.6/3.7.
+  std::optional<std::string> NextKey(Slice key) const;
+
+  /// Smallest index key >= lo, or nullopt.
+  std::optional<std::string> SeekCeil(Slice lo) const;
+
+  /// Collect every index entry with lo <= key <= hi (visible or not — the
+  /// scan protocol applies the modified read to each, §3.5), plus the
+  /// successor key after hi in *successor (nullopt => supremum).
+  void CollectRange(Slice lo, Slice hi, std::vector<ScanEntry>* entries,
+                    std::optional<std::string>* successor) const;
+
+  /// Number of index entries (including tombstoned keys).
+  size_t EntryCount() const;
+
+  /// Visit every index entry in key order (GC sweeps, consistency checks).
+  /// The callback must not re-enter the table.
+  void ForEachChain(
+      const std::function<void(const std::string&, VersionChain*)>& fn) const;
+
+  /// Page number of a key under kPage granularity. Keys produced by
+  /// EncodeU64Key map contiguously (id / rows_per_page), modelling B+Tree
+  /// leaf adjacency; other keys fall back to a coarse hash.
+  static uint64_t PageOf(Slice key, uint32_t rows_per_page);
+
+ private:
+  TableId id_;
+  std::string name_;
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<VersionChain>, std::less<>> index_;
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_STORAGE_TABLE_H_

@@ -1,0 +1,137 @@
+#include "src/storage/version.h"
+
+#include <cassert>
+
+namespace ssidb {
+
+VersionChain::~VersionChain() {
+  Version* v = newest_;
+  while (v != nullptr) {
+    Version* older = v->older;
+    delete v;
+    v = older;
+  }
+}
+
+ReadResult VersionChain::Read(TxnId reader, Timestamp read_ts,
+                              std::string* value) {
+  ReadResult result;
+  std::lock_guard<std::mutex> guard(latch_);
+  for (Version* v = newest_; v != nullptr; v = v->older) {
+    if (v->creator_txn_id == reader) {
+      // A transaction always sees its own writes (§2.5).
+      result.found = !v->tombstone;
+      result.own_write = true;
+      if (result.found && value != nullptr) *value = v->value;
+      return result;
+    }
+    const Timestamp cts = v->commit_ts.load(std::memory_order_acquire);
+    if (cts == 0) {
+      // Uncommitted version of a concurrent writer. Invisible; the
+      // rw-conflict with its creator is detected through the lock table
+      // (Fig 3.4 line 3), not here, to close the §3.2 race.
+      continue;
+    }
+    if (cts > read_ts) {
+      result.newer.push_back(NewerVersionInfo{v->creator_txn_id, cts});
+      continue;
+    }
+    result.found = !v->tombstone;
+    result.version_cts = cts;
+    if (result.found && value != nullptr) *value = v->value;
+    return result;
+  }
+  return result;  // Key did not exist in this snapshot.
+}
+
+Version* VersionChain::InstallUncommitted(TxnId writer, Slice value,
+                                          bool tombstone, bool* replaced_own) {
+  std::lock_guard<std::mutex> guard(latch_);
+  *replaced_own = false;
+  if (newest_ != nullptr && newest_->creator_txn_id == writer &&
+      newest_->commit_ts.load(std::memory_order_relaxed) == 0) {
+    // Second write by the same transaction: overwrite in place.
+    newest_->value = value.ToString();
+    newest_->tombstone = tombstone;
+    *replaced_own = true;
+    return newest_;
+  }
+  // The exclusive lock held by the writer guarantees no other uncommitted
+  // version exists at the head.
+  assert(newest_ == nullptr ||
+         newest_->commit_ts.load(std::memory_order_relaxed) != 0);
+  Version* v = new Version(writer);
+  v->value = value.ToString();
+  v->tombstone = tombstone;
+  v->older = newest_;
+  newest_ = v;
+  return v;
+}
+
+void VersionChain::RemoveUncommitted(TxnId writer) {
+  std::lock_guard<std::mutex> guard(latch_);
+  if (newest_ != nullptr && newest_->creator_txn_id == writer &&
+      newest_->commit_ts.load(std::memory_order_relaxed) == 0) {
+    Version* dead = newest_;
+    newest_ = dead->older;
+    delete dead;
+  }
+}
+
+bool VersionChain::HasCommittedVersionAfter(Timestamp since) {
+  std::lock_guard<std::mutex> guard(latch_);
+  for (Version* v = newest_; v != nullptr; v = v->older) {
+    const Timestamp cts = v->commit_ts.load(std::memory_order_acquire);
+    if (cts == 0) continue;
+    // Versions are committed in timestamp order along the chain, so the
+    // first committed version is the newest committed one.
+    return cts > since;
+  }
+  return false;
+}
+
+bool VersionChain::LatestCommitted(Timestamp* commit_ts, bool* tombstone) {
+  std::lock_guard<std::mutex> guard(latch_);
+  for (Version* v = newest_; v != nullptr; v = v->older) {
+    const Timestamp cts = v->commit_ts.load(std::memory_order_acquire);
+    if (cts == 0) continue;
+    if (commit_ts != nullptr) *commit_ts = cts;
+    if (tombstone != nullptr) *tombstone = v->tombstone;
+    return true;
+  }
+  return false;
+}
+
+size_t VersionChain::Prune(Timestamp min_read_ts) {
+  std::lock_guard<std::mutex> guard(latch_);
+  // Find the newest committed version visible at min_read_ts; everything
+  // older is unreachable by any active or future snapshot.
+  Version* anchor = nullptr;
+  for (Version* v = newest_; v != nullptr; v = v->older) {
+    const Timestamp cts = v->commit_ts.load(std::memory_order_acquire);
+    if (cts != 0 && cts <= min_read_ts) {
+      anchor = v;
+      break;
+    }
+  }
+  if (anchor == nullptr) return 0;
+  size_t freed = 0;
+  Version* v = anchor->older;
+  anchor->older = nullptr;
+  while (v != nullptr) {
+    Version* older = v->older;
+    delete v;
+    v = older;
+    ++freed;
+  }
+  return freed;
+}
+
+size_t VersionChain::size() const {
+  std::lock_guard<std::mutex> guard(latch_);
+  size_t n = 0;
+  for (Version* v = newest_; v != nullptr; v = v->older) ++n;
+  return n;
+}
+
+}  // namespace ssidb

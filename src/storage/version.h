@@ -1,0 +1,126 @@
+// Multiversion record storage (paper §2.4, §2.5).
+//
+// Each key maps to a VersionChain: a latched, newest-first linked list of
+// Versions. A version is uncommitted until its creator stamps a commit
+// timestamp (under the transaction manager's system mutex), at which point
+// it becomes atomically visible to snapshots taken at or after that
+// timestamp. Deletes install tombstone versions (§3.5) so that the key keeps
+// its slot in the index and the gap-lock keyspace stays stable.
+
+#ifndef SSIDB_STORAGE_VERSION_H_
+#define SSIDB_STORAGE_VERSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+
+namespace ssidb {
+
+/// Transaction ids and timestamps are drawn from the same global counter
+/// domain; 0 is never a valid id or commit timestamp.
+using TxnId = uint64_t;
+using Timestamp = uint64_t;
+
+inline constexpr Timestamp kMaxTimestamp = UINT64_MAX;
+
+/// One version of one record. Immutable after commit except for pruning.
+struct Version {
+  explicit Version(TxnId creator) : creator_txn_id(creator) {}
+
+  /// The transaction that produced this version (Fig 3.4's
+  /// xNew.creator). Used to resolve the owner for rw-conflict marking.
+  TxnId creator_txn_id;
+
+  /// 0 while uncommitted; the creator's commit timestamp afterwards.
+  /// Written under the system mutex, read by concurrent visibility checks.
+  std::atomic<Timestamp> commit_ts{0};
+
+  /// True for delete markers.
+  bool tombstone = false;
+
+  std::string value;
+
+  /// Next older version, or nullptr.
+  Version* older = nullptr;
+};
+
+/// A newer committed version that a read ignored: evidence of an
+/// rw-antidependency from the reader to the creator (§3.2, Fig 3.4 lines
+/// 8-9).
+struct NewerVersionInfo {
+  TxnId creator_txn_id;
+  Timestamp commit_ts;
+};
+
+/// Result of a snapshot read against one chain.
+struct ReadResult {
+  /// True if a version was visible and is not a tombstone.
+  bool found = false;
+  /// True if the visible version is the reader's own uncommitted write.
+  bool own_write = false;
+  /// Commit timestamp of the version the read observed (including a
+  /// tombstone); 0 if it was the reader's own write or nothing was
+  /// visible. Feeds the MVSG history oracle's wr/rw edges.
+  Timestamp version_cts = 0;
+  /// Committed versions newer than the one read (possibly all of them, if
+  /// nothing was visible). The SSI layer marks conflicts with each creator
+  /// that overlaps the reader.
+  std::vector<NewerVersionInfo> newer;
+};
+
+/// The version list for a single key. All operations latch the chain; the
+/// latch is never held while calling into other subsystems.
+class VersionChain {
+ public:
+  VersionChain() = default;
+  ~VersionChain();
+
+  VersionChain(const VersionChain&) = delete;
+  VersionChain& operator=(const VersionChain&) = delete;
+
+  /// Snapshot read: return the newest version with commit_ts <= read_ts,
+  /// or the reader's own uncommitted version if it has one. Collects the
+  /// creators of newer committed versions into result.newer. Pass
+  /// read_ts == kMaxTimestamp for locking (S2PL) reads of the latest
+  /// committed state.
+  ReadResult Read(TxnId reader, Timestamp read_ts, std::string* value);
+
+  /// Install (or overwrite) writer's uncommitted version at the head.
+  /// Returns the version pointer for commit-time stamping, and sets
+  /// *replaced_own if the writer already had an uncommitted version here
+  /// (so callers do not double-register the chain in the write set).
+  Version* InstallUncommitted(TxnId writer, Slice value, bool tombstone,
+                              bool* replaced_own);
+
+  /// Roll back: remove writer's uncommitted head version, if present.
+  void RemoveUncommitted(TxnId writer);
+
+  /// First-committer-wins check (§2.5): true if some committed version has
+  /// commit_ts > since. Must be called while holding the write lock on the
+  /// key so no new committed version can appear concurrently.
+  bool HasCommittedVersionAfter(Timestamp since);
+
+  /// True if the newest committed version exists and is not a tombstone;
+  /// used by Insert duplicate checks. Also reports that newest commit ts.
+  bool LatestCommitted(Timestamp* commit_ts, bool* tombstone);
+
+  /// Drop versions that no active snapshot can reach: everything strictly
+  /// older than the newest committed version with commit_ts <= min_read_ts.
+  /// Returns the number of versions freed.
+  size_t Prune(Timestamp min_read_ts);
+
+  /// Number of versions currently in the chain (test/introspection).
+  size_t size() const;
+
+ private:
+  mutable std::mutex latch_;
+  Version* newest_ = nullptr;
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_STORAGE_VERSION_H_

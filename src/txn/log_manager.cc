@@ -1,0 +1,98 @@
+#include "src/txn/log_manager.h"
+
+#include <chrono>
+
+#include "src/common/encoding.h"
+
+namespace ssidb {
+
+std::string LogRecord::Encode() const {
+  std::string out;
+  PutBig64(&out, txn_id);
+  PutBig64(&out, commit_ts);
+  PutLengthPrefixed(&out, payload);
+  return out;
+}
+
+bool LogRecord::Decode(Slice in, LogRecord* out) {
+  size_t off = 0;
+  uint64_t id = 0, cts = 0;
+  if (!GetBig64(in, &off, &id)) return false;
+  if (!GetBig64(in, &off, &cts)) return false;
+  std::string payload;
+  if (!GetLengthPrefixed(in, &off, &payload)) return false;
+  out->txn_id = id;
+  out->commit_ts = cts;
+  out->payload = std::move(payload);
+  return true;
+}
+
+LogManager::LogManager(const LogOptions& options) : options_(options) {
+  if (options_.flush_on_commit) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+LogManager::~LogManager() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    stop_.store(true);
+  }
+  work_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+Lsn LogManager::Append(LogRecord record) {
+  std::string encoded = record.Encode();
+  std::lock_guard<std::mutex> guard(mu_);
+  const Lsn lsn = next_lsn_++;
+  appended_records_.fetch_add(1, std::memory_order_relaxed);
+  if (retain_) retained_.push_back(encoded);
+  if (options_.flush_on_commit) {
+    pending_.push_back(std::move(encoded));
+    work_cv_.notify_one();
+  } else {
+    // "No flush" regime: the buffer is considered durable immediately.
+    flushed_lsn_ = lsn;
+  }
+  return lsn;
+}
+
+void LogManager::WaitFlushed(Lsn lsn) {
+  if (!options_.flush_on_commit) return;
+  std::unique_lock<std::mutex> guard(mu_);
+  flushed_cv_.wait(guard, [&] { return flushed_lsn_ >= lsn || stop_.load(); });
+}
+
+std::vector<std::string> LogManager::RetainedRecords() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return retained_;
+}
+
+void LogManager::FlusherLoop() {
+  for (;;) {
+    Lsn batch_end;
+    {
+      std::unique_lock<std::mutex> guard(mu_);
+      work_cv_.wait(guard,
+                    [&] { return !pending_.empty() || stop_.load(); });
+      if (stop_.load() && pending_.empty()) return;
+      // Take everything appended so far as one batch: commits arriving
+      // while we "write" join the next batch (group commit).
+      pending_.clear();
+      batch_end = next_lsn_ - 1;
+    }
+    if (options_.flush_latency_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.flush_latency_us));
+    }
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (batch_end > flushed_lsn_) flushed_lsn_ = batch_end;
+      flush_batches_.fetch_add(1, std::memory_order_relaxed);
+    }
+    flushed_cv_.notify_all();
+  }
+}
+
+}  // namespace ssidb

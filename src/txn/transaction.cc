@@ -1,0 +1,7 @@
+// TxnState is a plain data holder; see txn_manager.cc for the lifecycle
+// logic. This file exists to give the target a translation unit and to
+// anchor the vtable-free type for debuggers.
+
+#include "src/txn/transaction.h"
+
+namespace ssidb {}  // namespace ssidb

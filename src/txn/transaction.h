@@ -1,0 +1,132 @@
+// TxnState: the engine-internal transaction record.
+//
+// Mirrors the paper's transaction object: begin/commit timestamps, status,
+// and the Serializable SI book-keeping — inConflict/outConflict as either
+// booleans (Fig 3.1, basic algorithm) or transaction references
+// (Fig 3.9/3.10, the precise variant). All conflict fields are guarded by
+// the TxnManager's system mutex (the paper's "atomic begin/end" blocks,
+// §3.2/§4.4).
+//
+// A committed transaction that still holds SIREAD locks is *suspended*
+// (§3.3): its TxnState stays registered so later conflicts can be detected,
+// until no concurrent transaction remains.
+
+#ifndef SSIDB_TXN_TRANSACTION_H_
+#define SSIDB_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/common/options.h"
+#include "src/common/status.h"
+#include "src/lock/lock_manager.h"
+#include "src/storage/version.h"
+
+namespace ssidb {
+
+enum class TxnStatus : uint8_t { kActive, kCommitted, kAborted };
+
+struct TxnState;
+
+/// inConflict/outConflict in the precise (kReferences) representation
+/// (Fig 3.9/3.10).
+///
+/// kNone/kSelf play the thesis's NULL / self-pointer roles. Where the
+/// thesis replaces references to committed partners by self-references at
+/// commit time (to avoid dangling pointers after cleanup), we instead
+/// *collapse* them: drop the shared_ptr and keep the partner's commit
+/// timestamp (kCollapsed). This is strictly more precise than the thesis's
+/// replacement (the real commit time survives) while still breaking
+/// reference chains so memory stays bounded by the overlap window.
+///
+/// kSelf (multiple conflicts of one polarity) is evaluated conservatively:
+/// as an out-conflict it means "some partner may have committed first"
+/// (commit time 0); as an in-conflict it means "some partner may still be
+/// active" (commit time +inf). See DESIGN.md for why the thesis's literal
+/// self-commit-time evaluation can be unsound on the out side.
+struct ConflictRef {
+  enum class Kind : uint8_t { kNone, kSelf, kOther, kCollapsed };
+  Kind kind = Kind::kNone;
+  std::shared_ptr<TxnState> other;
+  /// Partner commit timestamp; valid when kind == kCollapsed.
+  Timestamp collapsed_cts = 0;
+
+  bool IsSet() const { return kind != Kind::kNone; }
+  void Clear() {
+    kind = Kind::kNone;
+    other.reset();
+    collapsed_cts = 0;
+  }
+  void SetSelf() {
+    kind = Kind::kSelf;
+    other.reset();
+  }
+  void SetOther(std::shared_ptr<TxnState> t) {
+    kind = Kind::kOther;
+    other = std::move(t);
+  }
+  void Collapse(Timestamp cts) {
+    kind = Kind::kCollapsed;
+    other.reset();
+    collapsed_cts = cts;
+  }
+};
+
+struct TxnState {
+  explicit TxnState(TxnId id_in, IsolationLevel iso)
+      : id(id_in), isolation(iso) {}
+
+  const TxnId id;
+  const IsolationLevel isolation;
+
+  /// Snapshot timestamp. 0 until assigned; with late_snapshot (§4.5) the
+  /// assignment happens after the first statement's locks are granted.
+  std::atomic<Timestamp> read_ts{0};
+
+  /// 0 until commit; assigned under the system mutex.
+  std::atomic<Timestamp> commit_ts{0};
+
+  std::atomic<TxnStatus> status{TxnStatus::kActive};
+
+  /// Set (under the system mutex) when another transaction's conflict
+  /// processing selected this transaction as a victim; honoured at the
+  /// next operation or at commit.
+  std::atomic<bool> marked_for_abort{false};
+  /// Why the mark was set; read after marked_for_abort observes true.
+  Status abort_reason;
+
+  // --- Serializable SI conflict state (guarded by the system mutex). ---
+  /// Basic algorithm (Fig 3.1): booleans.
+  bool in_conflict_flag = false;
+  bool out_conflict_flag = false;
+  /// Precise algorithm (Fig 3.9): references.
+  ConflictRef in_ref;
+  ConflictRef out_ref;
+
+  /// True once the transaction was moved to the suspended list (§3.3).
+  bool suspended = false;
+
+  // --- Write set (owned by the executing client thread). ---
+  struct WriteRecord {
+    TableId table;
+    std::string key;
+    VersionChain* chain;
+    Version* version;
+  };
+  std::vector<WriteRecord> write_set;
+
+  /// In kPage granularity, the page lock keys this transaction wrote;
+  /// used for page-level first-committer-wins bookkeeping (§4.2).
+  std::vector<LockKey> page_writes;
+
+  bool IsActive() const { return status.load() == TxnStatus::kActive; }
+  bool IsCommitted() const { return status.load() == TxnStatus::kCommitted; }
+
+  /// The paper's begin(T) for overlap tests: the snapshot timestamp.
+  Timestamp BeginTs() const { return read_ts.load(); }
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_TXN_TRANSACTION_H_

@@ -1,0 +1,202 @@
+#include "src/txn/txn_manager.h"
+
+#include <cassert>
+
+namespace ssidb {
+
+TxnManager::TxnManager(const DBOptions& options, LockManager* lock_manager,
+                       LogManager* log_manager)
+    : options_(options),
+      lock_manager_(lock_manager),
+      log_manager_(log_manager) {}
+
+std::shared_ptr<TxnState> TxnManager::Begin(IsolationLevel isolation) {
+  std::lock_guard<std::mutex> guard(system_mu_);
+  const TxnId id = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto txn = std::make_shared<TxnState>(id, isolation);
+  const bool defer_snapshot =
+      options_.late_snapshot && isolation != IsolationLevel::kSerializable2PL;
+  if (!defer_snapshot) {
+    txn->read_ts.store(clock_.load(std::memory_order_relaxed));
+  }
+  registry_.emplace(id, txn);
+  active_.insert(txn.get());
+  min_active_read_ts_.store(MinActiveBeginLocked(),
+                            std::memory_order_relaxed);
+  return txn;
+}
+
+void TxnManager::EnsureSnapshot(TxnState* txn) {
+  if (txn->read_ts.load(std::memory_order_acquire) != 0) return;
+  std::lock_guard<std::mutex> guard(system_mu_);
+  if (txn->read_ts.load(std::memory_order_relaxed) != 0) return;
+  txn->read_ts.store(clock_.load(std::memory_order_relaxed),
+                     std::memory_order_release);
+  min_active_read_ts_.store(MinActiveBeginLocked(),
+                            std::memory_order_relaxed);
+}
+
+std::shared_ptr<TxnState> TxnManager::FindLocked(TxnId id) const {
+  auto it = registry_.find(id);
+  return it == registry_.end() ? nullptr : it->second;
+}
+
+Timestamp TxnManager::MinActiveBeginLocked() const {
+  // Transactions with an unassigned (late) snapshot do not constrain the
+  // minimum: their eventual read_ts will be >= the current clock.
+  Timestamp min_ts = clock_.load(std::memory_order_relaxed);
+  for (const TxnState* t : active_) {
+    const Timestamp ts = t->read_ts.load(std::memory_order_relaxed);
+    if (ts != 0 && ts < min_ts) min_ts = ts;
+  }
+  return min_ts;
+}
+
+void TxnManager::DeactivateLocked(TxnState* txn) {
+  active_.erase(txn);
+  min_active_read_ts_.store(MinActiveBeginLocked(),
+                            std::memory_order_relaxed);
+}
+
+Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
+                          const CommitCheck& check, std::string log_payload) {
+  Timestamp commit_ts = 0;
+  {
+    std::unique_lock<std::mutex> guard(system_mu_);
+    if (txn->status.load(std::memory_order_relaxed) != TxnStatus::kActive) {
+      return Status::TxnInvalid("commit of finished transaction");
+    }
+    if (txn->marked_for_abort.load(std::memory_order_relaxed)) {
+      const Status reason = txn->abort_reason;
+      guard.unlock();
+      AbortInternal(txn);
+      return reason.ok() ? Status::Unsafe("marked for abort") : reason;
+    }
+    if (check) {
+      // Fig 3.2 / Fig 3.10: the dangerous-structure test, atomic with the
+      // transition to the committed state.
+      const Status st = check(txn.get());
+      if (!st.ok()) {
+        guard.unlock();
+        AbortInternal(txn);
+        return st;
+      }
+    }
+    commit_ts = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    txn->commit_ts.store(commit_ts, std::memory_order_release);
+    for (const TxnState::WriteRecord& w : txn->write_set) {
+      w.version->commit_ts.store(commit_ts, std::memory_order_release);
+    }
+    txn->status.store(TxnStatus::kCommitted, std::memory_order_release);
+    if (!txn->page_writes.empty()) {
+      std::lock_guard<std::mutex> page_guard(page_mu_);
+      for (const LockKey& pk : txn->page_writes) {
+        PageWrite& slot = page_write_ts_[pk];
+        if (commit_ts > slot.ts) slot = PageWrite{commit_ts, txn->id};
+      }
+    }
+    DeactivateLocked(txn.get());
+    // Retain the transaction until nothing concurrent remains (§3.3); its
+    // versions and conflict state may be consulted by overlapping
+    // transactions. Cleanup releases it.
+    txn->suspended = true;
+    suspended_.emplace(commit_ts, txn);
+  }
+
+  // Durability: append the redo blob; under flush_on_commit the wait rides
+  // the group-commit flusher (§6.1.3 regime).
+  LogRecord record;
+  record.txn_id = txn->id;
+  record.commit_ts = commit_ts;
+  record.payload = std::move(log_payload);
+  const Lsn lsn = log_manager_->Append(std::move(record));
+
+  auto release_locks = [&] {
+    if (txn->isolation == IsolationLevel::kSerializableSSI) {
+      // Fig 3.2 line 9: keep SIREAD locks active past commit.
+      lock_manager_->ReleaseAllExceptSIRead(txn->id);
+    } else {
+      lock_manager_->ReleaseAll(txn->id);
+    }
+  };
+
+  if (options_.log.early_lock_release) {
+    // InnoDB's original ordering (§4.4): locks released before the flush.
+    release_locks();
+    log_manager_->WaitFlushed(lsn);
+  } else {
+    log_manager_->WaitFlushed(lsn);
+    release_locks();
+  }
+
+  CleanupSuspended();
+  return Status::OK();
+}
+
+void TxnManager::Abort(const std::shared_ptr<TxnState>& txn) {
+  AbortInternal(txn);
+}
+
+void TxnManager::AbortInternal(const std::shared_ptr<TxnState>& txn) {
+  {
+    std::lock_guard<std::mutex> guard(system_mu_);
+    if (txn->status.load(std::memory_order_relaxed) != TxnStatus::kActive) {
+      return;
+    }
+    txn->status.store(TxnStatus::kAborted, std::memory_order_release);
+    DeactivateLocked(txn.get());
+    registry_.erase(txn->id);
+  }
+  // Roll back uncommitted versions while still holding the write locks, so
+  // no concurrent writer can observe or interleave with the removal.
+  for (const TxnState::WriteRecord& w : txn->write_set) {
+    w.chain->RemoveUncommitted(txn->id);
+  }
+  lock_manager_->ReleaseAll(txn->id);
+  CleanupSuspended();
+}
+
+void TxnManager::CleanupSuspended() {
+  std::vector<std::shared_ptr<TxnState>> expired;
+  {
+    std::lock_guard<std::mutex> guard(system_mu_);
+    const Timestamp cutoff = MinActiveBeginLocked();
+    auto it = suspended_.begin();
+    while (it != suspended_.end() && it->first <= cutoff) {
+      expired.push_back(it->second);
+      registry_.erase(it->second->id);
+      it = suspended_.erase(it);
+    }
+  }
+  for (const auto& t : expired) {
+    lock_manager_->ReleaseAll(t->id);
+  }
+}
+
+Timestamp TxnManager::PageLastWriteTs(const LockKey& page_key) const {
+  std::lock_guard<std::mutex> guard(page_mu_);
+  auto it = page_write_ts_.find(page_key);
+  return it == page_write_ts_.end() ? 0 : it->second.ts;
+}
+
+bool TxnManager::PageLastWrite(const LockKey& page_key, Timestamp* ts,
+                               TxnId* txn) const {
+  std::lock_guard<std::mutex> guard(page_mu_);
+  auto it = page_write_ts_.find(page_key);
+  if (it == page_write_ts_.end()) return false;
+  *ts = it->second.ts;
+  *txn = it->second.txn;
+  return true;
+}
+
+size_t TxnManager::active_count() const {
+  std::lock_guard<std::mutex> guard(system_mu_);
+  return active_.size();
+}
+
+size_t TxnManager::suspended_count() const {
+  std::lock_guard<std::mutex> guard(system_mu_);
+  return suspended_.size();
+}
+
+}  // namespace ssidb

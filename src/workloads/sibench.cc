@@ -1,0 +1,116 @@
+#include "src/workloads/sibench.h"
+
+#include <limits>
+
+#include "src/common/encoding.h"
+
+namespace ssidb::workloads {
+
+namespace {
+
+std::string EncodeValue(int64_t v) {
+  std::string s;
+  PutI64(&s, v);
+  return s;
+}
+
+bool DecodeValue(Slice s, int64_t* v) {
+  size_t off = 0;
+  return GetI64(s, &off, v);
+}
+
+}  // namespace
+
+Status SiBench::Setup(DB* db, const SiBenchConfig& config,
+                      std::unique_ptr<SiBench>* workload) {
+  if (config.items == 0) {
+    return Status::InvalidArgument("sibench needs at least one row");
+  }
+  std::unique_ptr<SiBench> sb(new SiBench(config));
+  Status st = db->CreateTable("sitest", &sb->table_);
+  if (!st.ok()) return st;
+
+  auto txn = db->Begin({IsolationLevel::kSnapshot});
+  for (uint64_t i = 0; i < config.items; ++i) {
+    st = txn->Insert(sb->table_, EncodeU64Key(i), EncodeValue(0));
+    if (!st.ok()) return st;
+  }
+  st = txn->Commit();
+  if (!st.ok()) return st;
+  *workload = std::move(sb);
+  return Status::OK();
+}
+
+Status SiBench::MinValueQuery(DB* db, const bench::SeriesConfig& series,
+                              uint64_t* min_id) {
+  auto txn = db->Begin({series.For(/*read_only=*/true)});
+  int64_t best = std::numeric_limits<int64_t>::max();
+  uint64_t best_id = 0;
+  Status st = txn->Scan(
+      table_, EncodeU64Key(0), EncodeU64Key(UINT64_MAX),
+      [&best, &best_id](Slice key, Slice value) {
+        int64_t v = 0;
+        if (DecodeValue(value, &v) && v < best) {
+          best = v;
+          best_id = DecodeU64Key(key);
+        }
+        return true;
+      });
+  if (!st.ok()) {
+    if (txn->active()) txn->Abort();
+    return st;
+  }
+  st = txn->Commit();
+  if (st.ok() && min_id != nullptr) *min_id = best_id;
+  return st;
+}
+
+Status SiBench::IncrementValue(DB* db, const bench::SeriesConfig& series,
+                               uint64_t id) {
+  auto txn = db->Begin({series.For(/*read_only=*/false)});
+  std::string v;
+  Status st = txn->Get(table_, EncodeU64Key(id), &v);
+  int64_t value = 0;
+  if (st.ok() && !DecodeValue(v, &value)) {
+    st = Status::InvalidArgument("corrupt sibench value");
+  }
+  if (st.ok()) {
+    st = txn->Put(table_, EncodeU64Key(id), EncodeValue(value + 1));
+  }
+  if (!st.ok()) {
+    if (txn->active()) txn->Abort();
+    return st;
+  }
+  return txn->Commit();
+}
+
+Status SiBench::RunOne(DB* db, const bench::SeriesConfig& series,
+                       uint64_t worker, Random* rng) {
+  (void)worker;
+  // queries_per_update q means a q:1 query:update mix in expectation.
+  const uint64_t q = config_.queries_per_update;
+  if (rng->Uniform(q + 1) < q) {
+    return MinValueQuery(db, series, nullptr);
+  }
+  return IncrementValue(db, series, rng->Uniform(config_.items));
+}
+
+Status SiBench::SumValues(DB* db, int64_t* sum) {
+  auto txn = db->Begin({IsolationLevel::kSnapshot});
+  int64_t total = 0;
+  Status st = txn->Scan(table_, EncodeU64Key(0), EncodeU64Key(UINT64_MAX),
+                        [&total](Slice, Slice value) {
+                          int64_t v = 0;
+                          if (DecodeValue(value, &v)) total += v;
+                          return true;
+                        });
+  if (!st.ok()) {
+    txn->Abort();
+    return st;
+  }
+  st = txn->Commit();
+  if (st.ok() && sum != nullptr) *sum = total;
+  return st;
+}
+
+}  // namespace ssidb::workloads

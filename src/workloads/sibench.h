@@ -1,0 +1,67 @@
+// sibench (paper §5.2): the thesis' microbenchmark isolating the cost of
+// read-write conflict handling. One table of I rows (id -> value). The
+// query scans every row and returns the id with the smallest value (forcing
+// a full predicate read with CPU work but constant output); the update
+// increments the value of one uniformly random row.
+//
+// The single rw-edge between the two programs means no deadlock and no
+// write skew is possible, so every difference between S2PL / SI / SSI in
+// Figures 6.6-6.11 is pure concurrency-control mechanism cost: blocking of
+// readers by writers (S2PL) versus SIREAD lock maintenance (SSI) versus
+// nothing (SI).
+
+#ifndef SSIDB_WORKLOADS_SIBENCH_H_
+#define SSIDB_WORKLOADS_SIBENCH_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/benchlib/driver.h"
+#include "src/db/db.h"
+
+namespace ssidb::workloads {
+
+struct SiBenchConfig {
+  /// I, the number of rows. The paper sweeps 10 / 100 / 1000: small I gives
+  /// high write-write contention, large I gives long scans (lock-manager
+  /// pressure under S2PL/SSI).
+  uint64_t items = 100;
+  /// Ratio of query transactions to update transactions. 1 reproduces the
+  /// mixed workload (Figs 6.6-6.8), 10 the query-mostly one (Figs 6.9-6.11).
+  uint32_t queries_per_update = 1;
+};
+
+class SiBench : public bench::Workload {
+ public:
+  /// Creates the sitest table and loads `config.items` rows with value 0.
+  static Status Setup(DB* db, const SiBenchConfig& config,
+                      std::unique_ptr<SiBench>* workload);
+
+  Status RunOne(DB* db, const bench::SeriesConfig& series, uint64_t worker,
+                Random* rng) override;
+
+  /// The query program: scan all rows, return the id of the minimum value.
+  /// (SELECT id FROM sitest ORDER BY value ASC LIMIT 1.)
+  Status MinValueQuery(DB* db, const bench::SeriesConfig& series,
+                       uint64_t* min_id);
+
+  /// The update program: value = value + 1 for row `id`.
+  Status IncrementValue(DB* db, const bench::SeriesConfig& series,
+                        uint64_t id);
+
+  /// Oracle: the sum of all values equals the number of committed updates.
+  Status SumValues(DB* db, int64_t* sum);
+
+  const SiBenchConfig& config() const { return config_; }
+  TableId table() const { return table_; }
+
+ private:
+  explicit SiBench(const SiBenchConfig& config) : config_(config) {}
+
+  SiBenchConfig config_;
+  TableId table_ = 0;
+};
+
+}  // namespace ssidb::workloads
+
+#endif  // SSIDB_WORKLOADS_SIBENCH_H_

@@ -1,0 +1,304 @@
+#include "src/workloads/smallbank.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/encoding.h"
+
+namespace ssidb::workloads {
+
+namespace {
+
+/// Balances are fixed-point cents in an 8-byte little-endian value.
+std::string EncodeBalance(int64_t cents) {
+  std::string v;
+  PutI64(&v, cents);
+  return v;
+}
+
+bool DecodeBalance(Slice v, int64_t* cents) {
+  size_t off = 0;
+  return GetI64(v, &off, cents);
+}
+
+Status GetBalance(Transaction* txn, TableId table, uint64_t id,
+                  int64_t* cents) {
+  std::string v;
+  Status st = txn->Get(table, EncodeU64Key(id), &v);
+  if (!st.ok()) return st;
+  if (!DecodeBalance(v, cents)) {
+    return Status::InvalidArgument("corrupt balance value");
+  }
+  return Status::OK();
+}
+
+Status PutBalance(Transaction* txn, TableId table, uint64_t id,
+                  int64_t cents) {
+  return txn->Put(table, EncodeU64Key(id), EncodeBalance(cents));
+}
+
+constexpr int64_t kInitialBalanceCents = 100 * 100;  // $100.00 per account.
+constexpr int64_t kOverdraftPenaltyCents = 100;      // The $1 penalty.
+
+}  // namespace
+
+std::string SmallBank::NameKey(uint64_t customer) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "name%012" PRIu64, customer);
+  return buf;
+}
+
+Status SmallBank::Setup(DB* db, const SmallBankConfig& config,
+                        std::unique_ptr<SmallBank>* workload) {
+  std::unique_ptr<SmallBank> sb(new SmallBank(config));
+  Status st = db->CreateTable("account", &sb->account_);
+  if (st.ok()) st = db->CreateTable("saving", &sb->saving_);
+  if (st.ok()) st = db->CreateTable("checking", &sb->checking_);
+  if (st.ok()) st = db->CreateTable("conflict", &sb->conflict_);
+  if (!st.ok()) return st;
+
+  // Bulk-load in batches at snapshot isolation; no concurrency yet.
+  constexpr uint64_t kBatch = 1024;
+  for (uint64_t base = 0; base < config.customers; base += kBatch) {
+    auto txn = db->Begin({IsolationLevel::kSnapshot});
+    const uint64_t end = std::min(base + kBatch, config.customers);
+    for (uint64_t c = base; c < end; ++c) {
+      st = txn->Insert(sb->account_, NameKey(c), EncodeU64Key(c));
+      if (st.ok()) {
+        st = txn->Insert(sb->saving_, EncodeU64Key(c),
+                         EncodeBalance(kInitialBalanceCents));
+      }
+      if (st.ok()) {
+        st = txn->Insert(sb->checking_, EncodeU64Key(c),
+                         EncodeBalance(kInitialBalanceCents));
+      }
+      if (st.ok() && (config.fix == SmallBankFix::kMaterializeWT ||
+                      config.fix == SmallBankFix::kMaterializeBW)) {
+        st = txn->Insert(sb->conflict_, EncodeU64Key(c), EncodeBalance(0));
+      }
+      if (!st.ok()) return st;
+    }
+    st = txn->Commit();
+    if (!st.ok()) return st;
+  }
+  *workload = std::move(sb);
+  return Status::OK();
+}
+
+Status SmallBank::LookupCustomer(Transaction* txn, Slice name, uint64_t* id) {
+  std::string v;
+  Status st = txn->Get(account_, name, &v);
+  if (!st.ok()) return st;
+  *id = DecodeU64Key(v);
+  return Status::OK();
+}
+
+Status SmallBank::MaterializeConflict(Transaction* txn, uint64_t id) {
+  // §2.6.1: UPDATE Conflict SET val = val + 1 WHERE id = :x — a ww-conflict
+  // precisely when the two programs share the customer parameter.
+  int64_t val = 0;
+  Status st = GetBalance(txn, conflict_, id, &val);
+  if (!st.ok()) return st;
+  return PutBalance(txn, conflict_, id, val + 1);
+}
+
+Status SmallBank::Balance(Transaction* txn, uint64_t id, int64_t* total) {
+  int64_t s = 0;
+  int64_t c = 0;
+  Status st = GetBalance(txn, saving_, id, &s);
+  if (st.ok()) st = GetBalance(txn, checking_, id, &c);
+  if (!st.ok()) return st;
+  if (config_.fix == SmallBankFix::kPromoteBW) {
+    // §2.8.5 PromoteBW: identity write of the Checking row the query read.
+    st = PutBalance(txn, checking_, id, c);
+    if (!st.ok()) return st;
+  }
+  if (config_.fix == SmallBankFix::kMaterializeBW) {
+    st = MaterializeConflict(txn, id);
+    if (!st.ok()) return st;
+  }
+  if (total != nullptr) *total = s + c;
+  return Status::OK();
+}
+
+Status SmallBank::DepositChecking(Transaction* txn, uint64_t id, int64_t v) {
+  if (v < 0) return Status::InvalidArgument("negative deposit");
+  int64_t c = 0;
+  Status st = GetBalance(txn, checking_, id, &c);
+  if (!st.ok()) return st;
+  return PutBalance(txn, checking_, id, c + v);
+}
+
+Status SmallBank::TransactSaving(Transaction* txn, uint64_t id, int64_t v) {
+  int64_t s = 0;
+  Status st = GetBalance(txn, saving_, id, &s);
+  if (!st.ok()) return st;
+  if (s + v < 0) {
+    return Status::InvalidArgument("would overdraw savings");
+  }
+  return PutBalance(txn, saving_, id, s + v);
+}
+
+Status SmallBank::Amalgamate(Transaction* txn, uint64_t id1, uint64_t id2) {
+  int64_t s1 = 0;
+  int64_t c1 = 0;
+  int64_t c2 = 0;
+  Status st = GetBalance(txn, saving_, id1, &s1);
+  if (st.ok()) st = GetBalance(txn, checking_, id1, &c1);
+  if (st.ok()) st = GetBalance(txn, checking_, id2, &c2);
+  if (st.ok()) st = PutBalance(txn, checking_, id2, c2 + s1 + c1);
+  if (st.ok()) st = PutBalance(txn, saving_, id1, 0);
+  if (st.ok()) st = PutBalance(txn, checking_, id1, 0);
+  return st;
+}
+
+Status SmallBank::WriteCheck(Transaction* txn, uint64_t id, int64_t v) {
+  int64_t s = 0;
+  int64_t c = 0;
+  Status st;
+  if (config_.fix == SmallBankFix::kPromoteWTSelectForUpdate) {
+    // §2.6.2 promotion via locking read: the Saving read is an update for
+    // concurrency-control purposes, closing the WT vulnerable edge.
+    std::string raw;
+    st = txn->GetForUpdate(saving_, EncodeU64Key(id), &raw);
+    if (st.ok() && !DecodeBalance(raw, &s)) {
+      st = Status::InvalidArgument("corrupt balance value");
+    }
+  } else {
+    st = GetBalance(txn, saving_, id, &s);
+  }
+  if (st.ok()) st = GetBalance(txn, checking_, id, &c);
+  if (!st.ok()) return st;
+  if (config_.fix == SmallBankFix::kPromoteWT) {
+    // Identity write of the Saving row (promotion of the WT edge).
+    st = PutBalance(txn, saving_, id, s);
+    if (!st.ok()) return st;
+  }
+  if (config_.fix == SmallBankFix::kMaterializeWT) {
+    st = MaterializeConflict(txn, id);
+    if (!st.ok()) return st;
+  }
+  const int64_t debit =
+      (s + c < v) ? v + kOverdraftPenaltyCents : v;  // Overdraft penalty.
+  return PutBalance(txn, checking_, id, c - debit);
+}
+
+Status SmallBank::RunOp(DB* db, const bench::SeriesConfig& series,
+                        SmallBankOp op, uint64_t n1, uint64_t n2,
+                        int64_t amount_cents) {
+  const bool read_only = op == SmallBankOp::kBalance &&
+                         config_.fix != SmallBankFix::kPromoteBW &&
+                         config_.fix != SmallBankFix::kMaterializeBW;
+  auto txn = db->Begin({series.For(read_only)});
+  uint64_t id1 = 0;
+  uint64_t id2 = 0;
+  Status st = LookupCustomer(txn.get(), NameKey(n1), &id1);
+  if (st.ok() && op == SmallBankOp::kAmalgamate) {
+    st = LookupCustomer(txn.get(), NameKey(n2), &id2);
+  }
+  if (st.ok()) {
+    switch (op) {
+      case SmallBankOp::kBalance:
+        st = Balance(txn.get(), id1, nullptr);
+        break;
+      case SmallBankOp::kDepositChecking:
+        st = DepositChecking(txn.get(), id1, amount_cents);
+        break;
+      case SmallBankOp::kTransactSaving:
+        st = TransactSaving(txn.get(), id1, amount_cents);
+        break;
+      case SmallBankOp::kAmalgamate:
+        st = Amalgamate(txn.get(), id1, id2);
+        break;
+      case SmallBankOp::kWriteCheck:
+        st = WriteCheck(txn.get(), id1, amount_cents);
+        break;
+    }
+  }
+  if (!st.ok()) {
+    if (txn->active()) txn->Abort();
+    return st;
+  }
+  return txn->Commit();
+}
+
+Status SmallBank::RunOne(DB* db, const bench::SeriesConfig& series,
+                         uint64_t worker, Random* rng) {
+  (void)worker;
+  // §6.1: N SmallBank operations per database transaction (N=1 for the
+  // short workloads, N=10 for the complex ones), each chosen uniformly
+  // among the five programs.
+  const bool multi = config_.ops_per_txn > 1;
+  if (!multi) {
+    const auto op = static_cast<SmallBankOp>(rng->Uniform(5));
+    const uint64_t n1 = rng->Uniform(config_.customers);
+    uint64_t n2 = rng->Uniform(config_.customers);
+    if (n2 == n1) n2 = (n2 + 1) % config_.customers;
+    return RunOp(db, series, op, n1, n2,
+                 rng->UniformRange(1, 50) * 100);
+  }
+
+  // Multi-op transactions share one database transaction.
+  auto txn = db->Begin({series.For(false)});
+  for (int i = 0; i < config_.ops_per_txn; ++i) {
+    const auto op = static_cast<SmallBankOp>(rng->Uniform(5));
+    const uint64_t n1 = rng->Uniform(config_.customers);
+    uint64_t n2 = rng->Uniform(config_.customers);
+    if (n2 == n1) n2 = (n2 + 1) % config_.customers;
+    const int64_t amount = rng->UniformRange(1, 50) * 100;
+    uint64_t id1 = 0;
+    uint64_t id2 = 0;
+    Status st = LookupCustomer(txn.get(), NameKey(n1), &id1);
+    if (st.ok() && op == SmallBankOp::kAmalgamate) {
+      st = LookupCustomer(txn.get(), NameKey(n2), &id2);
+    }
+    if (st.ok()) {
+      switch (op) {
+        case SmallBankOp::kBalance:
+          st = Balance(txn.get(), id1, nullptr);
+          break;
+        case SmallBankOp::kDepositChecking:
+          st = DepositChecking(txn.get(), id1, amount);
+          break;
+        case SmallBankOp::kTransactSaving:
+          st = TransactSaving(txn.get(), id1, amount);
+          break;
+        case SmallBankOp::kAmalgamate:
+          st = Amalgamate(txn.get(), id1, id2);
+          break;
+        case SmallBankOp::kWriteCheck:
+          st = WriteCheck(txn.get(), id1, amount);
+          break;
+      }
+    }
+    if (st.IsInvalidArgument()) continue;  // Overdraw guard: skip the op.
+    if (!st.ok()) {
+      if (txn->active()) txn->Abort();
+      return st;
+    }
+  }
+  return txn->Commit();
+}
+
+Status SmallBank::TotalBalance(DB* db, int64_t* cents) {
+  auto txn = db->Begin({IsolationLevel::kSnapshot});
+  int64_t total = 0;
+  for (TableId t : {saving_, checking_}) {
+    Status st = txn->Scan(
+        t, EncodeU64Key(0), EncodeU64Key(UINT64_MAX),
+        [&total](Slice, Slice v) {
+          int64_t c = 0;
+          if (DecodeBalance(v, &c)) total += c;
+          return true;
+        });
+    if (!st.ok()) {
+      txn->Abort();
+      return st;
+    }
+  }
+  Status st = txn->Commit();
+  if (st.ok() && cents != nullptr) *cents = total;
+  return st;
+}
+
+}  // namespace ssidb::workloads

@@ -1,0 +1,181 @@
+#include "src/workloads/tpcc_loader.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/encoding.h"
+
+namespace ssidb::workloads::tpcc {
+
+namespace {
+
+/// Commit the running transaction every kBatch inserts so the load never
+/// builds giant write sets (the engine is in-memory, but lock tables are
+/// real). Returns a fresh transaction.
+constexpr size_t kBatch = 2000;
+
+class BatchLoader {
+ public:
+  explicit BatchLoader(DB* db) : db_(db) { Renew(); }
+
+  Status Insert(TableId table, Slice key, Slice value) {
+    Status st = txn_->Insert(table, key, value);
+    if (!st.ok()) return st;
+    if (++pending_ >= kBatch) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() {
+    Status st = txn_->Commit();
+    Renew();
+    return st;
+  }
+
+ private:
+  void Renew() {
+    txn_ = db_->Begin({IsolationLevel::kSnapshot});
+    pending_ = 0;
+  }
+
+  DB* db_;
+  std::unique_ptr<Transaction> txn_;
+  size_t pending_ = 0;
+};
+
+}  // namespace
+
+Status LoadTpcc(DB* db, const TpccConfig& config, uint64_t seed,
+                TpccTables* t) {
+  if (config.warehouses == 0) {
+    return Status::InvalidArgument("need at least one warehouse");
+  }
+  Status st = db->CreateTable("warehouse", &t->warehouse);
+  if (st.ok()) st = db->CreateTable("district", &t->district);
+  if (st.ok()) st = db->CreateTable("customer", &t->customer);
+  if (st.ok()) st = db->CreateTable("customer_credit", &t->customer_credit);
+  if (st.ok()) st = db->CreateTable("customer_name", &t->customer_name);
+  if (st.ok()) st = db->CreateTable("item", &t->item);
+  if (st.ok()) st = db->CreateTable("stock", &t->stock);
+  if (st.ok()) st = db->CreateTable("order", &t->order);
+  if (st.ok()) st = db->CreateTable("order_customer", &t->order_customer);
+  if (st.ok()) st = db->CreateTable("new_order", &t->new_order);
+  if (st.ok()) st = db->CreateTable("order_line", &t->order_line);
+  if (!st.ok()) return st;
+
+  Random rng(seed);
+  BatchLoader loader(db);
+  const uint32_t customers = config.customers_per_district();
+  const uint32_t items = config.items();
+
+  // Items (shared across warehouses).
+  for (uint32_t i = 1; i <= items; ++i) {
+    ItemRow row;
+    row.name = rng.AlphaString(14, 24);
+    row.price_cents = rng.UniformRange(100, 10000);
+    row.data = rng.AlphaString(26, 50);
+    st = loader.Insert(t->item, ItemKey(i), row.Encode());
+    if (!st.ok()) return st;
+  }
+
+  t->warehouse_tax_bp.assign(config.warehouses + 1, 0);
+  for (uint32_t w = 1; w <= config.warehouses; ++w) {
+    WarehouseRow wrow;
+    wrow.name = rng.AlphaString(6, 10);
+    wrow.tax_bp = rng.UniformRange(0, 2000);
+    wrow.ytd_cents = 30000000;  // $300,000 (spec 4.3.3.1).
+    t->warehouse_tax_bp[w] = wrow.tax_bp;
+    st = loader.Insert(t->warehouse, WarehouseKey(w), wrow.Encode());
+    if (!st.ok()) return st;
+
+    // Stock: one row per item per warehouse.
+    for (uint32_t i = 1; i <= items; ++i) {
+      StockRow srow;
+      srow.quantity = static_cast<int32_t>(rng.UniformRange(10, 100));
+      srow.data = rng.AlphaString(26, 50);
+      st = loader.Insert(t->stock, StockKey(w, i), srow.Encode());
+      if (!st.ok()) return st;
+    }
+
+    for (uint32_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+      DistrictRow drow;
+      drow.name = rng.AlphaString(6, 10);
+      drow.tax_bp = rng.UniformRange(0, 2000);
+      drow.ytd_cents = 3000000;  // $30,000.
+      drow.next_o_id = config.initial_orders() + 1;
+      st = loader.Insert(t->district, DistrictKey(w, d), drow.Encode());
+      if (!st.ok()) return st;
+
+      // Customers and the last-name index.
+      for (uint32_t c = 1; c <= customers; ++c) {
+        CustomerRow crow;
+        crow.first = rng.AlphaString(8, 16);
+        // Spec 4.3.3.1: the first 1000 customers get sequential last names,
+        // the rest NURand names (we use modulo for tiny scales).
+        crow.last = LastName(c <= 1000 ? (c - 1)
+                                       : static_cast<uint32_t>(
+                                             rng.NURand(255, 0, 999)));
+        crow.credit_lim_cents = kInitialCreditLimCents;
+        crow.discount_bp = rng.UniformRange(0, 5000);
+        crow.balance_cents = kInitialBalanceCents;
+        crow.ytd_payment_cents = 10 * 100;
+        crow.payment_cnt = 1;
+        st = loader.Insert(t->customer, CustomerKey(w, d, c), crow.Encode());
+        if (st.ok()) {
+          // Spec 4.3.3.1: 10% of customers start with bad credit.
+          st = loader.Insert(
+              t->customer_credit, CustomerKey(w, d, c),
+              EncodeCredit(rng.Bernoulli(0.10) ? Credit::kBad
+                                               : Credit::kGood));
+        }
+        if (st.ok()) {
+          std::string id_value;
+          PutBig32(&id_value, c);
+          st = loader.Insert(t->customer_name,
+                             CustomerNameKey(w, d, crow.last, c), id_value);
+        }
+        if (!st.ok()) return st;
+      }
+
+      // Initial orders: a random permutation of customers, one order each
+      // (spec 4.3.3.1). The last 30% are undelivered (new_order rows).
+      std::vector<uint32_t> perm(config.initial_orders());
+      std::iota(perm.begin(), perm.end(), 1);
+      rng.Shuffle(&perm);
+      const uint32_t first_new =
+          config.initial_orders() - config.initial_orders() * 3 / 10 + 1;
+      for (uint32_t o = 1; o <= config.initial_orders(); ++o) {
+        OrderRow orow;
+        orow.c_id = perm[o - 1];
+        orow.ol_cnt = static_cast<uint32_t>(rng.UniformRange(5, 15));
+        orow.entry_d = o;
+        orow.carrier_id =
+            o < first_new ? static_cast<uint32_t>(rng.UniformRange(1, 10)) : 0;
+        st = loader.Insert(t->order, OrderKey(w, d, o), orow.Encode());
+        if (st.ok()) {
+          st = loader.Insert(t->order_customer,
+                             OrderCustomerKey(w, d, orow.c_id, o), "");
+        }
+        if (st.ok() && orow.carrier_id == 0) {
+          st = loader.Insert(t->new_order, NewOrderKey(w, d, o), "");
+        }
+        if (!st.ok()) return st;
+
+        for (uint32_t ol = 1; ol <= orow.ol_cnt; ++ol) {
+          OrderLineRow lrow;
+          lrow.i_id = static_cast<uint32_t>(rng.UniformRange(1, items));
+          lrow.supply_w_id = w;
+          lrow.quantity = 5;
+          lrow.amount_cents =
+              orow.carrier_id == 0 ? rng.UniformRange(1, 999999) : 0;
+          lrow.delivery_d = orow.carrier_id == 0 ? 0 : orow.entry_d;
+          st = loader.Insert(t->order_line, OrderLineKey(w, d, o, ol),
+                             lrow.Encode());
+          if (!st.ok()) return st;
+        }
+      }
+    }
+  }
+  return loader.Flush();
+}
+
+}  // namespace ssidb::workloads::tpcc

@@ -1,0 +1,74 @@
+// TPC-C++ data generator and loader (§5.3.6 data scaling).
+//
+// The scale is driven by W, the warehouse count, and the `tiny` flag:
+// standard scale keeps the spec cardinalities (3000 customers/district,
+// 100k items), tiny scale divides customers by 30 and items by 100 so that
+// contention can be raised without growing the data volume — the knob the
+// thesis used to separate contention effects from data-size effects
+// (Figs 6.15, 6.16, 6.18).
+
+#ifndef SSIDB_WORKLOADS_TPCC_LOADER_H_
+#define SSIDB_WORKLOADS_TPCC_LOADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/db/db.h"
+#include "src/workloads/tpcc_schema.h"
+
+namespace ssidb::workloads::tpcc {
+
+/// Transaction mix selector (§5.3.4 / §5.3.5).
+enum class Mix {
+  /// TPC-C proportions with Credit Check at Delivery frequency:
+  /// 41% NEWO, 43% PAY, 4% CCHECK, 4% DLVY, 4% OSTAT, 4% SLEV.
+  kStandard,
+  /// §5.3.5: only New Order and Stock Level, 10 SLEV per NEWO — the
+  /// read-mostly configuration that maximises rw-conflicts.
+  kStockLevel,
+};
+
+struct TpccConfig {
+  uint32_t warehouses = 1;
+  /// §5.3.6 tiny scaling: 100 customers/district, 1000 items.
+  bool tiny = false;
+  /// §5.3.1: omit the w_ytd / d_ytd updates in Payment, removing the
+  /// write-write hotspot every pair of Payments shares (Figs 6.12/6.14/6.16).
+  bool skip_ytd_updates = false;
+  Mix mix = Mix::kStandard;
+
+  uint32_t customers_per_district() const { return tiny ? 100 : 3000; }
+  uint32_t items() const { return tiny ? 1000 : 100000; }
+  /// Initial orders per district == customer count (spec clause 4.3.3.1).
+  uint32_t initial_orders() const { return customers_per_district(); }
+};
+
+/// Table handles plus the client-side caches §5.3.1 allows.
+struct TpccTables {
+  TableId warehouse = 0;
+  TableId district = 0;
+  TableId customer = 0;
+  /// The §5.3.3 c_credit partition (see tpcc_schema.h).
+  TableId customer_credit = 0;
+  TableId customer_name = 0;
+  TableId item = 0;
+  TableId stock = 0;
+  TableId order = 0;
+  TableId order_customer = 0;
+  TableId new_order = 0;
+  TableId order_line = 0;
+
+  /// w_tax by warehouse id (1-based); cached per §5.3.1 so New Order does
+  /// not read the hot Warehouse row.
+  std::vector<int64_t> warehouse_tax_bp;
+};
+
+/// Create all tables and load the initial population for `config`.
+/// Deterministic for a given `seed`.
+Status LoadTpcc(DB* db, const TpccConfig& config, uint64_t seed,
+                TpccTables* tables);
+
+}  // namespace ssidb::workloads::tpcc
+
+#endif  // SSIDB_WORKLOADS_TPCC_LOADER_H_

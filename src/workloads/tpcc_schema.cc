@@ -1,0 +1,257 @@
+#include "src/workloads/tpcc_schema.h"
+
+#include "src/common/encoding.h"
+
+namespace ssidb::workloads::tpcc {
+
+namespace {
+
+void AppendTerminated(std::string* dst, Slice s) {
+  dst->append(s.data(), s.size());
+  dst->push_back('\0');
+}
+
+}  // namespace
+
+std::string WarehouseKey(uint32_t w) {
+  std::string k;
+  PutBig32(&k, w);
+  return k;
+}
+
+std::string DistrictKey(uint32_t w, uint32_t d) {
+  std::string k;
+  PutBig32(&k, w);
+  PutBig32(&k, d);
+  return k;
+}
+
+std::string CustomerKey(uint32_t w, uint32_t d, uint32_t c) {
+  std::string k;
+  PutBig32(&k, w);
+  PutBig32(&k, d);
+  PutBig32(&k, c);
+  return k;
+}
+
+std::string CustomerNameKey(uint32_t w, uint32_t d, Slice last, uint32_t c) {
+  std::string k;
+  PutBig32(&k, w);
+  PutBig32(&k, d);
+  AppendTerminated(&k, last);
+  PutBig32(&k, c);
+  return k;
+}
+
+std::string CustomerNamePrefix(uint32_t w, uint32_t d, Slice last) {
+  std::string k;
+  PutBig32(&k, w);
+  PutBig32(&k, d);
+  AppendTerminated(&k, last);
+  return k;
+}
+
+std::string ItemKey(uint32_t i) {
+  std::string k;
+  PutBig32(&k, i);
+  return k;
+}
+
+std::string StockKey(uint32_t w, uint32_t i) {
+  std::string k;
+  PutBig32(&k, w);
+  PutBig32(&k, i);
+  return k;
+}
+
+std::string OrderKey(uint32_t w, uint32_t d, uint32_t o) {
+  std::string k;
+  PutBig32(&k, w);
+  PutBig32(&k, d);
+  PutBig32(&k, o);
+  return k;
+}
+
+std::string OrderCustomerKey(uint32_t w, uint32_t d, uint32_t c, uint32_t o) {
+  std::string k;
+  PutBig32(&k, w);
+  PutBig32(&k, d);
+  PutBig32(&k, c);
+  PutBig32(&k, o);
+  return k;
+}
+
+std::string NewOrderKey(uint32_t w, uint32_t d, uint32_t o) {
+  return OrderKey(w, d, o);
+}
+
+std::string OrderLineKey(uint32_t w, uint32_t d, uint32_t o, uint32_t ol) {
+  std::string k;
+  PutBig32(&k, w);
+  PutBig32(&k, d);
+  PutBig32(&k, o);
+  PutBig32(&k, ol);
+  return k;
+}
+
+uint32_t OrderIdFromKey(Slice key) {
+  // The order id is always the final big-endian u32 component.
+  size_t off = key.size() - 4;
+  uint32_t o = 0;
+  GetBig32(key, &off, &o);
+  return o;
+}
+
+// --- Row encodings ---------------------------------------------------------
+
+std::string WarehouseRow::Encode() const {
+  std::string v;
+  PutLengthPrefixed(&v, name);
+  PutI64(&v, tax_bp);
+  PutI64(&v, ytd_cents);
+  return v;
+}
+
+bool WarehouseRow::Decode(Slice v, WarehouseRow* row) {
+  size_t off = 0;
+  return GetLengthPrefixed(v, &off, &row->name) &&
+         GetI64(v, &off, &row->tax_bp) && GetI64(v, &off, &row->ytd_cents);
+}
+
+std::string DistrictRow::Encode() const {
+  std::string v;
+  PutLengthPrefixed(&v, name);
+  PutI64(&v, tax_bp);
+  PutI64(&v, ytd_cents);
+  PutBig32(&v, next_o_id);
+  return v;
+}
+
+bool DistrictRow::Decode(Slice v, DistrictRow* row) {
+  size_t off = 0;
+  return GetLengthPrefixed(v, &off, &row->name) &&
+         GetI64(v, &off, &row->tax_bp) && GetI64(v, &off, &row->ytd_cents) &&
+         GetBig32(v, &off, &row->next_o_id);
+}
+
+std::string EncodeCredit(Credit credit) {
+  return std::string(1, static_cast<char>(credit));
+}
+
+bool DecodeCredit(Slice v, Credit* credit) {
+  if (v.size() != 1) return false;
+  *credit = static_cast<Credit>(v[0]);
+  return true;
+}
+
+std::string CustomerRow::Encode() const {
+  std::string v;
+  PutLengthPrefixed(&v, first);
+  PutLengthPrefixed(&v, last);
+  PutI64(&v, credit_lim_cents);
+  PutI64(&v, discount_bp);
+  PutI64(&v, balance_cents);
+  PutI64(&v, ytd_payment_cents);
+  PutBig32(&v, payment_cnt);
+  PutBig32(&v, delivery_cnt);
+  return v;
+}
+
+bool CustomerRow::Decode(Slice v, CustomerRow* row) {
+  size_t off = 0;
+  if (!GetLengthPrefixed(v, &off, &row->first) ||
+      !GetLengthPrefixed(v, &off, &row->last)) {
+    return false;
+  }
+  return GetI64(v, &off, &row->credit_lim_cents) &&
+         GetI64(v, &off, &row->discount_bp) &&
+         GetI64(v, &off, &row->balance_cents) &&
+         GetI64(v, &off, &row->ytd_payment_cents) &&
+         GetBig32(v, &off, &row->payment_cnt) &&
+         GetBig32(v, &off, &row->delivery_cnt);
+}
+
+std::string ItemRow::Encode() const {
+  std::string v;
+  PutLengthPrefixed(&v, name);
+  PutI64(&v, price_cents);
+  PutLengthPrefixed(&v, data);
+  return v;
+}
+
+bool ItemRow::Decode(Slice v, ItemRow* row) {
+  size_t off = 0;
+  return GetLengthPrefixed(v, &off, &row->name) &&
+         GetI64(v, &off, &row->price_cents) &&
+         GetLengthPrefixed(v, &off, &row->data);
+}
+
+std::string StockRow::Encode() const {
+  std::string v;
+  PutI64(&v, quantity);
+  PutI64(&v, ytd);
+  PutBig32(&v, order_cnt);
+  PutBig32(&v, remote_cnt);
+  PutLengthPrefixed(&v, data);
+  return v;
+}
+
+bool StockRow::Decode(Slice v, StockRow* row) {
+  size_t off = 0;
+  int64_t q = 0;
+  if (!GetI64(v, &off, &q)) return false;
+  row->quantity = static_cast<int32_t>(q);
+  return GetI64(v, &off, &row->ytd) && GetBig32(v, &off, &row->order_cnt) &&
+         GetBig32(v, &off, &row->remote_cnt) &&
+         GetLengthPrefixed(v, &off, &row->data);
+}
+
+std::string OrderRow::Encode() const {
+  std::string v;
+  PutBig32(&v, c_id);
+  PutBig32(&v, carrier_id);
+  PutBig32(&v, ol_cnt);
+  PutBig64(&v, entry_d);
+  return v;
+}
+
+bool OrderRow::Decode(Slice v, OrderRow* row) {
+  size_t off = 0;
+  return GetBig32(v, &off, &row->c_id) && GetBig32(v, &off, &row->carrier_id) &&
+         GetBig32(v, &off, &row->ol_cnt) && GetBig64(v, &off, &row->entry_d);
+}
+
+std::string OrderLineRow::Encode() const {
+  std::string v;
+  PutBig32(&v, i_id);
+  PutBig32(&v, supply_w_id);
+  PutI64(&v, quantity);
+  PutI64(&v, amount_cents);
+  PutBig64(&v, delivery_d);
+  return v;
+}
+
+bool OrderLineRow::Decode(Slice v, OrderLineRow* row) {
+  size_t off = 0;
+  int64_t q = 0;
+  if (!GetBig32(v, &off, &row->i_id) ||
+      !GetBig32(v, &off, &row->supply_w_id) || !GetI64(v, &off, &q)) {
+    return false;
+  }
+  row->quantity = static_cast<int32_t>(q);
+  return GetI64(v, &off, &row->amount_cents) &&
+         GetBig64(v, &off, &row->delivery_d);
+}
+
+std::string LastName(uint32_t num) {
+  static const char* kSyllables[] = {"BAR",   "OUGHT", "ABLE", "PRI",
+                                     "PRES",  "ESE",   "ANTI", "CALLY",
+                                     "ATION", "EING"};
+  std::string name;
+  name += kSyllables[(num / 100) % 10];
+  name += kSyllables[(num / 10) % 10];
+  name += kSyllables[num % 10];
+  return name;
+}
+
+}  // namespace ssidb::workloads::tpcc

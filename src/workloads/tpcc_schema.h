@@ -1,0 +1,169 @@
+// TPC-C++ schema (paper §5.3, TPC-C spec §1.3): nine base tables plus two
+// secondary indexes, hand-compiled onto the key/value engine the same way
+// the thesis compiled SmallBank onto Berkeley DB (§5.1).
+//
+// Keys are big-endian composites so byte order == tuple order, which the
+// next-key/gap locking protocol relies on (§2.5.2). Values are flat field
+// encodings (fixed-point cents for money, basis points for rates).
+//
+// Table            Key                              Value
+// warehouse        (w_id)                           WarehouseRow
+// district         (w_id, d_id)                     DistrictRow
+// customer         (w_id, d_id, c_id)               CustomerRow
+// customer_credit  (w_id, d_id, c_id)               Credit byte
+// customer_name    (w_id, d_id, c_last, c_id)       c_id        [index]
+// item             (i_id)                           ItemRow
+// stock            (w_id, i_id)                     StockRow
+// order            (w_id, d_id, o_id)               OrderRow
+// order_customer   (w_id, d_id, c_id, o_id)         empty       [index]
+// new_order        (w_id, d_id, o_id)               empty
+// order_line       (w_id, d_id, o_id, ol_number)    OrderLineRow
+//
+// The History table is omitted per §5.3.1 ("little bearing on concurrency
+// control"), and w_tax is cached client-side per the same section.
+//
+// C_CREDIT lives in its own partition (customer_credit): §5.3.3 notes that
+// with whole-row locking the Credit Check / Payment conflict degenerates to
+// write-write and first-committer-wins hides the anomaly, and the TPC-C
+// spec explicitly permits partitioning the Customer table — "If c_balance
+// and c_credit were stored in different partitions, the conflicts would be
+// as shown even in a DBMS with row-level locking and versioning".
+
+#ifndef SSIDB_WORKLOADS_TPCC_SCHEMA_H_
+#define SSIDB_WORKLOADS_TPCC_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace ssidb::workloads::tpcc {
+
+// ---------------------------------------------------------------------------
+// Key encoders. All components big-endian; string components are
+// length-prefix-free but '\0'-terminated (TPC-C last names are alphabetic
+// syllable concatenations, so the terminator cannot collide).
+// ---------------------------------------------------------------------------
+
+std::string WarehouseKey(uint32_t w);
+std::string DistrictKey(uint32_t w, uint32_t d);
+std::string CustomerKey(uint32_t w, uint32_t d, uint32_t c);
+std::string CustomerNameKey(uint32_t w, uint32_t d, Slice last, uint32_t c);
+/// Prefix of all CustomerNameKey entries for one (w, d, last): scan
+/// [prefix, prefix + 0xff] to enumerate customers sharing a last name.
+std::string CustomerNamePrefix(uint32_t w, uint32_t d, Slice last);
+std::string ItemKey(uint32_t i);
+std::string StockKey(uint32_t w, uint32_t i);
+std::string OrderKey(uint32_t w, uint32_t d, uint32_t o);
+std::string OrderCustomerKey(uint32_t w, uint32_t d, uint32_t c, uint32_t o);
+std::string NewOrderKey(uint32_t w, uint32_t d, uint32_t o);
+std::string OrderLineKey(uint32_t w, uint32_t d, uint32_t o, uint32_t ol);
+
+/// Decode the trailing order id of an OrderKey / NewOrderKey /
+/// OrderCustomerKey (the only component readers recover from keys).
+uint32_t OrderIdFromKey(Slice key);
+
+// ---------------------------------------------------------------------------
+// Row payloads.
+// ---------------------------------------------------------------------------
+
+struct WarehouseRow {
+  std::string name;
+  int64_t tax_bp = 0;     ///< Sales tax in basis points (0..2000).
+  int64_t ytd_cents = 0;  ///< Year-to-date payments (the §5.3.1 hot field).
+
+  std::string Encode() const;
+  static bool Decode(Slice v, WarehouseRow* row);
+};
+
+struct DistrictRow {
+  std::string name;
+  int64_t tax_bp = 0;
+  int64_t ytd_cents = 0;
+  uint32_t next_o_id = 1;  ///< D_NEXT_O_ID, incremented by every New Order.
+
+  std::string Encode() const;
+  static bool Decode(Slice v, DistrictRow* row);
+};
+
+/// C_CREDIT: the field the Credit Check transaction writes and New Order
+/// reads — the §5.3.3 rw-edge that makes TPC-C++ non-serializable at SI.
+/// Stored in the customer_credit partition, not in CustomerRow.
+enum class Credit : uint8_t { kGood = 0, kBad = 1 };
+
+/// One-byte encoding for the customer_credit partition.
+std::string EncodeCredit(Credit credit);
+bool DecodeCredit(Slice v, Credit* credit);
+
+struct CustomerRow {
+  std::string first;
+  std::string last;
+  int64_t credit_lim_cents = 0;
+  int64_t discount_bp = 0;
+  int64_t balance_cents = 0;      ///< C_BALANCE (delivered, unpaid orders).
+  int64_t ytd_payment_cents = 0;
+  uint32_t payment_cnt = 0;
+  uint32_t delivery_cnt = 0;
+
+  std::string Encode() const;
+  static bool Decode(Slice v, CustomerRow* row);
+};
+
+struct ItemRow {
+  std::string name;
+  int64_t price_cents = 0;
+  std::string data;
+
+  std::string Encode() const;
+  static bool Decode(Slice v, ItemRow* row);
+};
+
+struct StockRow {
+  int32_t quantity = 0;
+  int64_t ytd = 0;
+  uint32_t order_cnt = 0;
+  uint32_t remote_cnt = 0;
+  std::string data;
+
+  std::string Encode() const;
+  static bool Decode(Slice v, StockRow* row);
+};
+
+struct OrderRow {
+  uint32_t c_id = 0;
+  uint32_t carrier_id = 0;  ///< 0 == not yet delivered.
+  uint32_t ol_cnt = 0;
+  uint64_t entry_d = 0;     ///< Synthetic timestamp.
+
+  std::string Encode() const;
+  static bool Decode(Slice v, OrderRow* row);
+};
+
+struct OrderLineRow {
+  uint32_t i_id = 0;
+  uint32_t supply_w_id = 0;
+  int32_t quantity = 0;
+  int64_t amount_cents = 0;
+  uint64_t delivery_d = 0;  ///< 0 == not yet delivered.
+
+  std::string Encode() const;
+  static bool Decode(Slice v, OrderLineRow* row);
+};
+
+// ---------------------------------------------------------------------------
+// Spec-mandated generators.
+// ---------------------------------------------------------------------------
+
+/// TPC-C last name: concatenation of three syllables indexed by the digits
+/// of `num` in base 10 (spec clause 4.3.2.3). num in [0, 999].
+std::string LastName(uint32_t num);
+
+constexpr uint32_t kDistrictsPerWarehouse = 10;
+constexpr int64_t kInitialCreditLimCents = 50000 * 100;  ///< C_CREDIT_LIM.
+constexpr int64_t kInitialBalanceCents = -10 * 100;      ///< C_BALANCE.
+constexpr uint32_t kOrderStatusOrders = 20;  ///< SLEV looks at last 20.
+
+}  // namespace ssidb::workloads::tpcc
+
+#endif  // SSIDB_WORKLOADS_TPCC_SCHEMA_H_

@@ -1,0 +1,451 @@
+#include "src/workloads/tpcc_txns.h"
+
+#include <set>
+
+#include "src/common/encoding.h"
+
+namespace ssidb::workloads::tpcc {
+
+namespace {
+
+/// Abort `txn` (if still active) and surface `st` as the program outcome.
+Status Fail(Transaction* txn, const Status& st) {
+  if (txn->active()) txn->Abort();
+  return st;
+}
+
+Status GetCustomer(Transaction* txn, const TpccTables& t, uint32_t w,
+                   uint32_t d, uint32_t c, CustomerRow* row) {
+  std::string v;
+  Status st = txn->Get(t.customer, CustomerKey(w, d, c), &v);
+  if (!st.ok()) return st;
+  if (!CustomerRow::Decode(v, row)) {
+    return Status::InvalidArgument("corrupt customer row");
+  }
+  return Status::OK();
+}
+
+Status PutCustomer(Transaction* txn, const TpccTables& t, uint32_t w,
+                   uint32_t d, uint32_t c, const CustomerRow& row) {
+  return txn->Put(t.customer, CustomerKey(w, d, c), row.Encode());
+}
+
+Status GetDistrict(Transaction* txn, const TpccTables& t, uint32_t w,
+                   uint32_t d, DistrictRow* row) {
+  std::string v;
+  Status st = txn->Get(t.district, DistrictKey(w, d), &v);
+  if (!st.ok()) return st;
+  if (!DistrictRow::Decode(v, row)) {
+    return Status::InvalidArgument("corrupt district row");
+  }
+  return Status::OK();
+}
+
+/// The upper bound key for prefix scans: prefix + 0xff... sorts after every
+/// extension of the prefix that the workload generates.
+std::string PrefixEnd(std::string prefix) {
+  prefix.append(8, '\xff');
+  return prefix;
+}
+
+}  // namespace
+
+Status ResolveCustomer(Transaction* txn, const TpccTables& tables,
+                       const CustomerSelector& sel, uint32_t* c_id) {
+  if (!sel.by_name) {
+    *c_id = sel.c_id;
+    return Status::OK();
+  }
+  // Spec 2.5.2.2: collect all customers with the last name, sorted by
+  // first name, and pick position ceil(n/2). Our index is sorted by c_id
+  // rather than first name; the median-by-position rule is preserved,
+  // which is all the conflict structure depends on.
+  std::vector<uint32_t> ids;
+  const std::string prefix =
+      CustomerNamePrefix(sel.w, sel.d, sel.last_name);
+  Status st = txn->Scan(tables.customer_name, prefix, PrefixEnd(prefix),
+                        [&ids](Slice, Slice value) {
+                          size_t off = 0;
+                          uint32_t c = 0;
+                          if (GetBig32(value, &off, &c)) ids.push_back(c);
+                          return true;
+                        });
+  if (!st.ok()) return st;
+  if (ids.empty()) return Status::NotFound("no customer with last name");
+  *c_id = ids[(ids.size() + 1) / 2 - 1];
+  return Status::OK();
+}
+
+Status NewOrder(const TpccContext& ctx, IsolationLevel iso,
+                const NewOrderInput& in, NewOrderOutput* out) {
+  const TpccTables& t = *ctx.tables;
+  auto txn = ctx.db->Begin({iso});
+
+  // District: take the order number and bump D_NEXT_O_ID.
+  DistrictRow district;
+  Status st = GetDistrict(txn.get(), t, in.w, in.d, &district);
+  if (!st.ok()) return Fail(txn.get(), st);
+  const uint32_t o_id = district.next_o_id;
+  district.next_o_id++;
+  st = txn->Put(t.district, DistrictKey(in.w, in.d), district.Encode());
+  if (!st.ok()) return Fail(txn.get(), st);
+
+  // Customer: discount, last name, and — the §5.3.3 edge — c_credit from
+  // its partition (written by Credit Check, displayed on the terminal).
+  CustomerRow customer;
+  st = GetCustomer(txn.get(), t, in.w, in.d, in.c, &customer);
+  if (!st.ok()) return Fail(txn.get(), st);
+  std::string credit_v;
+  st = txn->Get(t.customer_credit, CustomerKey(in.w, in.d, in.c), &credit_v);
+  if (!st.ok()) return Fail(txn.get(), st);
+  Credit credit = Credit::kGood;
+  if (!DecodeCredit(credit_v, &credit)) {
+    return Fail(txn.get(), Status::InvalidArgument("corrupt credit row"));
+  }
+
+  // Validate every item id up front: spec 2.4.1.4 rolls the transaction
+  // back on an unused id, modelling user data-entry errors.
+  std::vector<ItemRow> items(in.lines.size());
+  for (size_t i = 0; i < in.lines.size(); ++i) {
+    std::string v;
+    st = txn->Get(t.item, ItemKey(in.lines[i].i_id), &v);
+    if (st.IsNotFound()) {
+      return Fail(txn.get(), Status::NotFound("unused item id"));
+    }
+    if (!st.ok()) return Fail(txn.get(), st);
+    if (!ItemRow::Decode(v, &items[i])) {
+      return Fail(txn.get(), Status::InvalidArgument("corrupt item row"));
+    }
+  }
+
+  OrderRow order;
+  order.c_id = in.c;
+  order.carrier_id = 0;
+  order.ol_cnt = static_cast<uint32_t>(in.lines.size());
+  order.entry_d = o_id;
+  st = txn->Insert(t.order, OrderKey(in.w, in.d, o_id), order.Encode());
+  if (st.ok()) {
+    st = txn->Insert(t.order_customer,
+                     OrderCustomerKey(in.w, in.d, in.c, o_id), "");
+  }
+  if (st.ok()) {
+    st = txn->Insert(t.new_order, NewOrderKey(in.w, in.d, o_id), "");
+  }
+  if (!st.ok()) return Fail(txn.get(), st);
+
+  int64_t total = 0;
+  for (size_t i = 0; i < in.lines.size(); ++i) {
+    const NewOrderLine& line = in.lines[i];
+    std::string v;
+    st = txn->Get(t.stock, StockKey(line.supply_w, line.i_id), &v);
+    if (!st.ok()) return Fail(txn.get(), st);
+    StockRow stock;
+    if (!StockRow::Decode(v, &stock)) {
+      return Fail(txn.get(), Status::InvalidArgument("corrupt stock row"));
+    }
+    // Spec 2.4.2.2: restock when the level would drop below 10.
+    if (stock.quantity - line.quantity >= 10) {
+      stock.quantity -= line.quantity;
+    } else {
+      stock.quantity = stock.quantity - line.quantity + 91;
+    }
+    stock.ytd += line.quantity;
+    stock.order_cnt++;
+    if (line.supply_w != in.w) stock.remote_cnt++;
+    st = txn->Put(t.stock, StockKey(line.supply_w, line.i_id),
+                  stock.Encode());
+    if (!st.ok()) return Fail(txn.get(), st);
+
+    OrderLineRow ol;
+    ol.i_id = line.i_id;
+    ol.supply_w_id = line.supply_w;
+    ol.quantity = line.quantity;
+    ol.amount_cents = line.quantity * items[i].price_cents;
+    ol.delivery_d = 0;
+    total += ol.amount_cents;
+    st = txn->Insert(t.order_line,
+                     OrderLineKey(in.w, in.d, o_id,
+                                  static_cast<uint32_t>(i + 1)),
+                     ol.Encode());
+    if (!st.ok()) return Fail(txn.get(), st);
+  }
+
+  // Total with warehouse tax (cached, §5.3.1), district tax and discount —
+  // computed the way the terminal would display it.
+  const int64_t w_tax = ctx.tables->warehouse_tax_bp[in.w];
+  total = total * (10000 - customer.discount_bp) / 10000;
+  total = total * (10000 + w_tax + district.tax_bp) / 10000;
+
+  st = txn->Commit();
+  if (st.ok() && out != nullptr) {
+    out->o_id = o_id;
+    out->total_cents = total;
+    out->customer_credit = credit;
+  }
+  return st;
+}
+
+Status Payment(const TpccContext& ctx, IsolationLevel iso,
+               const PaymentInput& in) {
+  const TpccTables& t = *ctx.tables;
+  auto txn = ctx.db->Begin({iso});
+
+  if (!ctx.config.skip_ytd_updates) {
+    // The §5.3.1 hotspot: every Payment for the warehouse updates w_ytd.
+    std::string v;
+    Status st = txn->Get(t.warehouse, WarehouseKey(in.w), &v);
+    if (!st.ok()) return Fail(txn.get(), st);
+    WarehouseRow warehouse;
+    if (!WarehouseRow::Decode(v, &warehouse)) {
+      return Fail(txn.get(), Status::InvalidArgument("corrupt warehouse"));
+    }
+    warehouse.ytd_cents += in.amount_cents;
+    st = txn->Put(t.warehouse, WarehouseKey(in.w), warehouse.Encode());
+    if (!st.ok()) return Fail(txn.get(), st);
+
+    DistrictRow district;
+    st = GetDistrict(txn.get(), t, in.w, in.d, &district);
+    if (!st.ok()) return Fail(txn.get(), st);
+    district.ytd_cents += in.amount_cents;
+    st = txn->Put(t.district, DistrictKey(in.w, in.d), district.Encode());
+    if (!st.ok()) return Fail(txn.get(), st);
+  }
+
+  uint32_t c_id = 0;
+  Status st = ResolveCustomer(txn.get(), t, in.customer, &c_id);
+  if (!st.ok()) return Fail(txn.get(), st);
+
+  CustomerRow customer;
+  st = GetCustomer(txn.get(), t, in.customer.w, in.customer.d, c_id,
+                   &customer);
+  if (!st.ok()) return Fail(txn.get(), st);
+  customer.balance_cents -= in.amount_cents;
+  customer.ytd_payment_cents += in.amount_cents;
+  customer.payment_cnt++;
+  st = PutCustomer(txn.get(), t, in.customer.w, in.customer.d, c_id,
+                   customer);
+  if (!st.ok()) return Fail(txn.get(), st);
+  return txn->Commit();
+}
+
+Status OrderStatus(const TpccContext& ctx, IsolationLevel iso,
+                   const CustomerSelector& customer, OrderStatusOutput* out) {
+  const TpccTables& t = *ctx.tables;
+  auto txn = ctx.db->Begin({iso});
+
+  uint32_t c_id = 0;
+  Status st = ResolveCustomer(txn.get(), t, customer, &c_id);
+  if (!st.ok()) return Fail(txn.get(), st);
+
+  CustomerRow crow;
+  st = GetCustomer(txn.get(), t, customer.w, customer.d, c_id, &crow);
+  if (!st.ok()) return Fail(txn.get(), st);
+
+  // Most recent order: the largest o_id in the order_customer index.
+  uint32_t last_o = 0;
+  const std::string lo = OrderCustomerKey(customer.w, customer.d, c_id, 0);
+  const std::string hi =
+      OrderCustomerKey(customer.w, customer.d, c_id, UINT32_MAX);
+  st = txn->Scan(t.order_customer, lo, hi, [&last_o](Slice key, Slice) {
+    last_o = OrderIdFromKey(key);
+    return true;
+  });
+  if (!st.ok()) return Fail(txn.get(), st);
+  if (last_o == 0) {
+    return Fail(txn.get(), Status::NotFound("customer has no orders"));
+  }
+
+  std::string v;
+  st = txn->Get(t.order, OrderKey(customer.w, customer.d, last_o), &v);
+  if (!st.ok()) return Fail(txn.get(), st);
+  OrderRow order;
+  if (!OrderRow::Decode(v, &order)) {
+    return Fail(txn.get(), Status::InvalidArgument("corrupt order row"));
+  }
+
+  std::vector<OrderLineRow> lines;
+  st = txn->Scan(t.order_line,
+                 OrderLineKey(customer.w, customer.d, last_o, 0),
+                 OrderLineKey(customer.w, customer.d, last_o, UINT32_MAX),
+                 [&lines](Slice, Slice value) {
+                   OrderLineRow ol;
+                   if (OrderLineRow::Decode(value, &ol)) lines.push_back(ol);
+                   return true;
+                 });
+  if (!st.ok()) return Fail(txn.get(), st);
+
+  st = txn->Commit();
+  if (st.ok() && out != nullptr) {
+    out->o_id = last_o;
+    out->carrier_id = order.carrier_id;
+    out->balance_cents = crow.balance_cents;
+    out->lines = std::move(lines);
+  }
+  return st;
+}
+
+Status Delivery(const TpccContext& ctx, IsolationLevel iso,
+                const DeliveryInput& in, uint32_t* delivered) {
+  const TpccTables& t = *ctx.tables;
+  auto txn = ctx.db->Begin({iso});
+  uint32_t count = 0;
+
+  for (uint32_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+    // Oldest undelivered order: the minimum o_id in new_order for (w, d).
+    uint32_t o_id = 0;
+    bool found = false;
+    Status st = txn->Scan(t.new_order, NewOrderKey(in.w, d, 0),
+                          NewOrderKey(in.w, d, UINT32_MAX),
+                          [&o_id, &found](Slice key, Slice) {
+                            o_id = OrderIdFromKey(key);
+                            found = true;
+                            return false;  // First key only.
+                          });
+    if (!st.ok()) return Fail(txn.get(), st);
+    if (!found) continue;  // DLVY1: nothing to deliver in this district.
+
+    st = txn->Delete(t.new_order, NewOrderKey(in.w, d, o_id));
+    if (!st.ok()) return Fail(txn.get(), st);
+
+    std::string v;
+    st = txn->Get(t.order, OrderKey(in.w, d, o_id), &v);
+    if (!st.ok()) return Fail(txn.get(), st);
+    OrderRow order;
+    if (!OrderRow::Decode(v, &order)) {
+      return Fail(txn.get(), Status::InvalidArgument("corrupt order row"));
+    }
+    order.carrier_id = in.carrier_id;
+    st = txn->Put(t.order, OrderKey(in.w, d, o_id), order.Encode());
+    if (!st.ok()) return Fail(txn.get(), st);
+
+    int64_t order_total = 0;
+    for (uint32_t ol = 1; ol <= order.ol_cnt; ++ol) {
+      st = txn->Get(t.order_line, OrderLineKey(in.w, d, o_id, ol), &v);
+      if (!st.ok()) return Fail(txn.get(), st);
+      OrderLineRow line;
+      if (!OrderLineRow::Decode(v, &line)) {
+        return Fail(txn.get(), Status::InvalidArgument("corrupt order line"));
+      }
+      line.delivery_d = o_id;
+      order_total += line.amount_cents;
+      st = txn->Put(t.order_line, OrderLineKey(in.w, d, o_id, ol),
+                    line.Encode());
+      if (!st.ok()) return Fail(txn.get(), st);
+    }
+
+    CustomerRow customer;
+    st = GetCustomer(txn.get(), t, in.w, d, order.c_id, &customer);
+    if (!st.ok()) return Fail(txn.get(), st);
+    customer.balance_cents += order_total;
+    customer.delivery_cnt++;
+    st = PutCustomer(txn.get(), t, in.w, d, order.c_id, customer);
+    if (!st.ok()) return Fail(txn.get(), st);
+    ++count;
+  }
+
+  Status st = txn->Commit();
+  if (st.ok() && delivered != nullptr) *delivered = count;
+  return st;
+}
+
+Status StockLevel(const TpccContext& ctx, IsolationLevel iso,
+                  const StockLevelInput& in, uint32_t* low_stock) {
+  const TpccTables& t = *ctx.tables;
+  auto txn = ctx.db->Begin({iso});
+
+  DistrictRow district;
+  Status st = GetDistrict(txn.get(), t, in.w, in.d, &district);
+  if (!st.ok()) return Fail(txn.get(), st);
+
+  // Distinct items in the last 20 orders (spec 2.8.2.2) — the rw-edge with
+  // NEWO, which both inserts these order lines and updates their stock.
+  const uint32_t hi_o = district.next_o_id;  // Exclusive.
+  const uint32_t lo_o =
+      hi_o > kOrderStatusOrders ? hi_o - kOrderStatusOrders : 1;
+  std::set<uint32_t> item_ids;
+  st = txn->Scan(t.order_line, OrderLineKey(in.w, in.d, lo_o, 0),
+                 OrderLineKey(in.w, in.d, hi_o - 1, UINT32_MAX),
+                 [&item_ids](Slice, Slice value) {
+                   OrderLineRow ol;
+                   if (OrderLineRow::Decode(value, &ol)) {
+                     item_ids.insert(ol.i_id);
+                   }
+                   return true;
+                 });
+  if (!st.ok()) return Fail(txn.get(), st);
+
+  uint32_t low = 0;
+  for (uint32_t i : item_ids) {
+    std::string v;
+    st = txn->Get(t.stock, StockKey(in.w, i), &v);
+    if (!st.ok()) return Fail(txn.get(), st);
+    StockRow stock;
+    if (!StockRow::Decode(v, &stock)) {
+      return Fail(txn.get(), Status::InvalidArgument("corrupt stock row"));
+    }
+    if (stock.quantity < in.threshold) ++low;
+  }
+
+  st = txn->Commit();
+  if (st.ok() && low_stock != nullptr) *low_stock = low;
+  return st;
+}
+
+Status CreditCheck(const TpccContext& ctx, IsolationLevel iso,
+                   const CreditCheckInput& in, Credit* result) {
+  const TpccTables& t = *ctx.tables;
+  auto txn = ctx.db->Begin({iso});
+
+  CustomerRow customer;
+  Status st = GetCustomer(txn.get(), t, in.w, in.d, in.c, &customer);
+  if (!st.ok()) return Fail(txn.get(), st);
+
+  // Fig 5.1's aggregate: SUM(ol_amount) over this customer's undelivered
+  // orders — join NewOrder against Order, then read each order's lines.
+  std::vector<uint32_t> undelivered;
+  st = txn->Scan(t.new_order, NewOrderKey(in.w, in.d, 0),
+                 NewOrderKey(in.w, in.d, UINT32_MAX),
+                 [&undelivered](Slice key, Slice) {
+                   undelivered.push_back(OrderIdFromKey(key));
+                   return true;
+                 });
+  if (!st.ok()) return Fail(txn.get(), st);
+
+  int64_t neworder_balance = 0;
+  for (uint32_t o_id : undelivered) {
+    std::string v;
+    st = txn->Get(t.order, OrderKey(in.w, in.d, o_id), &v);
+    if (!st.ok()) return Fail(txn.get(), st);
+    OrderRow order;
+    if (!OrderRow::Decode(v, &order)) {
+      return Fail(txn.get(), Status::InvalidArgument("corrupt order row"));
+    }
+    if (order.c_id != in.c) continue;
+    st = txn->Scan(t.order_line, OrderLineKey(in.w, in.d, o_id, 0),
+                   OrderLineKey(in.w, in.d, o_id, UINT32_MAX),
+                   [&neworder_balance](Slice, Slice value) {
+                     OrderLineRow ol;
+                     if (OrderLineRow::Decode(value, &ol)) {
+                       neworder_balance += ol.amount_cents;
+                     }
+                     return true;
+                   });
+    if (!st.ok()) return Fail(txn.get(), st);
+  }
+
+  const Credit credit =
+      customer.balance_cents + neworder_balance > customer.credit_lim_cents
+          ? Credit::kBad
+          : Credit::kGood;
+  // Fig 5.1 line 19: UPDATE Customer SET c_credit — the partition write
+  // that New Order reads (the §5.3.3 rw-edge).
+  st = txn->Put(t.customer_credit, CustomerKey(in.w, in.d, in.c),
+                EncodeCredit(credit));
+  if (!st.ok()) return Fail(txn.get(), st);
+
+  st = txn->Commit();
+  if (st.ok() && result != nullptr) *result = credit;
+  return st;
+}
+
+}  // namespace ssidb::workloads::tpcc

@@ -1,0 +1,138 @@
+// The six TPC-C++ transaction programs (§2.8.1 for the five TPC-C ones,
+// §5.3.2 / Fig 5.1 for the new Credit Check), hand-compiled to engine calls.
+//
+// Each program takes explicit inputs (so tests can force interleavings) and
+// runs one complete database transaction: begin, body, commit — or abort
+// with the failing status. Statuses with IsAbort() are engine-initiated
+// aborts (deadlock / FCW / unsafe); kNotFound from the 1% unused item id in
+// New Order is the spec-mandated intentional rollback and is counted
+// separately by the driver.
+
+#ifndef SSIDB_WORKLOADS_TPCC_TXNS_H_
+#define SSIDB_WORKLOADS_TPCC_TXNS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/db/db.h"
+#include "src/workloads/tpcc_loader.h"
+#include "src/workloads/tpcc_schema.h"
+
+namespace ssidb::workloads::tpcc {
+
+/// Shared handle the programs operate on.
+struct TpccContext {
+  DB* db = nullptr;
+  const TpccTables* tables = nullptr;
+  TpccConfig config;
+};
+
+/// How a Payment / Order Status selects the customer (spec 2.5.1.2: 60% by
+/// last name, 40% by id).
+struct CustomerSelector {
+  uint32_t w = 1;
+  uint32_t d = 1;
+  bool by_name = false;
+  uint32_t c_id = 1;       ///< Used when !by_name.
+  std::string last_name;   ///< Used when by_name.
+};
+
+struct NewOrderLine {
+  uint32_t i_id = 1;
+  uint32_t supply_w = 1;
+  int32_t quantity = 1;
+};
+
+struct NewOrderInput {
+  uint32_t w = 1;
+  uint32_t d = 1;
+  uint32_t c = 1;
+  std::vector<NewOrderLine> lines;
+};
+
+struct NewOrderOutput {
+  uint32_t o_id = 0;
+  int64_t total_cents = 0;
+  /// The §5.3.3 anomaly surface: the credit status the order was placed
+  /// under ("the status is displayed on the terminal").
+  Credit customer_credit = Credit::kGood;
+};
+
+/// NEWO (§2.8.1): place an order. Reads the district (d_next_o_id) and the
+/// customer (including c_credit), inserts Order/NewOrder/OrderLines and
+/// updates Stock per line. An unused item id rolls the whole transaction
+/// back with kNotFound (spec 2.4.1.4's 1% rollback).
+Status NewOrder(const TpccContext& ctx, IsolationLevel iso,
+                const NewOrderInput& in, NewOrderOutput* out);
+
+struct PaymentInput {
+  uint32_t w = 1;  ///< Warehouse collecting the payment.
+  uint32_t d = 1;
+  CustomerSelector customer;
+  int64_t amount_cents = 100;
+};
+
+/// PAY (§2.8.1): record a payment: w_ytd += amount, d_ytd += amount (both
+/// skipped under config.skip_ytd_updates, §5.3.1), customer balance -=
+/// amount. The History insert is omitted per §5.3.1.
+Status Payment(const TpccContext& ctx, IsolationLevel iso,
+               const PaymentInput& in);
+
+struct OrderStatusOutput {
+  uint32_t o_id = 0;
+  uint32_t carrier_id = 0;
+  int64_t balance_cents = 0;
+  std::vector<OrderLineRow> lines;
+};
+
+/// OSTAT (§2.8.1, read-only): the customer's most recent order + its lines.
+Status OrderStatus(const TpccContext& ctx, IsolationLevel iso,
+                   const CustomerSelector& customer, OrderStatusOutput* out);
+
+struct DeliveryInput {
+  uint32_t w = 1;
+  uint32_t carrier_id = 1;
+};
+
+/// DLVY (§2.8.1): deliver the oldest undelivered order of every district of
+/// warehouse `w` (skipping districts with none — the DLVY1 case of the
+/// paper's SDG split). `delivered` returns how many orders were delivered.
+Status Delivery(const TpccContext& ctx, IsolationLevel iso,
+                const DeliveryInput& in, uint32_t* delivered);
+
+struct StockLevelInput {
+  uint32_t w = 1;
+  uint32_t d = 1;
+  int32_t threshold = 15;  ///< Spec: uniform in [10, 20].
+};
+
+/// SLEV (§2.8.1, read-only): count distinct items in the district's last 20
+/// orders whose stock quantity is below the threshold.
+Status StockLevel(const TpccContext& ctx, IsolationLevel iso,
+                  const StockLevelInput& in, uint32_t* low_stock);
+
+struct CreditCheckInput {
+  uint32_t w = 1;
+  uint32_t d = 1;
+  uint32_t c = 1;
+};
+
+/// CCHECK (§5.3.2, Fig 5.1): recompute the customer's credit status from
+/// c_balance plus the value of undelivered (NewOrder) orders and write
+/// c_credit. Reading NewOrder/OrderLine (inserted by NEWO) and c_balance
+/// (updated by PAY/DLVY) while writing c_credit (read by NEWO) makes this
+/// and NEWO the two pivots of Fig 5.3.
+Status CreditCheck(const TpccContext& ctx, IsolationLevel iso,
+                   const CreditCheckInput& in, Credit* result);
+
+/// Resolve a CustomerSelector to a customer id. By-name selection scans the
+/// customer_name index and picks the median match (spec 2.5.2.2). Exposed
+/// for tests.
+Status ResolveCustomer(Transaction* txn, const TpccTables& tables,
+                       const CustomerSelector& sel, uint32_t* c_id);
+
+}  // namespace ssidb::workloads::tpcc
+
+#endif  // SSIDB_WORKLOADS_TPCC_TXNS_H_

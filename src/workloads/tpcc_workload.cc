@@ -1,0 +1,223 @@
+#include "src/workloads/tpcc_workload.h"
+
+#include <algorithm>
+
+namespace ssidb::workloads::tpcc {
+
+Status TpccWorkload::Setup(DB* db, const TpccConfig& config, uint64_t seed,
+                           std::unique_ptr<TpccWorkload>* workload) {
+  std::unique_ptr<TpccWorkload> w(new TpccWorkload());
+  Status st = LoadTpcc(db, config, seed, &w->tables_);
+  if (!st.ok()) return st;
+  w->ctx_.db = db;
+  w->ctx_.tables = &w->tables_;
+  w->ctx_.config = config;
+  *workload = std::move(w);
+  return Status::OK();
+}
+
+TpccOp TpccWorkload::NextOp(Random* rng) const {
+  if (ctx_.config.mix == Mix::kStockLevel) {
+    // §5.3.5: 10 Stock Level transactions per New Order.
+    return rng->Uniform(11) == 0 ? TpccOp::kNewOrder : TpccOp::kStockLevel;
+  }
+  // §5.3.4: Credit Check slots in at Delivery's 4%, Payment keeps "at
+  // least 43%": 41/43/4/4/4/4.
+  const uint64_t roll = rng->Uniform(100);
+  if (roll < 41) return TpccOp::kNewOrder;
+  if (roll < 84) return TpccOp::kPayment;
+  if (roll < 88) return TpccOp::kCreditCheck;
+  if (roll < 92) return TpccOp::kDelivery;
+  if (roll < 96) return TpccOp::kOrderStatus;
+  return TpccOp::kStockLevel;
+}
+
+CustomerSelector TpccWorkload::RandomCustomer(Random* rng) const {
+  const TpccConfig& cfg = ctx_.config;
+  CustomerSelector sel;
+  sel.w = static_cast<uint32_t>(rng->UniformRange(1, cfg.warehouses));
+  sel.d =
+      static_cast<uint32_t>(rng->UniformRange(1, kDistrictsPerWarehouse));
+  // Spec 2.5.1.2: 60% by last name, 40% by id. Names beyond the loaded
+  // population do not exist, so cap the NURand range at the names present.
+  sel.by_name = rng->Bernoulli(0.60);
+  if (sel.by_name) {
+    const uint32_t max_name =
+        std::min<uint32_t>(999, cfg.customers_per_district() - 1);
+    sel.last_name =
+        LastName(static_cast<uint32_t>(rng->NURand(255, 0, max_name)));
+  } else {
+    sel.c_id = static_cast<uint32_t>(
+        rng->NURand(1023, 1, cfg.customers_per_district()));
+  }
+  return sel;
+}
+
+NewOrderInput TpccWorkload::RandomNewOrder(Random* rng) const {
+  const TpccConfig& cfg = ctx_.config;
+  NewOrderInput in;
+  in.w = static_cast<uint32_t>(rng->UniformRange(1, cfg.warehouses));
+  in.d = static_cast<uint32_t>(rng->UniformRange(1, kDistrictsPerWarehouse));
+  in.c = static_cast<uint32_t>(
+      rng->NURand(1023, 1, cfg.customers_per_district()));
+  const int ol_cnt = static_cast<int>(rng->UniformRange(5, 15));
+  in.lines.reserve(ol_cnt);
+  for (int i = 0; i < ol_cnt; ++i) {
+    NewOrderLine line;
+    line.i_id = static_cast<uint32_t>(rng->NURand(8191, 1, cfg.items()));
+    // Spec 2.4.1.5: 1% of orders reference a remote warehouse per line.
+    line.supply_w = in.w;
+    if (cfg.warehouses > 1 && rng->Bernoulli(0.01)) {
+      do {
+        line.supply_w =
+            static_cast<uint32_t>(rng->UniformRange(1, cfg.warehouses));
+      } while (line.supply_w == in.w);
+    }
+    line.quantity = static_cast<int32_t>(rng->UniformRange(1, 10));
+    in.lines.push_back(line);
+  }
+  // Spec 2.4.1.4: 1% of New Orders use an unused item id on the last line,
+  // forcing an intentional rollback.
+  if (rng->Bernoulli(0.01)) in.lines.back().i_id = cfg.items() + 1;
+  return in;
+}
+
+PaymentInput TpccWorkload::RandomPayment(Random* rng) const {
+  const TpccConfig& cfg = ctx_.config;
+  PaymentInput in;
+  in.w = static_cast<uint32_t>(rng->UniformRange(1, cfg.warehouses));
+  in.d = static_cast<uint32_t>(rng->UniformRange(1, kDistrictsPerWarehouse));
+  in.customer = RandomCustomer(rng);
+  // Spec 2.5.1.2: 85% of payments are for the home warehouse/district.
+  if (cfg.warehouses == 1 || rng->Bernoulli(0.85)) {
+    in.customer.w = in.w;
+    in.customer.d = in.d;
+  }
+  in.amount_cents = rng->UniformRange(100, 500000);
+  return in;
+}
+
+Status TpccWorkload::RunOp(DB* db, const bench::SeriesConfig& series,
+                           TpccOp op, Random* rng) {
+  (void)db;
+  const TpccConfig& cfg = ctx_.config;
+  switch (op) {
+    case TpccOp::kNewOrder:
+      return NewOrder(ctx_, series.For(false), RandomNewOrder(rng), nullptr);
+    case TpccOp::kPayment:
+      return Payment(ctx_, series.For(false), RandomPayment(rng));
+    case TpccOp::kCreditCheck: {
+      CreditCheckInput in;
+      in.w = static_cast<uint32_t>(rng->UniformRange(1, cfg.warehouses));
+      in.d = static_cast<uint32_t>(
+          rng->UniformRange(1, kDistrictsPerWarehouse));
+      in.c = static_cast<uint32_t>(
+          rng->NURand(1023, 1, cfg.customers_per_district()));
+      return CreditCheck(ctx_, series.For(false), in, nullptr);
+    }
+    case TpccOp::kDelivery: {
+      DeliveryInput in;
+      in.w = static_cast<uint32_t>(rng->UniformRange(1, cfg.warehouses));
+      in.carrier_id = static_cast<uint32_t>(rng->UniformRange(1, 10));
+      return Delivery(ctx_, series.For(false), in, nullptr);
+    }
+    case TpccOp::kOrderStatus:
+      return OrderStatus(ctx_, series.For(true), RandomCustomer(rng),
+                         nullptr);
+    case TpccOp::kStockLevel: {
+      StockLevelInput in;
+      in.w = static_cast<uint32_t>(rng->UniformRange(1, cfg.warehouses));
+      in.d = static_cast<uint32_t>(
+          rng->UniformRange(1, kDistrictsPerWarehouse));
+      in.threshold = static_cast<int32_t>(rng->UniformRange(10, 20));
+      return StockLevel(ctx_, series.For(true), in, nullptr);
+    }
+  }
+  return Status::InvalidArgument("unknown op");
+}
+
+Status TpccWorkload::RunOne(DB* db, const bench::SeriesConfig& series,
+                            uint64_t worker, Random* rng) {
+  (void)worker;
+  return RunOp(db, series, NextOp(rng), rng);
+}
+
+Status TpccWorkload::CheckConsistency(DB* db) {
+  const TpccConfig& cfg = ctx_.config;
+  auto txn = db->Begin({IsolationLevel::kSnapshot});
+  for (uint32_t w = 1; w <= cfg.warehouses; ++w) {
+    // Spec consistency condition 1: W_YTD == sum(D_YTD) of the warehouse's
+    // districts (both fed by the same Payments, unless skip_ytd_updates).
+    int64_t w_ytd = 0;
+    {
+      std::string v;
+      Status st = txn->Get(tables_.warehouse, WarehouseKey(w), &v);
+      if (!st.ok()) return st;
+      WarehouseRow row;
+      if (!WarehouseRow::Decode(v, &row)) {
+        return Status::InvalidArgument("corrupt warehouse row");
+      }
+      w_ytd = row.ytd_cents - 30000000;  // Subtract the loaded seed value.
+    }
+    int64_t d_ytd_sum = 0;
+    for (uint32_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+      std::string v;
+      Status st = txn->Get(tables_.district, DistrictKey(w, d), &v);
+      if (!st.ok()) return st;
+      DistrictRow row;
+      if (!DistrictRow::Decode(v, &row)) {
+        return Status::InvalidArgument("corrupt district row");
+      }
+      d_ytd_sum += row.ytd_cents - 3000000;
+    }
+    if (w_ytd != d_ytd_sum) {
+      return Status::InvalidArgument("W_YTD != sum(D_YTD)");
+    }
+    for (uint32_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+      std::string v;
+      Status st = txn->Get(tables_.district, DistrictKey(w, d), &v);
+      if (!st.ok()) return st;
+      DistrictRow district;
+      if (!DistrictRow::Decode(v, &district)) {
+        return Status::InvalidArgument("corrupt district");
+      }
+      // Every order id below d_next_o_id must exist, exactly once.
+      uint32_t count = 0;
+      uint32_t max_o = 0;
+      st = txn->Scan(tables_.order, OrderKey(w, d, 0),
+                     OrderKey(w, d, UINT32_MAX),
+                     [&count, &max_o](Slice key, Slice) {
+                       ++count;
+                       max_o = OrderIdFromKey(key);
+                       return true;
+                     });
+      if (!st.ok()) return st;
+      if (count != district.next_o_id - 1 || max_o != district.next_o_id - 1) {
+        return Status::InvalidArgument(
+            "order table inconsistent with d_next_o_id");
+      }
+      // Undelivered orders must have new_order rows with carrier 0.
+      st = txn->Scan(
+          tables_.new_order, NewOrderKey(w, d, 0),
+          NewOrderKey(w, d, UINT32_MAX), [&](Slice key, Slice) {
+            const uint32_t o = OrderIdFromKey(key);
+            std::string ov;
+            Status gst = txn->Get(tables_.order, OrderKey(w, d, o), &ov);
+            OrderRow order;
+            if (!gst.ok() || !OrderRow::Decode(ov, &order) ||
+                order.carrier_id != 0) {
+              max_o = UINT32_MAX;  // Signal failure through the capture.
+              return false;
+            }
+            return true;
+          });
+      if (!st.ok()) return st;
+      if (max_o == UINT32_MAX) {
+        return Status::InvalidArgument("new_order row for delivered order");
+      }
+    }
+  }
+  return txn->Commit();
+}
+
+}  // namespace ssidb::workloads::tpcc

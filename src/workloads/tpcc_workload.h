@@ -1,0 +1,62 @@
+// TPC-C++ as a benchmark workload (§5.3.4 transaction mix, §5.3.5 Stock
+// Level mix): random input generation per the spec's distributions, driving
+// the programs of tpcc_txns.h.
+
+#ifndef SSIDB_WORKLOADS_TPCC_WORKLOAD_H_
+#define SSIDB_WORKLOADS_TPCC_WORKLOAD_H_
+
+#include <memory>
+
+#include "src/benchlib/driver.h"
+#include "src/workloads/tpcc_txns.h"
+
+namespace ssidb::workloads::tpcc {
+
+/// Program ids, exposed for tests and the mix accounting.
+enum class TpccOp {
+  kNewOrder,
+  kPayment,
+  kCreditCheck,
+  kDelivery,
+  kOrderStatus,
+  kStockLevel,
+};
+
+class TpccWorkload : public bench::Workload {
+ public:
+  /// Creates and loads the database (deterministic in `seed`).
+  static Status Setup(DB* db, const TpccConfig& config, uint64_t seed,
+                      std::unique_ptr<TpccWorkload>* workload);
+
+  Status RunOne(DB* db, const bench::SeriesConfig& series, uint64_t worker,
+                Random* rng) override;
+
+  /// Pick the next program per the configured mix (§5.3.4 / §5.3.5).
+  TpccOp NextOp(Random* rng) const;
+
+  /// Run one specific program with spec-random inputs.
+  Status RunOp(DB* db, const bench::SeriesConfig& series, TpccOp op,
+               Random* rng);
+
+  /// Consistency oracle (spec 3.3.2.1): for every district,
+  /// d_next_o_id - 1 == max order id == max order_customer id, and every
+  /// order below it exists. Returns kInvalidArgument on violation.
+  Status CheckConsistency(DB* db);
+
+  const TpccContext& context() const { return ctx_; }
+  const TpccConfig& config() const { return ctx_.config; }
+
+ private:
+  TpccWorkload() = default;
+
+  NewOrderInput RandomNewOrder(Random* rng) const;
+  PaymentInput RandomPayment(Random* rng) const;
+  CustomerSelector RandomCustomer(Random* rng) const;
+
+  TpccTables tables_;
+  TpccContext ctx_;
+};
+
+}  // namespace ssidb::workloads::tpcc
+
+#endif  // SSIDB_WORKLOADS_TPCC_WORKLOAD_H_

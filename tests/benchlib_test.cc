@@ -1,0 +1,130 @@
+// Tests for the benchmark library: abort classification, row formatting,
+// and the MPL worker-pool driver end-to-end on a trivial workload.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+
+#include "src/benchlib/driver.h"
+#include "src/benchlib/stats.h"
+#include "src/common/encoding.h"
+
+namespace ssidb::bench {
+namespace {
+
+TEST(RunResultTest, CountClassifiesByStatusCode) {
+  RunResult r;
+  r.Count(Status::OK());
+  r.Count(Status::OK());
+  r.Count(Status::Deadlock());
+  r.Count(Status::UpdateConflict());
+  r.Count(Status::Unsafe());
+  r.Count(Status::TimedOut());
+  r.Count(Status::NotFound());         // App-level.
+  r.Count(Status::InvalidArgument());  // App-level.
+  EXPECT_EQ(r.commits, 2u);
+  EXPECT_EQ(r.deadlocks, 1u);
+  EXPECT_EQ(r.update_conflicts, 1u);
+  EXPECT_EQ(r.unsafe, 1u);
+  EXPECT_EQ(r.timeouts, 1u);
+  EXPECT_EQ(r.app_rollbacks, 2u);
+  EXPECT_EQ(r.TotalAborts(), 4u);
+}
+
+TEST(RunResultTest, ThroughputAndErrorRates) {
+  RunResult r;
+  r.seconds = 2.0;
+  r.commits = 100;
+  r.unsafe = 5;
+  EXPECT_DOUBLE_EQ(r.Throughput(), 50.0);
+  EXPECT_DOUBLE_EQ(r.ErrorsPerCommit(), 0.05);
+  RunResult empty;
+  EXPECT_DOUBLE_EQ(empty.Throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.ErrorsPerCommit(), 0.0);
+}
+
+TEST(RunResultTest, RowFormattingIsStable) {
+  RunResult r;
+  r.seconds = 1.0;
+  r.commits = 10;
+  r.unsafe = 1;
+  const std::string row = ResultRow("figX", "SSI", 4, r);
+  EXPECT_EQ(row, "figX,SSI,4,10.0,0.0000,0.0000,0.1000,10");
+  EXPECT_NE(ResultHeader().find("commits_per_sec"), std::string::npos);
+}
+
+TEST(SeriesConfigTest, ReadOnlyIsolationOverride) {
+  SeriesConfig mixed{"SSI+SIRO", IsolationLevel::kSerializableSSI,
+                     IsolationLevel::kSnapshot};
+  EXPECT_EQ(mixed.For(false), IsolationLevel::kSerializableSSI);
+  EXPECT_EQ(mixed.For(true), IsolationLevel::kSnapshot);
+  SeriesConfig plain{"SSI", IsolationLevel::kSerializableSSI, std::nullopt};
+  EXPECT_EQ(plain.For(true), IsolationLevel::kSerializableSSI);
+}
+
+TEST(SeriesConfigTest, StandardSeriesCoversAllThreeModes) {
+  auto series = StandardSeries();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].name, "S2PL");
+  EXPECT_EQ(series[1].name, "SI");
+  EXPECT_EQ(series[2].name, "SSI");
+}
+
+/// A workload that counts its own invocations and sometimes "aborts".
+class CountingWorkload : public Workload {
+ public:
+  Status RunOne(DB* db, const SeriesConfig& series, uint64_t worker,
+                Random* rng) override {
+    (void)series;
+    (void)worker;
+    auto txn = db->Begin({series.For(false)});
+    Status st = txn->Put(table, EncodeU64Key(rng->Uniform(64)), "v");
+    if (st.ok()) st = txn->Commit();
+    if (!st.ok() && txn->active()) txn->Abort();
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+
+  TableId table = 0;
+  std::atomic<uint64_t> calls{0};
+};
+
+TEST(DriverTest, RunsWorkloadAcrossWorkersAndCounts) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open({}, &db).ok());
+  CountingWorkload workload;
+  ASSERT_TRUE(db->CreateTable("t", &workload.table).ok());
+  DriverConfig config;
+  config.mpl = 4;
+  config.warmup_seconds = 0.01;
+  config.measure_seconds = 0.05;
+  SeriesConfig series{"SSI", IsolationLevel::kSerializableSSI, std::nullopt};
+  RunResult r = RunWorkload(db.get(), &workload, series, config);
+  EXPECT_GT(r.commits, 0u);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GE(workload.calls.load(), r.commits);  // Warmup calls not counted.
+  EXPECT_EQ(db->GetStats().active_txns, 0u);    // Workers cleaned up.
+}
+
+TEST(DriverTest, EnvParsingHelpers) {
+  setenv("SSIDB_BENCH_SECONDS", "1.5", 1);
+  EXPECT_DOUBLE_EQ(EnvSeconds(0.3), 1.5);
+  unsetenv("SSIDB_BENCH_SECONDS");
+  EXPECT_DOUBLE_EQ(EnvSeconds(0.3), 0.3);
+
+  setenv("SSIDB_BENCH_MPLS", "1,4,16", 1);
+  EXPECT_EQ(EnvMpls({2}), (std::vector<int>{1, 4, 16}));
+  setenv("SSIDB_BENCH_MPLS", "garbage", 1);
+  EXPECT_EQ(EnvMpls({2}), (std::vector<int>{2}));
+  unsetenv("SSIDB_BENCH_MPLS");
+  EXPECT_EQ(EnvMpls({2}), (std::vector<int>{2}));
+
+  setenv("SSIDB_FLUSH_US", "250", 1);
+  EXPECT_EQ(EnvFlushUs(1000), 250u);
+  unsetenv("SSIDB_FLUSH_US");
+  EXPECT_EQ(EnvFlushUs(1000), 1000u);
+}
+
+}  // namespace
+}  // namespace ssidb::bench

@@ -1,0 +1,292 @@
+// Unit tests for src/common: Status, Slice, order-preserving encoding, and
+// the random distributions the workloads depend on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/encoding.h"
+#include "src/common/random.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace ssidb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_FALSE(s.IsAbort());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+}
+
+TEST(StatusTest, FactoryCodesRoundTrip) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::DuplicateKey().IsDuplicateKey());
+  EXPECT_TRUE(Status::Deadlock().IsDeadlock());
+  EXPECT_TRUE(Status::UpdateConflict().IsUpdateConflict());
+  EXPECT_TRUE(Status::Unsafe().IsUnsafe());
+  EXPECT_TRUE(Status::TxnInvalid().IsTxnInvalid());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::TimedOut().IsTimedOut());
+}
+
+TEST(StatusTest, AbortClassMatchesPaperErrorTaxonomy) {
+  // §6.1.1: deadlocks, FCW conflicts and unsafe errors abort and retry.
+  EXPECT_TRUE(Status::Deadlock().IsAbort());
+  EXPECT_TRUE(Status::UpdateConflict().IsAbort());
+  EXPECT_TRUE(Status::Unsafe().IsAbort());
+  EXPECT_TRUE(Status::TimedOut().IsAbort());
+  // Application-level outcomes do not.
+  EXPECT_FALSE(Status::NotFound().IsAbort());
+  EXPECT_FALSE(Status::DuplicateKey().IsAbort());
+  EXPECT_FALSE(Status::InvalidArgument().IsAbort());
+  EXPECT_FALSE(Status::OK().IsAbort());
+}
+
+TEST(StatusTest, ToStringContainsCodeAndMessage) {
+  const Status s = Status::Unsafe("pivot detected");
+  EXPECT_NE(s.ToString().find("unsafe"), std::string::npos);
+  EXPECT_NE(s.ToString().find("pivot detected"), std::string::npos);
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::Deadlock("a"), Status::Deadlock("b"));
+  EXPECT_FALSE(Status::Deadlock() == Status::Unsafe());
+}
+
+TEST(SliceTest, BasicAccessors) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s[1], 'e');
+  EXPECT_EQ(s.ToString(), "hello");
+  EXPECT_TRUE(Slice().empty());
+}
+
+TEST(SliceTest, ComparisonIsBytewiseWithLengthTiebreak) {
+  EXPECT_TRUE(Slice("a") < Slice("b"));
+  EXPECT_TRUE(Slice("a") < Slice("aa"));
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("x") == Slice(std::string("x")));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+}
+
+TEST(SliceTest, EmbeddedNulBytesCompare) {
+  const std::string a("a\0b", 3);
+  const std::string b("a\0c", 3);
+  EXPECT_TRUE(Slice(a) < Slice(b));
+  EXPECT_EQ(Slice(a).size(), 3u);
+}
+
+TEST(EncodingTest, Big32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 255u, 256u, 65535u, 1u << 31, UINT32_MAX}) {
+    std::string s;
+    PutBig32(&s, v);
+    ASSERT_EQ(s.size(), 4u);
+    size_t off = 0;
+    uint32_t out = 0;
+    ASSERT_TRUE(GetBig32(s, &off, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(off, 4u);
+  }
+}
+
+TEST(EncodingTest, Big64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 40,
+                     uint64_t{UINT64_MAX}}) {
+    std::string s;
+    PutBig64(&s, v);
+    size_t off = 0;
+    uint64_t out = 0;
+    ASSERT_TRUE(GetBig64(s, &off, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(EncodingTest, BigEndianPreservesOrder) {
+  // The property next-key locking depends on (§2.5.2): byte order of the
+  // encoded keys equals numeric order.
+  std::vector<uint64_t> values = {0, 1, 2, 255, 256, 1000, 1u << 20,
+                                  uint64_t{1} << 40, UINT64_MAX};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(EncodeU64Key(values[i]), EncodeU64Key(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(EncodingTest, DecodeU64KeyInvertsEncode) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{42}, UINT64_MAX}) {
+    EXPECT_EQ(DecodeU64Key(EncodeU64Key(v)), v);
+  }
+}
+
+TEST(EncodingTest, I64RoundTripIncludingNegatives) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{123456789},
+                    int64_t{-987654321}, INT64_MIN, INT64_MAX}) {
+    std::string s;
+    PutI64(&s, v);
+    size_t off = 0;
+    int64_t out = 0;
+    ASSERT_TRUE(GetI64(s, &off, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(EncodingTest, LengthPrefixedRoundTrip) {
+  std::string s;
+  PutLengthPrefixed(&s, "hello");
+  PutLengthPrefixed(&s, "");
+  PutLengthPrefixed(&s, std::string("a\0b", 3));
+  size_t off = 0;
+  std::string out;
+  ASSERT_TRUE(GetLengthPrefixed(s, &off, &out));
+  EXPECT_EQ(out, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(s, &off, &out));
+  EXPECT_EQ(out, "");
+  ASSERT_TRUE(GetLengthPrefixed(s, &off, &out));
+  EXPECT_EQ(out, std::string("a\0b", 3));
+  EXPECT_EQ(off, s.size());
+}
+
+TEST(EncodingTest, DecodersRejectTruncatedInput) {
+  std::string s;
+  PutBig32(&s, 7);
+  size_t off = 2;
+  uint32_t v32 = 0;
+  EXPECT_FALSE(GetBig32(s, &off, &v32));
+  uint64_t v64 = 0;
+  off = 0;
+  EXPECT_FALSE(GetBig64(s, &off, &v64));  // Only 4 bytes present.
+  std::string out;
+  off = 1;
+  EXPECT_FALSE(GetLengthPrefixed(s, &off, &out));
+}
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Random a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  Random a2(123);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, UniformRangeCoversEndpoints) {
+  Random rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformRange(1, 3));
+  EXPECT_EQ(seen, (std::set<int64_t>{1, 2, 3}));
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(RandomTest, NURandStaysInRangeAndIsNonUniform) {
+  Random rng(17);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t v = rng.NURand(255, 1, 1000);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    counts[v]++;
+  }
+  // NURand concentrates mass: the most popular value should be well above
+  // the uniform expectation of 30 hits.
+  int max_count = 0;
+  for (const auto& [v, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 60);
+}
+
+TEST(RandomTest, AlphaStringRespectsBoundsAndAlphabet) {
+  Random rng(19);
+  for (int i = 0; i < 200; ++i) {
+    const std::string s = rng.AlphaString(3, 9);
+    EXPECT_GE(s.size(), 3u);
+    EXPECT_LE(s.size(), 9u);
+    for (char c : s) EXPECT_TRUE(isalnum(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(RandomTest, ShuffleIsAPermutation) {
+  Random rng(23);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  EXPECT_NE(v, orig);  // Astronomically unlikely to be identity.
+}
+
+TEST(ZipfTest, StaysInRangeAndSkews) {
+  Random rng(29);
+  ZipfGenerator zipf(1000, 0.99);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t v = zipf.Next(&rng);
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Rank-0 should dominate the median element by a wide margin.
+  EXPECT_GT(counts[0], 30 * std::max(1, counts[500]));
+}
+
+/// Parameterized sweep: encoding order preservation holds for composite
+/// (hi, lo) keys the TPC-C schema uses.
+class CompositeKeyOrderTest
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(CompositeKeyOrderTest, LexOrderMatchesTupleOrder) {
+  const auto [w, d] = GetParam();
+  std::string base;
+  PutBig32(&base, w);
+  PutBig32(&base, d);
+  // Successor in the second component.
+  std::string next_d;
+  PutBig32(&next_d, w);
+  PutBig32(&next_d, d + 1);
+  EXPECT_LT(base, next_d);
+  // Successor in the first component dominates any second component.
+  std::string next_w;
+  PutBig32(&next_w, w + 1);
+  PutBig32(&next_w, 0);
+  EXPECT_LT(base, next_w);
+  EXPECT_LT(next_d, next_w);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompositeKeyOrderTest,
+    ::testing::Values(std::pair{0u, 0u}, std::pair{1u, 9u},
+                      std::pair{255u, 255u}, std::pair{65535u, 1u},
+                      std::pair{1u << 30, 1u << 30}));
+
+}  // namespace
+}  // namespace ssidb

@@ -1,0 +1,277 @@
+// Direct unit tests of the SSI conflict tracker (Ch. 3), below the DB
+// layer: flag/reference state transitions, the dangerous-structure
+// predicate in both representations, victim dispatch, and the overlap
+// filters of Figs 3.4/3.5.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/lock/lock_manager.h"
+#include "src/ssi/conflict_tracker.h"
+#include "src/txn/log_manager.h"
+#include "src/txn/txn_manager.h"
+
+namespace ssidb {
+namespace {
+
+class TrackerTest : public ::testing::Test {
+ protected:
+  void Init(ConflictTracking tracking,
+            VictimPolicy victim = VictimPolicy::kPivot,
+            bool abort_early = true) {
+    options_.conflict_tracking = tracking;
+    options_.victim_policy = victim;
+    options_.abort_early = abort_early;
+    log_ = std::make_unique<LogManager>(options_.log);
+    locks_ = std::make_unique<LockManager>(LockManager::Config{});
+    mgr_ = std::make_unique<TxnManager>(options_, locks_.get(), log_.get());
+    tracker_ = std::make_unique<ConflictTracker>(options_, mgr_.get());
+  }
+
+  std::shared_ptr<TxnState> BeginSSI() {
+    auto t = mgr_->Begin(IsolationLevel::kSerializableSSI);
+    mgr_->EnsureSnapshot(t.get());
+    return t;
+  }
+
+  Status Commit(const std::shared_ptr<TxnState>& t) {
+    return mgr_->Commit(
+        t, [this](TxnState* x) { return tracker_->CommitCheck(x); }, "");
+  }
+
+  /// Record the rw-antidependency reader -> writer via the lock-manager
+  /// detection point (writer saw the reader's SIREAD).
+  Status MarkRw(const std::shared_ptr<TxnState>& reader,
+                const std::shared_ptr<TxnState>& writer) {
+    return tracker_->OnWriterSawSIReadHolder(writer.get(), reader->id);
+  }
+
+  DBOptions options_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<TxnManager> mgr_;
+  std::unique_ptr<ConflictTracker> tracker_;
+};
+
+TEST_F(TrackerTest, FlagsSingleEdgeDoesNotAbort) {
+  Init(ConflictTracking::kFlags);
+  auto r = BeginSSI();
+  auto w = BeginSSI();
+  EXPECT_TRUE(MarkRw(r, w).ok());
+  EXPECT_TRUE(r->out_conflict_flag);
+  EXPECT_TRUE(w->in_conflict_flag);
+  EXPECT_TRUE(Commit(r).ok());
+  EXPECT_TRUE(Commit(w).ok());
+}
+
+TEST_F(TrackerTest, FlagsPivotAbortsAtCommit) {
+  Init(ConflictTracking::kFlags, VictimPolicy::kPivot,
+       /*abort_early=*/false);
+  auto in = BeginSSI();
+  auto pivot = BeginSSI();
+  auto out = BeginSSI();
+  EXPECT_TRUE(MarkRw(in, pivot).ok());   // in -> pivot.
+  EXPECT_TRUE(MarkRw(pivot, out).ok());  // pivot -> out.
+  EXPECT_TRUE(pivot->in_conflict_flag);
+  EXPECT_TRUE(pivot->out_conflict_flag);
+  Status st = Commit(pivot);
+  EXPECT_TRUE(st.IsUnsafe()) << st.ToString();
+  EXPECT_TRUE(Commit(in).ok());
+  EXPECT_TRUE(Commit(out).ok());
+  EXPECT_EQ(tracker_->unsafe_aborts(), 1u);
+}
+
+TEST_F(TrackerTest, AbortEarlyFiresAtTheMarkingOperation) {
+  Init(ConflictTracking::kFlags, VictimPolicy::kPivot, /*abort_early=*/true);
+  auto in = BeginSSI();
+  auto pivot = BeginSSI();
+  auto out = BeginSSI();
+  EXPECT_TRUE(MarkRw(in, pivot).ok());
+  // The second edge completes the structure; pivot is the victim, but the
+  // caller here is `out`'s thread... the call is made on behalf of the
+  // *writer* (out): victim=pivot is not the caller, so the call succeeds
+  // and the pivot is marked for asynchronous abort.
+  EXPECT_TRUE(MarkRw(pivot, out).ok());
+  EXPECT_TRUE(pivot->marked_for_abort.load());
+  Status st = Commit(pivot);
+  EXPECT_TRUE(st.IsUnsafe());
+}
+
+TEST_F(TrackerTest, VictimIsCallerWhenPivotCallsIn) {
+  Init(ConflictTracking::kFlags);
+  auto in = BeginSSI();
+  auto pivot = BeginSSI();
+  auto out = BeginSSI();
+  // First the out-edge, then the pivot itself (as reader) detects the
+  // in-edge: the pivot is the caller on the reader side of edge in->pivot?
+  // No: in->pivot has reader=in, writer=pivot. To make the pivot the
+  // caller we use the reader-side detection point for the pivot->out edge
+  // after in->pivot already exists.
+  EXPECT_TRUE(MarkRw(in, pivot).ok());
+  Status st = tracker_->OnReaderSawExclusiveHolder(pivot.get(), out->id);
+  EXPECT_TRUE(st.IsUnsafe());  // The pivot (caller) must abort itself.
+  EXPECT_FALSE(in->marked_for_abort.load());
+  EXPECT_FALSE(out->marked_for_abort.load());
+}
+
+TEST_F(TrackerTest, ReferencesOutPartnerNotCommittedIsSafe) {
+  Init(ConflictTracking::kReferences);
+  auto in = BeginSSI();
+  auto pivot = BeginSSI();
+  auto out = BeginSSI();
+  EXPECT_TRUE(MarkRw(in, pivot).ok());
+  EXPECT_TRUE(MarkRw(pivot, out).ok());
+  // §3.6: dangerous only if the out-partner committed first. It has not,
+  // so the pivot commits fine — and that commit precedes out's commit,
+  // making the structure permanently safe.
+  EXPECT_TRUE(Commit(pivot).ok());
+  EXPECT_TRUE(Commit(in).ok());
+  EXPECT_TRUE(Commit(out).ok());
+  EXPECT_EQ(tracker_->unsafe_aborts(), 0u);
+}
+
+TEST_F(TrackerTest, ReferencesOutCommittedFirstAborts) {
+  Init(ConflictTracking::kReferences);
+  auto in = BeginSSI();
+  auto pivot = BeginSSI();
+  auto out = BeginSSI();
+  EXPECT_TRUE(MarkRw(in, pivot).ok());
+  EXPECT_TRUE(MarkRw(pivot, out).ok());
+  EXPECT_TRUE(Commit(out).ok());  // Out commits first: now dangerous.
+  Status st = Commit(pivot);
+  EXPECT_TRUE(st.IsUnsafe()) << st.ToString();
+  EXPECT_TRUE(Commit(in).ok());
+}
+
+TEST_F(TrackerTest, ReferencesInCommittedBeforeOutIsSafe) {
+  // The Fig 3.8 order: in commits, then out, then the pivot. out did not
+  // commit before in, so there is no cycle and no abort.
+  Init(ConflictTracking::kReferences);
+  auto in = BeginSSI();
+  auto pivot = BeginSSI();
+  auto out = BeginSSI();
+  EXPECT_TRUE(MarkRw(in, pivot).ok());
+  EXPECT_TRUE(Commit(in).ok());
+  EXPECT_TRUE(MarkRw(pivot, out).ok());
+  EXPECT_TRUE(Commit(out).ok());
+  Status st = Commit(pivot);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(tracker_->unsafe_aborts(), 0u);
+}
+
+TEST_F(TrackerTest, ReferencesMultipleOutPartnersDegradeConservatively) {
+  // Two distinct out-partners collapse the reference to kSelf, which the
+  // danger test treats as "may have committed first".
+  Init(ConflictTracking::kReferences, VictimPolicy::kPivot,
+       /*abort_early=*/false);
+  auto in = BeginSSI();
+  auto pivot = BeginSSI();
+  auto out1 = BeginSSI();
+  auto out2 = BeginSSI();
+  EXPECT_TRUE(MarkRw(pivot, out1).ok());
+  EXPECT_TRUE(MarkRw(pivot, out2).ok());
+  EXPECT_TRUE(MarkRw(in, pivot).ok());
+  EXPECT_EQ(pivot->out_ref.kind, ConflictRef::Kind::kSelf);
+  Status st = Commit(pivot);
+  EXPECT_TRUE(st.IsUnsafe()) << st.ToString();
+  EXPECT_TRUE(Commit(in).ok());
+  EXPECT_TRUE(Commit(out1).ok());
+  EXPECT_TRUE(Commit(out2).ok());
+}
+
+TEST_F(TrackerTest, AbortedPartnerEdgeVanishes) {
+  Init(ConflictTracking::kReferences);
+  auto in = BeginSSI();
+  auto pivot = BeginSSI();
+  auto out = BeginSSI();
+  EXPECT_TRUE(MarkRw(in, pivot).ok());
+  EXPECT_TRUE(MarkRw(pivot, out).ok());
+  mgr_->Abort(out);  // The out-edge's partner disappears from the MVSG.
+  EXPECT_TRUE(Commit(pivot).ok());
+  EXPECT_TRUE(Commit(in).ok());
+}
+
+TEST_F(TrackerTest, NonParticipantsIgnored) {
+  // SI and S2PL transactions are transparent to the tracker (§3.8).
+  Init(ConflictTracking::kReferences);
+  auto si = mgr_->Begin(IsolationLevel::kSnapshot);
+  mgr_->EnsureSnapshot(si.get());
+  auto ssi = BeginSSI();
+  EXPECT_TRUE(
+      tracker_->OnWriterSawSIReadHolder(ssi.get(), si->id).ok());
+  EXPECT_FALSE(ssi->in_ref.IsSet());
+  EXPECT_TRUE(tracker_->MarkReadOfNewerVersion(si.get(), ssi->id, 1).ok());
+  EXPECT_FALSE(si->out_ref.IsSet());
+  mgr_->Abort(si);
+  mgr_->Abort(ssi);
+}
+
+TEST_F(TrackerTest, Fig35OverlapFilterSkipsNonOverlappingReader) {
+  // Fig 3.5: "where rl.owner has not committed or commit(rl.owner) >
+  // begin(T)". A reader that committed before the writer's snapshot does
+  // not overlap: no conflict is recorded.
+  Init(ConflictTracking::kReferences);
+  auto reader = BeginSSI();
+  locks_->Acquire(reader->id, LockKey{1, LockKind::kRow, "k"},
+                  LockMode::kSIRead);
+  ASSERT_TRUE(Commit(reader).ok());  // Suspended, SIREAD retained.
+
+  auto writer = BeginSSI();  // Snapshot after the reader's commit.
+  EXPECT_TRUE(MarkRw(reader, writer).ok());
+  EXPECT_FALSE(writer->in_ref.IsSet());
+  mgr_->Abort(writer);
+}
+
+TEST_F(TrackerTest, CommittedSuspendedReaderStillConflictsWhenOverlapping) {
+  Init(ConflictTracking::kReferences);
+  auto keeper = BeginSSI();  // Makes the reader overlap something.
+  auto reader = BeginSSI();
+  locks_->Acquire(reader->id, LockKey{1, LockKind::kRow, "k"},
+                  LockMode::kSIRead);
+
+  auto writer = BeginSSI();  // Overlaps the reader (begins before commit).
+  ASSERT_TRUE(Commit(reader).ok());
+  EXPECT_TRUE(MarkRw(reader, writer).ok());
+  EXPECT_TRUE(writer->in_ref.IsSet());  // Conflict recorded.
+  mgr_->Abort(writer);
+  mgr_->Abort(keeper);
+}
+
+TEST_F(TrackerTest, YoungestPolicySparesThePivot) {
+  Init(ConflictTracking::kFlags, VictimPolicy::kYoungest);
+  auto pivot = BeginSSI();  // Older (smaller id).
+  auto in = BeginSSI();
+  auto out = BeginSSI();  // Youngest.
+  EXPECT_TRUE(MarkRw(in, pivot).ok());
+  // Completing edge, caller = out (writer side): victim should be the
+  // younger endpoint of this edge — out itself — so the call returns
+  // unsafe to the caller and the pivot survives.
+  Status st = MarkRw(pivot, out);
+  EXPECT_TRUE(st.IsUnsafe());
+  EXPECT_FALSE(pivot->marked_for_abort.load());
+  EXPECT_TRUE(Commit(pivot).ok());
+  EXPECT_TRUE(Commit(in).ok());
+}
+
+TEST_F(TrackerTest, SelfConflictIgnored) {
+  Init(ConflictTracking::kReferences);
+  auto t = BeginSSI();
+  EXPECT_TRUE(MarkRw(t, t).ok());
+  EXPECT_FALSE(t->in_ref.IsSet());
+  EXPECT_FALSE(t->out_ref.IsSet());
+  EXPECT_TRUE(Commit(t).ok());
+}
+
+TEST_F(TrackerTest, UnknownPartnerIdIgnored) {
+  // The creator of an old version may be long gone (cleaned up): marking
+  // against it is a no-op (§3.4: a departed pure update cannot pivot).
+  Init(ConflictTracking::kReferences);
+  auto t = BeginSSI();
+  EXPECT_TRUE(tracker_->MarkReadOfNewerVersion(t.get(), 999999, 5).ok());
+  EXPECT_FALSE(t->out_ref.IsSet());
+  mgr_->Abort(t);
+}
+
+}  // namespace
+}  // namespace ssidb

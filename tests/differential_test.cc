@@ -1,0 +1,194 @@
+// Differential properties across isolation levels.
+//
+// 1. Serial equivalence: a single-threaded stream of transactions is a
+//    serial execution, so ALL isolation levels must produce bit-identical
+//    final states — any divergence is an engine bug, not a concurrency
+//    anomaly. Random programs across seeds make this a cheap, wide oracle.
+// 2. Retry progress: the paper argues (§3) that SSI's unsafe aborts do not
+//    livelock — a retried transaction re-reads fresh snapshots and the
+//    conflict pattern dissolves. Concurrent workloads with retry loops
+//    must complete a fixed amount of work.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/encoding.h"
+#include "src/common/random.h"
+#include "src/db/db.h"
+
+namespace ssidb {
+namespace {
+
+/// One deterministic pseudo-random transaction program: a few reads,
+/// writes, deletes and scans derived from `seed`.
+void RunProgram(DB* db, TableId table, IsolationLevel iso, uint64_t seed) {
+  Random rng(seed);
+  auto txn = db->Begin({iso});
+  const int ops = 1 + static_cast<int>(rng.Uniform(6));
+  bool ok = true;
+  for (int i = 0; i < ops && ok; ++i) {
+    const uint64_t k = rng.Uniform(16);
+    switch (rng.Uniform(5)) {
+      case 0: {
+        std::string v;
+        Status s = txn->Get(table, EncodeU64Key(k), &v);
+        ok = s.ok() || s.IsNotFound();
+        break;
+      }
+      case 1:
+        ok = txn->Put(table, EncodeU64Key(k),
+                      "v" + std::to_string(rng.Uniform(100)))
+                 .ok();
+        break;
+      case 2: {
+        Status s = txn->Insert(table, EncodeU64Key(k),
+                               "i" + std::to_string(rng.Uniform(100)));
+        ok = s.ok() || s.IsDuplicateKey();
+        break;
+      }
+      case 3: {
+        Status s = txn->Delete(table, EncodeU64Key(k));
+        ok = s.ok() || s.IsNotFound();
+        break;
+      }
+      case 4: {
+        ok = txn->Scan(table, EncodeU64Key(0), EncodeU64Key(15),
+                       [](Slice, Slice) { return true; })
+                 .ok();
+        break;
+      }
+    }
+  }
+  if (ok && rng.Bernoulli(0.9)) {
+    EXPECT_TRUE(txn->Commit().ok());
+  } else if (txn->active()) {
+    txn->Abort();
+  }
+}
+
+std::map<std::string, std::string> Dump(DB* db, TableId table) {
+  std::map<std::string, std::string> out;
+  auto txn = db->Begin({IsolationLevel::kSnapshot});
+  EXPECT_TRUE(txn->Scan(table, EncodeU64Key(0), EncodeU64Key(UINT64_MAX),
+                        [&out](Slice k, Slice v) {
+                          out[k.ToString()] = v.ToString();
+                          return true;
+                        })
+                  .ok());
+  txn->Commit();
+  return out;
+}
+
+class SerialEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerialEquivalenceTest, AllIsolationLevelsAgreeOnSerialStreams) {
+  const uint64_t seed = GetParam();
+  std::map<std::string, std::string> reference;
+  bool first = true;
+  for (IsolationLevel iso :
+       {IsolationLevel::kSnapshot, IsolationLevel::kSerializableSSI,
+        IsolationLevel::kSerializable2PL}) {
+    for (LockGranularity granularity :
+         {LockGranularity::kRow, LockGranularity::kPage}) {
+      DBOptions opts;
+      opts.granularity = granularity;
+      std::unique_ptr<DB> db;
+      ASSERT_TRUE(DB::Open(opts, &db).ok());
+      TableId table = 0;
+      ASSERT_TRUE(db->CreateTable("t", &table).ok());
+      for (int p = 0; p < 60; ++p) {
+        RunProgram(db.get(), table, iso, seed * 1000 + p);
+      }
+      auto state = Dump(db.get(), table);
+      if (first) {
+        reference = state;
+        first = false;
+      } else {
+        EXPECT_EQ(state, reference)
+            << "divergent final state (iso=" << static_cast<int>(iso)
+            << ", granularity=" << static_cast<int>(granularity) << ")";
+      }
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+class RetryProgressTest : public ::testing::TestWithParam<IsolationLevel> {};
+
+TEST_P(RetryProgressTest, ContendedWorkloadFinishesWithRetries) {
+  // Every worker must complete its quota of write-skew-shaped transactions
+  // by retrying engine aborts — no livelock, no starvation (§3's argument
+  // that retried transactions do not repeat their conflict pattern).
+  DBOptions opts;
+  opts.lock_timeout_ms = 5000;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+  TableId table = 0;
+  ASSERT_TRUE(db->CreateTable("t", &table).ok());
+  {
+    auto seed = db->Begin({IsolationLevel::kSnapshot});
+    for (uint64_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(seed->Insert(table, EncodeU64Key(i), "0").ok());
+    }
+    ASSERT_TRUE(seed->Commit().ok());
+  }
+  constexpr int kThreads = 4;
+  constexpr int kQuota = 40;
+  constexpr int kMaxAttempts = 200 * kQuota;
+  std::vector<std::thread> threads;
+  std::atomic<bool> livelock{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(7 + t);
+      int done = 0;
+      int attempts = 0;
+      while (done < kQuota && attempts < kMaxAttempts) {
+        ++attempts;
+        const uint64_t a = rng.Uniform(4);
+        const uint64_t b = (a + 1 + rng.Uniform(2)) % 4;
+        auto txn = db->Begin({GetParam()});
+        std::string v;
+        Status s = txn->Get(table, EncodeU64Key(a), &v);
+        if (s.ok()) s = txn->Get(table, EncodeU64Key(b), &v);
+        if (s.ok()) {
+          s = txn->Put(table, EncodeU64Key(rng.Bernoulli(0.5) ? a : b),
+                       std::to_string(done));
+        }
+        if (s.ok()) s = txn->Commit();
+        if (s.ok()) {
+          ++done;
+        } else if (txn->active()) {
+          txn->Abort();
+        }
+      }
+      if (done < kQuota) livelock.store(true);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(livelock.load()) << "a worker failed to make progress";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsolationLevels, RetryProgressTest,
+    ::testing::Values(IsolationLevel::kSnapshot,
+                      IsolationLevel::kSerializableSSI,
+                      IsolationLevel::kSerializable2PL),
+    [](const ::testing::TestParamInfo<IsolationLevel>& info) {
+      switch (info.param) {
+        case IsolationLevel::kSnapshot: return "SI";
+        case IsolationLevel::kSerializableSSI: return "SSI";
+        case IsolationLevel::kSerializable2PL: return "S2PL";
+      }
+      return "unknown";
+    });
+
+}  // namespace
+}  // namespace ssidb

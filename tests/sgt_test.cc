@@ -1,0 +1,297 @@
+// Tests for the serialization-graph oracle (src/sgt): history recording,
+// MVSG edge derivation (ww / wr / rw, vulnerability), cycle detection and
+// dangerous-structure identification (§2.5.1, Figs 2.1/2.2).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sgt/history.h"
+#include "src/sgt/mvsg.h"
+
+namespace ssidb::sgt {
+namespace {
+
+/// Builder for hand-crafted histories.
+class HistoryBuilder {
+ public:
+  HistoryBuilder& Begin(TxnId t, Timestamp snap) {
+    rec_.Begin(t, snap);
+    return *this;
+  }
+  HistoryBuilder& Read(TxnId t, const std::string& k, Timestamp version_cts) {
+    rec_.Read(t, 1, k, version_cts, false);
+    return *this;
+  }
+  HistoryBuilder& Write(TxnId t, const std::string& k) {
+    rec_.Write(t, 1, k, false);
+    return *this;
+  }
+  HistoryBuilder& Scan(TxnId t, const std::string& lo, const std::string& hi,
+                       Timestamp snap) {
+    rec_.Scan(t, 1, lo, hi, snap);
+    return *this;
+  }
+  HistoryBuilder& Commit(TxnId t, Timestamp cts) {
+    rec_.Commit(t, cts);
+    return *this;
+  }
+  HistoryBuilder& Abort(TxnId t) {
+    rec_.Abort(t);
+    return *this;
+  }
+  MVSGResult Analyze() { return AnalyzeHistory(rec_.Snapshot()); }
+
+ private:
+  HistoryRecorder rec_;
+};
+
+bool HasEdge(const MVSGResult& r, TxnId from, TxnId to, EdgeType type) {
+  for (const Edge& e : r.edges) {
+    if (e.from == from && e.to == to && e.type == type) return true;
+  }
+  return false;
+}
+
+TEST(HistoryRecorderTest, RecordsInCompletionOrder) {
+  HistoryRecorder rec;
+  rec.Begin(1, 10);
+  rec.Read(1, 1, "x", 5, false);
+  rec.Commit(1, 20);
+  auto ops = rec.Snapshot();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_LT(ops[0].seq, ops[1].seq);
+  EXPECT_LT(ops[1].seq, ops[2].seq);
+  EXPECT_EQ(ops[0].type, OpType::kBegin);
+  EXPECT_EQ(ops[2].type, OpType::kCommit);
+  EXPECT_EQ(rec.size(), 3u);
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(MVSGTest, EmptyHistoryIsSerializable) {
+  HistoryBuilder h;
+  auto r = h.Analyze();
+  EXPECT_TRUE(r.serializable);
+  EXPECT_EQ(r.committed_txns, 0u);
+}
+
+TEST(MVSGTest, SingleTransactionIsSerializable) {
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10).Write(1, "x").Commit(1, 20).Analyze();
+  EXPECT_TRUE(r.serializable);
+  EXPECT_EQ(r.committed_txns, 1u);
+  EXPECT_TRUE(r.edges.empty());
+}
+
+TEST(MVSGTest, AbortedTransactionsAreExcluded) {
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10)
+               .Write(1, "x")
+               .Abort(1)
+               .Begin(2, 11)
+               .Write(2, "x")
+               .Commit(2, 20)
+               .Analyze();
+  EXPECT_TRUE(r.serializable);
+  EXPECT_EQ(r.committed_txns, 1u);
+  EXPECT_TRUE(r.edges.empty());
+}
+
+TEST(MVSGTest, WwEdgeFollowsCommitOrder) {
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10)
+               .Write(1, "x")
+               .Commit(1, 20)
+               .Begin(2, 25)
+               .Write(2, "x")
+               .Commit(2, 30)
+               .Analyze();
+  EXPECT_TRUE(r.serializable);
+  EXPECT_TRUE(HasEdge(r, 1, 2, EdgeType::kWW));
+  EXPECT_FALSE(HasEdge(r, 2, 1, EdgeType::kWW));
+}
+
+TEST(MVSGTest, WrEdgeFromVersionCreatorToReader) {
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10)
+               .Write(1, "x")
+               .Commit(1, 20)
+               .Begin(2, 25)
+               .Read(2, "x", 20)  // Reads T1's version.
+               .Commit(2, 30)
+               .Analyze();
+  EXPECT_TRUE(r.serializable);
+  EXPECT_TRUE(HasEdge(r, 1, 2, EdgeType::kWR));
+}
+
+TEST(MVSGTest, RwEdgeFromReaderOfOlderVersion) {
+  // T1 reads version 5 of x; T2 later creates version 30: rw T1 -> T2.
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10)
+               .Read(1, "x", 5)
+               .Commit(1, 40)
+               .Begin(2, 20)
+               .Write(2, "x")
+               .Commit(2, 30)
+               .Analyze();
+  EXPECT_TRUE(r.serializable);
+  bool found = false;
+  for (const Edge& e : r.edges) {
+    if (e.from == 1 && e.to == 2 && e.type == EdgeType::kRW) {
+      found = true;
+      // Lifetimes [10,40] and [20,30] overlap: vulnerable.
+      EXPECT_TRUE(e.vulnerable);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MVSGTest, RwEdgeNotVulnerableWithoutOverlap) {
+  // T1 commits at 15, T2 begins at 20: rw edge exists but not vulnerable.
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10)
+               .Read(1, "x", 5)
+               .Commit(1, 15)
+               .Begin(2, 20)
+               .Write(2, "x")
+               .Commit(2, 30)
+               .Analyze();
+  for (const Edge& e : r.edges) {
+    if (e.from == 1 && e.to == 2 && e.type == EdgeType::kRW) {
+      EXPECT_FALSE(e.vulnerable);
+    }
+  }
+}
+
+TEST(MVSGTest, WriteSkewCycleDetected) {
+  // Fig 2.1: T1 reads y writes x, T2 reads x writes y, concurrent.
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10)
+               .Read(1, "y", 5)
+               .Write(1, "x")
+               .Begin(2, 10)
+               .Read(2, "x", 5)
+               .Write(2, "y")
+               .Commit(1, 20)
+               .Commit(2, 21)
+               .Analyze();
+  EXPECT_FALSE(r.serializable);
+  ASSERT_FALSE(r.cycle.empty());
+  // Both transactions are pivots here (Tin == Tout case of Theorem 2).
+  EXPECT_FALSE(r.dangerous_structures.empty());
+}
+
+TEST(MVSGTest, ReadOnlyAnomalyCycleDetected) {
+  // Example 3 runtime shape (Fig 2.3(a)):
+  //   Tout (id 2) writes y,z commits at 20.
+  //   Tin (id 3) begins at 25, reads x (old, version 0) and z (version 20).
+  //   Tpivot (id 1) began at 10, read y (version 0), writes x, commits 30.
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10)
+               .Read(1, "y", 0)
+               .Begin(2, 10)
+               .Write(2, "y")
+               .Write(2, "z")
+               .Commit(2, 20)
+               .Begin(3, 25)
+               .Read(3, "x", 0)
+               .Read(3, "z", 20)
+               .Commit(3, 26)
+               .Write(1, "x")
+               .Commit(1, 30)
+               .Analyze();
+  EXPECT_FALSE(r.serializable);
+  // The cycle: pivot -rw-> out -wr-> in -rw-> pivot.
+  EXPECT_FALSE(r.dangerous_structures.empty());
+  bool pivot_found = false;
+  for (const auto& d : r.dangerous_structures) {
+    if (d.pivot == 1) pivot_found = true;
+  }
+  EXPECT_TRUE(pivot_found);
+}
+
+TEST(MVSGTest, SerialHistoryHasNoVulnerableEdges) {
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10)
+               .Read(1, "x", 0)
+               .Write(1, "y")
+               .Commit(1, 15)
+               .Begin(2, 20)
+               .Read(2, "y", 15)
+               .Write(2, "x")
+               .Commit(2, 25)
+               .Analyze();
+  EXPECT_TRUE(r.serializable);
+  for (const Edge& e : r.edges) EXPECT_FALSE(e.vulnerable);
+  EXPECT_TRUE(r.dangerous_structures.empty());
+}
+
+TEST(MVSGTest, PredicateRwEdgeFromScan) {
+  // T1 scans [a, c] at snapshot 10; T2 writes "b" committing at 20 > 10:
+  // a predicate rw edge T1 -> T2 (the phantom case, §2.5.2).
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10)
+               .Scan(1, "a", "c", 10)
+               .Commit(1, 30)
+               .Begin(2, 15)
+               .Write(2, "b")
+               .Commit(2, 20)
+               .Analyze();
+  EXPECT_TRUE(HasEdge(r, 1, 2, EdgeType::kRW));
+}
+
+TEST(MVSGTest, ScanOutsideRangeNoEdge) {
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10)
+               .Scan(1, "a", "c", 10)
+               .Commit(1, 30)
+               .Begin(2, 15)
+               .Write(2, "z")  // Outside [a, c].
+               .Commit(2, 20)
+               .Analyze();
+  EXPECT_FALSE(HasEdge(r, 1, 2, EdgeType::kRW));
+}
+
+TEST(MVSGTest, PhantomWriteSkewCycleDetected) {
+  // Two scanners, each inserting into the other's range.
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10)
+               .Scan(1, "b", "bz", 10)
+               .Write(1, "a2")
+               .Begin(2, 10)
+               .Scan(2, "a", "az", 10)
+               .Write(2, "b2")
+               .Commit(1, 20)
+               .Commit(2, 21)
+               .Analyze();
+  EXPECT_FALSE(r.serializable);
+}
+
+TEST(MVSGTest, ThreeTxnChainNoCycle) {
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10)
+               .Write(1, "a")
+               .Commit(1, 11)
+               .Begin(2, 12)
+               .Read(2, "a", 11)
+               .Write(2, "b")
+               .Commit(2, 13)
+               .Begin(3, 14)
+               .Read(3, "b", 13)
+               .Commit(3, 15)
+               .Analyze();
+  EXPECT_TRUE(r.serializable);
+  EXPECT_EQ(r.committed_txns, 3u);
+  EXPECT_TRUE(HasEdge(r, 1, 2, EdgeType::kWR));
+  EXPECT_TRUE(HasEdge(r, 2, 3, EdgeType::kWR));
+}
+
+TEST(MVSGTest, DescribeResultMentionsOutcome) {
+  HistoryBuilder h;
+  auto r = h.Begin(1, 10).Write(1, "x").Commit(1, 20).Analyze();
+  EXPECT_NE(DescribeResult(r).find("serializable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssidb::sgt

@@ -1,0 +1,221 @@
+// Direct unit tests for the transaction manager: lifecycle, timestamps,
+// snapshot allocation (§4.5), suspension and eager cleanup (§3.3/§4.6.1),
+// and the page-level first-committer-wins bookkeeping (§4.2).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/lock/lock_manager.h"
+#include "src/txn/log_manager.h"
+#include "src/txn/txn_manager.h"
+
+namespace ssidb {
+namespace {
+
+class TxnManagerTest : public ::testing::Test {
+ protected:
+  explicit TxnManagerTest(DBOptions opts = {})
+      : options_(opts),
+        log_(options_.log),
+        locks_(LockManager::Config{}),
+        mgr_(options_, &locks_, &log_) {}
+
+  Status CommitNoCheck(const std::shared_ptr<TxnState>& txn) {
+    return mgr_.Commit(txn, nullptr, "");
+  }
+
+  DBOptions options_;
+  LogManager log_;
+  LockManager locks_;
+  TxnManager mgr_;
+};
+
+TEST_F(TxnManagerTest, BeginAssignsUniqueIds) {
+  auto t1 = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  auto t2 = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  EXPECT_NE(t1->id, t2->id);
+  EXPECT_EQ(mgr_.active_count(), 2u);
+  mgr_.Abort(t1);
+  mgr_.Abort(t2);
+  EXPECT_EQ(mgr_.active_count(), 0u);
+}
+
+TEST_F(TxnManagerTest, LateSnapshotStartsUnassigned) {
+  // §4.5: SI/SSI transactions defer their snapshot to the first statement.
+  auto t = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  EXPECT_EQ(t->read_ts.load(), 0u);
+  mgr_.EnsureSnapshot(t.get());
+  EXPECT_GT(t->read_ts.load(), 0u);
+  const Timestamp first = t->read_ts.load();
+  mgr_.EnsureSnapshot(t.get());  // Idempotent.
+  EXPECT_EQ(t->read_ts.load(), first);
+  mgr_.Abort(t);
+}
+
+TEST_F(TxnManagerTest, S2PLGetsSnapshotImmediately) {
+  auto t = mgr_.Begin(IsolationLevel::kSerializable2PL);
+  EXPECT_GT(t->read_ts.load(), 0u);
+  mgr_.Abort(t);
+}
+
+TEST_F(TxnManagerTest, CommitAssignsMonotonicTimestamps) {
+  auto t1 = mgr_.Begin(IsolationLevel::kSnapshot);
+  mgr_.EnsureSnapshot(t1.get());
+  ASSERT_TRUE(CommitNoCheck(t1).ok());
+  auto t2 = mgr_.Begin(IsolationLevel::kSnapshot);
+  mgr_.EnsureSnapshot(t2.get());
+  ASSERT_TRUE(CommitNoCheck(t2).ok());
+  EXPECT_GT(t1->commit_ts.load(), 0u);
+  EXPECT_GT(t2->commit_ts.load(), t1->commit_ts.load());
+  EXPECT_TRUE(t1->IsCommitted());
+}
+
+TEST_F(TxnManagerTest, CommitCheckFailureAborts) {
+  auto t = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(t.get());
+  Status st = mgr_.Commit(
+      t, [](TxnState*) { return Status::Unsafe("nope"); }, "");
+  EXPECT_TRUE(st.IsUnsafe());
+  EXPECT_EQ(t->status.load(), TxnStatus::kAborted);
+  EXPECT_EQ(mgr_.active_count(), 0u);
+}
+
+TEST_F(TxnManagerTest, MarkedForAbortHonouredAtCommit) {
+  auto t = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(t.get());
+  t->marked_for_abort.store(true);
+  t->abort_reason = Status::Unsafe("victim");
+  Status st = CommitNoCheck(t);
+  EXPECT_TRUE(st.IsUnsafe());
+  EXPECT_EQ(t->status.load(), TxnStatus::kAborted);
+}
+
+TEST_F(TxnManagerTest, DoubleCommitRejected) {
+  auto t = mgr_.Begin(IsolationLevel::kSnapshot);
+  mgr_.EnsureSnapshot(t.get());
+  ASSERT_TRUE(CommitNoCheck(t).ok());
+  EXPECT_TRUE(CommitNoCheck(t).IsTxnInvalid());
+}
+
+TEST_F(TxnManagerTest, AbortIsIdempotent) {
+  auto t = mgr_.Begin(IsolationLevel::kSnapshot);
+  mgr_.Abort(t);
+  mgr_.Abort(t);  // No crash, no double-release.
+  EXPECT_EQ(t->status.load(), TxnStatus::kAborted);
+}
+
+TEST_F(TxnManagerTest, SSICommitWithSIReadLocksSuspends) {
+  // Fig 3.2 line 11: a committing SSI transaction holding SIREAD locks is
+  // retained; without any overlapping transaction it is cleaned up by the
+  // next commit's sweep.
+  auto overlap = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(overlap.get());
+
+  auto t = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(t.get());
+  locks_.Acquire(t->id, LockKey{1, LockKind::kRow, "k"}, LockMode::kSIRead);
+  ASSERT_TRUE(CommitNoCheck(t).ok());
+  EXPECT_EQ(mgr_.suspended_count(), 1u);
+  EXPECT_TRUE(locks_.HoldsAnySIRead(t->id));  // Locks retained.
+
+  // FindLocked still resolves the suspended transaction (needed for
+  // conflict marking against committed partners).
+  {
+    std::lock_guard<std::mutex> guard(mgr_.system_mutex());
+    EXPECT_NE(mgr_.FindLocked(t->id), nullptr);
+  }
+
+  // Once the overlapping transaction finishes, the sweep releases it.
+  ASSERT_TRUE(CommitNoCheck(overlap).ok());
+  EXPECT_EQ(mgr_.suspended_count(), 0u);
+  EXPECT_FALSE(locks_.HoldsAnySIRead(t->id));
+  {
+    std::lock_guard<std::mutex> guard(mgr_.system_mutex());
+    EXPECT_EQ(mgr_.FindLocked(t->id), nullptr);
+  }
+}
+
+TEST_F(TxnManagerTest, CommitWithoutSIReadLocksDoesNotLingerForConflicts) {
+  // A pure writer (SIREAD upgraded away) has no vulnerable reads; §3.4
+  // argues it cannot be a pivot, so nothing requires long retention. We
+  // only check its locks are fully released at commit.
+  auto t = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(t.get());
+  locks_.Acquire(t->id, LockKey{1, LockKind::kRow, "k"},
+                 LockMode::kExclusive);
+  ASSERT_TRUE(CommitNoCheck(t).ok());
+  EXPECT_EQ(locks_.GrantCount(), 0u);
+}
+
+TEST_F(TxnManagerTest, MinActiveReadTsTracksOldestSnapshot) {
+  const Timestamp idle = mgr_.min_active_read_ts();
+  auto t1 = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(t1.get());
+  const Timestamp t1_snap = t1->read_ts.load();
+  EXPECT_GE(idle, 1u);
+  EXPECT_LE(mgr_.min_active_read_ts(), t1_snap);
+
+  auto t2 = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(t2.get());
+  EXPECT_LE(mgr_.min_active_read_ts(), t1_snap);  // Oldest still t1.
+  mgr_.Abort(t1);
+  EXPECT_GE(mgr_.min_active_read_ts(), t1_snap);  // Advanced past t1.
+  mgr_.Abort(t2);
+}
+
+TEST_F(TxnManagerTest, PageWriteBookkeeping) {
+  const LockKey page{1, LockKind::kPage, "p0"};
+  EXPECT_EQ(mgr_.PageLastWriteTs(page), 0u);
+
+  auto t = mgr_.Begin(IsolationLevel::kSnapshot);
+  mgr_.EnsureSnapshot(t.get());
+  t->page_writes.push_back(page);
+  ASSERT_TRUE(CommitNoCheck(t).ok());
+
+  Timestamp ts = 0;
+  TxnId writer = 0;
+  ASSERT_TRUE(mgr_.PageLastWrite(page, &ts, &writer));
+  EXPECT_EQ(ts, t->commit_ts.load());
+  EXPECT_EQ(writer, t->id);
+
+  // A later writer supersedes the slot.
+  auto t2 = mgr_.Begin(IsolationLevel::kSnapshot);
+  mgr_.EnsureSnapshot(t2.get());
+  t2->page_writes.push_back(page);
+  ASSERT_TRUE(CommitNoCheck(t2).ok());
+  ASSERT_TRUE(mgr_.PageLastWrite(page, &ts, &writer));
+  EXPECT_EQ(writer, t2->id);
+}
+
+TEST_F(TxnManagerTest, AbortedPageWritesLeaveNoTrace) {
+  const LockKey page{1, LockKind::kPage, "p1"};
+  auto t = mgr_.Begin(IsolationLevel::kSnapshot);
+  mgr_.EnsureSnapshot(t.get());
+  t->page_writes.push_back(page);
+  mgr_.Abort(t);
+  EXPECT_EQ(mgr_.PageLastWriteTs(page), 0u);
+}
+
+TEST_F(TxnManagerTest, SuspendedChainCleanupInCommitOrder) {
+  // Three overlapping SSI readers commit in order while a fourth keeps
+  // them all alive; ending the fourth releases all three at once.
+  auto keeper = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(keeper.get());
+  std::vector<std::shared_ptr<TxnState>> readers;
+  for (int i = 0; i < 3; ++i) {
+    auto r = mgr_.Begin(IsolationLevel::kSerializableSSI);
+    mgr_.EnsureSnapshot(r.get());
+    locks_.Acquire(r->id, LockKey{1, LockKind::kRow, std::to_string(i)},
+                   LockMode::kSIRead);
+    readers.push_back(r);
+  }
+  for (auto& r : readers) ASSERT_TRUE(CommitNoCheck(r).ok());
+  EXPECT_EQ(mgr_.suspended_count(), 3u);
+  mgr_.Abort(keeper);  // Abort also sweeps.
+  EXPECT_EQ(mgr_.suspended_count(), 0u);
+  EXPECT_EQ(locks_.GrantCount(), 0u);
+}
+
+}  // namespace
+}  // namespace ssidb
