@@ -1,491 +1,55 @@
-// Operation protocols for the three concurrency-control modes.
-//
-// Every operation follows the paper's modified pseudocode:
-//   read   - Fig 3.4: SIREAD lock, probe EXCLUSIVE holders, snapshot read,
-//            mark conflicts with creators of ignored newer versions.
-//   write  - Fig 3.5: EXCLUSIVE lock, probe SIREAD holders, then the
-//            first-committer-wins check and version install.
-//   scan   - Fig 3.6: the modified read applied to every index entry in
-//            range plus gap locks (phantom detection).
-//   insert/delete - Fig 3.7: gap EXCLUSIVE on next(key) plus the write.
-//   commit - Fig 3.2/3.10 via the ConflictTracker hook.
-//
-// S2PL uses the same code paths with blocking kShared/kExclusive locks and
-// latest-committed reads; SI takes no read locks at all.
+// The DB façade: subsystem ownership and wiring. All operation protocols
+// (read/write/scan/commit for the three concurrency-control modes) live in
+// the executor layer, src/txn/executor.cc.
 
 #include "src/db/db.h"
-
-#include <cassert>
-#include <unordered_set>
-
-#include "src/common/encoding.h"
 
 namespace ssidb {
 
 // --------------------------------------------------------------------------
-// Transaction
+// Transaction: a thin handle forwarding to the executor.
 // --------------------------------------------------------------------------
 
-Transaction::Transaction(DB* db, std::shared_ptr<TxnState> state)
-    : db_(db), state_(std::move(state)) {}
+Transaction::Transaction(Executor* executor, std::shared_ptr<TxnState> state)
+    : executor_(executor) {
+  ctx_.state = std::move(state);
+}
 
 Transaction::~Transaction() {
-  if (!finished_) {
-    Abort();
+  if (!ctx_.finished) {
+    executor_->Abort(ctx_);
   }
-}
-
-Status Transaction::CheckUsable() {
-  if (finished_) {
-    return Status::TxnInvalid("transaction already finished");
-  }
-  if (state_->marked_for_abort.load(std::memory_order_acquire)) {
-    // §3.7.2: another transaction's conflict processing chose us as the
-    // victim; honour the mark at the next operation.
-    const Status reason = state_->abort_reason;
-    return AbortWith(reason.ok() ? Status::Unsafe("marked for abort")
-                                 : reason);
-  }
-  return Status::OK();
-}
-
-void Transaction::EnsureSnapshot() {
-  db_->txn_manager_->EnsureSnapshot(state_.get());
-  if (!history_begin_recorded_ && db_->history_ != nullptr) {
-    db_->history_->Begin(state_->id, state_->read_ts.load());
-    history_begin_recorded_ = true;
-  }
-}
-
-Status Transaction::AbortWith(const Status& cause) {
-  db_->txn_manager_->Abort(state_);
-  if (!finished_ && db_->history_ != nullptr) {
-    db_->history_->Abort(state_->id);
-  }
-  finished_ = true;
-  return cause;
-}
-
-LockKey Transaction::RowLockKey(TableId table, Slice key) const {
-  if (db_->options_.granularity == LockGranularity::kPage) {
-    return LockKey{table, LockKind::kPage,
-                   EncodeU64Key(Table::PageOf(key, db_->options_.rows_per_page))};
-  }
-  return LockKey{table, LockKind::kRow, key.ToString()};
-}
-
-LockKey Transaction::GapLockKey(
-    TableId table, const std::optional<std::string>& next_key) const {
-  if (!next_key.has_value()) {
-    return LockKey{table, LockKind::kSupremum, ""};
-  }
-  return LockKey{table, LockKind::kGap, *next_key};
-}
-
-Status Transaction::AcquireAndMark(const LockKey& lk, LockMode mode) {
-  AcquireResult r = db_->lock_manager_->Acquire(state_->id, lk, mode);
-  if (!r.status.ok()) {
-    return AbortWith(r.status);
-  }
-  if (state_->isolation == IsolationLevel::kSerializableSSI) {
-    for (TxnId other : r.rw_conflicts) {
-      Status st;
-      if (mode == LockMode::kExclusive) {
-        // Fig 3.5 line 4: the writer found SIREAD holders.
-        st = db_->tracker_->OnWriterSawSIReadHolder(state_.get(), other);
-      } else if (mode == LockMode::kSIRead) {
-        // Fig 3.4 line 3: the reader found an EXCLUSIVE holder.
-        st = db_->tracker_->OnReaderSawExclusiveHolder(state_.get(), other);
-      }
-      if (!st.ok()) {
-        return AbortWith(st);
-      }
-    }
-  }
-  if (state_->marked_for_abort.load(std::memory_order_acquire)) {
-    const Status reason = state_->abort_reason;
-    return AbortWith(reason.ok() ? Status::Unsafe("marked for abort")
-                                 : reason);
-  }
-  return Status::OK();
-}
-
-Status Transaction::ReadChainAndMark(TableId table, Slice key,
-                                     VersionChain* chain, std::string* value,
-                                     ReadResult* out) {
-  const bool locking_read =
-      state_->isolation == IsolationLevel::kSerializable2PL;
-  const Timestamp read_ts =
-      locking_read ? kMaxTimestamp : state_->read_ts.load();
-  if (chain != nullptr) {
-    *out = chain->Read(state_->id, read_ts, value);
-  } else {
-    *out = ReadResult{};
-  }
-  if (state_->isolation != IsolationLevel::kSerializableSSI) {
-    return Status::OK();
-  }
-  // Fig 3.4 lines 8-9: every ignored newer committed version is an
-  // rw-antidependency from this reader to its creator.
-  for (const NewerVersionInfo& n : out->newer) {
-    Status st = db_->tracker_->MarkReadOfNewerVersion(state_.get(),
-                                                      n.creator_txn_id, n.commit_ts);
-    if (!st.ok()) {
-      return AbortWith(st);
-    }
-  }
-  if (db_->options_.granularity == LockGranularity::kPage) {
-    // §4.2: Berkeley DB versions whole pages, so reading any row of a page
-    // whose newest committed page version postdates the snapshot is a
-    // conflict with that version's creator — even if the row itself is
-    // unchanged. This is the source of the paper's page-level false
-    // positives (§6.1.5).
-    const LockKey page = RowLockKey(table, key);
-    Timestamp ts = 0;
-    TxnId creator = 0;
-    if (db_->txn_manager_->PageLastWrite(page, &ts, &creator) &&
-        ts > read_ts && creator != state_->id) {
-      Status st =
-          db_->tracker_->MarkReadOfNewerVersion(state_.get(), creator, ts);
-      if (!st.ok()) {
-        return AbortWith(st);
-      }
-    }
-  }
-  return Status::OK();
 }
 
 Status Transaction::Get(TableId table, Slice key, std::string* value) {
-  Status st = CheckUsable();
-  if (!st.ok()) return st;
-  Table* t = db_->table(table);
-  if (t == nullptr) return Status::InvalidArgument("unknown table");
-
-  switch (state_->isolation) {
-    case IsolationLevel::kSerializable2PL:
-      EnsureSnapshot();
-      st = AcquireAndMark(RowLockKey(table, key), LockMode::kShared);
-      break;
-    case IsolationLevel::kSerializableSSI:
-      EnsureSnapshot();
-      st = AcquireAndMark(RowLockKey(table, key), LockMode::kSIRead);
-      break;
-    case IsolationLevel::kSnapshot:
-      EnsureSnapshot();
-      break;
-  }
-  if (!st.ok()) return st;
-
-  VersionChain* chain = t->Find(key);
-  ReadResult rr;
-  st = ReadChainAndMark(table, key, chain, value, &rr);
-  if (!st.ok()) return st;
-
-  if (db_->history_ != nullptr) {
-    db_->history_->Read(state_->id, table, key, rr.version_cts, rr.own_write);
-  }
-  return rr.found ? Status::OK() : Status::NotFound();
+  return executor_->Get(ctx_, table, key, value);
 }
 
 Status Transaction::GetForUpdate(TableId table, Slice key,
                                  std::string* value) {
-  Status st = CheckUsable();
-  if (!st.ok()) return st;
-  Table* t = db_->table(table);
-  if (t == nullptr) return Status::InvalidArgument("unknown table");
-
-  // The write protocol's front half (§2.6.2 promotion semantics): lock
-  // first, snapshot after (§4.5), then verify first-committer-wins. The
-  // exclusive lock is held to commit, so the read "promotes" to an update
-  // from every concurrent transaction's point of view.
-  const LockKey row_lk = RowLockKey(table, key);
-  st = AcquireAndMark(row_lk, LockMode::kExclusive);
-  if (!st.ok()) return st;
-  EnsureSnapshot();
-
-  VersionChain* chain = t->Find(key);
-  if (chain != nullptr &&
-      state_->isolation != IsolationLevel::kSerializable2PL) {
-    st = CheckFirstCommitterWins(chain, row_lk);
-    if (!st.ok()) return AbortWith(st);
-  }
-
-  std::string local;
-  if (value == nullptr) value = &local;
-  ReadResult rr;
-  st = ReadChainAndMark(table, key, chain, value, &rr);
-  if (!st.ok()) return st;
-  if (db_->history_ != nullptr) {
-    db_->history_->Read(state_->id, table, key, rr.version_cts, rr.own_write);
-  }
-  if (rr.found && !rr.own_write) {
-    // Oracle semantics (§2.6.2): the locking read is "treated for
-    // concurrency control exactly like an update" — install an identity
-    // version so a concurrent writer's first-committer-wins check sees
-    // this transaction's commit. Without it, the PostgreSQL interleaving
-    // the paper documents (SFU commits, concurrent write slips through)
-    // would be admitted.
-    bool replaced_own = false;
-    Version* v = chain->InstallUncommitted(state_->id, *value,
-                                           /*tombstone=*/false,
-                                           &replaced_own);
-    if (!replaced_own) {
-      state_->write_set.push_back(
-          TxnState::WriteRecord{table, key.ToString(), chain, v});
-    }
-    if (db_->options_.granularity == LockGranularity::kPage &&
-        !replaced_own) {
-      state_->page_writes.push_back(row_lk);
-    }
-    if (db_->history_ != nullptr) {
-      db_->history_->Write(state_->id, table, key, /*tombstone=*/false);
-    }
-  }
-  return rr.found ? Status::OK() : Status::NotFound();
-}
-
-Status Transaction::CheckFirstCommitterWins(VersionChain* chain,
-                                            const LockKey& row_lk) {
-  const Timestamp read_ts = state_->read_ts.load();
-  if (chain->HasCommittedVersionAfter(read_ts)) {
-    return Status::UpdateConflict("newer committed version");
-  }
-  if (db_->options_.granularity == LockGranularity::kPage &&
-      db_->txn_manager_->PageLastWriteTs(row_lk) > read_ts) {
-    // §4.2: Berkeley DB applies first-committer-wins per page.
-    return Status::UpdateConflict("page modified since snapshot");
-  }
-  return Status::OK();
-}
-
-Status Transaction::WriteImpl(TableId table, Slice key, Slice value,
-                              WriteKind kind) {
-  Status st = CheckUsable();
-  if (!st.ok()) return st;
-  Table* t = db_->table(table);
-  if (t == nullptr) return Status::InvalidArgument("unknown table");
-  if (key.empty()) return Status::InvalidArgument("empty key");
-
-  const bool new_index_entry = t->Find(key) == nullptr;
-  const LockKey row_lk = RowLockKey(table, key);
-
-  // §4.5: the exclusive lock is acquired *before* the snapshot is chosen,
-  // so a single-statement update always sees the latest committed version
-  // and never aborts under first-committer-wins.
-  st = AcquireAndMark(row_lk, LockMode::kExclusive);
-  if (!st.ok()) return st;
-
-  if (new_index_entry &&
-      db_->options_.granularity == LockGranularity::kRow) {
-    // Fig 3.7: inserts take the gap lock on next(key) — an insert-intention
-    // exclusive that conflicts with scanners' gap locks but not with other
-    // inserts into the same gap (InnoDB semantics). Page locks subsume
-    // phantoms in kPage mode (§3.5).
-    st = AcquireAndMark(GapLockKey(table, t->NextKey(key)),
-                        LockMode::kExclusive);
-    if (!st.ok()) return st;
-  }
-
-  EnsureSnapshot();
-
-  VersionChain* chain = t->GetOrCreate(key);
-
-  if (state_->isolation != IsolationLevel::kSerializable2PL) {
-    st = CheckFirstCommitterWins(chain, row_lk);
-    if (!st.ok()) return AbortWith(st);
-  }
-
-  // Visibility-dependent semantics: duplicate detection for Insert,
-  // existence for Delete. These return without aborting — statement-level
-  // errors the application may handle (SmallBank rolls back explicitly on
-  // unknown customer names, §2.8.3).
-  if (kind != WriteKind::kUpsert) {
-    const Timestamp read_ts =
-        state_->isolation == IsolationLevel::kSerializable2PL
-            ? kMaxTimestamp
-            : state_->read_ts.load();
-    ReadResult rr = chain->Read(state_->id, read_ts, nullptr);
-    if (kind == WriteKind::kInsert && rr.found) {
-      return Status::DuplicateKey();
-    }
-    if (kind == WriteKind::kDelete && !rr.found) {
-      return Status::NotFound();
-    }
-  }
-
-  bool replaced_own = false;
-  Version* v = chain->InstallUncommitted(
-      state_->id, value, kind == WriteKind::kDelete, &replaced_own);
-  if (!replaced_own) {
-    state_->write_set.push_back(
-        TxnState::WriteRecord{table, key.ToString(), chain, v});
-    // Inline GC: drop versions no active snapshot can reach.
-    chain->Prune(db_->txn_manager_->min_active_read_ts());
-  }
-  if (db_->options_.granularity == LockGranularity::kPage && !replaced_own) {
-    state_->page_writes.push_back(row_lk);
-  }
-
-  if (db_->history_ != nullptr) {
-    db_->history_->Write(state_->id, table, key, kind == WriteKind::kDelete);
-  }
-  return Status::OK();
+  return executor_->GetForUpdate(ctx_, table, key, value);
 }
 
 Status Transaction::Put(TableId table, Slice key, Slice value) {
-  return WriteImpl(table, key, value, WriteKind::kUpsert);
+  return executor_->Put(ctx_, table, key, value);
 }
 
 Status Transaction::Insert(TableId table, Slice key, Slice value) {
-  return WriteImpl(table, key, value, WriteKind::kInsert);
+  return executor_->Insert(ctx_, table, key, value);
 }
 
 Status Transaction::Delete(TableId table, Slice key) {
-  return WriteImpl(table, key, Slice(), WriteKind::kDelete);
+  return executor_->Delete(ctx_, table, key);
 }
 
 Status Transaction::Scan(TableId table, Slice lo, Slice hi,
                          const ScanCallback& fn) {
-  Status st = CheckUsable();
-  if (!st.ok()) return st;
-  Table* t = db_->table(table);
-  if (t == nullptr) return Status::InvalidArgument("unknown table");
-  if (hi.compare(lo) < 0) return Status::InvalidArgument("hi < lo");
-
-  const IsolationLevel iso = state_->isolation;
-  EnsureSnapshot();
-
-  std::vector<ScanEntry> entries;
-  std::optional<std::string> successor;
-  t->CollectRange(lo, hi, &entries, &successor);
-
-  const bool take_locks = iso != IsolationLevel::kSnapshot;
-  const LockMode mode = iso == IsolationLevel::kSerializable2PL
-                            ? LockMode::kShared
-                            : LockMode::kSIRead;
-
-  if (take_locks) {
-    if (db_->options_.granularity == LockGranularity::kRow) {
-      // Next-key locking (§2.5.2 / Fig 3.6): each visited entry gets a row
-      // lock plus the gap below it; the gap below the successor protects
-      // (last entry, successor), so inserts anywhere in [lo, hi] conflict.
-      for (const ScanEntry& e : entries) {
-        st = AcquireAndMark(RowLockKey(table, e.key), mode);
-        if (!st.ok()) return st;
-        st = AcquireAndMark(LockKey{table, LockKind::kGap, e.key}, mode);
-        if (!st.ok()) return st;
-      }
-      st = AcquireAndMark(GapLockKey(table, successor), mode);
-      if (!st.ok()) return st;
-    } else {
-      // Page granularity: lock every page that holds an entry, plus the
-      // pages of the range bounds (covers empty ranges).
-      std::unordered_set<uint64_t> pages;
-      pages.insert(Table::PageOf(lo, db_->options_.rows_per_page));
-      pages.insert(Table::PageOf(hi, db_->options_.rows_per_page));
-      for (const ScanEntry& e : entries) {
-        pages.insert(Table::PageOf(e.key, db_->options_.rows_per_page));
-      }
-      for (uint64_t p : pages) {
-        st = AcquireAndMark(
-            LockKey{table, LockKind::kPage, EncodeU64Key(p)}, mode);
-        if (!st.ok()) return st;
-      }
-    }
-
-    // Close the collect/lock race: an insert that committed and released
-    // its gap lock between CollectRange and our acquisitions is invisible
-    // to the lock table, but its version's commit timestamp postdates our
-    // snapshot, so a second collection plus the modified read detects the
-    // rw-conflict. Inserts *after* our gap locks are caught by the lock
-    // table (the writer's probe sees our SIREAD/S locks).
-    std::vector<ScanEntry> recheck;
-    std::optional<std::string> successor2;
-    t->CollectRange(lo, hi, &recheck, &successor2);
-    if (recheck.size() != entries.size()) {
-      if (db_->options_.granularity == LockGranularity::kRow) {
-        std::unordered_set<std::string_view> known;
-        for (const ScanEntry& e : entries) known.insert(e.key);
-        for (const ScanEntry& e : recheck) {
-          if (known.count(e.key) > 0) continue;
-          st = AcquireAndMark(RowLockKey(table, e.key), mode);
-          if (!st.ok()) return st;
-          st = AcquireAndMark(LockKey{table, LockKind::kGap, e.key}, mode);
-          if (!st.ok()) return st;
-        }
-      }
-      entries = std::move(recheck);
-    }
-  }
-
-  const Timestamp scan_snapshot = iso == IsolationLevel::kSerializable2PL
-                                      ? db_->txn_manager_->clock_now()
-                                      : state_->read_ts.load();
-
-  std::string value;
-  for (const ScanEntry& e : entries) {
-    ReadResult rr;
-    st = ReadChainAndMark(table, e.key, e.chain, &value, &rr);
-    if (!st.ok()) return st;
-    if (db_->history_ != nullptr) {
-      db_->history_->Read(state_->id, table, e.key, rr.version_cts,
-                          rr.own_write);
-    }
-    if (rr.found) {
-      if (!fn(e.key, value)) break;
-    }
-  }
-
-  if (db_->history_ != nullptr) {
-    db_->history_->Scan(state_->id, table, lo, hi, scan_snapshot);
-  }
-  return Status::OK();
+  return executor_->Scan(ctx_, table, lo, hi, fn);
 }
 
-Status Transaction::Commit() {
-  if (finished_) {
-    return Status::TxnInvalid("transaction already finished");
-  }
-  // Serialize the redo blob: the write set in table/key/value form.
-  std::string payload;
-  PutBig32(&payload, static_cast<uint32_t>(state_->write_set.size()));
-  for (const TxnState::WriteRecord& w : state_->write_set) {
-    PutBig32(&payload, w.table);
-    PutLengthPrefixed(&payload, w.key);
-    payload.push_back(w.version->tombstone ? 1 : 0);
-    PutLengthPrefixed(&payload, w.version->value);
-  }
+Status Transaction::Commit() { return executor_->Commit(ctx_); }
 
-  TxnManager::CommitCheck check;
-  if (state_->isolation == IsolationLevel::kSerializableSSI) {
-    ConflictTracker* tracker = db_->tracker_.get();
-    check = [tracker](TxnState* t) { return tracker->CommitCheck(t); };
-  }
-
-  const Status st =
-      db_->txn_manager_->Commit(state_, check, std::move(payload));
-  finished_ = true;
-  if (db_->history_ != nullptr) {
-    if (st.ok()) {
-      db_->history_->Commit(state_->id, state_->commit_ts.load());
-    } else {
-      db_->history_->Abort(state_->id);
-    }
-  }
-  return st;
-}
-
-Status Transaction::Abort() {
-  if (finished_) {
-    return Status::OK();
-  }
-  db_->txn_manager_->Abort(state_);
-  if (db_->history_ != nullptr) {
-    db_->history_->Abort(state_->id);
-  }
-  finished_ = true;
-  return Status::OK();
-}
+Status Transaction::Abort() { return executor_->Abort(ctx_); }
 
 // --------------------------------------------------------------------------
 // DB
@@ -503,6 +67,10 @@ DB::DB(const DBOptions& options)
   if (options.record_history) {
     history_ = std::make_unique<sgt::HistoryRecorder>();
   }
+  executor_ = std::make_unique<Executor>(options_, &catalog_,
+                                         txn_manager_.get(),
+                                         lock_manager_.get(), tracker_.get(),
+                                         history_.get());
 }
 
 DB::~DB() = default;
@@ -516,45 +84,22 @@ Status DB::Open(const DBOptions& options, std::unique_ptr<DB>* db) {
 }
 
 Status DB::CreateTable(const std::string& name, TableId* id) {
-  std::lock_guard<std::mutex> guard(tables_mu_);
-  if (table_names_.count(name) > 0) {
-    return Status::InvalidArgument("table exists: " + name);
-  }
-  const TableId tid = static_cast<TableId>(tables_.size());
-  tables_.push_back(std::make_unique<Table>(tid, name));
-  table_names_.emplace(name, tid);
-  if (id != nullptr) *id = tid;
-  return Status::OK();
+  return catalog_.CreateTable(name, id);
 }
 
 Status DB::FindTable(const std::string& name, TableId* id) const {
-  std::lock_guard<std::mutex> guard(tables_mu_);
-  auto it = table_names_.find(name);
-  if (it == table_names_.end()) return Status::NotFound("no table " + name);
-  *id = it->second;
-  return Status::OK();
-}
-
-Table* DB::table(TableId id) {
-  std::lock_guard<std::mutex> guard(tables_mu_);
-  if (id >= tables_.size()) return nullptr;
-  return tables_[id].get();
+  return catalog_.FindTable(name, id);
 }
 
 std::unique_ptr<Transaction> DB::Begin(const TxnOptions& options) {
-  return std::unique_ptr<Transaction>(
-      new Transaction(this, txn_manager_->Begin(options.isolation)));
+  return std::unique_ptr<Transaction>(new Transaction(
+      executor_.get(), txn_manager_->Begin(options.isolation)));
 }
 
 size_t DB::PruneVersions(TableId id) {
-  Table* t = table(id);
+  Table* t = catalog_.table(id);
   if (t == nullptr) return 0;
-  const Timestamp min_ts = txn_manager_->min_active_read_ts();
-  size_t freed = 0;
-  t->ForEachChain([&](const std::string&, VersionChain* chain) {
-    freed += chain->Prune(min_ts);
-  });
-  return freed;
+  return t->PruneShards(txn_manager_->min_active_read_ts());
 }
 
 DBStats DB::GetStats() const {

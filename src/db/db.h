@@ -18,16 +18,17 @@
 // status for which Status::IsAbort() is true has already rolled the
 // transaction back; the caller simply retries with a fresh transaction
 // (every benchmark in Chapter 6 follows this retry discipline).
+//
+// DB is a thin façade: it owns the subsystems (catalog/storage, lock
+// manager, transaction manager, SSI tracker, log, history oracle) and
+// wires them into an Executor; all operation protocols live in
+// src/txn/executor.{h,cc} (see ARCHITECTURE.md for the layer diagram).
 
 #ifndef SSIDB_DB_DB_H_
 #define SSIDB_DB_DB_H_
 
-#include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
 #include "src/common/options.h"
 #include "src/common/slice.h"
@@ -35,7 +36,9 @@
 #include "src/lock/lock_manager.h"
 #include "src/sgt/history.h"
 #include "src/ssi/conflict_tracker.h"
+#include "src/storage/catalog.h"
 #include "src/storage/table.h"
+#include "src/txn/executor.h"
 #include "src/txn/log_manager.h"
 #include "src/txn/txn_manager.h"
 
@@ -83,7 +86,7 @@ class Transaction {
   /// applied to every index entry in range). `fn` receives each visible
   /// key/value; returning false stops the iteration early (locks already
   /// taken are kept). Keys are visited in ascending order.
-  using ScanCallback = std::function<bool(Slice key, Slice value)>;
+  using ScanCallback = ssidb::ScanCallback;
   Status Scan(TableId table, Slice lo, Slice hi, const ScanCallback& fn);
 
   /// Commit. For SSI transactions runs the dangerous-structure check
@@ -95,65 +98,31 @@ class Transaction {
   /// Roll back. Idempotent; safe after a failed operation.
   Status Abort();
 
-  TxnId id() const { return state_->id; }
-  IsolationLevel isolation() const { return state_->isolation; }
+  TxnId id() const { return ctx_.state->id; }
+  IsolationLevel isolation() const { return ctx_.state->isolation; }
   /// The transaction's snapshot timestamp (0 before late allocation, §4.5).
-  Timestamp snapshot_ts() const { return state_->read_ts.load(); }
+  Timestamp snapshot_ts() const { return ctx_.state->read_ts.load(); }
   /// Commit timestamp (0 unless committed).
-  Timestamp commit_ts() const { return state_->commit_ts.load(); }
-  bool active() const { return !finished_; }
+  Timestamp commit_ts() const { return ctx_.state->commit_ts.load(); }
+  bool active() const { return !ctx_.finished; }
 
  private:
   friend class DB;
-  Transaction(DB* db, std::shared_ptr<TxnState> state);
+  Transaction(Executor* executor, std::shared_ptr<TxnState> state);
 
-  /// Pre-flight for every operation: reject finished transactions, honour
-  /// an asynchronous victim mark (§3.7.2) by aborting now.
-  Status CheckUsable();
-
-  /// Assign the read snapshot if still unassigned, per the §4.5 rule
-  /// (after the first statement's locks), and record history Begin once.
-  void EnsureSnapshot();
-
-  /// Abort and return `cause` (the paper's "abort as soon as the problem
-  /// is discovered", §3.7.1).
-  Status AbortWith(const Status& cause);
-
-  /// Lock key for a row operation under the configured granularity:
-  /// the row itself (kRow) or its page bucket (kPage, §4.1).
-  LockKey RowLockKey(TableId table, Slice key) const;
-  /// Gap lock key protecting the open interval below `next_key`;
-  /// `next_key` == nullopt means the table's supremum gap (Fig 3.6/3.7).
-  LockKey GapLockKey(TableId table,
-                     const std::optional<std::string>& next_key) const;
-
-  /// Acquire `mode` on `lk` and route any rw-conflict evidence to the SSI
-  /// tracker (Fig 3.4 line 3 / Fig 3.5 line 4). Aborts this transaction on
-  /// deadlock/timeout/unsafe and returns the cause.
-  Status AcquireAndMark(const LockKey& lk, LockMode mode);
-
-  /// The paper's modified read applied to one chain: snapshot-read (or
-  /// latest-committed for S2PL) and mark rw-conflicts with creators of
-  /// ignored newer versions (Fig 3.4 lines 8-9).
-  Status ReadChainAndMark(TableId table, Slice key, VersionChain* chain,
-                          std::string* value, ReadResult* out);
-
-  /// First-committer-wins check (§2.5/§4.2) for a write to `chain`; in
-  /// page mode also consults the page write table. Call with the exclusive
-  /// lock held and the snapshot assigned.
-  Status CheckFirstCommitterWins(VersionChain* chain, const LockKey& row_lk);
-
-  /// Shared body of Put/Insert/Delete.
-  enum class WriteKind { kUpsert, kInsert, kDelete };
-  Status WriteImpl(TableId table, Slice key, Slice value, WriteKind kind);
-
-  DB* const db_;
-  std::shared_ptr<TxnState> state_;
-  bool finished_ = false;
-  bool history_begin_recorded_ = false;
+  Executor* const executor_;
+  Executor::TxnCtx ctx_;
 };
 
 /// Aggregate engine counters surfaced to benchmarks and tests.
+///
+/// Consistency contract: every counter is maintained as a relaxed atomic
+/// (or read under its subsystem's narrow mutex) and is individually
+/// coherent — GetStats() never tears a single counter and may be called
+/// from any thread at any time, including under full concurrent load. No
+/// ordering is promised *across* counters: a snapshot may show a commit's
+/// log record but not yet its lock release, because the engine no longer
+/// has any global lock under which a cross-subsystem cut could be taken.
 struct DBStats {
   uint64_t unsafe_aborts = 0;      ///< SSI dangerous structures detected.
   uint64_t deadlocks = 0;          ///< Lock cycles detected.
@@ -191,30 +160,28 @@ class DB {
   sgt::HistoryRecorder* history() { return history_.get(); }
 
   /// Reclaim versions unreachable by any active snapshot in `table`
-  /// (inline pruning is driven by writes; this is the full sweep).
-  /// Returns the number of versions freed.
+  /// (inline pruning is driven by writes; this is the full per-shard
+  /// sweep). Returns the number of versions freed.
   size_t PruneVersions(TableId table);
 
   // Internal subsystem access (tests, benchmarks).
   TxnManager* txn_manager() { return txn_manager_.get(); }
   LockManager* lock_manager() { return lock_manager_.get(); }
   ConflictTracker* conflict_tracker() { return tracker_.get(); }
-  Table* table(TableId id);
+  Catalog* catalog() { return &catalog_; }
+  Table* table(TableId id) { return catalog_.table(id); }
 
  private:
-  friend class Transaction;
   explicit DB(const DBOptions& options);
 
   const DBOptions options_;
+  Catalog catalog_;
   std::unique_ptr<LogManager> log_manager_;
   std::unique_ptr<LockManager> lock_manager_;
   std::unique_ptr<TxnManager> txn_manager_;
   std::unique_ptr<ConflictTracker> tracker_;
   std::unique_ptr<sgt::HistoryRecorder> history_;
-
-  mutable std::mutex tables_mu_;
-  std::vector<std::unique_ptr<Table>> tables_;
-  std::unordered_map<std::string, TableId> table_names_;
+  std::unique_ptr<Executor> executor_;
 };
 
 }  // namespace ssidb

@@ -70,6 +70,7 @@ AcquireResult LockManager::Acquire(TxnId txn, const LockKey& key,
     LockEntry& entry = shard.entries[key];
     uint8_t& bits = entry.holders[txn];
     const bool is_new_holder = (bits == 0);
+    const uint8_t before = bits;
     if ((bits & bit) == 0) {
       bits |= bit;
       if (is_new_holder) shard.held[txn].push_back(key);
@@ -79,6 +80,9 @@ AcquireResult LockManager::Acquire(TxnId txn, const LockKey& key,
     if (mode == LockMode::kExclusive && config_.upgrade_siread_locks) {
       bits &= static_cast<uint8_t>(~kSIReadBit);
     }
+    grant_count_.fetch_add(
+        __builtin_popcount(bits) - __builtin_popcount(before),
+        std::memory_order_relaxed);
     const uint8_t probe = (mode == LockMode::kExclusive) ? kSIReadBit
                           : (mode == LockMode::kSIRead)  ? kExclusiveBit
                                                          : 0;
@@ -145,7 +149,11 @@ void LockManager::ReleaseLocked(Shard& shard, TxnId txn, uint8_t keep_mask) {
     if (entry_it == shard.entries.end()) continue;
     auto holder_it = entry_it->second.holders.find(txn);
     if (holder_it == entry_it->second.holders.end()) continue;
+    const uint8_t before = holder_it->second;
     holder_it->second &= keep_mask;
+    grant_count_.fetch_sub(
+        __builtin_popcount(before) - __builtin_popcount(holder_it->second),
+        std::memory_order_relaxed);
     if (holder_it->second == 0) {
       entry_it->second.holders.erase(holder_it);
       if (entry_it->second.holders.empty()) shard.entries.erase(entry_it);
@@ -212,19 +220,6 @@ bool LockManager::Holds(TxnId txn, const LockKey& key, LockMode mode) const {
   auto holder_it = entry_it->second.holders.find(txn);
   if (holder_it == entry_it->second.holders.end()) return false;
   return (holder_it->second & static_cast<uint8_t>(mode)) != 0;
-}
-
-size_t LockManager::GrantCount() const {
-  size_t n = 0;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> guard(shard.mu);
-    for (const auto& [key, entry] : shard.entries) {
-      for (const auto& [owner, bits] : entry.holders) {
-        n += __builtin_popcount(bits);
-      }
-    }
-  }
-  return n;
 }
 
 void LockManager::SetWaits(TxnId txn, const std::vector<TxnId>& blockers) {

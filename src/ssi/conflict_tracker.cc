@@ -13,6 +13,29 @@ bool Participates(const TxnState& txn) {
   return txn.isolation == IsolationLevel::kSerializableSSI;
 }
 
+/// The pairwise atomic block: both endpoints' latches, ascending txn-id
+/// order (the deadlock-free total order all pairwise markers agree on; a
+/// committing transaction holds only its own latch, so no cycle can form).
+class PairLatch {
+ public:
+  PairLatch(TxnState* a, TxnState* b) : a_(a), b_(b) {
+    TxnState* first = a_->id < b_->id ? a_ : b_;
+    TxnState* second = a_->id < b_->id ? b_ : a_;
+    first->ssi_mu.lock();
+    second->ssi_mu.lock();
+  }
+  ~PairLatch() {
+    a_->ssi_mu.unlock();
+    b_->ssi_mu.unlock();
+  }
+  PairLatch(const PairLatch&) = delete;
+  PairLatch& operator=(const PairLatch&) = delete;
+
+ private:
+  TxnState* const a_;
+  TxnState* const b_;
+};
+
 }  // namespace
 
 ConflictTracker::ConflictTracker(const DBOptions& options,
@@ -96,12 +119,23 @@ ConflictTracker::EdgeTime ConflictTracker::OutEdgeTimeLocked(
       edge.cts = ref.collapsed_cts;
       return edge;
     case ConflictRef::Kind::kOther: {
+      // Keyed on the published commit timestamp, not the status flip: a
+      // partner inside its commit has its cts published (under the
+      // TxnManager's commit window, atomically with our own commit check)
+      // before its status store becomes visible, and once the cts exists
+      // the partner commits unconditionally. Reading the status here
+      // instead could miss an out-partner that wins a smaller timestamp.
+      const Timestamp cts =
+          ref.other->commit_ts.load(std::memory_order_acquire);
+      if (cts != 0) {
+        edge.present = true;
+        edge.cts = cts;
+        return edge;
+      }
       const TxnStatus st = ref.other->status.load(std::memory_order_acquire);
       if (st == TxnStatus::kAborted) return edge;  // Edge vanished.
       edge.present = true;
-      edge.cts = st == TxnStatus::kCommitted
-                     ? ref.other->commit_ts.load(std::memory_order_acquire)
-                     : kMaxTimestamp;  // Active: has not committed first.
+      edge.cts = kMaxTimestamp;  // Active: has not committed first.
       return edge;
     }
   }
@@ -126,12 +160,20 @@ ConflictTracker::EdgeTime ConflictTracker::InEdgeTimeLocked(
       edge.cts = ref.collapsed_cts;
       return edge;
     case ConflictRef::Kind::kOther: {
+      // Same cts-first protocol as OutEdgeTimeLocked. For an in-edge a
+      // stale "active" read only errs toward kMaxTimestamp, which is the
+      // conservative (more-dangerous) direction.
+      const Timestamp cts =
+          ref.other->commit_ts.load(std::memory_order_acquire);
+      if (cts != 0) {
+        edge.present = true;
+        edge.cts = cts;
+        return edge;
+      }
       const TxnStatus st = ref.other->status.load(std::memory_order_acquire);
       if (st == TxnStatus::kAborted) return edge;
       edge.present = true;
-      edge.cts = st == TxnStatus::kCommitted
-                     ? ref.other->commit_ts.load(std::memory_order_acquire)
-                     : kMaxTimestamp;
+      edge.cts = kMaxTimestamp;
       return edge;
     }
   }
@@ -190,9 +232,11 @@ Status ConflictTracker::AbortVictimLocked(TxnState* caller, TxnState* pivot,
   if (victim == caller) {
     return Status::Unsafe("dangerous structure: consecutive rw-conflicts");
   }
-  victim->marked_for_abort.store(true, std::memory_order_release);
+  // The reason must be written before the release store: the victim reads
+  // it after an acquire load of marked_for_abort, with no common mutex.
   victim->abort_reason =
       Status::Unsafe("dangerous structure: chosen as victim");
+  victim->marked_for_abort.store(true, std::memory_order_release);
   return Status::OK();
 }
 
@@ -262,53 +306,59 @@ Status ConflictTracker::MarkReadOfNewerVersion(TxnState* reader,
                                                TxnId creator_id,
                                                Timestamp creator_cts) {
   (void)creator_cts;
-  if (!Participates(*reader)) return Status::OK();
-  std::lock_guard<std::mutex> guard(txn_manager_->system_mutex());
-  std::shared_ptr<TxnState> creator = txn_manager_->FindLocked(creator_id);
+  if (!Participates(*reader) || creator_id == reader->id) return Status::OK();
+  std::shared_ptr<TxnState> creator = txn_manager_->Find(creator_id);
   if (creator == nullptr || !Participates(*creator)) return Status::OK();
-  std::shared_ptr<TxnState> reader_ref = txn_manager_->FindLocked(reader->id);
+  std::shared_ptr<TxnState> reader_ref = txn_manager_->Find(reader->id);
   if (reader_ref == nullptr) return Status::OK();
+  PairLatch latch(reader, creator.get());
   // creator_cts > reader's snapshot by construction, so they overlap.
   return MarkLocked(reader, reader_ref, creator);
 }
 
 Status ConflictTracker::OnReaderSawExclusiveHolder(TxnState* reader,
                                                    TxnId writer_id) {
-  if (!Participates(*reader)) return Status::OK();
-  std::lock_guard<std::mutex> guard(txn_manager_->system_mutex());
-  std::shared_ptr<TxnState> writer = txn_manager_->FindLocked(writer_id);
+  if (!Participates(*reader) || writer_id == reader->id) return Status::OK();
+  std::shared_ptr<TxnState> writer = txn_manager_->Find(writer_id);
   if (writer == nullptr || !Participates(*writer)) return Status::OK();
+  std::shared_ptr<TxnState> reader_ref = txn_manager_->Find(reader->id);
+  if (reader_ref == nullptr) return Status::OK();
+  PairLatch latch(reader, writer.get());
   // The holder may have committed between the lock-table snapshot and now;
   // if it committed inside the reader's snapshot there is no
-  // antidependency (the reader sees its version).
+  // antidependency (the reader sees its version). Evaluated under the pair
+  // latch so the writer's status cannot transition mid-check.
   if (writer->IsCommitted() &&
       writer->commit_ts.load(std::memory_order_acquire) <=
           reader->read_ts.load(std::memory_order_acquire)) {
     return Status::OK();
   }
-  std::shared_ptr<TxnState> reader_ref = txn_manager_->FindLocked(reader->id);
-  if (reader_ref == nullptr) return Status::OK();
   return MarkLocked(reader, reader_ref, writer);
 }
 
 Status ConflictTracker::OnWriterSawSIReadHolder(TxnState* writer,
                                                 TxnId reader_id) {
-  if (!Participates(*writer)) return Status::OK();
-  std::lock_guard<std::mutex> guard(txn_manager_->system_mutex());
-  std::shared_ptr<TxnState> reader = txn_manager_->FindLocked(reader_id);
+  if (!Participates(*writer) || reader_id == writer->id) return Status::OK();
+  std::shared_ptr<TxnState> reader = txn_manager_->Find(reader_id);
   if (reader == nullptr || !Participates(*reader)) return Status::OK();
+  std::shared_ptr<TxnState> writer_ref = txn_manager_->Find(writer->id);
+  if (writer_ref == nullptr) return Status::OK();
+  PairLatch latch(writer, reader.get());
   // Fig 3.5: "where rl.owner has not committed or
-  // commit(rl.owner) > begin(T)" — only overlapping readers matter. A
-  // writer without a snapshot yet (late allocation, §4.5) will snapshot
-  // after this lock grant, hence after any committed reader: no overlap.
+  // commit(rl.owner) > begin(T)" — only overlapping readers matter. For a
+  // writer without a snapshot yet (late allocation, §4.5), the eventual
+  // snapshot will be >= the *current* stable watermark (monotonic), so a
+  // reader whose commit is already below the watermark provably cannot
+  // overlap. A reader committed above the watermark might still be
+  // invisible to the writer's eventual snapshot, so its edge must be
+  // recorded (possibly a false positive, never a missed conflict).
   if (reader->IsCommitted()) {
     const Timestamp begin = writer->read_ts.load(std::memory_order_acquire);
+    const Timestamp floor = begin != 0 ? begin : txn_manager_->stable_ts();
     const Timestamp reader_cts =
         reader->commit_ts.load(std::memory_order_acquire);
-    if (begin == 0 || reader_cts <= begin) return Status::OK();
+    if (reader_cts <= floor) return Status::OK();
   }
-  std::shared_ptr<TxnState> writer_ref = txn_manager_->FindLocked(writer->id);
-  if (writer_ref == nullptr) return Status::OK();
   return MarkLocked(writer, reader, writer_ref);
 }
 

@@ -18,9 +18,19 @@
 // and from the commit path (TxnManager::CommitCheck):
 //   * CommitCheck - Fig 3.2 lines 3-5 (kFlags) or Fig 3.10 (kReferences).
 //
-// Every mutation of conflict state runs under the TxnManager system mutex
-// (the paper's atomic blocks), so marking is serialized against the
-// "mark T as committed" transition, closing the race discussed in §3.2.
+// Locking: the paper's atomic blocks (§3.2) were a single system mutex in
+// the seed; they are now realized *pairwise*. Every mutation of conflict
+// state locks the TxnState::ssi_mu latches of both edge endpoints in
+// ascending txn-id order; the commit-time check runs under the committing
+// transaction's own latch (TxnManager::Commit holds it around the
+// CommitCheck hook and the committed transition). Marking therefore still
+// serializes with the "mark T as committed" transition of either endpoint,
+// closing the §3.2 race without a global lock. Third-party state (the
+// commit timestamp/status of a previously recorded partner) is read
+// through atomics; a partner committing concurrently is observed either
+// before or after — both orders correspond to a legal global schedule of
+// the seed's serialized marking. This mirrors the partitioned locking of
+// the PostgreSQL SSI implementation (Ports & Grittner, VLDB 2012).
 //
 // Soundness note on kReferences (documented deviation, DESIGN.md): a
 // transaction's dangerous structure is only lethal when its out-partner
@@ -66,9 +76,10 @@ class ConflictTracker {
   Status OnWriterSawSIReadHolder(TxnState* writer, TxnId reader_id);
 
   /// The commit-time dangerous-structure test; wire into
-  /// TxnManager::Commit as the CommitCheck hook. Runs under the system
-  /// mutex. In kReferences mode this also collapses references to
-  /// committed partners (the thesis's Fig 3.10 lines 9-12).
+  /// TxnManager::Commit as the CommitCheck hook. The caller must hold
+  /// txn->ssi_mu (TxnManager::Commit does). In kReferences mode this also
+  /// collapses references to committed partners (the thesis's Fig 3.10
+  /// lines 9-12).
   Status CommitCheck(TxnState* txn);
 
   /// Number of dangerous structures detected (aborts issued), for tests.
@@ -79,7 +90,7 @@ class ConflictTracker {
  private:
   /// Shared marking body. `caller` is the transaction executing on this
   /// thread; exactly one of reader/writer equals caller. Caller must hold
-  /// the system mutex.
+  /// both endpoints' ssi_mu latches.
   Status MarkLocked(TxnState* caller, const std::shared_ptr<TxnState>& reader,
                     const std::shared_ptr<TxnState>& writer);
 

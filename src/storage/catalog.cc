@@ -1,0 +1,39 @@
+#include "src/storage/catalog.h"
+
+namespace ssidb {
+
+Catalog::~Catalog() {
+  const uint32_t n = count_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < n; ++i) {
+    delete slots_[i].load(std::memory_order_relaxed);
+  }
+}
+
+Status Catalog::CreateTable(const std::string& name, TableId* id) {
+  std::lock_guard<std::mutex> guard(create_mu_);
+  if (names_.count(name) > 0) {
+    return Status::InvalidArgument("table exists: " + name);
+  }
+  const uint32_t n = count_.load(std::memory_order_relaxed);
+  if (n >= kMaxTables) {
+    return Status::InvalidArgument("table limit reached");
+  }
+  const TableId tid = static_cast<TableId>(n);
+  slots_[tid].store(new Table(tid, name), std::memory_order_relaxed);
+  // The release publish orders the slot store before any reader that
+  // observes the new count.
+  count_.store(n + 1, std::memory_order_release);
+  names_.emplace(name, tid);
+  if (id != nullptr) *id = tid;
+  return Status::OK();
+}
+
+Status Catalog::FindTable(const std::string& name, TableId* id) const {
+  std::lock_guard<std::mutex> guard(create_mu_);
+  auto it = names_.find(name);
+  if (it == names_.end()) return Status::NotFound("no table " + name);
+  *id = it->second;
+  return Status::OK();
+}
+
+}  // namespace ssidb

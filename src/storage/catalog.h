@@ -1,0 +1,66 @@
+// Catalog: table directory of the storage layer.
+//
+// Owns every Table and maps names to ids. Extracted from the DB monolith
+// so the executor layer can resolve tables without depending on the
+// public façade — and so the per-operation id→Table lookup is lock-free:
+// the seed took a mutex on every Get/Put/Scan just to index the table
+// vector, which serializes otherwise independent operations. Tables are
+// append-only (no DROP yet), published through an atomic slot array.
+
+#ifndef SSIDB_STORAGE_CATALOG_H_
+#define SSIDB_STORAGE_CATALOG_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/storage/table.h"
+
+namespace ssidb {
+
+class Catalog {
+ public:
+  /// Upper bound on tables per engine; CreateTable fails beyond it.
+  static constexpr size_t kMaxTables = 4096;
+
+  Catalog() = default;
+  ~Catalog();
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Create a table. kInvalidArgument on duplicate name or table overflow.
+  Status CreateTable(const std::string& name, TableId* id);
+
+  /// Look up a table id by name. kNotFound if absent.
+  Status FindTable(const std::string& name, TableId* id) const;
+
+  /// Resolve an id to its table, or nullptr. Lock-free: a relaxed slot
+  /// load ordered by an acquire load of the published count.
+  Table* table(TableId id) const {
+    if (id >= count_.load(std::memory_order_acquire)) return nullptr;
+    return slots_[id].load(std::memory_order_relaxed);
+  }
+
+  size_t table_count() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Slot array: slots_[i] is written once (before count_ publishes i+1)
+  /// and never changes afterwards.
+  std::array<std::atomic<Table*>, kMaxTables> slots_{};
+  std::atomic<uint32_t> count_{0};
+
+  /// Guards creation (name map + slot append); readers never take it.
+  mutable std::mutex create_mu_;
+  std::unordered_map<std::string, TableId> names_;
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_STORAGE_CATALOG_H_

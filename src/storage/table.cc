@@ -1,69 +1,195 @@
 #include "src/storage/table.h"
 
+#include <algorithm>
+#include <cassert>
+
 #include "src/common/encoding.h"
 
 namespace ssidb {
 
+Table::Table(TableId id, std::string name, size_t split_threshold)
+    : id_(id),
+      name_(std::move(name)),
+      split_threshold_(split_threshold < 2 ? 2 : split_threshold) {
+  shards_.push_back(std::make_unique<Shard>(""));
+}
+
+Table::~Table() = default;
+
+size_t Table::RouteLocked(std::string_view key) const {
+  // Last shard with lower <= key. shards_[0].lower == "" so the search
+  // always succeeds.
+  size_t lo = 0;
+  size_t hi = shards_.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (shards_[mid]->lower <= key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 VersionChain* Table::Find(Slice key) const {
-  std::shared_lock<std::shared_mutex> guard(mutex_);
-  auto it = index_.find(key.view());
-  return it == index_.end() ? nullptr : it->second.get();
+  std::shared_lock<std::shared_mutex> route(routing_mu_);
+  const Shard& shard = *shards_[RouteLocked(key.view())];
+  shard.reads.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> guard(shard.mu);
+  auto it = shard.index.find(key.view());
+  return it == shard.index.end() ? nullptr : it->second.get();
 }
 
 VersionChain* Table::GetOrCreate(Slice key) {
+  size_t shard_size = 0;
+  VersionChain* chain = nullptr;
   {
-    std::shared_lock<std::shared_mutex> guard(mutex_);
-    auto it = index_.find(key.view());
-    if (it != index_.end()) return it->second.get();
+    std::shared_lock<std::shared_mutex> route(routing_mu_);
+    Shard& shard = *shards_[RouteLocked(key.view())];
+    {
+      shard.reads.fetch_add(1, std::memory_order_relaxed);
+      std::shared_lock<std::shared_mutex> guard(shard.mu);
+      auto it = shard.index.find(key.view());
+      if (it != shard.index.end()) return it->second.get();
+    }
+    shard.writes.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::shared_mutex> guard(shard.mu);
+    auto [it, inserted] = shard.index.try_emplace(
+        key.ToString(), std::make_unique<VersionChain>());
+    (void)inserted;
+    chain = it->second.get();
+    shard_size = shard.index.size();
   }
-  std::unique_lock<std::shared_mutex> guard(mutex_);
-  auto [it, inserted] =
-      index_.try_emplace(key.ToString(), std::make_unique<VersionChain>());
-  (void)inserted;
-  return it->second.get();
+  if (shard_size > split_threshold_) {
+    MaybeSplit(key.ToString());
+  }
+  return chain;
+}
+
+void Table::MaybeSplit(const std::string& hint_key) {
+  // Exclusive routing latch: no operation holds any shard latch without
+  // the shared routing latch, so we have exclusive access to every shard.
+  std::unique_lock<std::shared_mutex> route(routing_mu_);
+  const size_t idx = RouteLocked(hint_key);
+  Shard& shard = *shards_[idx];
+  if (shard.index.size() <= split_threshold_) return;  // Raced; resolved.
+
+  auto mid = shard.index.begin();
+  std::advance(mid, shard.index.size() / 2);
+  auto right = std::make_unique<Shard>(mid->first);
+  // Move [median, end) into the new right shard; node handles keep the
+  // heap-allocated chains (and their addresses) intact.
+  while (mid != shard.index.end()) {
+    auto next = std::next(mid);
+    right->index.insert(shard.index.extract(mid));
+    mid = next;
+  }
+  shards_.insert(shards_.begin() + static_cast<ptrdiff_t>(idx) + 1,
+                 std::move(right));
 }
 
 std::optional<std::string> Table::NextKey(Slice key) const {
-  std::shared_lock<std::shared_mutex> guard(mutex_);
-  auto it = index_.upper_bound(std::string(key.view()));
-  if (it == index_.end()) return std::nullopt;
-  return it->first;
+  std::shared_lock<std::shared_mutex> route(routing_mu_);
+  for (size_t idx = RouteLocked(key.view()); idx < shards_.size(); ++idx) {
+    const Shard& shard = *shards_[idx];
+    shard.reads.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> guard(shard.mu);
+    auto it = shard.index.upper_bound(key.view());
+    if (it != shard.index.end()) return it->first;
+  }
+  return std::nullopt;
 }
 
 std::optional<std::string> Table::SeekCeil(Slice lo) const {
-  std::shared_lock<std::shared_mutex> guard(mutex_);
-  auto it = index_.lower_bound(std::string(lo.view()));
-  if (it == index_.end()) return std::nullopt;
-  return it->first;
+  std::shared_lock<std::shared_mutex> route(routing_mu_);
+  for (size_t idx = RouteLocked(lo.view()); idx < shards_.size(); ++idx) {
+    const Shard& shard = *shards_[idx];
+    shard.reads.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> guard(shard.mu);
+    auto it = shard.index.lower_bound(lo.view());
+    if (it != shard.index.end()) return it->first;
+  }
+  return std::nullopt;
 }
 
 void Table::CollectRange(Slice lo, Slice hi, std::vector<ScanEntry>* entries,
                          std::optional<std::string>* successor) const {
   entries->clear();
-  std::shared_lock<std::shared_mutex> guard(mutex_);
-  auto it = index_.lower_bound(std::string(lo.view()));
-  for (; it != index_.end(); ++it) {
-    if (Slice(it->first).compare(hi) > 0) break;
-    entries->push_back(ScanEntry{it->first, it->second.get()});
-  }
-  if (it == index_.end()) {
-    *successor = std::nullopt;
-  } else {
-    *successor = it->first;
+  *successor = std::nullopt;
+  std::shared_lock<std::shared_mutex> route(routing_mu_);
+  // Left-to-right over the contiguous shard ranges; the shared routing
+  // latch pins the partition, so the concatenation of per-shard segments
+  // is exactly the single-map iteration of the unsharded index.
+  const size_t start = RouteLocked(lo.view());
+  for (size_t idx = start; idx < shards_.size(); ++idx) {
+    const Shard& shard = *shards_[idx];
+    shard.reads.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> guard(shard.mu);
+    auto it = idx == start ? shard.index.lower_bound(lo.view())
+                           : shard.index.begin();
+    for (; it != shard.index.end(); ++it) {
+      if (Slice(it->first).compare(hi) > 0) {
+        *successor = it->first;
+        return;
+      }
+      entries->push_back(ScanEntry{it->first, it->second.get()});
+    }
   }
 }
 
 void Table::ForEachChain(
     const std::function<void(const std::string&, VersionChain*)>& fn) const {
-  std::shared_lock<std::shared_mutex> guard(mutex_);
-  for (const auto& [key, chain] : index_) {
-    fn(key, chain.get());
+  std::shared_lock<std::shared_mutex> route(routing_mu_);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    shard.reads.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> guard(shard.mu);
+    for (const auto& [key, chain] : shard.index) {
+      fn(key, chain.get());
+    }
   }
 }
 
+size_t Table::PruneShards(Timestamp min_read_ts) {
+  size_t freed = 0;
+  ForEachChain([&](const std::string&, VersionChain* chain) {
+    freed += chain->Prune(min_read_ts);
+  });
+  return freed;
+}
+
 size_t Table::EntryCount() const {
-  std::shared_lock<std::shared_mutex> guard(mutex_);
-  return index_.size();
+  std::shared_lock<std::shared_mutex> route(routing_mu_);
+  size_t n = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::shared_lock<std::shared_mutex> guard(shard_ptr->mu);
+    n += shard_ptr->index.size();
+  }
+  return n;
+}
+
+size_t Table::ShardCount() const {
+  std::shared_lock<std::shared_mutex> route(routing_mu_);
+  return shards_.size();
+}
+
+std::vector<TableShardStats> Table::ShardStats() const {
+  std::shared_lock<std::shared_mutex> route(routing_mu_);
+  std::vector<TableShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    TableShardStats s;
+    s.lower_bound = shard_ptr->lower;
+    {
+      std::shared_lock<std::shared_mutex> guard(shard_ptr->mu);
+      s.entries = shard_ptr->index.size();
+    }
+    s.reads = shard_ptr->reads.load(std::memory_order_relaxed);
+    s.writes = shard_ptr->writes.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 uint64_t Table::PageOf(Slice key, uint32_t rows_per_page) {

@@ -1,15 +1,36 @@
-// Table: an ordered index from key to version chain.
+// Table: an ordered index from key to version chain, range-partitioned
+// into shards.
 //
-// The index models a B+Tree leaf level: entries are never physically removed
-// during normal operation (deletes leave tombstone versions, §3.5), so the
-// key space seen by next-key/gap locking is stable. A shared_mutex protects
-// index structure; version chains carry their own latches. The index latch
-// is never held across lock-manager calls (scans collect (key, chain)
-// batches first), avoiding latch/lock deadlocks.
+// The index models a B+Tree leaf level: entries are never physically
+// removed during normal operation (deletes leave tombstone versions, §3.5),
+// so the key space seen by next-key/gap locking is stable.
+//
+// Sharding: the key space is partitioned into contiguous ranges, one shard
+// per range, each with its own shared_mutex and std::map. Because ranges
+// are contiguous and ordered, the concatenation of the shards *is* the
+// ordered index: Scan, NextKey and gap locking observe exactly the total
+// order of a single map. A table starts as one shard and splits a shard at
+// its median key once it exceeds a threshold, so hot tables spread across
+// latches without any a-priori knowledge of the key distribution (small
+// tables pay nothing).
+//
+// Latching protocol (never held across lock-manager calls — scans collect
+// (key, chain) batches first, avoiding latch/lock deadlocks):
+//   * routing_mu_ (shared_mutex): guards the shard directory. Every
+//     operation holds it SHARED for its whole duration; only a split takes
+//     it EXCLUSIVE. Splits are rare (amortized O(1/threshold) per insert),
+//     so the shared acquisition is effectively uncontended.
+//   * Shard::mu (shared_mutex): guards one shard's map. Reads take it
+//     shared, inserts exclusive. Acquired only while routing_mu_ is held
+//     shared; at most one shard latch is held at a time (range scans lock
+//     shards strictly left to right, one by one).
+// Version chains are heap-allocated and never freed, so chain pointers
+// remain valid across splits (only the owning map node moves).
 
 #ifndef SSIDB_STORAGE_TABLE_H_
 #define SSIDB_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -31,9 +52,24 @@ struct ScanEntry {
   VersionChain* chain;
 };
 
+/// Per-shard counters surfaced to benchmarks: how balanced the partition
+/// is and where latch traffic lands. Counters are relaxed atomics — each
+/// individually exact, mutually unordered.
+struct TableShardStats {
+  std::string lower_bound;  ///< Inclusive lower key of the shard's range.
+  size_t entries = 0;
+  uint64_t reads = 0;   ///< Shared-latch acquisitions.
+  uint64_t writes = 0;  ///< Exclusive-latch acquisitions.
+};
+
 class Table {
  public:
-  Table(TableId id, std::string name) : id_(id), name_(std::move(name)) {}
+  /// `split_threshold`: shard entry count that triggers a median split.
+  Table(TableId id, std::string name, size_t split_threshold = 1024);
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
 
   TableId id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -55,7 +91,8 @@ class Table {
 
   /// Collect every index entry with lo <= key <= hi (visible or not — the
   /// scan protocol applies the modified read to each, §3.5), plus the
-  /// successor key after hi in *successor (nullopt => supremum).
+  /// successor key after hi in *successor (nullopt => supremum). Shards are
+  /// visited in range order, one latch at a time.
   void CollectRange(Slice lo, Slice hi, std::vector<ScanEntry>* entries,
                     std::optional<std::string>* successor) const;
 
@@ -67,16 +104,50 @@ class Table {
   void ForEachChain(
       const std::function<void(const std::string&, VersionChain*)>& fn) const;
 
+  /// Per-shard version-prune sweep: for each shard in turn (one latch at a
+  /// time), drop versions unreachable by any snapshot >= min_read_ts.
+  /// Returns the number of versions freed.
+  size_t PruneShards(Timestamp min_read_ts);
+
+  /// Number of shards the key space is currently partitioned into.
+  size_t ShardCount() const;
+
+  /// Snapshot of the per-shard counters (benchmarks, balance diagnostics).
+  std::vector<TableShardStats> ShardStats() const;
+
   /// Page number of a key under kPage granularity. Keys produced by
   /// EncodeU64Key map contiguously (id / rows_per_page), modelling B+Tree
   /// leaf adjacency; other keys fall back to a coarse hash.
   static uint64_t PageOf(Slice key, uint32_t rows_per_page);
 
  private:
-  TableId id_;
-  std::string name_;
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, std::unique_ptr<VersionChain>, std::less<>> index_;
+  struct Shard {
+    explicit Shard(std::string lower_in) : lower(std::move(lower_in)) {}
+    /// Inclusive lower bound of this shard's key range. Immutable after
+    /// construction (a split creates a new shard; it never rewrites an
+    /// existing bound), so it is readable under the shared routing latch.
+    const std::string lower;
+    mutable std::shared_mutex mu;
+    std::map<std::string, std::unique_ptr<VersionChain>, std::less<>> index;
+    mutable std::atomic<uint64_t> reads{0};
+    mutable std::atomic<uint64_t> writes{0};
+  };
+
+  /// Index of the shard whose range contains `key`: the last shard whose
+  /// lower bound is <= key. Caller holds routing_mu_ (any mode).
+  size_t RouteLocked(std::string_view key) const;
+
+  /// Split shard-containing-`hint_key` at its median if it still exceeds
+  /// the threshold (re-checked under the exclusive routing latch).
+  void MaybeSplit(const std::string& hint_key);
+
+  const TableId id_;
+  const std::string name_;
+  const size_t split_threshold_;
+
+  mutable std::shared_mutex routing_mu_;
+  /// Shards ordered by lower bound; shards_[0].lower is always "".
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace ssidb

@@ -1,0 +1,478 @@
+#include "src/txn/executor.h"
+
+#include <cassert>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/encoding.h"
+
+namespace ssidb {
+
+Executor::Executor(const DBOptions& options, Catalog* catalog,
+                   TxnManager* txns, LockManager* locks,
+                   ConflictTracker* tracker, sgt::HistoryRecorder* history)
+    : options_(options),
+      catalog_(catalog),
+      txns_(txns),
+      locks_(locks),
+      tracker_(tracker),
+      history_(history) {}
+
+Status Executor::CheckUsable(TxnCtx& txn) {
+  if (txn.finished) {
+    return Status::TxnInvalid("transaction already finished");
+  }
+  if (txn.state->marked_for_abort.load(std::memory_order_acquire)) {
+    // §3.7.2: another transaction's conflict processing chose us as the
+    // victim; honour the mark at the next operation.
+    const Status reason = txn.state->abort_reason;
+    return AbortWith(txn, reason.ok() ? Status::Unsafe("marked for abort")
+                                      : reason);
+  }
+  return Status::OK();
+}
+
+void Executor::EnsureSnapshot(TxnCtx& txn) {
+  txns_->EnsureSnapshot(txn.state.get());
+  if (!txn.history_begin_recorded && history_ != nullptr) {
+    history_->Begin(txn.state->id, txn.state->read_ts.load());
+    txn.history_begin_recorded = true;
+  }
+}
+
+Status Executor::AbortWith(TxnCtx& txn, const Status& cause) {
+  txns_->Abort(txn.state);
+  if (!txn.finished && history_ != nullptr) {
+    history_->Abort(txn.state->id);
+  }
+  txn.finished = true;
+  return cause;
+}
+
+LockKey Executor::RowLockKey(TableId table, Slice key) const {
+  if (options_.granularity == LockGranularity::kPage) {
+    return LockKey{table, LockKind::kPage,
+                   EncodeU64Key(Table::PageOf(key, options_.rows_per_page))};
+  }
+  return LockKey{table, LockKind::kRow, key.ToString()};
+}
+
+LockKey Executor::GapLockKey(
+    TableId table, const std::optional<std::string>& next_key) const {
+  if (!next_key.has_value()) {
+    return LockKey{table, LockKind::kSupremum, ""};
+  }
+  return LockKey{table, LockKind::kGap, *next_key};
+}
+
+Status Executor::AcquireAndMark(TxnCtx& txn, const LockKey& lk,
+                                LockMode mode) {
+  TxnState* state = txn.state.get();
+  AcquireResult r = locks_->Acquire(state->id, lk, mode);
+  if (!r.status.ok()) {
+    return AbortWith(txn, r.status);
+  }
+  if (state->isolation == IsolationLevel::kSerializableSSI) {
+    for (TxnId other : r.rw_conflicts) {
+      Status st;
+      if (mode == LockMode::kExclusive) {
+        // Fig 3.5 line 4: the writer found SIREAD holders.
+        st = tracker_->OnWriterSawSIReadHolder(state, other);
+      } else if (mode == LockMode::kSIRead) {
+        // Fig 3.4 line 3: the reader found an EXCLUSIVE holder.
+        st = tracker_->OnReaderSawExclusiveHolder(state, other);
+      }
+      if (!st.ok()) {
+        return AbortWith(txn, st);
+      }
+    }
+  }
+  if (state->marked_for_abort.load(std::memory_order_acquire)) {
+    const Status reason = state->abort_reason;
+    return AbortWith(txn, reason.ok() ? Status::Unsafe("marked for abort")
+                                      : reason);
+  }
+  return Status::OK();
+}
+
+Status Executor::ReadChainAndMark(TxnCtx& txn, TableId table, Slice key,
+                                  VersionChain* chain, std::string* value,
+                                  ReadResult* out) {
+  TxnState* state = txn.state.get();
+  const bool locking_read =
+      state->isolation == IsolationLevel::kSerializable2PL;
+  const Timestamp read_ts =
+      locking_read ? kMaxTimestamp : state->read_ts.load();
+  if (chain != nullptr) {
+    *out = chain->Read(state->id, read_ts, value);
+  } else {
+    *out = ReadResult{};
+  }
+  if (state->isolation != IsolationLevel::kSerializableSSI) {
+    return Status::OK();
+  }
+  // Fig 3.4 lines 8-9: every ignored newer committed version is an
+  // rw-antidependency from this reader to its creator.
+  for (const NewerVersionInfo& n : out->newer) {
+    Status st =
+        tracker_->MarkReadOfNewerVersion(state, n.creator_txn_id, n.commit_ts);
+    if (!st.ok()) {
+      return AbortWith(txn, st);
+    }
+  }
+  if (options_.granularity == LockGranularity::kPage) {
+    // §4.2: Berkeley DB versions whole pages, so reading any row of a page
+    // whose newest committed page version postdates the snapshot is a
+    // conflict with that version's creator — even if the row itself is
+    // unchanged. This is the source of the paper's page-level false
+    // positives (§6.1.5).
+    const LockKey page = RowLockKey(table, key);
+    Timestamp ts = 0;
+    TxnId creator = 0;
+    if (txns_->PageLastWrite(page, &ts, &creator) && ts > read_ts &&
+        creator != state->id) {
+      Status st = tracker_->MarkReadOfNewerVersion(state, creator, ts);
+      if (!st.ok()) {
+        return AbortWith(txn, st);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Executor::Get(TxnCtx& txn, TableId table, Slice key,
+                     std::string* value) {
+  Status st = CheckUsable(txn);
+  if (!st.ok()) return st;
+  Table* t = catalog_->table(table);
+  if (t == nullptr) return Status::InvalidArgument("unknown table");
+  TxnState* state = txn.state.get();
+
+  switch (state->isolation) {
+    case IsolationLevel::kSerializable2PL:
+      EnsureSnapshot(txn);
+      st = AcquireAndMark(txn, RowLockKey(table, key), LockMode::kShared);
+      break;
+    case IsolationLevel::kSerializableSSI:
+      EnsureSnapshot(txn);
+      st = AcquireAndMark(txn, RowLockKey(table, key), LockMode::kSIRead);
+      break;
+    case IsolationLevel::kSnapshot:
+      EnsureSnapshot(txn);
+      break;
+  }
+  if (!st.ok()) return st;
+
+  VersionChain* chain = t->Find(key);
+  ReadResult rr;
+  st = ReadChainAndMark(txn, table, key, chain, value, &rr);
+  if (!st.ok()) return st;
+
+  if (history_ != nullptr) {
+    history_->Read(state->id, table, key, rr.version_cts, rr.own_write);
+  }
+  return rr.found ? Status::OK() : Status::NotFound();
+}
+
+Status Executor::GetForUpdate(TxnCtx& txn, TableId table, Slice key,
+                              std::string* value) {
+  Status st = CheckUsable(txn);
+  if (!st.ok()) return st;
+  Table* t = catalog_->table(table);
+  if (t == nullptr) return Status::InvalidArgument("unknown table");
+  TxnState* state = txn.state.get();
+
+  // The write protocol's front half (§2.6.2 promotion semantics): lock
+  // first, snapshot after (§4.5), then verify first-committer-wins. The
+  // exclusive lock is held to commit, so the read "promotes" to an update
+  // from every concurrent transaction's point of view.
+  const LockKey row_lk = RowLockKey(table, key);
+  st = AcquireAndMark(txn, row_lk, LockMode::kExclusive);
+  if (!st.ok()) return st;
+  EnsureSnapshot(txn);
+
+  VersionChain* chain = t->Find(key);
+  if (chain != nullptr &&
+      state->isolation != IsolationLevel::kSerializable2PL) {
+    st = CheckFirstCommitterWins(txn, chain, row_lk);
+    if (!st.ok()) return AbortWith(txn, st);
+  }
+
+  std::string local;
+  if (value == nullptr) value = &local;
+  ReadResult rr;
+  st = ReadChainAndMark(txn, table, key, chain, value, &rr);
+  if (!st.ok()) return st;
+  if (history_ != nullptr) {
+    history_->Read(state->id, table, key, rr.version_cts, rr.own_write);
+  }
+  if (rr.found && !rr.own_write) {
+    // Oracle semantics (§2.6.2): the locking read is "treated for
+    // concurrency control exactly like an update" — install an identity
+    // version so a concurrent writer's first-committer-wins check sees
+    // this transaction's commit. Without it, the PostgreSQL interleaving
+    // the paper documents (SFU commits, concurrent write slips through)
+    // would be admitted.
+    bool replaced_own = false;
+    Version* v = chain->InstallUncommitted(state->id, *value,
+                                           /*tombstone=*/false,
+                                           &replaced_own);
+    if (!replaced_own) {
+      state->write_set.push_back(
+          TxnState::WriteRecord{table, key.ToString(), chain, v});
+    }
+    if (options_.granularity == LockGranularity::kPage && !replaced_own) {
+      state->page_writes.push_back(row_lk);
+    }
+    if (history_ != nullptr) {
+      history_->Write(state->id, table, key, /*tombstone=*/false);
+    }
+  }
+  return rr.found ? Status::OK() : Status::NotFound();
+}
+
+Status Executor::CheckFirstCommitterWins(TxnCtx& txn, VersionChain* chain,
+                                         const LockKey& row_lk) {
+  const Timestamp read_ts = txn.state->read_ts.load();
+  if (chain->HasCommittedVersionAfter(read_ts)) {
+    return Status::UpdateConflict("newer committed version");
+  }
+  if (options_.granularity == LockGranularity::kPage &&
+      txns_->PageLastWriteTs(row_lk) > read_ts) {
+    // §4.2: Berkeley DB applies first-committer-wins per page.
+    return Status::UpdateConflict("page modified since snapshot");
+  }
+  return Status::OK();
+}
+
+Status Executor::WriteImpl(TxnCtx& txn, TableId table, Slice key, Slice value,
+                           WriteKind kind) {
+  Status st = CheckUsable(txn);
+  if (!st.ok()) return st;
+  Table* t = catalog_->table(table);
+  if (t == nullptr) return Status::InvalidArgument("unknown table");
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  TxnState* state = txn.state.get();
+
+  const bool new_index_entry = t->Find(key) == nullptr;
+  const LockKey row_lk = RowLockKey(table, key);
+
+  // §4.5: the exclusive lock is acquired *before* the snapshot is chosen,
+  // so a single-statement update always sees the latest committed version
+  // and never aborts under first-committer-wins.
+  st = AcquireAndMark(txn, row_lk, LockMode::kExclusive);
+  if (!st.ok()) return st;
+
+  if (new_index_entry && options_.granularity == LockGranularity::kRow) {
+    // Fig 3.7: inserts take the gap lock on next(key) — an insert-intention
+    // exclusive that conflicts with scanners' gap locks but not with other
+    // inserts into the same gap (InnoDB semantics). Page locks subsume
+    // phantoms in kPage mode (§3.5).
+    st = AcquireAndMark(txn, GapLockKey(table, t->NextKey(key)),
+                        LockMode::kExclusive);
+    if (!st.ok()) return st;
+  }
+
+  EnsureSnapshot(txn);
+
+  VersionChain* chain = t->GetOrCreate(key);
+
+  if (state->isolation != IsolationLevel::kSerializable2PL) {
+    st = CheckFirstCommitterWins(txn, chain, row_lk);
+    if (!st.ok()) return AbortWith(txn, st);
+  }
+
+  // Visibility-dependent semantics: duplicate detection for Insert,
+  // existence for Delete. These return without aborting — statement-level
+  // errors the application may handle (SmallBank rolls back explicitly on
+  // unknown customer names, §2.8.3).
+  if (kind != WriteKind::kUpsert) {
+    const Timestamp read_ts =
+        state->isolation == IsolationLevel::kSerializable2PL
+            ? kMaxTimestamp
+            : state->read_ts.load();
+    ReadResult rr = chain->Read(state->id, read_ts, nullptr);
+    if (kind == WriteKind::kInsert && rr.found) {
+      return Status::DuplicateKey();
+    }
+    if (kind == WriteKind::kDelete && !rr.found) {
+      return Status::NotFound();
+    }
+  }
+
+  bool replaced_own = false;
+  Version* v = chain->InstallUncommitted(
+      state->id, value, kind == WriteKind::kDelete, &replaced_own);
+  if (!replaced_own) {
+    state->write_set.push_back(
+        TxnState::WriteRecord{table, key.ToString(), chain, v});
+    // Inline GC: drop versions no active snapshot can reach.
+    chain->Prune(txns_->min_active_read_ts());
+  }
+  if (options_.granularity == LockGranularity::kPage && !replaced_own) {
+    state->page_writes.push_back(row_lk);
+  }
+
+  if (history_ != nullptr) {
+    history_->Write(state->id, table, key, kind == WriteKind::kDelete);
+  }
+  return Status::OK();
+}
+
+Status Executor::Put(TxnCtx& txn, TableId table, Slice key, Slice value) {
+  return WriteImpl(txn, table, key, value, WriteKind::kUpsert);
+}
+
+Status Executor::Insert(TxnCtx& txn, TableId table, Slice key, Slice value) {
+  return WriteImpl(txn, table, key, value, WriteKind::kInsert);
+}
+
+Status Executor::Delete(TxnCtx& txn, TableId table, Slice key) {
+  return WriteImpl(txn, table, key, Slice(), WriteKind::kDelete);
+}
+
+Status Executor::Scan(TxnCtx& txn, TableId table, Slice lo, Slice hi,
+                      const ScanCallback& fn) {
+  Status st = CheckUsable(txn);
+  if (!st.ok()) return st;
+  Table* t = catalog_->table(table);
+  if (t == nullptr) return Status::InvalidArgument("unknown table");
+  if (hi.compare(lo) < 0) return Status::InvalidArgument("hi < lo");
+  TxnState* state = txn.state.get();
+
+  const IsolationLevel iso = state->isolation;
+  EnsureSnapshot(txn);
+
+  std::vector<ScanEntry> entries;
+  std::optional<std::string> successor;
+  t->CollectRange(lo, hi, &entries, &successor);
+
+  const bool take_locks = iso != IsolationLevel::kSnapshot;
+  const LockMode mode = iso == IsolationLevel::kSerializable2PL
+                            ? LockMode::kShared
+                            : LockMode::kSIRead;
+
+  if (take_locks) {
+    if (options_.granularity == LockGranularity::kRow) {
+      // Next-key locking (§2.5.2 / Fig 3.6): each visited entry gets a row
+      // lock plus the gap below it; the gap below the successor protects
+      // (last entry, successor), so inserts anywhere in [lo, hi] conflict.
+      for (const ScanEntry& e : entries) {
+        st = AcquireAndMark(txn, RowLockKey(table, e.key), mode);
+        if (!st.ok()) return st;
+        st = AcquireAndMark(txn, LockKey{table, LockKind::kGap, e.key}, mode);
+        if (!st.ok()) return st;
+      }
+      st = AcquireAndMark(txn, GapLockKey(table, successor), mode);
+      if (!st.ok()) return st;
+    } else {
+      // Page granularity: lock every page that holds an entry, plus the
+      // pages of the range bounds (covers empty ranges).
+      std::unordered_set<uint64_t> pages;
+      pages.insert(Table::PageOf(lo, options_.rows_per_page));
+      pages.insert(Table::PageOf(hi, options_.rows_per_page));
+      for (const ScanEntry& e : entries) {
+        pages.insert(Table::PageOf(e.key, options_.rows_per_page));
+      }
+      for (uint64_t p : pages) {
+        st = AcquireAndMark(txn, LockKey{table, LockKind::kPage, EncodeU64Key(p)},
+                            mode);
+        if (!st.ok()) return st;
+      }
+    }
+
+    // Close the collect/lock race: an insert that committed and released
+    // its gap lock between CollectRange and our acquisitions is invisible
+    // to the lock table, but its version's commit timestamp postdates our
+    // snapshot, so a second collection plus the modified read detects the
+    // rw-conflict. Inserts *after* our gap locks are caught by the lock
+    // table (the writer's probe sees our SIREAD/S locks).
+    std::vector<ScanEntry> recheck;
+    std::optional<std::string> successor2;
+    t->CollectRange(lo, hi, &recheck, &successor2);
+    if (recheck.size() != entries.size()) {
+      if (options_.granularity == LockGranularity::kRow) {
+        std::unordered_set<std::string_view> known;
+        for (const ScanEntry& e : entries) known.insert(e.key);
+        for (const ScanEntry& e : recheck) {
+          if (known.count(e.key) > 0) continue;
+          st = AcquireAndMark(txn, RowLockKey(table, e.key), mode);
+          if (!st.ok()) return st;
+          st = AcquireAndMark(txn, LockKey{table, LockKind::kGap, e.key},
+                              mode);
+          if (!st.ok()) return st;
+        }
+      }
+      entries = std::move(recheck);
+    }
+  }
+
+  const Timestamp scan_snapshot = iso == IsolationLevel::kSerializable2PL
+                                      ? txns_->clock_now()
+                                      : state->read_ts.load();
+
+  std::string value;
+  for (const ScanEntry& e : entries) {
+    ReadResult rr;
+    st = ReadChainAndMark(txn, table, e.key, e.chain, &value, &rr);
+    if (!st.ok()) return st;
+    if (history_ != nullptr) {
+      history_->Read(state->id, table, e.key, rr.version_cts, rr.own_write);
+    }
+    if (rr.found) {
+      if (!fn(e.key, value)) break;
+    }
+  }
+
+  if (history_ != nullptr) {
+    history_->Scan(state->id, table, lo, hi, scan_snapshot);
+  }
+  return Status::OK();
+}
+
+Status Executor::Commit(TxnCtx& txn) {
+  if (txn.finished) {
+    return Status::TxnInvalid("transaction already finished");
+  }
+  TxnState* state = txn.state.get();
+  // Serialize the redo blob: the write set in table/key/value form.
+  std::string payload;
+  PutBig32(&payload, static_cast<uint32_t>(state->write_set.size()));
+  for (const TxnState::WriteRecord& w : state->write_set) {
+    PutBig32(&payload, w.table);
+    PutLengthPrefixed(&payload, w.key);
+    payload.push_back(w.version->tombstone ? 1 : 0);
+    PutLengthPrefixed(&payload, w.version->value);
+  }
+
+  TxnManager::CommitCheck check;
+  if (state->isolation == IsolationLevel::kSerializableSSI) {
+    ConflictTracker* tracker = tracker_;
+    check = [tracker](TxnState* t) { return tracker->CommitCheck(t); };
+  }
+
+  const Status st = txns_->Commit(txn.state, check, std::move(payload));
+  txn.finished = true;
+  if (history_ != nullptr) {
+    if (st.ok()) {
+      history_->Commit(state->id, state->commit_ts.load());
+    } else {
+      history_->Abort(state->id);
+    }
+  }
+  return st;
+}
+
+Status Executor::Abort(TxnCtx& txn) {
+  if (txn.finished) {
+    return Status::OK();
+  }
+  txns_->Abort(txn.state);
+  if (history_ != nullptr) {
+    history_->Abort(txn.state->id);
+  }
+  txn.finished = true;
+  return Status::OK();
+}
+
+}  // namespace ssidb

@@ -1,0 +1,126 @@
+// Executor: the operation protocols of the three concurrency-control
+// modes, extracted from the DB monolith.
+//
+// Every operation follows the paper's modified pseudocode:
+//   read   - Fig 3.4: SIREAD lock, probe EXCLUSIVE holders, snapshot read,
+//            mark conflicts with creators of ignored newer versions.
+//   write  - Fig 3.5: EXCLUSIVE lock, probe SIREAD holders, then the
+//            first-committer-wins check and version install.
+//   scan   - Fig 3.6: the modified read applied to every index entry in
+//            range plus gap locks (phantom detection).
+//   insert/delete - Fig 3.7: gap EXCLUSIVE on next(key) plus the write.
+//   commit - Fig 3.2/3.10 via the ConflictTracker hook.
+//
+// S2PL uses the same code paths with blocking kShared/kExclusive locks and
+// latest-committed reads; SI takes no read locks at all.
+//
+// The executor is a stateless per-engine service over the lower layers
+// (catalog/storage, lock manager, transaction manager, SSI tracker,
+// history oracle) — it does not know the DB façade. Per-transaction
+// client-side state travels in a TxnCtx owned by the façade's Transaction
+// handle; one TxnCtx is driven by a single thread.
+
+#ifndef SSIDB_TXN_EXECUTOR_H_
+#define SSIDB_TXN_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/options.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/lock/lock_manager.h"
+#include "src/sgt/history.h"
+#include "src/ssi/conflict_tracker.h"
+#include "src/storage/catalog.h"
+#include "src/txn/txn_manager.h"
+
+namespace ssidb {
+
+/// Predicate-read callback: receives each visible key/value; returning
+/// false stops the iteration early (locks already taken are kept).
+using ScanCallback = std::function<bool(Slice key, Slice value)>;
+
+class Executor {
+ public:
+  /// Client-side transaction context: the engine state handle plus the
+  /// single-threaded bookkeeping the public Transaction object carries.
+  struct TxnCtx {
+    std::shared_ptr<TxnState> state;
+    bool finished = false;
+    bool history_begin_recorded = false;
+  };
+
+  /// `history` may be null (DBOptions::record_history unset).
+  Executor(const DBOptions& options, Catalog* catalog, TxnManager* txns,
+           LockManager* locks, ConflictTracker* tracker,
+           sgt::HistoryRecorder* history);
+
+  Status Get(TxnCtx& txn, TableId table, Slice key, std::string* value);
+  Status GetForUpdate(TxnCtx& txn, TableId table, Slice key,
+                      std::string* value);
+  Status Put(TxnCtx& txn, TableId table, Slice key, Slice value);
+  Status Insert(TxnCtx& txn, TableId table, Slice key, Slice value);
+  Status Delete(TxnCtx& txn, TableId table, Slice key);
+  Status Scan(TxnCtx& txn, TableId table, Slice lo, Slice hi,
+              const ScanCallback& fn);
+  Status Commit(TxnCtx& txn);
+  Status Abort(TxnCtx& txn);
+
+ private:
+  /// Pre-flight for every operation: reject finished transactions, honour
+  /// an asynchronous victim mark (§3.7.2) by aborting now.
+  Status CheckUsable(TxnCtx& txn);
+
+  /// Assign the read snapshot if still unassigned, per the §4.5 rule
+  /// (after the first statement's locks), and record history Begin once.
+  void EnsureSnapshot(TxnCtx& txn);
+
+  /// Abort and return `cause` (the paper's "abort as soon as the problem
+  /// is discovered", §3.7.1).
+  Status AbortWith(TxnCtx& txn, const Status& cause);
+
+  /// Lock key for a row operation under the configured granularity:
+  /// the row itself (kRow) or its page bucket (kPage, §4.1).
+  LockKey RowLockKey(TableId table, Slice key) const;
+  /// Gap lock key protecting the open interval below `next_key`;
+  /// `next_key` == nullopt means the table's supremum gap (Fig 3.6/3.7).
+  LockKey GapLockKey(TableId table,
+                     const std::optional<std::string>& next_key) const;
+
+  /// Acquire `mode` on `lk` and route any rw-conflict evidence to the SSI
+  /// tracker (Fig 3.4 line 3 / Fig 3.5 line 4). Aborts this transaction on
+  /// deadlock/timeout/unsafe and returns the cause.
+  Status AcquireAndMark(TxnCtx& txn, const LockKey& lk, LockMode mode);
+
+  /// The paper's modified read applied to one chain: snapshot-read (or
+  /// latest-committed for S2PL) and mark rw-conflicts with creators of
+  /// ignored newer versions (Fig 3.4 lines 8-9).
+  Status ReadChainAndMark(TxnCtx& txn, TableId table, Slice key,
+                          VersionChain* chain, std::string* value,
+                          ReadResult* out);
+
+  /// First-committer-wins check (§2.5/§4.2) for a write to `chain`; in
+  /// page mode also consults the page write table. Call with the exclusive
+  /// lock held and the snapshot assigned.
+  Status CheckFirstCommitterWins(TxnCtx& txn, VersionChain* chain,
+                                 const LockKey& row_lk);
+
+  /// Shared body of Put/Insert/Delete.
+  enum class WriteKind { kUpsert, kInsert, kDelete };
+  Status WriteImpl(TxnCtx& txn, TableId table, Slice key, Slice value,
+                   WriteKind kind);
+
+  const DBOptions options_;
+  Catalog* const catalog_;
+  TxnManager* const txns_;
+  LockManager* const locks_;
+  ConflictTracker* const tracker_;
+  sgt::HistoryRecorder* const history_;
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_TXN_EXECUTOR_H_

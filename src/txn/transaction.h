@@ -3,9 +3,15 @@
 // Mirrors the paper's transaction object: begin/commit timestamps, status,
 // and the Serializable SI book-keeping — inConflict/outConflict as either
 // booleans (Fig 3.1, basic algorithm) or transaction references
-// (Fig 3.9/3.10, the precise variant). All conflict fields are guarded by
-// the TxnManager's system mutex (the paper's "atomic begin/end" blocks,
-// §3.2/§4.4).
+// (Fig 3.9/3.10, the precise variant). Conflict fields and the
+// active→committed/aborted status transition are guarded by the
+// per-transaction `ssi_mu` latch. The paper's global "atomic begin/end"
+// blocks (§3.2/§4.4) are realized *pairwise*: conflict marking locks the
+// latches of both endpoints in transaction-id order, and the commit-time
+// dangerous-structure check runs under the committing transaction's own
+// latch, so every marking serializes with every status transition it can
+// observe — without a system-wide mutex (the PostgreSQL SSI partitioning
+// strategy, Ports & Grittner VLDB 2012).
 //
 // A committed transaction that still holds SIREAD locks is *suspended*
 // (§3.3): its TxnState stays registered so later conflicts can be detected,
@@ -16,6 +22,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/common/options.h"
@@ -89,14 +96,22 @@ struct TxnState {
 
   std::atomic<TxnStatus> status{TxnStatus::kActive};
 
-  /// Set (under the system mutex) when another transaction's conflict
-  /// processing selected this transaction as a victim; honoured at the
-  /// next operation or at commit.
+  /// Set (under this transaction's ssi_mu) when another transaction's
+  /// conflict processing selected this transaction as a victim; honoured at
+  /// the next operation or at commit.
   std::atomic<bool> marked_for_abort{false};
-  /// Why the mark was set; read after marked_for_abort observes true.
+  /// Why the mark was set; written before the release store of
+  /// marked_for_abort, read only after an acquire load observes true.
   Status abort_reason;
 
-  // --- Serializable SI conflict state (guarded by the system mutex). ---
+  /// Per-transaction latch: guards the conflict state below and the
+  /// active→committed/aborted transition of `status`. Lock ordering: when
+  /// two transactions' latches are needed (pairwise conflict marking),
+  /// acquire in ascending txn-id order; ssi_mu is acquired before the
+  /// TxnManager's commit-window and registry mutexes, never after.
+  std::mutex ssi_mu;
+
+  // --- Serializable SI conflict state (guarded by ssi_mu). ---
   /// Basic algorithm (Fig 3.1): booleans.
   bool in_conflict_flag = false;
   bool out_conflict_flag = false;

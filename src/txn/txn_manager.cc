@@ -11,40 +11,45 @@ TxnManager::TxnManager(const DBOptions& options, LockManager* lock_manager,
       log_manager_(log_manager) {}
 
 std::shared_ptr<TxnState> TxnManager::Begin(IsolationLevel isolation) {
-  std::lock_guard<std::mutex> guard(system_mu_);
+  // Lock-free id allocation; ids and commit timestamps share the clock
+  // domain so a transaction id doubles as a begin event.
   const TxnId id = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto txn = std::make_shared<TxnState>(id, isolation);
   const bool defer_snapshot =
       options_.late_snapshot && isolation != IsolationLevel::kSerializable2PL;
+  std::lock_guard<std::mutex> guard(registry_mu_);
   if (!defer_snapshot) {
-    txn->read_ts.store(clock_.load(std::memory_order_relaxed));
+    txn->read_ts.store(stable_ts(), std::memory_order_release);
   }
   registry_.emplace(id, txn);
   active_.insert(txn.get());
-  min_active_read_ts_.store(MinActiveBeginLocked(),
-                            std::memory_order_relaxed);
+  RecomputeMinLocked();
   return txn;
 }
 
 void TxnManager::EnsureSnapshot(TxnState* txn) {
   if (txn->read_ts.load(std::memory_order_acquire) != 0) return;
-  std::lock_guard<std::mutex> guard(system_mu_);
+  // The snapshot is the stable watermark: every commit at or below it has
+  // finished stamping its versions, so the snapshot is consistent without
+  // any global lock. The registry mutex only covers the prune-threshold
+  // recomputation (a new, older snapshot may lower it).
+  std::lock_guard<std::mutex> guard(registry_mu_);
   if (txn->read_ts.load(std::memory_order_relaxed) != 0) return;
-  txn->read_ts.store(clock_.load(std::memory_order_relaxed),
-                     std::memory_order_release);
-  min_active_read_ts_.store(MinActiveBeginLocked(),
-                            std::memory_order_relaxed);
+  txn->read_ts.store(stable_ts(), std::memory_order_release);
+  RecomputeMinLocked();
 }
 
-std::shared_ptr<TxnState> TxnManager::FindLocked(TxnId id) const {
+std::shared_ptr<TxnState> TxnManager::Find(TxnId id) const {
+  std::lock_guard<std::mutex> guard(registry_mu_);
   auto it = registry_.find(id);
   return it == registry_.end() ? nullptr : it->second;
 }
 
-Timestamp TxnManager::MinActiveBeginLocked() const {
+Timestamp TxnManager::MinActiveSnapshotLocked() const {
   // Transactions with an unassigned (late) snapshot do not constrain the
-  // minimum: their eventual read_ts will be >= the current clock.
-  Timestamp min_ts = clock_.load(std::memory_order_relaxed);
+  // minimum: their eventual read_ts will be >= the current stable
+  // watermark, which is the base and is monotonic.
+  Timestamp min_ts = stable_ts();
   for (const TxnState* t : active_) {
     const Timestamp ts = t->read_ts.load(std::memory_order_relaxed);
     if (ts != 0 && ts < min_ts) min_ts = ts;
@@ -52,42 +57,119 @@ Timestamp TxnManager::MinActiveBeginLocked() const {
   return min_ts;
 }
 
-void TxnManager::DeactivateLocked(TxnState* txn) {
-  active_.erase(txn);
-  min_active_read_ts_.store(MinActiveBeginLocked(),
+void TxnManager::RecomputeMinLocked() {
+  min_active_read_ts_.store(MinActiveSnapshotLocked(),
                             std::memory_order_relaxed);
+}
+
+bool TxnManager::AdvanceStableLocked() {
+  const Timestamp new_stable =
+      inflight_commits_.empty() ? clock_.load(std::memory_order_relaxed)
+                                : *inflight_commits_.begin() - 1;
+  // Monotonic: a concurrent retire may already have advanced further.
+  if (new_stable > stable_ts_.load(std::memory_order_relaxed)) {
+    stable_ts_.store(new_stable, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+void TxnManager::RetireCommit(Timestamp commit_ts) {
+  {
+    std::lock_guard<std::mutex> guard(window_mu_);
+    inflight_commits_.erase(commit_ts);
+    AdvanceStableLocked();
+  }
+  window_cv_.notify_all();
+}
+
+void TxnManager::TryAdvanceStable() {
+  // Read-only commits bypass the in-flight window, so nothing retires on
+  // their behalf and the watermark would lag their timestamps forever —
+  // pinning them on the suspended list. Cleanup pulls the watermark up to
+  // the clock whenever no unstamped commit bounds it.
+  bool advanced;
+  {
+    std::lock_guard<std::mutex> guard(window_mu_);
+    advanced = AdvanceStableLocked();
+  }
+  if (advanced) window_cv_.notify_all();
+}
+
+void TxnManager::WaitStable(Timestamp commit_ts) {
+  if (stable_ts() >= commit_ts) return;
+  std::unique_lock<std::mutex> guard(window_mu_);
+  window_cv_.wait(guard, [&] {
+    return stable_ts_.load(std::memory_order_relaxed) >= commit_ts;
+  });
 }
 
 Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
                           const CommitCheck& check, std::string log_payload) {
   Timestamp commit_ts = 0;
+  Status abort_cause;
+  bool must_abort = false;
+  // A commit with nothing to stamp never enters the in-flight window and
+  // never waits on the watermark: read-only transactions publish nothing.
+  const bool has_writes =
+      !txn->write_set.empty() || !txn->page_writes.empty();
   {
-    std::unique_lock<std::mutex> guard(system_mu_);
+    // The transaction's own latch makes the dangerous-structure check
+    // atomic with the committed transition: concurrent conflict marking
+    // locks both endpoints' latches, so it either completes before the
+    // check (and is seen) or observes the committed status afterwards.
+    std::lock_guard<std::mutex> latch(txn->ssi_mu);
     if (txn->status.load(std::memory_order_relaxed) != TxnStatus::kActive) {
       return Status::TxnInvalid("commit of finished transaction");
     }
-    if (txn->marked_for_abort.load(std::memory_order_relaxed)) {
+    if (txn->marked_for_abort.load(std::memory_order_acquire)) {
       const Status reason = txn->abort_reason;
-      guard.unlock();
-      AbortInternal(txn);
-      return reason.ok() ? Status::Unsafe("marked for abort") : reason;
-    }
-    if (check) {
-      // Fig 3.2 / Fig 3.10: the dangerous-structure test, atomic with the
-      // transition to the committed state.
-      const Status st = check(txn.get());
-      if (!st.ok()) {
-        guard.unlock();
-        AbortInternal(txn);
-        return st;
+      abort_cause = reason.ok() ? Status::Unsafe("marked for abort") : reason;
+      must_abort = true;
+    } else {
+      // The check and the commit-timestamp publication must be one atomic
+      // unit with respect to every other committing transaction, or a
+      // pivot's check could observe its out-partner as "not committed"
+      // while that partner wins a *smaller* timestamp — the dangerous
+      // structure would go undetected (the seed's system mutex gave this
+      // for free; PostgreSQL's SSI serializes commits the same way with
+      // SerializableXactHashLock). window_mu_ is that unit: a partner's
+      // commit_ts is either already published here, or will be allocated
+      // after ours and cannot have committed first.
+      std::unique_lock<std::mutex> window(window_mu_, std::defer_lock);
+      if (check || has_writes) window.lock();
+      if (check) {
+        // Fig 3.2 / Fig 3.10: the dangerous-structure test, atomic with
+        // the transition to the committed state.
+        const Status st = check(txn.get());
+        if (!st.ok()) {
+          abort_cause = st;
+          must_abort = true;
+        }
+      }
+      if (!must_abort) {
+        commit_ts = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (has_writes) inflight_commits_.insert(commit_ts);
+        txn->commit_ts.store(commit_ts, std::memory_order_release);
       }
     }
-    commit_ts = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
-    txn->commit_ts.store(commit_ts, std::memory_order_release);
+    if (!must_abort) {
+      txn->status.store(TxnStatus::kCommitted, std::memory_order_release);
+    }
+  }
+  if (must_abort) {
+    AbortInternal(txn);
+    return abort_cause;
+  }
+
+  if (has_writes) {
+    // Stamp the new versions. The row EXCLUSIVE locks are still held, so
+    // no first-committer-wins check can interleave with the stamping of
+    // any individual chain; the watermark keeps snapshots away from the
+    // commit as a whole until it retires from the window.
     for (const TxnState::WriteRecord& w : txn->write_set) {
       w.version->commit_ts.store(commit_ts, std::memory_order_release);
     }
-    txn->status.store(TxnStatus::kCommitted, std::memory_order_release);
     if (!txn->page_writes.empty()) {
       std::lock_guard<std::mutex> page_guard(page_mu_);
       for (const LockKey& pk : txn->page_writes) {
@@ -95,7 +177,23 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
         if (commit_ts > slot.ts) slot = PageWrite{commit_ts, txn->id};
       }
     }
-    DeactivateLocked(txn.get());
+    RetireCommit(commit_ts);
+    // Do not acknowledge (or release this commit's locks) before the
+    // watermark covers it: once Commit returns, any transaction the
+    // client starts — and any writer that acquires a lock this commit
+    // held — must get a snapshot that includes it. This is what keeps the
+    // §4.5 "single-statement updates never abort under
+    // first-committer-wins" invariant true with watermark snapshots: a
+    // key's exclusive lock is only released once every committed version
+    // of it is below the watermark, so lock-then-snapshot always sees the
+    // newest version.
+    WaitStable(commit_ts);
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(registry_mu_);
+    active_.erase(txn.get());
+    RecomputeMinLocked();
     // Retain the transaction until nothing concurrent remains (§3.3); its
     // versions and conflict state may be consulted by overlapping
     // transactions. Cleanup releases it.
@@ -139,12 +237,19 @@ void TxnManager::Abort(const std::shared_ptr<TxnState>& txn) {
 
 void TxnManager::AbortInternal(const std::shared_ptr<TxnState>& txn) {
   {
-    std::lock_guard<std::mutex> guard(system_mu_);
+    // Status transitions happen under the latch so conflict marking never
+    // races with them (a marker holding this latch sees either kActive or
+    // the final state, never a torn transition).
+    std::lock_guard<std::mutex> latch(txn->ssi_mu);
     if (txn->status.load(std::memory_order_relaxed) != TxnStatus::kActive) {
       return;
     }
     txn->status.store(TxnStatus::kAborted, std::memory_order_release);
-    DeactivateLocked(txn.get());
+  }
+  {
+    std::lock_guard<std::mutex> guard(registry_mu_);
+    active_.erase(txn.get());
+    RecomputeMinLocked();
     registry_.erase(txn->id);
   }
   // Roll back uncommitted versions while still holding the write locks, so
@@ -157,10 +262,14 @@ void TxnManager::AbortInternal(const std::shared_ptr<TxnState>& txn) {
 }
 
 void TxnManager::CleanupSuspended() {
+  TryAdvanceStable();
   std::vector<std::shared_ptr<TxnState>> expired;
   {
-    std::lock_guard<std::mutex> guard(system_mu_);
-    const Timestamp cutoff = MinActiveBeginLocked();
+    std::lock_guard<std::mutex> guard(registry_mu_);
+    // A suspended transaction is released once every active transaction's
+    // snapshot (and every future snapshot: >= the stable watermark, the
+    // base of the minimum) is at or past its commit — no overlap remains.
+    const Timestamp cutoff = MinActiveSnapshotLocked();
     auto it = suspended_.begin();
     while (it != suspended_.end() && it->first <= cutoff) {
       expired.push_back(it->second);
@@ -190,12 +299,12 @@ bool TxnManager::PageLastWrite(const LockKey& page_key, Timestamp* ts,
 }
 
 size_t TxnManager::active_count() const {
-  std::lock_guard<std::mutex> guard(system_mu_);
+  std::lock_guard<std::mutex> guard(registry_mu_);
   return active_.size();
 }
 
 size_t TxnManager::suspended_count() const {
-  std::lock_guard<std::mutex> guard(system_mu_);
+  std::lock_guard<std::mutex> guard(registry_mu_);
   return suspended_.size();
 }
 

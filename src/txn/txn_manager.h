@@ -1,12 +1,28 @@
 // TxnManager: transaction lifecycle, timestamps, suspension and cleanup.
 //
-// One global "system mutex" plays the role the paper assigns to the
-// DBMS-internal latches (§3.2: the atomic blocks; §4.4: InnoDB's kernel
-// mutex): it serializes snapshot allocation, commit-timestamp assignment
-// with version stamping, conflict-flag manipulation and the commit-time
-// dangerous-structure check. Coarse but faithful — the paper explicitly
-// observes that InnoDB's single kernel mutex bounds lock-manager
-// scalability (§6.4).
+// The seed faithfully mirrored the paper's single "system mutex" (§3.2's
+// atomic blocks; §4.4's InnoDB kernel mutex): every begin, snapshot and
+// commit-timestamp assignment, and conflict-flag mutation serialized
+// through one lock — the bottleneck the paper itself observes bounds
+// InnoDB's scalability (§6.4). That mutex is now split into three
+// independent pieces, so no Get/Put/Scan ever takes a global lock:
+//
+//   * Timestamps: a lock-free atomic counter (`clock_`). Transaction ids
+//     and commit timestamps are single fetch-adds.
+//   * Snapshot consistency: commits publish their versions *before*
+//     becoming visible to new snapshots via a stable-timestamp watermark
+//     (`stable_ts_`). A committing transaction enters a small in-flight
+//     window, stamps its versions, then retires; `stable_ts_` always
+//     trails the oldest unstamped commit, and snapshots read `stable_ts_`,
+//     so a snapshot can never observe a half-stamped commit. The window is
+//     guarded by the narrow `window_mu_` (commit path only).
+//   * Registry: the transaction table, active set and suspended list keep
+//     a narrow `registry_mu_`, touched once per begin / first statement /
+//     commit / abort — never per read or write.
+//   * SSI conflict state: per-TxnState latches (TxnState::ssi_mu),
+//     acquired pairwise in txn-id order by the ConflictTracker; the
+//     commit-time dangerous-structure check runs under the committing
+//     transaction's own latch (see transaction.h).
 //
 // Committed transactions are not forgotten immediately: their TxnState
 // remains registered (the paper's *suspended* state, §3.3) until no active
@@ -17,10 +33,12 @@
 #ifndef SSIDB_TXN_TXN_MANAGER_H_
 #define SSIDB_TXN_TXN_MANAGER_H_
 
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -39,19 +57,22 @@ class TxnManager {
 
   /// Start a transaction. S2PL transactions get their begin timestamp
   /// immediately; SI/SSI transactions defer it when late_snapshot is set
-  /// (§4.5) until EnsureSnapshot.
+  /// (§4.5) until EnsureSnapshot. The transaction id is a lock-free
+  /// fetch-add; only registration takes the registry mutex.
   std::shared_ptr<TxnState> Begin(IsolationLevel isolation);
 
   /// Assign the read snapshot if not yet assigned. Called by the operation
   /// layer *after* the first statement's locks are granted, implementing
   /// the §4.5 optimization that lets single-statement updates never abort
-  /// under first-committer-wins.
+  /// under first-committer-wins. The snapshot is the stable watermark (all
+  /// commits at or below it are fully stamped).
   void EnsureSnapshot(TxnState* txn);
 
-  /// Hook run under the system mutex just before the commit timestamp is
-  /// assigned. Returning a non-OK status aborts the transaction with that
-  /// status (Fig 3.2 lines 3-5 / Fig 3.10 lines 3-6 live here, provided by
-  /// the SSI conflict tracker).
+  /// Hook run under the committing transaction's ssi_mu latch *and*
+  /// window_mu_, just before the commit timestamp is assigned — one atomic
+  /// unit per committing transaction, so the dangerous-structure test and
+  /// the commit-order it reasons about can never diverge (Fig 3.2 lines
+  /// 3-5 / Fig 3.10 lines 3-6 live here, provided by the SSI tracker).
   using CommitCheck = std::function<Status(TxnState*)>;
 
   /// Commit: check hook, timestamp + version stamping, log append (+ group
@@ -66,13 +87,11 @@ class TxnManager {
   void Abort(const std::shared_ptr<TxnState>& txn);
 
   /// Resolve a transaction id to its state, if still registered (active or
-  /// suspended). Caller must hold the system mutex.
-  std::shared_ptr<TxnState> FindLocked(TxnId id) const;
+  /// suspended). Thread-safe (registry mutex inside); the returned
+  /// shared_ptr keeps the state alive past deregistration.
+  std::shared_ptr<TxnState> Find(TxnId id) const;
 
-  /// The system mutex for the SSI tracker's atomic blocks.
-  std::mutex& system_mutex() { return system_mu_; }
-
-  /// Oldest snapshot among active transactions (current clock if none);
+  /// Oldest snapshot among active transactions (stable watermark if none);
   /// versions older than this are unreachable (prune threshold).
   Timestamp min_active_read_ts() const {
     return min_active_read_ts_.load(std::memory_order_relaxed);
@@ -80,6 +99,12 @@ class TxnManager {
 
   Timestamp clock_now() const {
     return clock_.load(std::memory_order_relaxed);
+  }
+
+  /// The snapshot watermark: every commit with commit_ts <= stable_ts() has
+  /// fully stamped its versions. New snapshots read at this timestamp.
+  Timestamp stable_ts() const {
+    return stable_ts_.load(std::memory_order_acquire);
   }
 
   /// Page-granularity first-committer-wins (§4.2): the commit timestamp of
@@ -100,13 +125,38 @@ class TxnManager {
   LockManager* lock_manager() { return lock_manager_; }
 
  private:
-  /// Remove from the active set, recompute the min snapshot. Caller holds
-  /// the system mutex.
-  void DeactivateLocked(TxnState* txn);
-  Timestamp MinActiveBeginLocked() const;
+  /// Recompute the prune threshold. Caller holds registry_mu_. The base is
+  /// the stable watermark (not the raw clock): a still-unassigned snapshot
+  /// will later read stable_ts_, which is monotonic, so the stored minimum
+  /// can never overtake a future snapshot.
+  void RecomputeMinLocked();
+
+  /// Minimum snapshot constraint over the active set, based at the stable
+  /// watermark. Caller holds registry_mu_.
+  Timestamp MinActiveSnapshotLocked() const;
+
+  /// Recompute the watermark from the in-flight window; true if it moved.
+  /// Caller holds window_mu_ (and notifies window_cv_ on true).
+  bool AdvanceStableLocked();
+  /// Retire a fully stamped commit and advance the watermark. The
+  /// timestamp fetch-add and the window insert happen together under
+  /// window_mu_ (in Commit) so the watermark can never advance past an
+  /// unstamped commit.
+  void RetireCommit(Timestamp commit_ts);
+  /// Pull the watermark up to the clock when nothing is in flight; called
+  /// by cleanup so window-bypassing (read-only) commits still become
+  /// droppable from the suspended list.
+  void TryAdvanceStable();
+  /// Block until the watermark covers `commit_ts`. Commit acknowledgment
+  /// (and lock release) waits for this so that every transaction that
+  /// begins after a commit returned — or that locks a key the committer
+  /// wrote — gets a snapshot that includes it. Waits are bounded by the
+  /// pure-memory stamping of earlier in-flight commits (no I/O inside the
+  /// window; the log flush happens after).
+  void WaitStable(Timestamp commit_ts);
 
   /// Abort body shared by Abort() and failed commits. The caller must NOT
-  /// hold the system mutex.
+  /// hold the transaction's ssi_mu latch.
   void AbortInternal(const std::shared_ptr<TxnState>& txn);
 
   /// Release suspended transactions no longer overlapping anything active.
@@ -116,10 +166,22 @@ class TxnManager {
   LockManager* const lock_manager_;
   LogManager* const log_manager_;
 
-  mutable std::mutex system_mu_;
+  /// Global logical clock: txn ids and commit timestamps. Lock-free.
   std::atomic<Timestamp> clock_{1};
+  /// Snapshot watermark: max timestamp with all commits <= it stamped.
+  std::atomic<Timestamp> stable_ts_{1};
   std::atomic<Timestamp> min_active_read_ts_{1};
 
+  /// Commit window: timestamps allocated but whose versions may not all be
+  /// stamped yet. Narrow: held for O(log inflight) on the commit path only.
+  mutable std::mutex window_mu_;
+  std::condition_variable window_cv_;
+  std::set<Timestamp> inflight_commits_;
+
+  /// Registry mutex: guards the three containers below (and TxnState::
+  /// suspended). Never held while acquiring a TxnState latch or any lock
+  /// manager mutex.
+  mutable std::mutex registry_mu_;
   /// All registered transactions: active + suspended committed.
   std::unordered_map<TxnId, std::shared_ptr<TxnState>> registry_;
   std::unordered_set<TxnState*> active_;

@@ -119,21 +119,15 @@ TEST_F(TxnManagerTest, SSICommitWithSIReadLocksSuspends) {
   EXPECT_EQ(mgr_.suspended_count(), 1u);
   EXPECT_TRUE(locks_.HoldsAnySIRead(t->id));  // Locks retained.
 
-  // FindLocked still resolves the suspended transaction (needed for
-  // conflict marking against committed partners).
-  {
-    std::lock_guard<std::mutex> guard(mgr_.system_mutex());
-    EXPECT_NE(mgr_.FindLocked(t->id), nullptr);
-  }
+  // Find still resolves the suspended transaction (needed for conflict
+  // marking against committed partners).
+  EXPECT_NE(mgr_.Find(t->id), nullptr);
 
   // Once the overlapping transaction finishes, the sweep releases it.
   ASSERT_TRUE(CommitNoCheck(overlap).ok());
   EXPECT_EQ(mgr_.suspended_count(), 0u);
   EXPECT_FALSE(locks_.HoldsAnySIRead(t->id));
-  {
-    std::lock_guard<std::mutex> guard(mgr_.system_mutex());
-    EXPECT_EQ(mgr_.FindLocked(t->id), nullptr);
-  }
+  EXPECT_EQ(mgr_.Find(t->id), nullptr);
 }
 
 TEST_F(TxnManagerTest, CommitWithoutSIReadLocksDoesNotLingerForConflicts) {
