@@ -307,6 +307,42 @@ void BM_MTReadModifyWriteDisjoint(benchmark::State& state) {
 BENCHMARK(BM_MTReadModifyWriteDisjoint)->Threads(1)->Threads(4)->Threads(8)
     ->UseRealTime();
 
+/// SSI read-mostly series: the tentpole workload of the SIREAD read path.
+/// Each transaction issues 4 point operations; range(0) is the read
+/// percentage (90 => 90/10 read/write mix, 100 => read-only). SIREAD
+/// publication, the EXCLUSIVE-holder probe, and suspended-reader retention
+/// dominate — exactly the traffic the paper observes never blocks (§3.2,
+/// §3.3). items = operations, so throughput is ops/s, not txns/s.
+void BM_MTSSIReadMostly(benchmark::State& state) {
+  const uint64_t read_pct = static_cast<uint64_t>(state.range(0));
+  constexpr int kOpsPerTxn = 4;
+  std::string value;
+  // Per-thread deterministic op mix (each benchmark thread runs this
+  // function body, so the generator is per-thread state).
+  Random mix_rng(41 + static_cast<uint64_t>(state.thread_index()));
+  RunMTDisjoint(state, 31, [&](uint64_t key_id) {
+    auto txn = g_mt_db->Begin({IsolationLevel::kSerializableSSI});
+    for (int op = 0; op < kOpsPerTxn; ++op) {
+      const std::string key = EncodeU64Key((key_id + op) % kRows);
+      if (mix_rng.Uniform(100) < read_pct) {
+        txn->Get(g_mt_table, key, &value);
+      } else {
+        txn->Put(g_mt_table, key, "updated");
+      }
+    }
+    txn->Commit();
+  });
+  state.SetLabel("SSI/read_pct:" + std::to_string(read_pct));
+  state.SetItemsProcessed(state.iterations() * kOpsPerTxn);
+}
+BENCHMARK(BM_MTSSIReadMostly)
+    ->Args({90})
+    ->Args({100})
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace ssidb
 

@@ -1,0 +1,134 @@
+// InlineVec: a small vector with N elements of inline storage, used on the
+// engine's hot paths (rw-conflict evidence, ignored-newer-version lists,
+// SIREAD conflict buffers) so that the common case — a handful of elements
+// or none — performs no heap allocation. Spills to a heap buffer beyond N
+// and keeps that capacity across clear(), so pooled/reused containers stay
+// allocation-free in steady state.
+//
+// Restricted to trivially copyable, trivially destructible element types:
+// growth is a memcpy and clear() is a size reset, which is what makes the
+// container cheap enough for per-operation use.
+
+#ifndef SSIDB_COMMON_INLINE_VEC_H_
+#define SSIDB_COMMON_INLINE_VEC_H_
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace ssidb {
+
+template <typename T, size_t N>
+class InlineVec {
+  static_assert(N > 0, "inline capacity must be positive");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec elements must be trivially copyable");
+  static_assert(std::is_trivially_destructible_v<T>,
+                "InlineVec elements must be trivially destructible");
+
+ public:
+  InlineVec() : data_(inline_) {}
+
+  InlineVec(const InlineVec& o) : data_(inline_) { CopyFrom(o); }
+  InlineVec& operator=(const InlineVec& o) {
+    if (this != &o) {
+      size_ = 0;
+      CopyFrom(o);
+    }
+    return *this;
+  }
+
+  InlineVec(InlineVec&& o) noexcept : data_(inline_) { MoveFrom(o); }
+  InlineVec& operator=(InlineVec&& o) noexcept {
+    if (this != &o) {
+      if (data_ != inline_) delete[] data_;
+      data_ = inline_;
+      capacity_ = N;
+      size_ = 0;
+      MoveFrom(o);
+    }
+    return *this;
+  }
+
+  ~InlineVec() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  /// By value: safe even when the argument aliases an element of this
+  /// vector (Grow() would otherwise free the buffer it points into).
+  void push_back(T v) {
+    if (size_ == capacity_) Grow();
+    data_[size_++] = v;
+  }
+
+  /// Keeps the current (possibly heap) capacity: a reused buffer stays
+  /// allocation-free once it has grown to its working size.
+  void clear() { size_ = 0; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  /// True if the elements live in the inline buffer (no heap spill yet).
+  bool is_inline() const { return data_ == inline_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  /// Swap-remove the element at `i` (order not preserved); O(1).
+  void unordered_erase(size_t i) {
+    data_[i] = data_[--size_];
+  }
+
+ private:
+  void Grow() {
+    const size_t new_cap = capacity_ * 2;
+    T* heap = new T[new_cap];
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (data_ != inline_) delete[] data_;
+    data_ = heap;
+    capacity_ = new_cap;
+  }
+
+  void CopyFrom(const InlineVec& o) {
+    if (o.size_ > capacity_) {
+      if (data_ != inline_) delete[] data_;
+      data_ = new T[o.capacity_];
+      capacity_ = o.capacity_;
+    }
+    std::memcpy(data_, o.data_, o.size_ * sizeof(T));
+    size_ = o.size_;
+  }
+
+  void MoveFrom(InlineVec& o) {
+    if (o.data_ != o.inline_) {
+      // Steal the heap buffer.
+      data_ = o.data_;
+      capacity_ = o.capacity_;
+      size_ = o.size_;
+      o.data_ = o.inline_;
+      o.capacity_ = N;
+      o.size_ = 0;
+    } else {
+      std::memcpy(inline_, o.inline_, o.size_ * sizeof(T));
+      size_ = o.size_;
+      o.size_ = 0;
+    }
+  }
+
+  size_t size_ = 0;
+  size_t capacity_ = N;
+  T* data_;
+  T inline_[N];
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_COMMON_INLINE_VEC_H_

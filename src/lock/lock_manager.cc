@@ -10,14 +10,13 @@ namespace {
 
 constexpr uint8_t kSharedBit = static_cast<uint8_t>(LockMode::kShared);
 constexpr uint8_t kExclusiveBit = static_cast<uint8_t>(LockMode::kExclusive);
-constexpr uint8_t kSIReadBit = static_cast<uint8_t>(LockMode::kSIRead);
 
 /// Granted bits of another owner that are incompatible with `mode`.
-/// SIREAD neither blocks nor is blocked (Fig 3.4): compatibility only
-/// constrains kShared/kExclusive. On gap keys, kExclusive plays InnoDB's
-/// insert-intention role: two inserts into the same gap do not block each
-/// other, but either blocks (and is blocked by) a scanner's kShared gap
-/// lock (§2.5.2).
+/// SIREAD neither blocks nor is blocked (Fig 3.4) and never reaches the
+/// blocking table: compatibility only constrains kShared/kExclusive. On
+/// gap keys, kExclusive plays InnoDB's insert-intention role: two inserts
+/// into the same gap do not block each other, but either blocks (and is
+/// blocked by) a scanner's kShared gap lock (§2.5.2).
 uint8_t IncompatibleMask(LockMode mode, LockKind kind) {
   const bool gap = kind == LockKind::kGap || kind == LockKind::kSupremum;
   switch (mode) {
@@ -29,6 +28,10 @@ uint8_t IncompatibleMask(LockMode mode, LockKind kind) {
       return 0;
   }
   return 0;
+}
+
+LockKeyView ViewOf(const LockKey& key) {
+  return LockKeyView{key.table, key.kind, Slice(key.key), key.Hash()};
 }
 
 }  // namespace
@@ -44,6 +47,22 @@ LockManager::~LockManager() {
   if (detector_.joinable()) detector_.join();
 }
 
+void LockManager::MarkShardTouched(TxnId txn, size_t shard_idx) {
+  TouchStripe& stripe = touch_stripes_[TouchStripeOf(txn)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  stripe.shard_masks[txn] |= uint64_t{1} << shard_idx;
+}
+
+uint64_t LockManager::TakeTouchedShards(TxnId txn) {
+  TouchStripe& stripe = touch_stripes_[TouchStripeOf(txn)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.shard_masks.find(txn);
+  if (it == stripe.shard_masks.end()) return 0;
+  const uint64_t mask = it->second;
+  stripe.shard_masks.erase(it);
+  return mask;
+}
+
 void LockManager::CollectBlockers(const LockEntry& entry, TxnId txn,
                                   LockMode mode, LockKind kind,
                                   std::vector<TxnId>* blockers) {
@@ -55,17 +74,54 @@ void LockManager::CollectBlockers(const LockEntry& entry, TxnId txn,
   }
 }
 
+void LockManager::CollectExclusiveHolders(TxnId self, const LockKeyView& key,
+                                          RwConflicts* out) const {
+  const Shard& shard = shards_[key.hash % kNumShards];
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.entries.find(key);  // Heterogeneous: no key copy.
+  if (it == shard.entries.end()) return;
+  for (const auto& [owner, bits] : it->second.holders) {
+    if (owner != self && (bits & kExclusiveBit) != 0) out->push_back(owner);
+  }
+}
+
+void LockManager::AcquireSIRead(TxnId txn, TableId table, LockKind kind,
+                                Slice key, RwConflicts* rw_out) {
+  // One hash of the key bytes serves the index stripe, the index bucket
+  // and the lock-table probe.
+  const LockKeyView view = MakeLockKeyView(table, kind, key);
+  // Publish-then-probe: this order is what makes the split-structure
+  // conflict detection lossless (see the §3.2 argument in the header).
+  sireads_.Publish(txn, view);
+  CollectExclusiveHolders(txn, view, rw_out);
+}
+
 AcquireResult LockManager::Acquire(TxnId txn, const LockKey& key,
                                    LockMode mode) {
   AcquireResult result;
-  Shard& shard = ShardFor(key);
+
+  if (mode == LockMode::kSIRead) {
+    // Historical entry point for SIREAD (tests, lock-table benchmarks):
+    // same publish-then-probe fast lane, owning-key signature.
+    AcquireSIRead(txn, key.table, key.kind, Slice(key.key),
+                  &result.rw_conflicts);
+    return result;
+  }
+
+  const uint64_t hash = key.Hash();
+  const size_t shard_idx = hash % kNumShards;
+  Shard& shard = shards_[shard_idx];
   const uint8_t bit = static_cast<uint8_t>(mode);
+
+  // Mark the shard before attempting the acquisition so a granted lock
+  // can never be missed by ReleaseAll (spurious marks are harmless).
+  MarkShardTouched(txn, shard_idx);
 
   std::unique_lock<std::mutex> guard(shard.mu);
 
-  // Grants `bit` to txn in the entry currently stored for `key` and gathers
-  // rw-conflict evidence atomically with the grant (§3.2). Re-looked-up on
-  // every call because the entries map may rehash while we wait.
+  // Grants `bit` to txn in the entry currently stored for `key`.
+  // Re-looked-up on every call because the entries map may rehash while
+  // we wait.
   auto grant = [&] {
     LockEntry& entry = shard.entries[key];
     uint8_t& bits = entry.holders[txn];
@@ -75,30 +131,30 @@ AcquireResult LockManager::Acquire(TxnId txn, const LockKey& key,
       bits |= bit;
       if (is_new_holder) shard.held[txn].push_back(key);
     }
-    // §3.7.3: an EXCLUSIVE grant subsumes the owner's SIREAD lock; the new
-    // version the writer creates will detect later conflicts instead.
-    if (mode == LockMode::kExclusive && config_.upgrade_siread_locks) {
-      bits &= static_cast<uint8_t>(~kSIReadBit);
-    }
     grant_count_.fetch_add(
-        __builtin_popcount(bits) - __builtin_popcount(before),
+        static_cast<uint64_t>(__builtin_popcount(bits) -
+                              __builtin_popcount(before)),
         std::memory_order_relaxed);
-    const uint8_t probe = (mode == LockMode::kExclusive) ? kSIReadBit
-                          : (mode == LockMode::kSIRead)  ? kExclusiveBit
-                                                         : 0;
-    if (probe != 0) {
-      for (const auto& [owner, obits] : entry.holders) {
-        if (owner != txn && (obits & probe) != 0) {
-          result.rw_conflicts.push_back(owner);
-        }
-      }
-    }
+  };
+
+  // On success, gather the rw-antidependency evidence for a writer: the
+  // SIREAD holders of this key (Fig 3.5 line 4). Runs *after* the
+  // EXCLUSIVE grant is visible in this shard — the grant-then-probe half
+  // of the §3.2 ordering argument. Also applies §3.7.3: the writer's own
+  // SIREAD on the key is subsumed by the EXCLUSIVE lock.
+  auto probe_sireads_after_grant = [&] {
+    if (mode != LockMode::kExclusive) return;
+    guard.unlock();
+    const LockKeyView view{key.table, key.kind, Slice(key.key), hash};
+    if (config_.upgrade_siread_locks) sireads_.EraseOwn(txn, view);
+    sireads_.CollectHolders(txn, view, &result.rw_conflicts);
   };
 
   std::vector<TxnId> blockers;
   CollectBlockers(shard.entries[key], txn, mode, key.kind, &blockers);
   if (blockers.empty()) {
     grant();
+    probe_sireads_after_grant();
     return result;
   }
 
@@ -135,84 +191,61 @@ AcquireResult LockManager::Acquire(TxnId txn, const LockKey& key,
     if (blockers.empty()) {
       ClearWaits(txn);
       grant();
+      probe_sireads_after_grant();
       return result;
     }
   }
 }
 
-void LockManager::ReleaseLocked(Shard& shard, TxnId txn, uint8_t keep_mask) {
+void LockManager::ReleaseLocked(Shard& shard, TxnId txn) {
   auto held_it = shard.held.find(txn);
   if (held_it == shard.held.end()) return;
-  std::vector<LockKey> still_held;
+  uint64_t dropped = 0;
   for (const LockKey& key : held_it->second) {
     auto entry_it = shard.entries.find(key);
     if (entry_it == shard.entries.end()) continue;
     auto holder_it = entry_it->second.holders.find(txn);
     if (holder_it == entry_it->second.holders.end()) continue;
-    const uint8_t before = holder_it->second;
-    holder_it->second &= keep_mask;
-    grant_count_.fetch_sub(
-        __builtin_popcount(before) - __builtin_popcount(holder_it->second),
-        std::memory_order_relaxed);
-    if (holder_it->second == 0) {
-      entry_it->second.holders.erase(holder_it);
-      if (entry_it->second.holders.empty()) shard.entries.erase(entry_it);
-    } else {
-      still_held.push_back(key);
+    dropped += static_cast<uint64_t>(__builtin_popcount(holder_it->second));
+    entry_it->second.holders.erase(holder_it);
+    if (entry_it->second.holders.empty()) shard.entries.erase(entry_it);
+  }
+  if (dropped > 0) SubGrants(dropped);
+  shard.held.erase(held_it);
+}
+
+void LockManager::ReleaseBlocking(TxnId txn) {
+  uint64_t mask = TakeTouchedShards(txn);
+  while (mask != 0) {
+    const int shard_idx = __builtin_ctzll(mask);
+    mask &= mask - 1;
+    Shard& shard = shards_[shard_idx];
+    bool notify;
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      notify = shard.held.count(txn) > 0;
+      ReleaseLocked(shard, txn);
     }
+    if (notify) shard.cv.notify_all();
   }
-  if (still_held.empty()) {
-    shard.held.erase(held_it);
-  } else {
-    held_it->second = std::move(still_held);
-  }
+  ClearWaits(txn);
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  for (Shard& shard : shards_) {
-    bool notify;
-    {
-      std::lock_guard<std::mutex> guard(shard.mu);
-      notify = shard.held.count(txn) > 0;
-      ReleaseLocked(shard, txn, 0);
-    }
-    if (notify) shard.cv.notify_all();
-  }
-  ClearWaits(txn);
+  ReleaseBlocking(txn);
+  sireads_.ReleaseAll(txn);
 }
 
-void LockManager::ReleaseAllExceptSIRead(TxnId txn) {
-  for (Shard& shard : shards_) {
-    bool notify;
-    {
-      std::lock_guard<std::mutex> guard(shard.mu);
-      notify = shard.held.count(txn) > 0;
-      ReleaseLocked(shard, txn, kSIReadBit);
-    }
-    if (notify) shard.cv.notify_all();
-  }
-  ClearWaits(txn);
-}
+void LockManager::ReleaseAllExceptSIRead(TxnId txn) { ReleaseBlocking(txn); }
 
 bool LockManager::HoldsAnySIRead(TxnId txn) const {
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> guard(shard.mu);
-    auto held_it = shard.held.find(txn);
-    if (held_it == shard.held.end()) continue;
-    for (const LockKey& key : held_it->second) {
-      auto entry_it = shard.entries.find(key);
-      if (entry_it == shard.entries.end()) continue;
-      auto holder_it = entry_it->second.holders.find(txn);
-      if (holder_it != entry_it->second.holders.end() &&
-          (holder_it->second & kSIReadBit) != 0) {
-        return true;
-      }
-    }
-  }
-  return false;
+  return sireads_.HoldsAny(txn);
 }
 
 bool LockManager::Holds(TxnId txn, const LockKey& key, LockMode mode) const {
+  if (mode == LockMode::kSIRead) {
+    return sireads_.Holds(txn, ViewOf(key));
+  }
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mu);
   auto entry_it = shard.entries.find(key);

@@ -10,11 +10,39 @@
 //                 caller from *both* acquisition orders so that the §3.2
 //                 race cannot lose a conflict.
 //
+// SIREAD state does not live in the blocking lock table: it is kept in a
+// dedicated read-optimized structure, the SIReadIndex (siread_index.h),
+// because SIREAD traffic dominates the read path, never participates in
+// blocking, and has different lifetime rules — SIREAD locks outlive their
+// owner's commit (§3.3) and are dropped by suspended-transaction cleanup.
+// The LockManager owns the index and keeps the historical API (kSIRead
+// Acquire/Holds/HoldsAnySIRead/ReleaseAll) by delegation; hot paths use
+// the allocation-free fast lane AcquireSIRead() instead.
+//
+// Cross-structure atomicity (the §3.2 race, Figs 3.4/3.5): with SIREAD
+// and EXCLUSIVE state in two differently-latched structures, conflict
+// evidence must still never be lost. Both sides follow publish-then-probe:
+//
+//   reader: (R1) publish SIREAD in the index   [index stripe mutex]
+//           (R2) probe EXCLUSIVE holders here  [lock-table shard mutex]
+//   writer: (W1) grant EXCLUSIVE here          [lock-table shard mutex]
+//           (W2) probe SIREAD holders in index [index stripe mutex]
+//
+// Claim: the reader reports the writer, or the writer reports the reader
+// (possibly both). Suppose the reader misses (R2 sees no EXCLUSIVE). Then
+// R2's critical section on the shard mutex precedes W1's. By program
+// order R1 precedes R2, and W1 precedes W2. So R1 happens-before W2
+// through the chain R1 →(sb) R2-unlock →(sync) W1-lock →(sb) W2, and W2's
+// probe of the index — a later critical section on the same stripe mutex
+// — must observe the published SIREAD. Symmetrically, if the writer
+// misses, the reader's probe observes the EXCLUSIVE grant. The only lost
+// case would need both probes to precede both publishes, which
+// publish-then-probe program order forbids.
+//
 // Keys carry a kind: row locks, gap locks (the InnoDB-style "gap before
 // this key" used for phantom detection, §2.5.2), a per-table supremum gap,
 // and page locks (Berkeley DB granularity). Locks of different kinds never
-// interact. SIREAD locks outlive their owner's commit (§3.3): the
-// transaction manager releases them during suspended-transaction cleanup.
+// interact.
 //
 // Deadlocks: a waits-for graph keyed by transaction id. kImmediate runs a
 // DFS before each block (requester aborts on a cycle); kPeriodic models
@@ -25,6 +53,7 @@
 #define SSIDB_LOCK_LOCK_MANAGER_H_
 
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -34,65 +63,28 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/inline_vec.h"
 #include "src/common/options.h"
 #include "src/common/status.h"
+#include "src/lock/lock_key.h"
+#include "src/lock/siread_index.h"
 #include "src/storage/table.h"
 #include "src/storage/version.h"
 
 namespace ssidb {
 
-enum class LockMode : uint8_t {
-  kShared = 1,
-  kExclusive = 2,
-  kSIRead = 4,
-};
-
-/// What a lock protects.
-enum class LockKind : uint8_t {
-  kRow = 0,
-  /// The open interval below `key` (insert/delete phantoms, Figs 3.6/3.7).
-  kGap = 1,
-  /// The gap above the largest key of the table (next(x) when x is last).
-  kSupremum = 2,
-  /// A whole page bucket (Berkeley DB granularity, §4.1).
-  kPage = 3,
-};
-
-struct LockKey {
-  TableId table = 0;
-  LockKind kind = LockKind::kRow;
-  std::string key;
-
-  bool operator==(const LockKey& o) const {
-    return table == o.table && kind == o.kind && key == o.key;
-  }
-};
-
-struct LockKeyHash {
-  size_t operator()(const LockKey& k) const {
-    uint64_t h = 1469598103934665603ULL;
-    auto feed = [&h](const char* p, size_t n) {
-      for (size_t i = 0; i < n; ++i) {
-        h ^= static_cast<unsigned char>(p[i]);
-        h *= 1099511628211ULL;
-      }
-    };
-    feed(reinterpret_cast<const char*>(&k.table), sizeof(k.table));
-    feed(reinterpret_cast<const char*>(&k.kind), sizeof(k.kind));
-    feed(k.key.data(), k.key.size());
-    return static_cast<size_t>(h);
-  }
-};
+/// rw-antidependency evidence buffer: no allocation for up to 8 partners.
+using RwConflicts = SIReadIndex::ConflictBuf;
 
 /// Outcome of an Acquire call.
 struct AcquireResult {
   /// kOk, kDeadlock (victim of immediate or periodic detection) or
   /// kTimedOut. SIREAD acquisition always succeeds.
   Status status;
-  /// rw-antidependency evidence gathered atomically at grant time:
-  /// acquiring kExclusive reports current kSIRead holders (Fig 3.5 line 4);
+  /// rw-antidependency evidence gathered at grant time (§3.2): acquiring
+  /// kExclusive reports current kSIRead holders (Fig 3.5 line 4);
   /// acquiring kSIRead reports current kExclusive holders (Fig 3.4 line 3).
-  std::vector<TxnId> rw_conflicts;
+  RwConflicts rw_conflicts;
 };
 
 class LockManager {
@@ -114,33 +106,51 @@ class LockManager {
 
   /// Acquire `mode` on `key` for `txn`. Blocks for kShared/kExclusive when
   /// incompatible locks are granted to other transactions; never blocks for
-  /// kSIRead. Re-acquiring an already-held mode is a no-op (returns any
-  /// current conflict evidence again). Holding kShared and requesting
-  /// kExclusive upgrades once other holders drain.
+  /// kSIRead (delegated to the SIReadIndex). Re-acquiring an already-held
+  /// mode is a no-op (returns any current conflict evidence again).
+  /// Holding kShared and requesting kExclusive upgrades once other holders
+  /// drain.
   AcquireResult Acquire(TxnId txn, const LockKey& key, LockMode mode);
 
-  /// Release every lock `txn` holds (commit/abort of non-suspended
-  /// transactions, and cleanup of suspended ones).
+  /// SSI read-path fast lane: publish `txn`'s SIREAD on (table, kind, key)
+  /// and append the current EXCLUSIVE holders to `rw_out` (Fig 3.4
+  /// line 3), in the publish-then-probe order the §3.2 argument above
+  /// requires. Never blocks; performs no heap allocation on the warm
+  /// no-conflict path (see the SIReadIndex contract) — in particular the
+  /// key travels as a Slice end to end.
+  void AcquireSIRead(TxnId txn, TableId table, LockKind kind, Slice key,
+                     RwConflicts* rw_out);
+
+  /// Release every lock `txn` holds — blocking locks *and* SIREAD entries
+  /// (abort of any transaction, and cleanup of suspended ones).
   void ReleaseAll(TxnId txn);
 
-  /// Release everything except kSIRead locks (commit of a transaction that
-  /// must stay suspended, Fig 3.2 line 9).
+  /// Release `txn`'s blocking (kShared/kExclusive) locks but keep its
+  /// SIREAD entries (commit of a transaction that must stay suspended,
+  /// Fig 3.2 line 9). With SIREAD state in its own index this touches
+  /// only the blocking lock table.
   void ReleaseAllExceptSIRead(TxnId txn);
 
   /// True if `txn` currently holds at least one kSIRead lock (commit-time
-  /// suspension test, Fig 3.2 line 11).
+  /// suspension test, Fig 3.2 line 11). One hash lookup in the index.
   bool HoldsAnySIRead(TxnId txn) const;
 
   /// True if `txn` holds `mode` on `key` (tests).
   bool Holds(TxnId txn, const LockKey& key, LockMode mode) const;
 
-  /// Total number of (txn, key, mode-bit) grants in the table (tests and
-  /// lock-table-pressure benchmarks). Maintained as a relaxed atomic
-  /// counter at grant/release time, so stats sampling never touches the
-  /// shard mutexes.
+  /// Total number of (txn, key, mode-bit) grants — blocking table plus
+  /// SIREAD index. Maintained as relaxed atomic counters at grant/release
+  /// time, so stats sampling never touches the shard mutexes.
   size_t GrantCount() const {
-    return static_cast<size_t>(grant_count_.load(std::memory_order_relaxed));
+    return static_cast<size_t>(
+               grant_count_.load(std::memory_order_relaxed)) +
+           sireads_.GrantCount();
   }
+
+  /// The SIREAD predicate index. The transaction manager drives suspended
+  /// cleanup against it directly; tests and benchmarks may probe it.
+  SIReadIndex* siread_index() { return &sireads_; }
+  const SIReadIndex* siread_index() const { return &sireads_; }
 
   /// Counters for the benchmark reports.
   uint64_t deadlocks_detected() const {
@@ -150,32 +160,60 @@ class LockManager {
 
  private:
   struct LockEntry {
-    /// owner -> bitmask of LockMode bits granted.
+    /// owner -> bitmask of LockMode bits granted (kShared/kExclusive only;
+    /// SIREAD lives in the SIReadIndex).
     std::unordered_map<TxnId, uint8_t> holders;
   };
 
   struct Shard {
     mutable std::mutex mu;
     std::condition_variable cv;
-    std::unordered_map<LockKey, LockEntry, LockKeyHash> entries;
+    std::unordered_map<LockKey, LockEntry, LockKeyHash, LockKeyEq> entries;
     /// Per-transaction list of keys with at least one grant in this shard.
     std::unordered_map<TxnId, std::vector<LockKey>> held;
   };
 
+  /// Striped registry of which shards a transaction has (possibly)
+  /// acquired blocking locks in, so ReleaseAll visits only those shards
+  /// instead of sweeping all 64. A shard bit is set *before* the
+  /// acquisition attempt, so a granted lock always has its bit visible to
+  /// any later release; spurious bits (failed acquisitions) only cost a
+  /// wasted shard visit.
+  struct TouchStripe {
+    mutable std::mutex mu;
+    std::unordered_map<TxnId, uint64_t> shard_masks;
+  };
+
   static constexpr size_t kNumShards = 64;
+  static constexpr size_t kNumTouchStripes = 64;
+  static_assert(kNumShards <= 64, "shard mask is a uint64_t");
 
   Shard& ShardFor(const LockKey& key) {
-    return shards_[LockKeyHash()(key) % kNumShards];
+    // key.Hash() is cached: shard routing and the entries-map probe of one
+    // acquisition hash the key bytes exactly once.
+    return shards_[key.Hash() % kNumShards];
   }
   const Shard& ShardFor(const LockKey& key) const {
-    return shards_[LockKeyHash()(key) % kNumShards];
+    return shards_[key.Hash() % kNumShards];
   }
+
+  static size_t TouchStripeOf(TxnId txn) {
+    return (txn * 0x9E3779B97F4A7C15ULL >> 32) % kNumTouchStripes;
+  }
+  void MarkShardTouched(TxnId txn, size_t shard_idx);
+  /// Remove and return the touched-shard mask (0 if never touched).
+  uint64_t TakeTouchedShards(TxnId txn);
 
   /// Owners (other than txn) whose granted bits block `mode` on a key of
   /// the given kind (gap keys use insert-intention compatibility).
   static void CollectBlockers(const LockEntry& entry, TxnId txn,
                               LockMode mode, LockKind kind,
                               std::vector<TxnId>* blockers);
+
+  /// Append the EXCLUSIVE holders of `key` other than `self` to `out`.
+  /// Heterogeneous probe: no owning key is materialized.
+  void CollectExclusiveHolders(TxnId self, const LockKeyView& key,
+                               RwConflicts* out) const;
 
   /// Record/clear the waits-for edge set of a blocked transaction.
   void SetWaits(TxnId txn, const std::vector<TxnId>& blockers);
@@ -189,11 +227,26 @@ class LockManager {
   void DetectorLoop();
   void KillCyclesLocked();
 
-  void ReleaseLocked(Shard& shard, TxnId txn, uint8_t keep_mask);
+  /// Drop every grant `txn` holds in `shard`. Caller holds shard.mu.
+  void ReleaseLocked(Shard& shard, TxnId txn);
+  /// Release blocking locks only (shared by ReleaseAll and
+  /// ReleaseAllExceptSIRead).
+  void ReleaseBlocking(TxnId txn);
+
+  /// Decrement grant_count_ by `n` with the not-below-zero contract:
+  /// every decrement corresponds to previously counted grants, asserted
+  /// in debug builds.
+  void SubGrants(uint64_t n) {
+    const uint64_t prev = grant_count_.fetch_sub(n, std::memory_order_relaxed);
+    assert(prev >= n && "grant_count_ underflow");
+    (void)prev;
+  }
 
   const Config config_;
 
   Shard shards_[kNumShards];
+  TouchStripe touch_stripes_[kNumTouchStripes];
+  SIReadIndex sireads_;
 
   mutable std::mutex graph_mu_;
   std::unordered_map<TxnId, std::vector<TxnId>> waits_for_;
@@ -201,7 +254,9 @@ class LockManager {
 
   std::atomic<uint64_t> deadlocks_detected_{0};
   std::atomic<uint64_t> waits_{0};
-  std::atomic<int64_t> grant_count_{0};
+  /// Live blocking-table grants. Unsigned with an explicit
+  /// decrement-not-below-zero contract (SubGrants).
+  std::atomic<uint64_t> grant_count_{0};
 
   std::atomic<bool> stop_{false};
   std::thread detector_;

@@ -1,0 +1,262 @@
+#include "src/lock/siread_index.h"
+
+#include <cassert>
+
+namespace ssidb {
+
+SIReadIndex::~SIReadIndex() {
+  for (KeyStripe& stripe : key_stripes_) {
+    for (Entry* head : stripe.buckets) {
+      while (head != nullptr) {
+        Entry* next = head->next;
+        delete head;
+        head = next;
+      }
+    }
+    Entry* free_entry = stripe.free_entries;
+    while (free_entry != nullptr) {
+      Entry* next = free_entry->next;
+      delete free_entry;
+      free_entry = next;
+    }
+  }
+  for (TxnStripe& stripe : txn_stripes_) {
+    for (auto& [txn, head] : stripe.chains) {
+      (void)txn;
+      OwnerLink* link = head;
+      while (link != nullptr) {
+        OwnerLink* next = link->next;
+        delete link;
+        link = next;
+      }
+    }
+    OwnerLink* free_link = stripe.free_links;
+    while (free_link != nullptr) {
+      OwnerLink* next = free_link->next;
+      delete free_link;
+      free_link = next;
+    }
+  }
+}
+
+SIReadIndex::Entry* SIReadIndex::FindLocked(const KeyStripe& stripe,
+                                            const LockKeyView& key) const {
+  if (stripe.buckets.empty()) return nullptr;
+  const size_t b = (key.hash / kNumStripes) & (stripe.buckets.size() - 1);
+  for (Entry* e = stripe.buckets[b]; e != nullptr; e = e->next) {
+    if (e->hash == key.hash && e->table == key.table && e->kind == key.kind &&
+        Slice(e->key) == key.key) {
+      return e;
+    }
+  }
+  return nullptr;
+}
+
+void SIReadIndex::GrowLocked(KeyStripe& stripe) {
+  const size_t new_size =
+      stripe.buckets.empty() ? kInitialBuckets : stripe.buckets.size() * 2;
+  std::vector<Entry*> fresh(new_size, nullptr);
+  for (Entry* head : stripe.buckets) {
+    while (head != nullptr) {
+      Entry* next = head->next;
+      const size_t b = (head->hash / kNumStripes) & (new_size - 1);
+      head->next = fresh[b];
+      fresh[b] = head;
+      head = next;
+    }
+  }
+  stripe.buckets.swap(fresh);
+}
+
+SIReadIndex::Entry* SIReadIndex::GetOrCreateLocked(KeyStripe& stripe,
+                                                   const LockKeyView& key) {
+  Entry* e = FindLocked(stripe, key);
+  if (e != nullptr) return e;
+  if (stripe.entry_count + 1 > stripe.buckets.size()) GrowLocked(stripe);
+  if (stripe.free_entries != nullptr) {
+    e = stripe.free_entries;
+    stripe.free_entries = e->next;
+  } else {
+    e = new Entry();
+  }
+  e->hash = key.hash;
+  e->table = key.table;
+  e->kind = key.kind;
+  // assign() reuses the recycled string's capacity: no allocation unless
+  // this key is longer than any the node has held before.
+  e->key.assign(key.key.data(), key.key.size());
+  assert(e->owners.empty());
+  const size_t b = (key.hash / kNumStripes) & (stripe.buckets.size() - 1);
+  e->next = stripe.buckets[b];
+  stripe.buckets[b] = e;
+  ++stripe.entry_count;
+  return e;
+}
+
+void SIReadIndex::RecycleEntryLocked(KeyStripe& stripe, Entry* e) {
+  const size_t b = (e->hash / kNumStripes) & (stripe.buckets.size() - 1);
+  Entry** link = &stripe.buckets[b];
+  while (*link != e) link = &(*link)->next;
+  *link = e->next;
+  e->next = stripe.free_entries;
+  stripe.free_entries = e;
+  --stripe.entry_count;
+}
+
+void SIReadIndex::Publish(TxnId txn, const LockKeyView& key) {
+  const size_t ks = KeyStripeOf(key.hash);
+  Entry* e;
+  {
+    KeyStripe& stripe = key_stripes_[ks];
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    e = GetOrCreateLocked(stripe, key);
+    for (TxnId owner : e->owners) {
+      if (owner == txn) return;  // Idempotent re-read: already published.
+    }
+    e->owners.push_back(txn);
+  }
+  // The entry pointer stays valid across the stripe boundary: an entry is
+  // recycled only when its owner list empties, the (e, txn) ownership just
+  // added can only be removed by this thread (EraseOwn is owner-thread-
+  // only) or by ReleaseAll, which requires the transaction to be finished
+  // — and a finished transaction no longer publishes.
+  TxnStripe& ts = txn_stripes_[TxnStripeOf(txn)];
+  {
+    std::lock_guard<std::mutex> guard(ts.mu);
+    OwnerLink* link;
+    if (ts.free_links != nullptr) {
+      link = ts.free_links;
+      ts.free_links = link->next;
+    } else {
+      link = new OwnerLink();
+    }
+    link->entry = e;
+    link->key_stripe = static_cast<uint32_t>(ks);
+    OwnerLink*& head = ts.chains[txn];
+    link->next = head;
+    head = link;
+  }
+  grants_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SIReadIndex::CollectHolders(TxnId self, const LockKeyView& key,
+                                 ConflictBuf* out) const {
+  const KeyStripe& stripe = key_stripes_[KeyStripeOf(key.hash)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  const Entry* e = FindLocked(stripe, key);
+  if (e == nullptr) return;
+  for (TxnId owner : e->owners) {
+    if (owner != self) out->push_back(owner);
+  }
+}
+
+void SIReadIndex::EraseOwn(TxnId txn, const LockKeyView& key) {
+  // Quick unsynchronized-path rejection: look the entry up and check the
+  // owner under the key stripe alone. The result cannot go stale in the
+  // hazardous direction — only this thread removes this txn's ownership
+  // (see the threading contract in the header).
+  Entry* target = nullptr;
+  {
+    KeyStripe& stripe = key_stripes_[KeyStripeOf(key.hash)];
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    target = FindLocked(stripe, key);
+    if (target == nullptr) return;
+    bool held = false;
+    for (TxnId owner : target->owners) {
+      if (owner == txn) {
+        held = true;
+        break;
+      }
+    }
+    if (!held) return;
+  }
+  // Unlink the ownership record chain-first, entry-second, in the same
+  // txn-stripe-before-key-stripe order ReleaseAll uses.
+  TxnStripe& ts = txn_stripes_[TxnStripeOf(txn)];
+  {
+    std::lock_guard<std::mutex> tguard(ts.mu);
+    auto it = ts.chains.find(txn);
+    assert(it != ts.chains.end());
+    OwnerLink** plink = &it->second;
+    while (*plink != nullptr && (*plink)->entry != target) {
+      plink = &(*plink)->next;
+    }
+    assert(*plink != nullptr);
+    OwnerLink* dead = *plink;
+    *plink = dead->next;
+    dead->next = ts.free_links;
+    ts.free_links = dead;
+    if (it->second == nullptr) ts.chains.erase(it);
+
+    KeyStripe& stripe = key_stripes_[KeyStripeOf(key.hash)];
+    std::lock_guard<std::mutex> kguard(stripe.mu);
+    for (size_t i = 0; i < target->owners.size(); ++i) {
+      if (target->owners[i] == txn) {
+        target->owners.unordered_erase(i);
+        break;
+      }
+    }
+    if (target->owners.empty()) RecycleEntryLocked(stripe, target);
+  }
+  grants_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void SIReadIndex::ReleaseAll(TxnId txn) {
+  TxnStripe& ts = txn_stripes_[TxnStripeOf(txn)];
+  uint64_t released = 0;
+  {
+    std::lock_guard<std::mutex> tguard(ts.mu);
+    auto it = ts.chains.find(txn);
+    if (it == ts.chains.end()) return;
+    OwnerLink* link = it->second;
+    ts.chains.erase(it);
+    while (link != nullptr) {
+      OwnerLink* next = link->next;
+      KeyStripe& stripe = key_stripes_[link->key_stripe];
+      {
+        std::lock_guard<std::mutex> kguard(stripe.mu);
+        Entry* e = link->entry;
+        for (size_t i = 0; i < e->owners.size(); ++i) {
+          if (e->owners[i] == txn) {
+            e->owners.unordered_erase(i);
+            break;
+          }
+        }
+        if (e->owners.empty()) RecycleEntryLocked(stripe, e);
+      }
+      link->next = ts.free_links;
+      ts.free_links = link;
+      ++released;
+      link = next;
+    }
+  }
+  if (released > 0) grants_.fetch_sub(released, std::memory_order_relaxed);
+}
+
+bool SIReadIndex::Holds(TxnId txn, const LockKeyView& key) const {
+  const KeyStripe& stripe = key_stripes_[KeyStripeOf(key.hash)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  const Entry* e = FindLocked(stripe, key);
+  if (e == nullptr) return false;
+  for (TxnId owner : e->owners) {
+    if (owner == txn) return true;
+  }
+  return false;
+}
+
+bool SIReadIndex::HoldsAny(TxnId txn) const {
+  const TxnStripe& ts = txn_stripes_[TxnStripeOf(txn)];
+  std::lock_guard<std::mutex> guard(ts.mu);
+  return ts.chains.count(txn) > 0;
+}
+
+size_t SIReadIndex::EntryCount() const {
+  size_t total = 0;
+  for (const KeyStripe& stripe : key_stripes_) {
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    total += stripe.entry_count;
+  }
+  return total;
+}
+
+}  // namespace ssidb

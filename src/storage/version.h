@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/inline_vec.h"
 #include "src/common/slice.h"
 
 namespace ssidb {
@@ -68,8 +69,9 @@ struct ReadResult {
   Timestamp version_cts = 0;
   /// Committed versions newer than the one read (possibly all of them, if
   /// nothing was visible). The SSI layer marks conflicts with each creator
-  /// that overlaps the reader.
-  std::vector<NewerVersionInfo> newer;
+  /// that overlaps the reader. Inline storage: the common chain depths
+  /// report no allocation.
+  InlineVec<NewerVersionInfo, 4> newer;
 };
 
 /// The version list for a single key. All operations latch the chain; the

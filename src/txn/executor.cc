@@ -49,39 +49,42 @@ Status Executor::AbortWith(TxnCtx& txn, const Status& cause) {
   return cause;
 }
 
-LockKey Executor::RowLockKey(TableId table, Slice key) const {
+const LockKey& Executor::RowLockKeyInto(TxnCtx& txn, TableId table,
+                                        Slice key) const {
   if (options_.granularity == LockGranularity::kPage) {
-    return LockKey{table, LockKind::kPage,
-                   EncodeU64Key(Table::PageOf(key, options_.rows_per_page))};
+    txn.scratch_row_key.Assign(
+        table, LockKind::kPage,
+        EncodeU64Key(Table::PageOf(key, options_.rows_per_page)));
+  } else {
+    txn.scratch_row_key.Assign(table, LockKind::kRow, key);
   }
-  return LockKey{table, LockKind::kRow, key.ToString()};
+  return txn.scratch_row_key;
 }
 
-LockKey Executor::GapLockKey(
-    TableId table, const std::optional<std::string>& next_key) const {
+const LockKey& Executor::GapLockKeyInto(
+    TxnCtx& txn, TableId table,
+    const std::optional<std::string>& next_key) const {
   if (!next_key.has_value()) {
-    return LockKey{table, LockKind::kSupremum, ""};
+    txn.scratch_gap_key.Assign(table, LockKind::kSupremum, Slice());
+  } else {
+    txn.scratch_gap_key.Assign(table, LockKind::kGap, *next_key);
   }
-  return LockKey{table, LockKind::kGap, *next_key};
+  return txn.scratch_gap_key;
 }
 
 Status Executor::AcquireAndMark(TxnCtx& txn, const LockKey& lk,
                                 LockMode mode) {
+  assert(mode != LockMode::kSIRead);  // SIREAD uses AcquireSIReadAndMark.
   TxnState* state = txn.state.get();
   AcquireResult r = locks_->Acquire(state->id, lk, mode);
   if (!r.status.ok()) {
     return AbortWith(txn, r.status);
   }
-  if (state->isolation == IsolationLevel::kSerializableSSI) {
+  if (state->isolation == IsolationLevel::kSerializableSSI &&
+      mode == LockMode::kExclusive) {
     for (TxnId other : r.rw_conflicts) {
-      Status st;
-      if (mode == LockMode::kExclusive) {
-        // Fig 3.5 line 4: the writer found SIREAD holders.
-        st = tracker_->OnWriterSawSIReadHolder(state, other);
-      } else if (mode == LockMode::kSIRead) {
-        // Fig 3.4 line 3: the reader found an EXCLUSIVE holder.
-        st = tracker_->OnReaderSawExclusiveHolder(state, other);
-      }
+      // Fig 3.5 line 4: the writer found SIREAD holders.
+      Status st = tracker_->OnWriterSawSIReadHolder(state, other);
       if (!st.ok()) {
         return AbortWith(txn, st);
       }
@@ -95,7 +98,27 @@ Status Executor::AcquireAndMark(TxnCtx& txn, const LockKey& lk,
   return Status::OK();
 }
 
-Status Executor::ReadChainAndMark(TxnCtx& txn, TableId table, Slice key,
+Status Executor::AcquireSIReadAndMark(TxnCtx& txn, TableId table,
+                                      LockKind kind, Slice key) {
+  TxnState* state = txn.state.get();
+  RwConflicts writers;
+  locks_->AcquireSIRead(state->id, table, kind, key, &writers);
+  for (TxnId other : writers) {
+    // Fig 3.4 line 3: the reader found an EXCLUSIVE holder.
+    Status st = tracker_->OnReaderSawExclusiveHolder(state, other);
+    if (!st.ok()) {
+      return AbortWith(txn, st);
+    }
+  }
+  if (state->marked_for_abort.load(std::memory_order_acquire)) {
+    const Status reason = state->abort_reason;
+    return AbortWith(txn, reason.ok() ? Status::Unsafe("marked for abort")
+                                      : reason);
+  }
+  return Status::OK();
+}
+
+Status Executor::ReadChainAndMark(TxnCtx& txn, const LockKey* page_lk,
                                   VersionChain* chain, std::string* value,
                                   ReadResult* out) {
   TxnState* state = txn.state.get();
@@ -125,11 +148,12 @@ Status Executor::ReadChainAndMark(TxnCtx& txn, TableId table, Slice key,
     // whose newest committed page version postdates the snapshot is a
     // conflict with that version's creator — even if the row itself is
     // unchanged. This is the source of the paper's page-level false
-    // positives (§6.1.5).
-    const LockKey page = RowLockKey(table, key);
+    // positives (§6.1.5). The page key was computed once by the caller
+    // (it is the operation's lock key) and flows through here.
+    assert(page_lk != nullptr && page_lk->kind == LockKind::kPage);
     Timestamp ts = 0;
     TxnId creator = 0;
-    if (txns_->PageLastWrite(page, &ts, &creator) && ts > read_ts &&
+    if (txns_->PageLastWrite(*page_lk, &ts, &creator) && ts > read_ts &&
         creator != state->id) {
       Status st = tracker_->MarkReadOfNewerVersion(state, creator, ts);
       if (!st.ok()) {
@@ -148,14 +172,27 @@ Status Executor::Get(TxnCtx& txn, TableId table, Slice key,
   if (t == nullptr) return Status::InvalidArgument("unknown table");
   TxnState* state = txn.state.get();
 
+  const bool page_mode = options_.granularity == LockGranularity::kPage;
+  const LockKey* page_lk = nullptr;
   switch (state->isolation) {
     case IsolationLevel::kSerializable2PL:
       EnsureSnapshot(txn);
-      st = AcquireAndMark(txn, RowLockKey(table, key), LockMode::kShared);
+      st = AcquireAndMark(txn, RowLockKeyInto(txn, table, key),
+                          LockMode::kShared);
       break;
     case IsolationLevel::kSerializableSSI:
       EnsureSnapshot(txn);
-      st = AcquireAndMark(txn, RowLockKey(table, key), LockMode::kSIRead);
+      if (page_mode) {
+        // The page key is materialized once (scratch) and shared with the
+        // §4.2 page-conflict check below.
+        const LockKey& lk = RowLockKeyInto(txn, table, key);
+        page_lk = &lk;
+        st = AcquireSIReadAndMark(txn, table, LockKind::kPage, lk.key);
+      } else {
+        // Hot path: the SIREAD publication and the EXCLUSIVE-holder probe
+        // take the key as a Slice — no LockKey, no copy, no allocation.
+        st = AcquireSIReadAndMark(txn, table, LockKind::kRow, key);
+      }
       break;
     case IsolationLevel::kSnapshot:
       EnsureSnapshot(txn);
@@ -165,7 +202,7 @@ Status Executor::Get(TxnCtx& txn, TableId table, Slice key,
 
   VersionChain* chain = t->Find(key);
   ReadResult rr;
-  st = ReadChainAndMark(txn, table, key, chain, value, &rr);
+  st = ReadChainAndMark(txn, page_lk, chain, value, &rr);
   if (!st.ok()) return st;
 
   if (history_ != nullptr) {
@@ -186,10 +223,13 @@ Status Executor::GetForUpdate(TxnCtx& txn, TableId table, Slice key,
   // first, snapshot after (§4.5), then verify first-committer-wins. The
   // exclusive lock is held to commit, so the read "promotes" to an update
   // from every concurrent transaction's point of view.
-  const LockKey row_lk = RowLockKey(table, key);
+  const LockKey& row_lk = RowLockKeyInto(txn, table, key);
   st = AcquireAndMark(txn, row_lk, LockMode::kExclusive);
   if (!st.ok()) return st;
   EnsureSnapshot(txn);
+
+  const bool page_mode = options_.granularity == LockGranularity::kPage;
+  const LockKey* page_lk = page_mode ? &row_lk : nullptr;
 
   VersionChain* chain = t->Find(key);
   if (chain != nullptr &&
@@ -201,7 +241,7 @@ Status Executor::GetForUpdate(TxnCtx& txn, TableId table, Slice key,
   std::string local;
   if (value == nullptr) value = &local;
   ReadResult rr;
-  st = ReadChainAndMark(txn, table, key, chain, value, &rr);
+  st = ReadChainAndMark(txn, page_lk, chain, value, &rr);
   if (!st.ok()) return st;
   if (history_ != nullptr) {
     history_->Read(state->id, table, key, rr.version_cts, rr.own_write);
@@ -221,7 +261,7 @@ Status Executor::GetForUpdate(TxnCtx& txn, TableId table, Slice key,
       state->write_set.push_back(
           TxnState::WriteRecord{table, key.ToString(), chain, v});
     }
-    if (options_.granularity == LockGranularity::kPage && !replaced_own) {
+    if (page_mode && !replaced_own) {
       state->page_writes.push_back(row_lk);
     }
     if (history_ != nullptr) {
@@ -255,7 +295,7 @@ Status Executor::WriteImpl(TxnCtx& txn, TableId table, Slice key, Slice value,
   TxnState* state = txn.state.get();
 
   const bool new_index_entry = t->Find(key) == nullptr;
-  const LockKey row_lk = RowLockKey(table, key);
+  const LockKey& row_lk = RowLockKeyInto(txn, table, key);
 
   // §4.5: the exclusive lock is acquired *before* the snapshot is chosen,
   // so a single-statement update always sees the latest committed version
@@ -268,7 +308,7 @@ Status Executor::WriteImpl(TxnCtx& txn, TableId table, Slice key, Slice value,
     // exclusive that conflicts with scanners' gap locks but not with other
     // inserts into the same gap (InnoDB semantics). Page locks subsume
     // phantoms in kPage mode (§3.5).
-    st = AcquireAndMark(txn, GapLockKey(table, t->NextKey(key)),
+    st = AcquireAndMark(txn, GapLockKeyInto(txn, table, t->NextKey(key)),
                         LockMode::kExclusive);
     if (!st.ok()) return st;
   }
@@ -348,22 +388,45 @@ Status Executor::Scan(TxnCtx& txn, TableId table, Slice lo, Slice hi,
   t->CollectRange(lo, hi, &entries, &successor);
 
   const bool take_locks = iso != IsolationLevel::kSnapshot;
-  const LockMode mode = iso == IsolationLevel::kSerializable2PL
-                            ? LockMode::kShared
-                            : LockMode::kSIRead;
+  const bool ssi = iso == IsolationLevel::kSerializableSSI;
+  const bool page_mode = options_.granularity == LockGranularity::kPage;
+
+  // One visited entry: row (or page) lock plus the gap below it. SSI
+  // scans ride the allocation-free SIREAD lane; S2PL scans take blocking
+  // shared locks through reused scratch keys.
+  auto lock_entry = [&](Slice entry_key) {
+    if (ssi) {
+      Status s = AcquireSIReadAndMark(txn, table, LockKind::kRow, entry_key);
+      if (!s.ok()) return s;
+      return AcquireSIReadAndMark(txn, table, LockKind::kGap, entry_key);
+    }
+    Status s = AcquireAndMark(txn, RowLockKeyInto(txn, table, entry_key),
+                              LockMode::kShared);
+    if (!s.ok()) return s;
+    txn.scratch_gap_key.Assign(table, LockKind::kGap, entry_key);
+    return AcquireAndMark(txn, txn.scratch_gap_key, LockMode::kShared);
+  };
+  auto lock_successor_gap = [&](const std::optional<std::string>& next) {
+    if (ssi) {
+      return next.has_value()
+                 ? AcquireSIReadAndMark(txn, table, LockKind::kGap, *next)
+                 : AcquireSIReadAndMark(txn, table, LockKind::kSupremum,
+                                        Slice());
+    }
+    return AcquireAndMark(txn, GapLockKeyInto(txn, table, next),
+                          LockMode::kShared);
+  };
 
   if (take_locks) {
-    if (options_.granularity == LockGranularity::kRow) {
+    if (!page_mode) {
       // Next-key locking (§2.5.2 / Fig 3.6): each visited entry gets a row
       // lock plus the gap below it; the gap below the successor protects
       // (last entry, successor), so inserts anywhere in [lo, hi] conflict.
       for (const ScanEntry& e : entries) {
-        st = AcquireAndMark(txn, RowLockKey(table, e.key), mode);
-        if (!st.ok()) return st;
-        st = AcquireAndMark(txn, LockKey{table, LockKind::kGap, e.key}, mode);
+        st = lock_entry(e.key);
         if (!st.ok()) return st;
       }
-      st = AcquireAndMark(txn, GapLockKey(table, successor), mode);
+      st = lock_successor_gap(successor);
       if (!st.ok()) return st;
     } else {
       // Page granularity: lock every page that holds an entry, plus the
@@ -375,8 +438,13 @@ Status Executor::Scan(TxnCtx& txn, TableId table, Slice lo, Slice hi,
         pages.insert(Table::PageOf(e.key, options_.rows_per_page));
       }
       for (uint64_t p : pages) {
-        st = AcquireAndMark(txn, LockKey{table, LockKind::kPage, EncodeU64Key(p)},
-                            mode);
+        txn.scratch_row_key.Assign(table, LockKind::kPage, EncodeU64Key(p));
+        if (ssi) {
+          st = AcquireSIReadAndMark(txn, table, LockKind::kPage,
+                                    txn.scratch_row_key.key);
+        } else {
+          st = AcquireAndMark(txn, txn.scratch_row_key, LockMode::kShared);
+        }
         if (!st.ok()) return st;
       }
     }
@@ -391,15 +459,12 @@ Status Executor::Scan(TxnCtx& txn, TableId table, Slice lo, Slice hi,
     std::optional<std::string> successor2;
     t->CollectRange(lo, hi, &recheck, &successor2);
     if (recheck.size() != entries.size()) {
-      if (options_.granularity == LockGranularity::kRow) {
+      if (!page_mode) {
         std::unordered_set<std::string_view> known;
         for (const ScanEntry& e : entries) known.insert(e.key);
         for (const ScanEntry& e : recheck) {
           if (known.count(e.key) > 0) continue;
-          st = AcquireAndMark(txn, RowLockKey(table, e.key), mode);
-          if (!st.ok()) return st;
-          st = AcquireAndMark(txn, LockKey{table, LockKind::kGap, e.key},
-                              mode);
+          st = lock_entry(e.key);
           if (!st.ok()) return st;
         }
       }
@@ -413,8 +478,13 @@ Status Executor::Scan(TxnCtx& txn, TableId table, Slice lo, Slice hi,
 
   std::string value;
   for (const ScanEntry& e : entries) {
+    const LockKey* page_lk = nullptr;
+    if (ssi && page_mode) {
+      // Reuse the scratch key for each entry's §4.2 page check.
+      page_lk = &RowLockKeyInto(txn, table, e.key);
+    }
     ReadResult rr;
-    st = ReadChainAndMark(txn, table, e.key, e.chain, &value, &rr);
+    st = ReadChainAndMark(txn, page_lk, e.chain, &value, &rr);
     if (!st.ok()) return st;
     if (history_ != nullptr) {
       history_->Read(state->id, table, e.key, rr.version_cts, rr.own_write);

@@ -51,6 +51,14 @@ class Executor {
     std::shared_ptr<TxnState> state;
     bool finished = false;
     bool history_begin_recorded = false;
+    /// Scratch lock keys, reused across operations so the blocking-lock
+    /// path never constructs a fresh LockKey (the std::string buffers are
+    /// recycled). One TxnCtx is driven by a single thread, so reuse is
+    /// race-free. scratch_row_key holds the row/page key of the current
+    /// operation; scratch_gap_key the gap key (they can be live at once
+    /// on the insert path).
+    LockKey scratch_row_key;
+    LockKey scratch_gap_key;
   };
 
   /// `history` may be null (DBOptions::record_history unset).
@@ -82,23 +90,38 @@ class Executor {
   /// is discovered", §3.7.1).
   Status AbortWith(TxnCtx& txn, const Status& cause);
 
-  /// Lock key for a row operation under the configured granularity:
-  /// the row itself (kRow) or its page bucket (kPage, §4.1).
-  LockKey RowLockKey(TableId table, Slice key) const;
-  /// Gap lock key protecting the open interval below `next_key`;
-  /// `next_key` == nullopt means the table's supremum gap (Fig 3.6/3.7).
-  LockKey GapLockKey(TableId table,
-                     const std::optional<std::string>& next_key) const;
+  /// Fill txn.scratch_row_key with the lock key of a row operation under
+  /// the configured granularity — the row itself (kRow) or its page
+  /// bucket (kPage, §4.1) — and return it. Computed once per operation;
+  /// under kPage the same key is reused by the §4.2 page-conflict check
+  /// in ReadChainAndMark instead of being re-encoded.
+  const LockKey& RowLockKeyInto(TxnCtx& txn, TableId table, Slice key) const;
+  /// Fill txn.scratch_gap_key with the gap key protecting the open
+  /// interval below `next_key`; nullopt means the table's supremum gap
+  /// (Fig 3.6/3.7).
+  const LockKey& GapLockKeyInto(TxnCtx& txn, TableId table,
+                                const std::optional<std::string>& next_key)
+      const;
 
-  /// Acquire `mode` on `lk` and route any rw-conflict evidence to the SSI
-  /// tracker (Fig 3.4 line 3 / Fig 3.5 line 4). Aborts this transaction on
-  /// deadlock/timeout/unsafe and returns the cause.
+  /// Acquire a *blocking* mode (kShared/kExclusive) on `lk` and route any
+  /// rw-conflict evidence to the SSI tracker (Fig 3.5 line 4). Aborts this
+  /// transaction on deadlock/timeout/unsafe and returns the cause.
   Status AcquireAndMark(TxnCtx& txn, const LockKey& lk, LockMode mode);
+
+  /// The SSI read fast lane: publish the SIREAD on (table, kind, key) and
+  /// mark rw-conflicts with the EXCLUSIVE holders found (Fig 3.4 line 3).
+  /// The key travels as a Slice: no owning LockKey, no heap allocation on
+  /// the no-conflict path.
+  Status AcquireSIReadAndMark(TxnCtx& txn, TableId table, LockKind kind,
+                              Slice key);
 
   /// The paper's modified read applied to one chain: snapshot-read (or
   /// latest-committed for S2PL) and mark rw-conflicts with creators of
-  /// ignored newer versions (Fig 3.4 lines 8-9).
-  Status ReadChainAndMark(TxnCtx& txn, TableId table, Slice key,
+  /// ignored newer versions (Fig 3.4 lines 8-9). `page_lk` is the
+  /// operation's page lock key, required (non-null) when granularity is
+  /// kPage and the caller is an SSI transaction — the §4.2 page-conflict
+  /// check consults it instead of recomputing the page key.
+  Status ReadChainAndMark(TxnCtx& txn, const LockKey* page_lk,
                           VersionChain* chain, std::string* value,
                           ReadResult* out);
 

@@ -27,7 +27,7 @@
 
 #include "src/common/options.h"
 #include "src/common/status.h"
-#include "src/lock/lock_manager.h"
+#include "src/lock/lock_key.h"
 #include "src/storage/version.h"
 
 namespace ssidb {

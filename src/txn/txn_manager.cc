@@ -277,8 +277,13 @@ void TxnManager::CleanupSuspended() {
       it = suspended_.erase(it);
     }
   }
+  // A suspended transaction's blocking locks were released at its own
+  // commit; only the retained SIREAD entries remain (§3.3). Drop them
+  // straight from the SIREAD index — O(held) per transaction, no
+  // lock-table sweep.
+  SIReadIndex* sireads = lock_manager_->siread_index();
   for (const auto& t : expired) {
-    lock_manager_->ReleaseAll(t->id);
+    sireads->ReleaseAll(t->id);
   }
 }
 

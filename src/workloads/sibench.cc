@@ -69,7 +69,12 @@ Status SiBench::IncrementValue(DB* db, const bench::SeriesConfig& series,
                                uint64_t id) {
   auto txn = db->Begin({series.For(/*read_only=*/false)});
   std::string v;
-  Status st = txn->Get(table_, EncodeU64Key(id), &v);
+  // The paper's UPDATE statement is a locking read (§2.6.2): the
+  // EXCLUSIVE lock is taken up front, so concurrent increments of one
+  // item serialize on the row lock instead of deadlocking in the S2PL
+  // shared→exclusive upgrade, and under SI/SSI the §4.5 lock-then-
+  // snapshot order makes first-committer-wins aborts impossible here.
+  Status st = txn->GetForUpdate(table_, EncodeU64Key(id), &v);
   int64_t value = 0;
   if (st.ok() && !DecodeValue(v, &value)) {
     st = Status::InvalidArgument("corrupt sibench value");
