@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ssi.dir/bench/ablation_ssi.cc.o"
+  "CMakeFiles/ablation_ssi.dir/bench/ablation_ssi.cc.o.d"
+  "ablation_ssi"
+  "ablation_ssi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ssi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

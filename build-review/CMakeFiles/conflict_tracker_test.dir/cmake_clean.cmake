@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_tracker_test.dir/tests/conflict_tracker_test.cc.o"
+  "CMakeFiles/conflict_tracker_test.dir/tests/conflict_tracker_test.cc.o.d"
+  "conflict_tracker_test"
+  "conflict_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

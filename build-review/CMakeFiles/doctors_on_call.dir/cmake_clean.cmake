@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doctors_on_call.dir/examples/doctors_on_call.cpp.o"
+  "CMakeFiles/doctors_on_call.dir/examples/doctors_on_call.cpp.o.d"
+  "doctors_on_call"
+  "doctors_on_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doctors_on_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_sibench.dir/bench/fig_sibench.cc.o"
+  "CMakeFiles/fig_sibench.dir/bench/fig_sibench.cc.o.d"
+  "fig_sibench"
+  "fig_sibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_smallbank.dir/bench/fig_smallbank.cc.o"
+  "CMakeFiles/fig_smallbank.dir/bench/fig_smallbank.cc.o.d"
+  "fig_smallbank"
+  "fig_smallbank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_smallbank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_tpcc.dir/bench/fig_tpcc.cc.o"
+  "CMakeFiles/fig_tpcc.dir/bench/fig_tpcc.cc.o.d"
+  "fig_tpcc"
+  "fig_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

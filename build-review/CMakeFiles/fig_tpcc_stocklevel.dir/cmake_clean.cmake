@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_tpcc_stocklevel.dir/bench/fig_tpcc_stocklevel.cc.o"
+  "CMakeFiles/fig_tpcc_stocklevel.dir/bench/fig_tpcc_stocklevel.cc.o.d"
+  "fig_tpcc_stocklevel"
+  "fig_tpcc_stocklevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_tpcc_stocklevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_tpcc_stocklevel.
+# This may be replaced when dependencies are built.

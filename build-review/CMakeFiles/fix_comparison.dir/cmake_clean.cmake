@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_comparison.dir/bench/fix_comparison.cc.o"
+  "CMakeFiles/fix_comparison.dir/bench/fix_comparison.cc.o.d"
+  "fix_comparison"
+  "fix_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity_test.dir/tests/granularity_test.cc.o"
+  "CMakeFiles/granularity_test.dir/tests/granularity_test.cc.o.d"
+  "granularity_test"
+  "granularity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_analyzer.dir/examples/history_analyzer.cpp.o"
+  "CMakeFiles/history_analyzer.dir/examples/history_analyzer.cpp.o.d"
+  "history_analyzer"
+  "history_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interleaving_test.dir/tests/interleaving_test.cc.o"
+  "CMakeFiles/interleaving_test.dir/tests/interleaving_test.cc.o.d"
+  "interleaving_test"
+  "interleaving_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interleaving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

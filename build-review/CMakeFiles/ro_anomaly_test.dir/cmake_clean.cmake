@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ro_anomaly_test.dir/tests/ro_anomaly_test.cc.o"
+  "CMakeFiles/ro_anomaly_test.dir/tests/ro_anomaly_test.cc.o.d"
+  "ro_anomaly_test"
+  "ro_anomaly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ro_anomaly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

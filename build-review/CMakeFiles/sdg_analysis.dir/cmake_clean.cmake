@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdg_analysis.dir/examples/sdg_analysis.cpp.o"
+  "CMakeFiles/sdg_analysis.dir/examples/sdg_analysis.cpp.o.d"
+  "sdg_analysis"
+  "sdg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdg_test.dir/tests/sdg_test.cc.o"
+  "CMakeFiles/sdg_test.dir/tests/sdg_test.cc.o.d"
+  "sdg_test"
+  "sdg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_for_update_test.dir/tests/select_for_update_test.cc.o"
+  "CMakeFiles/select_for_update_test.dir/tests/select_for_update_test.cc.o.d"
+  "select_for_update_test"
+  "select_for_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_for_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

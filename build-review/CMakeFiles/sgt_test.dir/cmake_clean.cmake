@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgt_test.dir/tests/sgt_test.cc.o"
+  "CMakeFiles/sgt_test.dir/tests/sgt_test.cc.o.d"
+  "sgt_test"
+  "sgt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sibench_test.dir/tests/sibench_test.cc.o"
+  "CMakeFiles/sibench_test.dir/tests/sibench_test.cc.o.d"
+  "sibench_test"
+  "sibench_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sibench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siread_index_test.dir/tests/siread_index_test.cc.o"
+  "CMakeFiles/siread_index_test.dir/tests/siread_index_test.cc.o.d"
+  "siread_index_test"
+  "siread_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siread_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smallbank_test.dir/tests/smallbank_test.cc.o"
+  "CMakeFiles/smallbank_test.dir/tests/smallbank_test.cc.o.d"
+  "smallbank_test"
+  "smallbank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smallbank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchlib/driver.cc" "CMakeFiles/ssidb.dir/src/benchlib/driver.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/benchlib/driver.cc.o.d"
+  "/root/repo/src/benchlib/stats.cc" "CMakeFiles/ssidb.dir/src/benchlib/stats.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/benchlib/stats.cc.o.d"
+  "/root/repo/src/common/encoding.cc" "CMakeFiles/ssidb.dir/src/common/encoding.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/common/encoding.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/ssidb.dir/src/common/random.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/ssidb.dir/src/common/status.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/common/status.cc.o.d"
+  "/root/repo/src/db/db.cc" "CMakeFiles/ssidb.dir/src/db/db.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/db/db.cc.o.d"
+  "/root/repo/src/lock/lock_manager.cc" "CMakeFiles/ssidb.dir/src/lock/lock_manager.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/lock/lock_manager.cc.o.d"
+  "/root/repo/src/lock/siread_index.cc" "CMakeFiles/ssidb.dir/src/lock/siread_index.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/lock/siread_index.cc.o.d"
+  "/root/repo/src/sgt/history.cc" "CMakeFiles/ssidb.dir/src/sgt/history.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/sgt/history.cc.o.d"
+  "/root/repo/src/sgt/mvsg.cc" "CMakeFiles/ssidb.dir/src/sgt/mvsg.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/sgt/mvsg.cc.o.d"
+  "/root/repo/src/sgt/sdg.cc" "CMakeFiles/ssidb.dir/src/sgt/sdg.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/sgt/sdg.cc.o.d"
+  "/root/repo/src/sgt/sdg_catalog.cc" "CMakeFiles/ssidb.dir/src/sgt/sdg_catalog.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/sgt/sdg_catalog.cc.o.d"
+  "/root/repo/src/ssi/conflict_tracker.cc" "CMakeFiles/ssidb.dir/src/ssi/conflict_tracker.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/ssi/conflict_tracker.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "CMakeFiles/ssidb.dir/src/storage/catalog.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/table.cc" "CMakeFiles/ssidb.dir/src/storage/table.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/storage/table.cc.o.d"
+  "/root/repo/src/storage/version.cc" "CMakeFiles/ssidb.dir/src/storage/version.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/storage/version.cc.o.d"
+  "/root/repo/src/txn/executor.cc" "CMakeFiles/ssidb.dir/src/txn/executor.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/txn/executor.cc.o.d"
+  "/root/repo/src/txn/log_manager.cc" "CMakeFiles/ssidb.dir/src/txn/log_manager.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/txn/log_manager.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "CMakeFiles/ssidb.dir/src/txn/transaction.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/txn/transaction.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "CMakeFiles/ssidb.dir/src/txn/txn_manager.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/txn/txn_manager.cc.o.d"
+  "/root/repo/src/workloads/sibench.cc" "CMakeFiles/ssidb.dir/src/workloads/sibench.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/workloads/sibench.cc.o.d"
+  "/root/repo/src/workloads/smallbank.cc" "CMakeFiles/ssidb.dir/src/workloads/smallbank.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/workloads/smallbank.cc.o.d"
+  "/root/repo/src/workloads/tpcc_loader.cc" "CMakeFiles/ssidb.dir/src/workloads/tpcc_loader.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/workloads/tpcc_loader.cc.o.d"
+  "/root/repo/src/workloads/tpcc_schema.cc" "CMakeFiles/ssidb.dir/src/workloads/tpcc_schema.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/workloads/tpcc_schema.cc.o.d"
+  "/root/repo/src/workloads/tpcc_txns.cc" "CMakeFiles/ssidb.dir/src/workloads/tpcc_txns.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/workloads/tpcc_txns.cc.o.d"
+  "/root/repo/src/workloads/tpcc_workload.cc" "CMakeFiles/ssidb.dir/src/workloads/tpcc_workload.cc.o" "gcc" "CMakeFiles/ssidb.dir/src/workloads/tpcc_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

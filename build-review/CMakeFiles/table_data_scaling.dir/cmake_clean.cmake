@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_data_scaling.dir/bench/table_data_scaling.cc.o"
+  "CMakeFiles/table_data_scaling.dir/bench/table_data_scaling.cc.o.d"
+  "table_data_scaling"
+  "table_data_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_data_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_demo.dir/examples/tpcc_demo.cpp.o"
+  "CMakeFiles/tpcc_demo.dir/examples/tpcc_demo.cpp.o.d"
+  "tpcc_demo"
+  "tpcc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_manager_test.dir/tests/txn_manager_test.cc.o"
+  "CMakeFiles/txn_manager_test.dir/tests/txn_manager_test.cc.o.d"
+  "txn_manager_test"
+  "txn_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
