@@ -27,6 +27,10 @@ SetupFn MakeSetup(uint64_t items, uint32_t queries_per_update) {
     DBOptions opts;  // InnoDB prototype defaults: row locks, references.
     opts.log.flush_on_commit = true;
     opts.log.flush_latency_us = EnvFlushUs(100);  // Fast "disk" (SSD-ish).
+    // SSIDB_WAL_DIR switches the point to the durable regime: a real
+    // file-backed WAL with write+fsync group commits instead of the
+    // simulated latency.
+    opts.log.wal_dir = NextWalPointDir();
     FigureSetup setup;
     Status st = DB::Open(opts, &setup.db);
     if (!st.ok()) abort();

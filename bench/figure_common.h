@@ -14,6 +14,7 @@
 #define SSIDB_BENCH_FIGURE_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -62,6 +63,13 @@ inline void RunFigure(const std::string& figure, const SetupFn& setup,
           RunWorkload(point.db.get(), point.workload.get(), series, config);
       printf("%s\n", ResultRow(figure, series.name, mpl, r).c_str());
       fflush(stdout);
+      if (const char* json_path = getenv("SSIDB_BENCH_JSON")) {
+        if (FILE* jf = fopen(json_path, "a")) {
+          fprintf(jf, "%s\n",
+                  ResultJsonLine(figure, series.name, mpl, r).c_str());
+          fclose(jf);
+        }
+      }
     }
   }
 }

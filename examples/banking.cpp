@@ -73,20 +73,34 @@ int main(int argc, char** argv) {
         const SmallBankOp op = static_cast<SmallBankOp>(rng.Uniform(5));
         const int64_t cents = rng.UniformRange(1, 99) * 100;
 
+        // Deposits are counted into expected_delta BEFORE the commit (and
+        // rolled back on failure): a commit becomes snapshot-visible the
+        // moment the watermark covers it, slightly before RunOp returns,
+        // so counting afterwards would let an auditor snapshot observe an
+        // uncounted deposit and flag a phantom failure. Checks subtract
+        // AFTER the commit for the same reason mirrored: an uncounted
+        // visible decrease only lowers the total, never breaches the
+        // upper bound.
+        const bool deposit = op == SmallBankOp::kDepositChecking ||
+                             op == SmallBankOp::kTransactSaving;
+        if (deposit) {
+          expected_delta.fetch_add(cents, std::memory_order_relaxed);
+        }
         Status s = bank->RunOp(db.get(), series, op, n1, n2, cents);
         if (s.ok()) {
           commits.fetch_add(1, std::memory_order_relaxed);
-          if (op == SmallBankOp::kDepositChecking) {
-            expected_delta.fetch_add(cents, std::memory_order_relaxed);
-          } else if (op == SmallBankOp::kTransactSaving) {
-            expected_delta.fetch_add(cents, std::memory_order_relaxed);
-          } else if (op == SmallBankOp::kWriteCheck) {
+          if (op == SmallBankOp::kWriteCheck) {
             // The program may or may not charge the $1 penalty; recompute
             // from the audit instead of guessing: flag below.
             expected_delta.fetch_add(-cents, std::memory_order_relaxed);
           }
-        } else if (s.IsAbort()) {
-          retries.fetch_add(1, std::memory_order_relaxed);  // Retry later.
+        } else {
+          if (deposit) {
+            expected_delta.fetch_add(-cents, std::memory_order_relaxed);
+          }
+          if (s.IsAbort()) {
+            retries.fetch_add(1, std::memory_order_relaxed);  // Retry later.
+          }
         }
       }
     });

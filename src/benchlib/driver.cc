@@ -1,8 +1,11 @@
 #include "src/benchlib/driver.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <ctime>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -88,6 +91,26 @@ uint32_t EnvFlushUs(uint32_t dflt) {
   if (v == nullptr) return dflt;
   const long us = std::atol(v);
   return us >= 0 ? static_cast<uint32_t>(us) : dflt;
+}
+
+std::string EnvWalDir() {
+  const char* v = std::getenv("SSIDB_WAL_DIR");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+std::string NextWalPointDir() {
+  const std::string base = EnvWalDir();
+  if (base.empty()) return base;
+  // Fresh directory per point, namespaced per run (time + pid): figures
+  // open a new engine per point, and reopening a directory populated by
+  // this run — or a previous run against the same SSIDB_WAL_DIR — would
+  // recover the old tables into the new point and abort its setup.
+  static const std::string run_dir =
+      base + "/run-" + std::to_string(::time(nullptr)) + "-" +
+      std::to_string(::getpid());
+  static std::atomic<uint64_t> point{0};
+  return run_dir + "/point-" +
+         std::to_string(point.fetch_add(1, std::memory_order_relaxed));
 }
 
 }  // namespace ssidb::bench

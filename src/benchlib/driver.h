@@ -65,9 +65,21 @@ RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
 ///   SSIDB_BENCH_SECONDS  - measurement window per point (default `dflt`).
 ///   SSIDB_BENCH_MPLS     - comma-separated MPL sweep (default `dflt`).
 ///   SSIDB_FLUSH_US       - simulated log flush latency override.
+///   SSIDB_WAL_DIR        - base directory for a real file-backed WAL:
+///                          flush-on-commit points run against write+fsync
+///                          instead of the simulated latency (the durable
+///                          regime). Each measurement point uses a fresh
+///                          subdirectory. Empty/unset = simulated.
+///   SSIDB_BENCH_JSON     - path to append one JSON object per measured
+///                          point (JSON Lines) for machine-readable
+///                          artifacts next to the CSV on stdout.
 double EnvSeconds(double dflt);
 std::vector<int> EnvMpls(const std::vector<int>& dflt);
 uint32_t EnvFlushUs(uint32_t dflt);
+std::string EnvWalDir();
+
+/// A fresh per-point WAL directory under EnvWalDir(), or "" when unset.
+std::string NextWalPointDir();
 
 }  // namespace ssidb::bench
 

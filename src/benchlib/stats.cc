@@ -44,4 +44,22 @@ std::string ResultRow(const std::string& figure, const std::string& series,
   return buf;
 }
 
+std::string ResultJsonLine(const std::string& figure,
+                           const std::string& series, int mpl,
+                           const RunResult& r) {
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "{\"figure\":\"%s\",\"series\":\"%s\",\"mpl\":%d,"
+           "\"commits_per_sec\":%.1f,\"seconds\":%.3f,\"commits\":%llu,"
+           "\"deadlocks\":%llu,\"update_conflicts\":%llu,\"unsafe\":%llu,"
+           "\"timeouts\":%llu}",
+           figure.c_str(), series.c_str(), mpl, r.Throughput(), r.seconds,
+           static_cast<unsigned long long>(r.commits),
+           static_cast<unsigned long long>(r.deadlocks),
+           static_cast<unsigned long long>(r.update_conflicts),
+           static_cast<unsigned long long>(r.unsafe),
+           static_cast<unsigned long long>(r.timeouts));
+  return buf;
+}
+
 }  // namespace ssidb::bench

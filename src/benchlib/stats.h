@@ -41,6 +41,12 @@ std::string ResultHeader();
 std::string ResultRow(const std::string& figure, const std::string& series,
                       int mpl, const RunResult& r);
 
+/// One measured point as a single-line JSON object (for SSIDB_BENCH_JSON
+/// artifacts: one object per line, JSON Lines).
+std::string ResultJsonLine(const std::string& figure,
+                           const std::string& series, int mpl,
+                           const RunResult& r);
+
 }  // namespace ssidb::bench
 
 #endif  // SSIDB_BENCHLIB_STATS_H_

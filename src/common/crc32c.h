@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli) — the checksum framing every durable artifact uses
+// (WAL record frames, checkpoint footers). Software table-driven
+// implementation: no hardware intrinsics, so the format is identical on
+// every build the CI matrix covers.
+
+#ifndef SSIDB_COMMON_CRC32C_H_
+#define SSIDB_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/slice.h"
+
+namespace ssidb {
+
+/// Extend `crc` (0 for a fresh checksum) with `data`. Streaming-friendly:
+/// Crc32c(Crc32c(0, a), b) == Crc32c(0, a+b).
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(Slice s) { return Crc32c(0, s.data(), s.size()); }
+
+}  // namespace ssidb
+
+#endif  // SSIDB_COMMON_CRC32C_H_

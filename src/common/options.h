@@ -6,6 +6,7 @@
 #define SSIDB_COMMON_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 
 namespace ssidb {
 
@@ -64,22 +65,52 @@ enum class DeadlockPolicy {
   kPeriodic,
 };
 
-/// Durability simulation for the write-ahead log (§6.1.2 vs §6.1.3).
+/// Durability configuration for the write-ahead log (§6.1.2 vs §6.1.3).
+///
+/// Two modes share the group-commit flusher:
+///   * Simulated (wal_dir empty, the default): records are encoded, the
+///     flusher sleeps flush_latency_us per batch and discards them — the
+///     paper's I/O-bound regime without touching the filesystem.
+///   * Durable (wal_dir set): records are appended to segmented WAL files
+///     in wal_dir with a real write+fsync per batch; DB::Open replays them
+///     (plus the latest checkpoint) to recover committed state after a
+///     crash. flush_latency_us is ignored — the disk provides the latency.
 struct LogOptions {
   /// If false, commits return without waiting for a flush ("no log flush"
   /// configuration of Fig 6.1: ~100us transactions). If true, each commit
   /// waits until a group-commit flush covers its LSN (Fig 6.2: I/O-bound).
+  /// In durable mode, only flushed commits are guaranteed to survive a
+  /// crash: flush_on_commit=false trades the crash-durability of the most
+  /// recent commits for commit latency (innodb_flush_log_at_trx_commit=0).
   bool flush_on_commit = false;
 
   /// Simulated flush latency in microseconds, modelling the disk. The
   /// paper's SATA RAID gave ~10ms; we default to 1ms so laptop sweeps stay
   /// short. Group commit amortises this across concurrent committers.
+  /// Simulated mode only (wal_dir empty).
   uint32_t flush_latency_us = 1000;
 
   /// InnoDB releases row locks *before* the commit flush (§4.4). The paper
   /// changed this to release after; we default to "after" and expose the
   /// original behaviour as an ablation.
   bool early_lock_release = false;
+
+  /// Directory for WAL segments and checkpoints. Empty (default) keeps the
+  /// engine fully in-memory with the simulated flush above. Created on
+  /// first use if missing.
+  std::string wal_dir;
+
+  /// Size at which the WAL rotates to a new segment file (durable mode).
+  uint64_t wal_segment_bytes = 4u << 20;
+
+  /// fsync each group-commit batch (durable mode). Disabling leaves
+  /// durability to the OS page cache — useful only for tests that exercise
+  /// the file format without paying for fsync.
+  bool wal_fsync = true;
+
+  /// If nonzero, DB runs a background thread that calls DB::Checkpoint()
+  /// every this-many milliseconds (durable mode only).
+  uint32_t checkpoint_interval_ms = 0;
 };
 
 /// Engine-wide options, fixed at DB::Open.

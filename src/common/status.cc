@@ -22,6 +22,12 @@ const char* StatusCodeName(Status::Code code) {
       return "invalid_argument";
     case Status::Code::kTimedOut:
       return "timed_out";
+    case Status::Code::kCorruption:
+      return "corruption";
+    case Status::Code::kTruncated:
+      return "truncated";
+    case Status::Code::kIOError:
+      return "io_error";
   }
   return "unknown";
 }

@@ -37,6 +37,16 @@ class Status {
     kInvalidArgument,
     /// Lock wait exceeded the configured timeout.
     kTimedOut,
+    /// Durable data failed validation (CRC mismatch, malformed record or
+    /// checkpoint). Distinct from kTruncated so the recovery tail-scan can
+    /// tell "bytes damaged" from "bytes missing".
+    kCorruption,
+    /// Durable data ends mid-record (short read): the expected torn-tail
+    /// shape after a crash. Recovery treats this as a clean end of log when
+    /// it occurs at the tail of the newest WAL segment.
+    kTruncated,
+    /// A filesystem operation (open/write/fsync/rename) failed.
+    kIOError,
   };
 
   Status() : code_(Code::kOk) {}
@@ -66,6 +76,15 @@ class Status {
   static Status TimedOut(std::string msg = "") {
     return Status(Code::kTimedOut, std::move(msg));
   }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status Truncated(std::string msg = "") {
+    return Status(Code::kTruncated, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -76,6 +95,9 @@ class Status {
   bool IsTxnInvalid() const { return code_ == Code::kTxnInvalid; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsTruncated() const { return code_ == Code::kTruncated; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
 
   /// True for the three error classes that abort the enclosing transaction
   /// (the ones the paper's benchmarks count and retry).

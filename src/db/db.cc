@@ -4,6 +4,12 @@
 
 #include "src/db/db.h"
 
+#include <chrono>
+#include <filesystem>
+
+#include "src/recovery/checkpoint.h"
+#include "src/recovery/wal.h"
+
 namespace ssidb {
 
 // --------------------------------------------------------------------------
@@ -73,18 +79,138 @@ DB::DB(const DBOptions& options)
                                          history_.get());
 }
 
-DB::~DB() = default;
+DB::~DB() { StopCheckpointer(); }
 
 Status DB::Open(const DBOptions& options, std::unique_ptr<DB>* db) {
   if (options.rows_per_page == 0) {
     return Status::InvalidArgument("rows_per_page must be positive");
   }
   db->reset(new DB(options));
+  if (!options.log.wal_dir.empty()) {
+    // Crash recovery runs before the first transaction — and before the
+    // engine's own WAL writer creates its first segment, so the newest
+    // on-disk segment is exactly the pre-crash tail.
+    Status st = (*db)->RecoverOnOpen();
+    if (!st.ok()) {
+      db->reset();
+      return st;
+    }
+    (*db)->StartCheckpointer();
+  }
+  return Status::OK();
+}
+
+Status DB::RecoverOnOpen() {
+  Status st = recovery::Recover(options_.log.wal_dir, &catalog_,
+                                &recovery_stats_);
+  if (!st.ok()) return st;
+  // New transactions must draw ids/snapshots above every recovered commit.
+  txn_manager_->AdvanceClockTo(recovery_stats_.max_commit_ts);
+  return Status::OK();
+}
+
+void DB::StartCheckpointer() {
+  if (options_.log.checkpoint_interval_ms == 0) return;
+  checkpointer_ = std::thread([this] {
+    const auto interval =
+        std::chrono::milliseconds(options_.log.checkpoint_interval_ms);
+    std::unique_lock<std::mutex> guard(checkpointer_mu_);
+    while (!checkpointer_stop_) {
+      if (checkpointer_cv_.wait_for(guard, interval,
+                                    [this] { return checkpointer_stop_; })) {
+        return;
+      }
+      guard.unlock();
+      Checkpoint();  // Best effort; failures retried next interval.
+      guard.lock();
+    }
+  });
+}
+
+void DB::StopCheckpointer() {
+  {
+    std::lock_guard<std::mutex> guard(checkpointer_mu_);
+    checkpointer_stop_ = true;
+  }
+  checkpointer_cv_.notify_all();
+  if (checkpointer_.joinable()) checkpointer_.join();
+}
+
+Status DB::Checkpoint() {
+  if (options_.log.wal_dir.empty()) {
+    return Status::InvalidArgument("checkpoint requires LogOptions::wal_dir");
+  }
+  // One checkpoint at a time: a manual call racing the background tick
+  // would interleave writes into the same image file.
+  std::lock_guard<std::mutex> guard(checkpoint_write_mu_);
+  // Every commit at or below the stable watermark has fully stamped its
+  // versions (txn_manager.h), so the sweep observes a consistent cut.
+  const Timestamp watermark = txn_manager_->stable_ts();
+  Status st = recovery::WriteCheckpoint(catalog_, watermark,
+                                        options_.log.wal_dir,
+                                        options_.log.wal_fsync);
+  if (!st.ok()) return st;
+  checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
+
+  // WAL GC: the image supersedes sealed segments it fully covers, so
+  // recovery stops paying for (and disk stops holding) the whole history.
+  // A segment is dropped only when it scans clean and every record is a
+  // commit with 0 < commit_ts <= watermark; segments holding
+  // table-create records stay (a create racing the sweep could postdate
+  // the image), and the highest-sequence segment always stays — it may
+  // be the flusher's live file. Best effort: a kept segment just replays
+  // idempotently.
+  std::vector<std::string> segments;
+  if (recovery::ListWalSegments(options_.log.wal_dir, &segments).ok()) {
+    for (size_t i = 0; i + 1 < segments.size(); ++i) {
+      recovery::WalScanResult scan;
+      if (!recovery::ScanWalSegment(segments[i], &scan).ok() ||
+          !scan.tail.ok()) {
+        continue;
+      }
+      bool covered = true;
+      for (const LogRecord& r : scan.records) {
+        if (r.type != LogRecordType::kCommit || r.commit_ts == 0 ||
+            r.commit_ts > watermark) {
+          covered = false;
+          break;
+        }
+      }
+      if (!covered) continue;
+      std::error_code ec;
+      std::filesystem::remove(segments[i], ec);
+      if (!ec) {
+        wal_segments_deleted_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
   return Status::OK();
 }
 
 Status DB::CreateTable(const std::string& name, TableId* id) {
-  return catalog_.CreateTable(name, id);
+  TableId created = 0;
+  Lsn lsn = 0;
+  const bool durable = log_manager_->durable();
+  // The (id, name) binding is logged through the catalog's pre-publish
+  // hook: still inside the creation critical section, so concurrent
+  // creates append their records in id order, and no transaction can
+  // commit against the table before its create record is in the log —
+  // replay never meets a commit whose table-create is missing or
+  // misordered.
+  Status st = catalog_.CreateTable(name, &created, [&](TableId tid) {
+    if (!durable) return;
+    LogRecord record;
+    record.type = LogRecordType::kTableCreate;
+    record.redo.push_back(RedoEntry{tid, name, std::string(), false});
+    lsn = log_manager_->Append(std::move(record));
+  });
+  if (!st.ok()) return st;
+  if (id != nullptr) *id = created;
+  if (durable && options_.log.flush_on_commit) {
+    // The durability wait happens outside the catalog lock.
+    return log_manager_->WaitFlushed(lsn);
+  }
+  return Status::OK();
 }
 
 Status DB::FindTable(const std::string& name, TableId* id) const {

@@ -27,13 +27,18 @@
 #ifndef SSIDB_DB_DB_H_
 #define SSIDB_DB_DB_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "src/common/options.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/lock/lock_manager.h"
+#include "src/recovery/recovery.h"
 #include "src/sgt/history.h"
 #include "src/ssi/conflict_tracker.h"
 #include "src/storage/catalog.h"
@@ -127,7 +132,7 @@ struct DBStats {
   uint64_t unsafe_aborts = 0;      ///< SSI dangerous structures detected.
   uint64_t deadlocks = 0;          ///< Lock cycles detected.
   uint64_t lock_waits = 0;         ///< Blocking lock acquisitions.
-  uint64_t log_records = 0;        ///< Commit records appended.
+  uint64_t log_records = 0;  ///< Commit records appended (write txns only).
   uint64_t log_flush_batches = 0;  ///< Group-commit flushes.
   size_t active_txns = 0;
   size_t suspended_txns = 0;       ///< Committed-but-retained (§3.3).
@@ -136,8 +141,13 @@ struct DBStats {
 
 class DB {
  public:
-  /// Open a fresh in-memory engine. Never fails today, but keeps the
-  /// fallible signature so callers are ready for persistent variants.
+  /// Open the engine. With LogOptions::wal_dir unset this is a fresh
+  /// in-memory database and never fails. With wal_dir set, Open first runs
+  /// crash recovery against the directory — loads the newest complete
+  /// checkpoint and replays the WAL segments past it (tolerating a torn
+  /// tail record) — so every previously flushed commit is visible again
+  /// with its original commit timestamp. Fails with kCorruption/kIOError
+  /// when the directory's durable state is damaged beyond a torn tail.
   static Status Open(const DBOptions& options, std::unique_ptr<DB>* db);
 
   ~DB();
@@ -145,12 +155,37 @@ class DB {
   DB(const DB&) = delete;
   DB& operator=(const DB&) = delete;
 
-  /// Create a table. kInvalidArgument on duplicate name.
+  /// Create a table. kInvalidArgument on duplicate name. In durable mode
+  /// the creation is logged (and, under flush_on_commit, flushed) so the
+  /// table — and the id its commit records refer to — survives a crash.
   Status CreateTable(const std::string& name, TableId* id);
-  /// Look up a table id by name. kNotFound if absent.
+  /// Look up a table id by name. kNotFound if absent. After a recovered
+  /// Open, this is how clients rebind ids for pre-crash tables.
   Status FindTable(const std::string& name, TableId* id) const;
 
   std::unique_ptr<Transaction> Begin(const TxnOptions& options = {});
+
+  /// Write a checkpoint of every table's committed state at the current
+  /// stable watermark into wal_dir (durable mode only; kInvalidArgument
+  /// otherwise). Runs concurrently with transactions — the sweep holds one
+  /// storage-shard latch at a time and never blocks the commit path.
+  Status Checkpoint();
+
+  /// Number of checkpoints taken (manual + background).
+  uint64_t checkpoints_taken() const {
+    return checkpoints_taken_.load(std::memory_order_relaxed);
+  }
+
+  /// WAL segments garbage-collected by checkpoints (fully covered by an
+  /// image; replay time and disk stay bounded by the checkpoint cadence).
+  uint64_t wal_segments_deleted() const {
+    return wal_segments_deleted_.load(std::memory_order_relaxed);
+  }
+
+  /// What recovery found at Open (zeroed for in-memory engines).
+  const recovery::RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
 
   DBStats GetStats() const;
   const DBOptions& options() const { return options_; }
@@ -174,6 +209,13 @@ class DB {
  private:
   explicit DB(const DBOptions& options);
 
+  /// Rebuild state from wal_dir (Open calls this before the first Begin)
+  /// and advance the clock past every recovered commit timestamp.
+  Status RecoverOnOpen();
+  /// Start/stop the background checkpointer (checkpoint_interval_ms).
+  void StartCheckpointer();
+  void StopCheckpointer();
+
   const DBOptions options_;
   Catalog catalog_;
   std::unique_ptr<LogManager> log_manager_;
@@ -182,6 +224,17 @@ class DB {
   std::unique_ptr<ConflictTracker> tracker_;
   std::unique_ptr<sgt::HistoryRecorder> history_;
   std::unique_ptr<Executor> executor_;
+
+  recovery::RecoveryStats recovery_stats_;
+  std::atomic<uint64_t> checkpoints_taken_{0};
+  std::atomic<uint64_t> wal_segments_deleted_{0};
+  /// Serializes Checkpoint() calls (manual vs background interval).
+  std::mutex checkpoint_write_mu_;
+
+  std::mutex checkpointer_mu_;
+  std::condition_variable checkpointer_cv_;
+  bool checkpointer_stop_ = false;
+  std::thread checkpointer_;
 };
 
 }  // namespace ssidb

@@ -1,0 +1,192 @@
+#include "src/recovery/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "src/common/crc32c.h"
+#include "src/common/encoding.h"
+#include "src/recovery/fs_util.h"
+
+namespace ssidb::recovery {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kHeaderMagic[8] = {'S', 'S', 'I', 'D', 'B', 'C', 'K', '1'};
+constexpr char kTrailerMagic[8] = {'S', 'S', 'I', 'D', 'B', 'E', 'N', 'D'};
+constexpr char kCheckpointPrefix[] = "checkpoint-";
+constexpr char kCheckpointSuffix[] = ".ckpt";
+
+/// The sweep's reader id: matches no version creator (real ids come from
+/// the clock, recovered versions use 0), so VersionChain::Read never takes
+/// the own-write path.
+constexpr TxnId kSweepReader = UINT64_MAX;
+
+/// Parse a fully-read checkpoint file. Any defect => non-OK (the caller
+/// falls back to an older checkpoint).
+Status ParseCheckpoint(const std::string& contents, CheckpointData* out) {
+  const size_t footer = sizeof(uint32_t) + sizeof(kTrailerMagic);
+  if (contents.size() < sizeof(kHeaderMagic) + footer) {
+    return Status::Truncated("checkpoint too small");
+  }
+  if (std::memcmp(contents.data(), kHeaderMagic, sizeof(kHeaderMagic)) != 0) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  if (std::memcmp(contents.data() + contents.size() - sizeof(kTrailerMagic),
+                  kTrailerMagic, sizeof(kTrailerMagic)) != 0) {
+    return Status::Truncated("checkpoint trailer missing");
+  }
+  const size_t body_size = contents.size() - footer;
+  const Slice body(contents.data(), body_size);
+  size_t off = body_size;
+  uint32_t stored_crc = 0;
+  if (!GetBig32(contents, &off, &stored_crc)) {
+    return Status::Truncated("checkpoint crc missing");
+  }
+  if (Crc32c(body) != stored_crc) {
+    return Status::Corruption("checkpoint crc mismatch");
+  }
+  off = sizeof(kHeaderMagic);
+  uint64_t watermark = 0;
+  uint32_t table_count = 0;
+  if (!GetBig64(body, &off, &watermark) ||
+      !GetBig32(body, &off, &table_count)) {
+    return Status::Corruption("checkpoint header short");
+  }
+  CheckpointData data;
+  data.watermark = watermark;
+  data.tables.reserve(table_count);
+  for (uint32_t t = 0; t < table_count; ++t) {
+    CheckpointTable table;
+    uint64_t entry_count = 0;
+    if (!GetBig32(body, &off, &table.id) ||
+        !GetLengthPrefixed(body, &off, &table.name) ||
+        !GetBig64(body, &off, &entry_count)) {
+      return Status::Corruption("checkpoint table header short");
+    }
+    table.entries.reserve(entry_count);
+    for (uint64_t i = 0; i < entry_count; ++i) {
+      CheckpointEntry e;
+      if (!GetLengthPrefixed(body, &off, &e.key) ||
+          !GetLengthPrefixed(body, &off, &e.value) ||
+          !GetBig64(body, &off, &e.commit_ts)) {
+        return Status::Corruption("checkpoint entry short");
+      }
+      table.entries.push_back(std::move(e));
+    }
+    data.tables.push_back(std::move(table));
+  }
+  if (off != body_size) {
+    return Status::Corruption("trailing bytes in checkpoint");
+  }
+  *out = std::move(data);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string CheckpointFileName(Timestamp watermark) {
+  return NumberedFileName(kCheckpointPrefix, watermark, kCheckpointSuffix);
+}
+
+Status WriteCheckpoint(const Catalog& catalog, Timestamp watermark,
+                       const std::string& dir, bool do_fsync) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("mkdir " + dir + ": " + ec.message());
+
+  std::string image;
+  image.append(kHeaderMagic, sizeof(kHeaderMagic));
+  PutBig64(&image, watermark);
+  const uint32_t table_count = static_cast<uint32_t>(catalog.table_count());
+  PutBig32(&image, table_count);
+  for (TableId id = 0; id < table_count; ++id) {
+    Table* table = catalog.table(id);
+    PutBig32(&image, id);
+    PutLengthPrefixed(&image, table->name());
+    // Entry count precedes the entries; collect first (the table keeps
+    // serving reads and writes — only one shard latch is shared at a time).
+    std::string entries;
+    uint64_t entry_count = 0;
+    std::string value;
+    table->ForEachChain([&](const std::string& key, VersionChain* chain) {
+      const ReadResult rr = chain->Read(kSweepReader, watermark, &value);
+      if (!rr.found) return;  // Absent or tombstone at the watermark.
+      PutLengthPrefixed(&entries, key);
+      PutLengthPrefixed(&entries, value);
+      PutBig64(&entries, rr.version_cts);
+      ++entry_count;
+    });
+    PutBig64(&image, entry_count);
+    image += entries;
+  }
+  PutBig32(&image, Crc32c(image));
+  image.append(kTrailerMagic, sizeof(kTrailerMagic));
+
+  const fs::path final_path = fs::path(dir) / CheckpointFileName(watermark);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  Status st = WriteFileDurably(tmp_path.string(), image, do_fsync);
+  if (!st.ok()) return st;
+  std::error_code rename_ec;
+  fs::rename(tmp_path, final_path, rename_ec);
+  if (rename_ec) {
+    return Status::IOError("rename " + tmp_path.string() + ": " +
+                           rename_ec.message());
+  }
+  if (do_fsync) {
+    st = SyncDir(dir);
+    if (!st.ok()) return st;
+  }
+
+  // The new image supersedes older ones; drop them, along with any .tmp a
+  // crashed earlier attempt stranded (ours was just renamed away). Best
+  // effort.
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    Timestamp wm = 0;
+    if (ParseNumberedFileName(name, kCheckpointPrefix, kCheckpointSuffix,
+                              &wm) &&
+        wm < watermark) {
+      fs::remove(entry.path(), ec);
+    } else if (name.rfind(kCheckpointPrefix, 0) == 0 &&
+               name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadLatestCheckpoint(const std::string& dir, CheckpointData* out,
+                            bool* found) {
+  *found = false;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return Status::OK();
+  std::vector<std::pair<Timestamp, std::string>> candidates;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    Timestamp wm = 0;
+    if (ParseNumberedFileName(entry.path().filename().string(),
+                              kCheckpointPrefix, kCheckpointSuffix, &wm)) {
+      candidates.emplace_back(wm, entry.path().string());
+    }
+  }
+  if (ec) return Status::IOError("list " + dir + ": " + ec.message());
+  std::sort(candidates.rbegin(), candidates.rend());
+  for (const auto& [wm, path] : candidates) {
+    std::string contents;
+    if (!ReadFileToString(path, &contents).ok()) continue;
+    CheckpointData data;
+    if (ParseCheckpoint(contents, &data).ok()) {
+      *out = std::move(data);
+      *found = true;
+      return Status::OK();
+    }
+    // Incomplete/corrupt image (e.g. crash mid-checkpoint): fall back.
+  }
+  return Status::OK();
+}
+
+}  // namespace ssidb::recovery

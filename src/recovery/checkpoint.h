@@ -1,0 +1,79 @@
+// Watermark checkpoints: a serialized image of every table's newest
+// committed version at a TxnManager stable watermark.
+//
+// Why the watermark: every commit with commit_ts <= stable_ts() has fully
+// stamped its versions before the watermark advanced past it (txn_manager.h),
+// so a sweep that filters versions by commit_ts <= watermark observes a
+// transaction-consistent cut without stopping writers — the sweep rides
+// Table::ForEachChain, which holds one shard latch at a time.
+//
+// Write protocol: serialize into checkpoint-<watermark>.tmp, fsync, rename
+// to checkpoint-<watermark>.ckpt, fsync the directory. A crash mid-write
+// leaves a .tmp (ignored) or nothing; a checkpoint is only consulted by
+// recovery if its CRC footer and trailer magic validate, so a torn rename
+// target can never be mistaken for a complete image.
+//
+// File format (all integers big-endian):
+//   magic8 "SSIDBCK1"
+//   u64 watermark
+//   u32 table_count
+//   table_count x { u32 id, len-prefixed name, u64 entry_count,
+//                   entry_count x { lp key, lp value, u64 commit_ts } }
+//   u32 crc                 CRC32C of every byte above
+//   magic8 "SSIDBEND"
+//
+// Tables appear in id order and ids are dense, so re-creating them in file
+// order on an empty catalog reproduces the original id assignment — which
+// WAL commit records (keyed by table id) rely on. Keys whose newest
+// committed version at the watermark is a tombstone are omitted: recovery
+// starts no snapshots older than the watermark, so the deleted key is
+// simply absent.
+
+#ifndef SSIDB_RECOVERY_CHECKPOINT_H_
+#define SSIDB_RECOVERY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/catalog.h"
+
+namespace ssidb::recovery {
+
+struct CheckpointEntry {
+  std::string key;
+  std::string value;
+  Timestamp commit_ts = 0;
+};
+
+struct CheckpointTable {
+  TableId id = 0;
+  std::string name;
+  std::vector<CheckpointEntry> entries;
+};
+
+/// A parsed checkpoint image.
+struct CheckpointData {
+  Timestamp watermark = 0;
+  std::vector<CheckpointTable> tables;
+};
+
+/// File name for a checkpoint at `watermark`.
+std::string CheckpointFileName(Timestamp watermark);
+
+/// Sweep `catalog` at `watermark` and durably write the image into `dir`
+/// (created if missing). On success older checkpoint files are deleted —
+/// the new image supersedes them. `fsync=false` is test-only.
+Status WriteCheckpoint(const Catalog& catalog, Timestamp watermark,
+                       const std::string& dir, bool fsync);
+
+/// Load the newest *complete* checkpoint in `dir` into `out`. Incomplete
+/// or damaged files (bad magic, CRC, or truncation) are skipped in favour
+/// of the next-newest. *found=false with OK status when none qualifies.
+Status LoadLatestCheckpoint(const std::string& dir, CheckpointData* out,
+                            bool* found);
+
+}  // namespace ssidb::recovery
+
+#endif  // SSIDB_RECOVERY_CHECKPOINT_H_

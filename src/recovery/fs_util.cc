@@ -1,0 +1,90 @@
+#include "src/recovery/fs_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ssidb::recovery {
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::IOError(std::string(op) + " " + path + ": " +
+                         std::strerror(errno));
+}
+
+Status SyncDir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return ErrnoStatus("open dir", dir);
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) return ErrnoStatus("fsync dir", dir);
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return ErrnoStatus("open", path);
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return ErrnoStatus("read", path);
+  return Status::OK();
+}
+
+Status WriteFileDurably(const std::string& path, const std::string& contents,
+                        bool do_fsync) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("create", path);
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (do_fsync && ::fsync(fd) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fsync", path);
+  }
+  if (::close(fd) != 0) return ErrnoStatus("close", path);
+  return Status::OK();
+}
+
+std::string NumberedFileName(const char* prefix, uint64_t num,
+                             const char* suffix) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s%020llu%s", prefix,
+                static_cast<unsigned long long>(num), suffix);
+  return buf;
+}
+
+bool ParseNumberedFileName(const std::string& name, const char* prefix,
+                           const char* suffix, uint64_t* num) {
+  const size_t prefix_len = std::strlen(prefix);
+  const size_t suffix_len = std::strlen(suffix);
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, prefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, suffix) != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *num = v;
+  return true;
+}
+
+}  // namespace ssidb::recovery

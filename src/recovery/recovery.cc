@@ -1,0 +1,131 @@
+#include "src/recovery/recovery.h"
+
+#include <filesystem>
+#include <vector>
+
+#include "src/recovery/checkpoint.h"
+#include "src/recovery/wal.h"
+
+namespace ssidb::recovery {
+
+namespace {
+
+/// Apply one replayed record to the catalog. Returns non-OK only for
+/// defects that invalidate the log's internal consistency.
+Status ApplyRecord(const LogRecord& record, Timestamp checkpoint_ts,
+                   Catalog* catalog, RecoveryStats* stats) {
+  if (record.type == LogRecordType::kTableCreate) {
+    if (record.redo.size() != 1) {
+      return Status::Corruption("table-create record without name entry");
+    }
+    const RedoEntry& e = record.redo[0];
+    TableId existing = 0;
+    if (catalog->FindTable(e.key, &existing).ok()) {
+      return Status::OK();  // Already present (checkpoint or repeat replay).
+    }
+    TableId assigned = 0;
+    Status st = catalog->CreateTable(e.key, &assigned);
+    if (!st.ok()) return st;
+    if (assigned != e.table) {
+      // Ids are dense and allocated in creation order; a mismatch means
+      // the log and the catalog tell different histories.
+      return Status::Corruption("table id diverged during replay");
+    }
+    return Status::OK();
+  }
+  // Commit record.
+  if (record.commit_ts == 0) {
+    return Status::Corruption("commit record without timestamp");
+  }
+  if (record.commit_ts <= checkpoint_ts) {
+    return Status::OK();  // Effects already captured by the checkpoint.
+  }
+  for (const RedoEntry& e : record.redo) {
+    Table* table = catalog->table(e.table);
+    if (table == nullptr) {
+      // The table-create that must precede this commit in the log is
+      // missing: the durable prefix ended before this commit's
+      // dependencies, so the commit itself was never acknowledged.
+      return Status::Corruption("commit references unknown table");
+    }
+    table->RecoverVersion(e.key, e.value, e.tombstone, record.commit_ts);
+    ++stats->redo_entries_applied;
+  }
+  ++stats->commit_records_applied;
+  if (record.commit_ts > stats->max_commit_ts) {
+    stats->max_commit_ts = record.commit_ts;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Recover(const std::string& dir, Catalog* catalog,
+               RecoveryStats* stats) {
+  *stats = RecoveryStats{};
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) return Status::OK();
+
+  // 1. Checkpoint image.
+  CheckpointData checkpoint;
+  bool have_checkpoint = false;
+  Status st = LoadLatestCheckpoint(dir, &checkpoint, &have_checkpoint);
+  if (!st.ok()) return st;
+  if (have_checkpoint) {
+    for (const CheckpointTable& t : checkpoint.tables) {
+      TableId assigned = 0;
+      st = catalog->CreateTable(t.name, &assigned);
+      if (!st.ok()) return st;
+      if (assigned != t.id) {
+        return Status::Corruption("checkpoint table ids not dense");
+      }
+      Table* table = catalog->table(assigned);
+      for (const CheckpointEntry& e : t.entries) {
+        table->RecoverVersion(e.key, e.value, /*tombstone=*/false,
+                              e.commit_ts);
+      }
+    }
+    stats->used_checkpoint = true;
+    stats->checkpoint_ts = checkpoint.watermark;
+    stats->max_commit_ts = checkpoint.watermark;
+  }
+
+  // 2. WAL replay past the checkpoint.
+  std::vector<std::string> segments;
+  st = ListWalSegments(dir, &segments);
+  if (!st.ok()) return st;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    WalScanResult scan;
+    st = ScanWalSegment(segments[i], &scan);
+    if (!st.ok()) return st;
+    ++stats->segments_scanned;
+    for (const LogRecord& record : scan.records) {
+      st = ApplyRecord(record, stats->checkpoint_ts, catalog, stats);
+      if (!st.ok()) return st;
+    }
+    if (!scan.tail.ok()) {
+      if (i + 1 == segments.size()) {
+        // 3. Torn tail of the newest segment: the crash interrupted the
+        // flusher mid-frame. Everything before it is the acknowledged
+        // prefix; stop cleanly — after cutting the tear off. Without the
+        // truncation, the next session's writer would open a fresh
+        // segment past this one, leaving the tear mid-log where the
+        // session after that must refuse it as corruption.
+        stats->torn_tail = true;
+        std::error_code trunc_ec;
+        std::filesystem::resize_file(segments[i], scan.valid_bytes,
+                                     trunc_ec);
+        if (trunc_ec) {
+          return Status::IOError("truncate torn tail of " + segments[i] +
+                                 ": " + trunc_ec.message());
+        }
+        break;
+      }
+      return Status::Corruption("damaged record mid-log in " + segments[i] +
+                                ": " + scan.tail.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ssidb::recovery

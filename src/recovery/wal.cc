@@ -1,0 +1,143 @@
+#include "src/recovery/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <filesystem>
+
+#include "src/recovery/fs_util.h"
+
+namespace ssidb::recovery {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kSegmentPrefix[] = "wal-";
+constexpr char kSegmentSuffix[] = ".log";
+
+}  // namespace
+
+std::string WalSegmentName(uint64_t seq) {
+  return NumberedFileName(kSegmentPrefix, seq, kSegmentSuffix);
+}
+
+Status ListWalSegments(const std::string& dir,
+                       std::vector<std::string>* paths) {
+  paths->clear();
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return Status::OK();
+  std::vector<std::pair<uint64_t, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t seq = 0;
+    const std::string name = entry.path().filename().string();
+    if (ParseNumberedFileName(name, kSegmentPrefix, kSegmentSuffix, &seq)) {
+      found.emplace_back(seq, entry.path().string());
+    }
+  }
+  if (ec) return Status::IOError("list " + dir + ": " + ec.message());
+  std::sort(found.begin(), found.end());
+  for (auto& [seq, path] : found) paths->push_back(std::move(path));
+  return Status::OK();
+}
+
+Status ScanWalSegment(const std::string& path, WalScanResult* out) {
+  out->records.clear();
+  out->tail = Status::OK();
+  std::string contents;
+  Status st = ReadFileToString(path, &contents);
+  if (!st.ok()) return st;
+  out->file_bytes = contents.size();
+  size_t offset = 0;
+  while (offset < contents.size()) {
+    LogRecord record;
+    st = LogRecord::DecodeFrom(contents, &offset, &record);
+    if (!st.ok()) {
+      out->tail = st;
+      break;
+    }
+    out->records.push_back(std::move(record));
+  }
+  out->valid_bytes = offset;
+  return Status::OK();
+}
+
+WalWriter::WalWriter(std::string dir, uint64_t segment_bytes, bool fsync)
+    : dir_(std::move(dir)),
+      segment_bytes_(segment_bytes == 0 ? 1 : segment_bytes),
+      fsync_(fsync) {}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    if (fsync_) ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+Status WalWriter::EnsureOpen() {
+  if (opened_) return Status::OK();
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return Status::IOError("mkdir " + dir_ + ": " + ec.message());
+  // Start one past the highest existing segment: a pre-crash segment may
+  // end in a torn frame, and appending after it would bury the tear
+  // mid-segment where recovery must treat it as corruption.
+  std::vector<std::string> existing;
+  Status st = ListWalSegments(dir_, &existing);
+  if (!st.ok()) return st;
+  next_seq_ = 1;
+  if (!existing.empty()) {
+    uint64_t last = 0;
+    ParseNumberedFileName(fs::path(existing.back()).filename().string(),
+                          kSegmentPrefix, kSegmentSuffix, &last);
+    next_seq_ = last + 1;
+  }
+  opened_ = true;
+  return RotateSegment();
+}
+
+Status WalWriter::RotateSegment() {
+  if (fd_ >= 0) {
+    if (fsync_ && ::fsync(fd_) != 0) return ErrnoStatus("fsync", dir_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const std::string path =
+      (fs::path(dir_) / WalSegmentName(next_seq_)).string();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd_ < 0) return ErrnoStatus("create", path);
+  ++next_seq_;
+  segments_created_.fetch_add(1, std::memory_order_relaxed);
+  segment_offset_ = 0;
+  // Make the new name itself durable before any record relies on it.
+  return fsync_ ? SyncDir(dir_) : Status::OK();
+}
+
+Status WalWriter::AppendBatch(const std::vector<std::string>& frames) {
+  Status st = EnsureOpen();
+  if (!st.ok()) return st;
+  for (const std::string& frame : frames) {
+    if (segment_offset_ >= segment_bytes_) {
+      st = RotateSegment();
+      if (!st.ok()) return st;
+    }
+    size_t written = 0;
+    while (written < frame.size()) {
+      const ssize_t n =
+          ::write(fd_, frame.data() + written, frame.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", dir_);
+      }
+      written += static_cast<size_t>(n);
+    }
+    segment_offset_ += frame.size();
+    bytes_written_.fetch_add(frame.size(), std::memory_order_relaxed);
+  }
+  if (fsync_ && ::fsync(fd_) != 0) return ErrnoStatus("fsync", dir_);
+  return Status::OK();
+}
+
+}  // namespace ssidb::recovery

@@ -1,0 +1,110 @@
+// Segmented, file-backed write-ahead log: the physical layer under
+// LogManager's group-commit flusher and the input to crash recovery.
+//
+// Layout: LogOptions::wal_dir holds segment files named
+// wal-<seq, 20 digits>.log. A segment is a plain concatenation of
+// LogRecord frames (see log_manager.h for the frame format); the writer
+// appends whole frames, fsyncs once per group-commit batch, and rotates to
+// a new segment when the current one exceeds the configured size. Segments
+// are immutable once rotated away from, so only the newest segment can
+// carry a torn tail after a crash.
+//
+// The writer is lazy: no file (or directory) is created until the first
+// append. DB::Open relies on this — recovery scans the directory before
+// the engine's own writer has touched it, so the newest on-disk segment is
+// exactly the pre-crash tail.
+//
+// Threading: WalWriter is driven by a single thread (LogManager's
+// flusher); readers run before the writer's first append (recovery) or on
+// test-owned copies.
+
+#ifndef SSIDB_RECOVERY_WAL_H_
+#define SSIDB_RECOVERY_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/txn/log_manager.h"
+
+namespace ssidb::recovery {
+
+/// Name of segment `seq` ("wal-00000000000000000007.log").
+std::string WalSegmentName(uint64_t seq);
+
+/// Segment files in `dir`, sorted by sequence number ascending. A missing
+/// directory yields OK and an empty list (fresh database). Non-WAL files
+/// are ignored.
+Status ListWalSegments(const std::string& dir,
+                       std::vector<std::string>* paths);
+
+/// Outcome of scanning one segment file.
+struct WalScanResult {
+  /// Every complete, CRC-valid record, in append order.
+  std::vector<LogRecord> records;
+  /// OK if the segment ended exactly on a frame boundary; kTruncated /
+  /// kCorruption if the tail was short or damaged (records before the bad
+  /// frame are still returned — the recovery policy decides whether a bad
+  /// tail is a torn write or real corruption).
+  Status tail;
+  /// Bytes of clean prefix (the offset where the bad tail starts; the
+  /// file size when tail is OK). Recovery truncates a torn newest segment
+  /// to this, so the tear cannot end up mid-log once later sessions
+  /// append new segments.
+  uint64_t valid_bytes = 0;
+  /// Total file size scanned.
+  uint64_t file_bytes = 0;
+};
+
+/// Read and parse one segment. kIOError only for filesystem failures;
+/// format problems are reported through WalScanResult::tail.
+Status ScanWalSegment(const std::string& path, WalScanResult* out);
+
+class WalWriter {
+ public:
+  /// `fsync`: sync file data after each batch (and the directory when a
+  /// segment is created).
+  WalWriter(std::string dir, uint64_t segment_bytes, bool fsync);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Append every frame, rotating segments as needed, then sync once.
+  /// Frames are written whole and in order, so the durable log is always a
+  /// prefix of the appended sequence (modulo a torn final frame).
+  Status AppendBatch(const std::vector<std::string>& frames);
+
+  // Counters are relaxed atomics: the writer is single-threaded (the
+  // flusher), but stats/GC readers sample from other threads.
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t segments_created() const {
+    return segments_created_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Create wal_dir if needed and open the next segment (one past the
+  /// highest existing sequence number — never append to a possibly-torn
+  /// pre-crash segment).
+  Status EnsureOpen();
+  Status RotateSegment();
+
+  const std::string dir_;
+  const uint64_t segment_bytes_;
+  const bool fsync_;
+
+  int fd_ = -1;
+  uint64_t next_seq_ = 0;       ///< Valid after EnsureOpen.
+  uint64_t segment_offset_ = 0; ///< Bytes in the open segment.
+  bool opened_ = false;
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> segments_created_{0};
+};
+
+}  // namespace ssidb::recovery
+
+#endif  // SSIDB_RECOVERY_WAL_H_

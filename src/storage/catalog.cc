@@ -9,7 +9,9 @@ Catalog::~Catalog() {
   }
 }
 
-Status Catalog::CreateTable(const std::string& name, TableId* id) {
+Status Catalog::CreateTable(const std::string& name, TableId* id,
+                            const std::function<void(TableId)>&
+                                before_publish) {
   std::lock_guard<std::mutex> guard(create_mu_);
   if (names_.count(name) > 0) {
     return Status::InvalidArgument("table exists: " + name);
@@ -20,8 +22,9 @@ Status Catalog::CreateTable(const std::string& name, TableId* id) {
   }
   const TableId tid = static_cast<TableId>(n);
   slots_[tid].store(new Table(tid, name), std::memory_order_relaxed);
-  // The release publish orders the slot store before any reader that
-  // observes the new count.
+  if (before_publish) before_publish(tid);
+  // The release publish orders the slot store (and the hook's side
+  // effects) before any reader that observes the new count.
   count_.store(n + 1, std::memory_order_release);
   names_.emplace(name, tid);
   if (id != nullptr) *id = tid;

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,7 +35,16 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   /// Create a table. kInvalidArgument on duplicate name or table overflow.
-  Status CreateTable(const std::string& name, TableId* id);
+  /// `before_publish`, if set, runs with the id assigned but the table not
+  /// yet visible to any other thread (still inside the creation critical
+  /// section). The durability layer hooks this to append the table-create
+  /// WAL record: creates serialize under the catalog's mutex (so the
+  /// records land in id order) and the record provably precedes any
+  /// commit record that references the table — no commit can touch a
+  /// table before the publication that follows the hook.
+  Status CreateTable(const std::string& name, TableId* id,
+                     const std::function<void(TableId)>& before_publish =
+                         nullptr);
 
   /// Look up a table id by name. kNotFound if absent.
   Status FindTable(const std::string& name, TableId* id) const;

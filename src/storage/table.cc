@@ -151,6 +151,11 @@ void Table::ForEachChain(
   }
 }
 
+void Table::RecoverVersion(Slice key, Slice value, bool tombstone,
+                           Timestamp commit_ts) {
+  GetOrCreate(key)->InstallRecovered(commit_ts, value, tombstone);
+}
+
 size_t Table::PruneShards(Timestamp min_read_ts) {
   size_t freed = 0;
   ForEachChain([&](const std::string&, VersionChain* chain) {

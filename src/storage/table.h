@@ -109,6 +109,12 @@ class Table {
   /// Returns the number of versions freed.
   size_t PruneShards(Timestamp min_read_ts);
 
+  /// Recovery bulk reload: install a committed version with its original
+  /// commit timestamp (checkpoint load / WAL replay). Idempotent — see
+  /// VersionChain::InstallRecovered.
+  void RecoverVersion(Slice key, Slice value, bool tombstone,
+                      Timestamp commit_ts);
+
   /// Number of shards the key space is currently partitioned into.
   size_t ShardCount() const;
 

@@ -68,6 +68,22 @@ Version* VersionChain::InstallUncommitted(TxnId writer, Slice value,
   return v;
 }
 
+void VersionChain::InstallRecovered(Timestamp commit_ts, Slice value,
+                                    bool tombstone) {
+  assert(commit_ts != 0);
+  std::lock_guard<std::mutex> guard(latch_);
+  if (newest_ != nullptr &&
+      newest_->commit_ts.load(std::memory_order_relaxed) >= commit_ts) {
+    return;  // Already present (repeat replay) — keep the chain as is.
+  }
+  Version* v = new Version(/*creator=*/0);
+  v->value = value.ToString();
+  v->tombstone = tombstone;
+  v->commit_ts.store(commit_ts, std::memory_order_release);
+  v->older = newest_;
+  newest_ = v;
+}
+
 void VersionChain::RemoveUncommitted(TxnId writer) {
   std::lock_guard<std::mutex> guard(latch_);
   if (newest_ != nullptr && newest_->creator_txn_id == writer &&

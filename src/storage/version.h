@@ -101,6 +101,14 @@ class VersionChain {
   /// Roll back: remove writer's uncommitted head version, if present.
   void RemoveUncommitted(TxnId writer);
 
+  /// Recovery bulk load: install an already-committed version (creator 0,
+  /// the reserved "recovered" id) carrying its original commit timestamp.
+  /// Idempotent when replay proceeds in commit-timestamp order: a chain
+  /// whose newest committed version is at or past `commit_ts` is left
+  /// untouched, so replaying the same WAL twice cannot duplicate or
+  /// reorder versions. Only for quiescent chains (DB::Open recovery).
+  void InstallRecovered(Timestamp commit_ts, Slice value, bool tombstone);
+
   /// First-committer-wins check (§2.5): true if some committed version has
   /// commit_ts > since. Must be called while holding the write lock on the
   /// key so no new committed version can appear concurrently.

@@ -505,14 +505,13 @@ Status Executor::Commit(TxnCtx& txn) {
     return Status::TxnInvalid("transaction already finished");
   }
   TxnState* state = txn.state.get();
-  // Serialize the redo blob: the write set in table/key/value form.
-  std::string payload;
-  PutBig32(&payload, static_cast<uint32_t>(state->write_set.size()));
+  // Capture per-key redo from the write set: enough for WAL replay to
+  // reinstall each committed version (table, key, value/tombstone).
+  std::vector<RedoEntry> redo;
+  redo.reserve(state->write_set.size());
   for (const TxnState::WriteRecord& w : state->write_set) {
-    PutBig32(&payload, w.table);
-    PutLengthPrefixed(&payload, w.key);
-    payload.push_back(w.version->tombstone ? 1 : 0);
-    PutLengthPrefixed(&payload, w.version->value);
+    redo.push_back(RedoEntry{w.table, w.key, w.version->value,
+                             w.version->tombstone});
   }
 
   TxnManager::CommitCheck check;
@@ -521,10 +520,12 @@ Status Executor::Commit(TxnCtx& txn) {
     check = [tracker](TxnState* t) { return tracker->CommitCheck(t); };
   }
 
-  const Status st = txns_->Commit(txn.state, check, std::move(payload));
+  const Status st = txns_->Commit(txn.state, check, std::move(redo));
   txn.finished = true;
   if (history_ != nullptr) {
-    if (st.ok()) {
+    // kIOError means committed-in-memory but not durable: the history
+    // oracle reasons about the in-memory execution, so it is a commit.
+    if (st.ok() || st.IsIOError()) {
       history_->Commit(state->id, state->commit_ts.load());
     } else {
       history_->Abort(state->id);

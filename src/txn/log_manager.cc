@@ -2,33 +2,118 @@
 
 #include <chrono>
 
+#include "src/common/crc32c.h"
 #include "src/common/encoding.h"
+#include "src/recovery/wal.h"
 
 namespace ssidb {
 
+namespace {
+/// Frames larger than this are rejected as corrupt before a bogus length
+/// can drive a huge allocation (1 GiB dwarfs any real transaction).
+constexpr uint32_t kMaxRecordBody = 1u << 30;
+}  // namespace
+
 std::string LogRecord::Encode() const {
+  std::string body;
+  body.push_back(static_cast<char>(type));
+  PutBig64(&body, txn_id);
+  PutBig64(&body, commit_ts);
+  PutBig32(&body, static_cast<uint32_t>(redo.size()));
+  for (const RedoEntry& e : redo) {
+    PutBig32(&body, e.table);
+    PutLengthPrefixed(&body, e.key);
+    body.push_back(e.tombstone ? 1 : 0);
+    PutLengthPrefixed(&body, e.value);
+  }
   std::string out;
-  PutBig64(&out, txn_id);
-  PutBig64(&out, commit_ts);
-  PutLengthPrefixed(&out, payload);
+  PutBig32(&out, Crc32c(body));
+  PutBig32(&out, static_cast<uint32_t>(body.size()));
+  out += body;
   return out;
 }
 
-bool LogRecord::Decode(Slice in, LogRecord* out) {
-  size_t off = 0;
-  uint64_t id = 0, cts = 0;
-  if (!GetBig64(in, &off, &id)) return false;
-  if (!GetBig64(in, &off, &cts)) return false;
-  std::string payload;
-  if (!GetLengthPrefixed(in, &off, &payload)) return false;
-  out->txn_id = id;
+Status LogRecord::DecodeFrom(Slice in, size_t* offset, LogRecord* out) {
+  size_t off = *offset;
+  uint32_t crc = 0, len = 0;
+  if (!GetBig32(in, &off, &crc) || !GetBig32(in, &off, &len)) {
+    return Status::Truncated("frame header ends early");
+  }
+  if (len > kMaxRecordBody) {
+    return Status::Corruption("frame length implausible");
+  }
+  if (off + len > in.size()) {
+    return Status::Truncated("frame body ends early");
+  }
+  const Slice body(in.data() + off, len);
+  if (Crc32c(body) != crc) {
+    return Status::Corruption("crc mismatch");
+  }
+  // Body parse: any structural failure past a valid CRC is corruption (the
+  // encoder never produces it).
+  size_t boff = 0;
+  if (body.size() < 1) return Status::Corruption("empty body");
+  const uint8_t type_byte = static_cast<uint8_t>(body.data()[0]);
+  boff = 1;
+  if (type_byte > static_cast<uint8_t>(LogRecordType::kTableCreate)) {
+    return Status::Corruption("unknown record type");
+  }
+  uint64_t txn = 0, cts = 0;
+  uint32_t count = 0;
+  if (!GetBig64(body, &boff, &txn) || !GetBig64(body, &boff, &cts) ||
+      !GetBig32(body, &boff, &count)) {
+    return Status::Corruption("body header short");
+  }
+  std::vector<RedoEntry> redo;
+  redo.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RedoEntry e;
+    if (!GetBig32(body, &boff, &e.table)) {
+      return Status::Corruption("redo table short");
+    }
+    if (!GetLengthPrefixed(body, &boff, &e.key)) {
+      return Status::Corruption("redo key short");
+    }
+    if (boff + 1 > body.size()) {
+      return Status::Corruption("redo tombstone short");
+    }
+    e.tombstone = body.data()[boff] != 0;
+    ++boff;
+    if (!GetLengthPrefixed(body, &boff, &e.value)) {
+      return Status::Corruption("redo value short");
+    }
+    redo.push_back(std::move(e));
+  }
+  if (boff != body.size()) {
+    return Status::Corruption("trailing bytes in body");
+  }
+  out->type = static_cast<LogRecordType>(type_byte);
+  out->txn_id = txn;
   out->commit_ts = cts;
-  out->payload = std::move(payload);
-  return true;
+  out->redo = std::move(redo);
+  *offset = off + len;
+  return Status::OK();
+}
+
+Status LogRecord::Decode(Slice in, LogRecord* out) {
+  size_t offset = 0;
+  Status st = DecodeFrom(in, &offset, out);
+  if (!st.ok()) return st;
+  if (offset != in.size()) {
+    return Status::Corruption("trailing bytes after frame");
+  }
+  return Status::OK();
 }
 
 LogManager::LogManager(const LogOptions& options) : options_(options) {
-  if (options_.flush_on_commit) {
+  if (durable()) {
+    wal_ = std::make_unique<recovery::WalWriter>(
+        options_.wal_dir, options_.wal_segment_bytes, options_.wal_fsync);
+  }
+  // The flusher runs whenever batches have somewhere to go: always in
+  // durable mode (even without flush_on_commit, records drain to disk
+  // asynchronously), only for the flush-latency simulation otherwise.
+  if (durable() || options_.flush_on_commit) {
     flusher_ = std::thread([this] { FlusherLoop(); });
   }
 }
@@ -39,6 +124,8 @@ LogManager::~LogManager() {
     stop_.store(true);
   }
   work_cv_.notify_all();
+  // Joining drains pending_: a clean shutdown leaves every appended record
+  // in the WAL.
   if (flusher_.joinable()) flusher_.join();
 }
 
@@ -48,20 +135,21 @@ Lsn LogManager::Append(LogRecord record) {
   const Lsn lsn = next_lsn_++;
   appended_records_.fetch_add(1, std::memory_order_relaxed);
   if (retain_) retained_.push_back(encoded);
-  if (options_.flush_on_commit) {
+  if (durable() || options_.flush_on_commit) {
     pending_.push_back(std::move(encoded));
     work_cv_.notify_one();
   } else {
-    // "No flush" regime: the buffer is considered durable immediately.
+    // Simulated "no flush" regime: the buffer is durable by decree.
     flushed_lsn_ = lsn;
   }
   return lsn;
 }
 
-void LogManager::WaitFlushed(Lsn lsn) {
-  if (!options_.flush_on_commit) return;
+Status LogManager::WaitFlushed(Lsn lsn) {
+  if (!options_.flush_on_commit) return Status::OK();
   std::unique_lock<std::mutex> guard(mu_);
   flushed_cv_.wait(guard, [&] { return flushed_lsn_ >= lsn || stop_.load(); });
+  return io_status_;
 }
 
 std::vector<std::string> LogManager::RetainedRecords() const {
@@ -69,26 +157,38 @@ std::vector<std::string> LogManager::RetainedRecords() const {
   return retained_;
 }
 
+uint64_t LogManager::wal_bytes_written() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return wal_ != nullptr ? wal_->bytes_written() : 0;
+}
+
 void LogManager::FlusherLoop() {
   for (;;) {
     Lsn batch_end;
+    std::vector<std::string> batch;
     {
       std::unique_lock<std::mutex> guard(mu_);
       work_cv_.wait(guard,
                     [&] { return !pending_.empty() || stop_.load(); });
       if (stop_.load() && pending_.empty()) return;
       // Take everything appended so far as one batch: commits arriving
-      // while we "write" join the next batch (group commit).
-      pending_.clear();
+      // while we write join the next batch (group commit).
+      batch.swap(pending_);
       batch_end = next_lsn_ - 1;
     }
-    if (options_.flush_latency_us > 0) {
+    Status io = Status::OK();
+    if (wal_ != nullptr) {
+      io = wal_->AppendBatch(batch);
+    } else if (options_.flush_latency_us > 0) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(options_.flush_latency_us));
     }
     {
       std::lock_guard<std::mutex> guard(mu_);
+      // Advance even on failure so waiters wake; the sticky io_status_
+      // tells them their commit did not reach the disk.
       if (batch_end > flushed_lsn_) flushed_lsn_ = batch_end;
+      if (!io.ok() && io_status_.ok()) io_status_ = io;
       flush_batches_.fetch_add(1, std::memory_order_relaxed);
     }
     flushed_cv_.notify_all();

@@ -1,15 +1,22 @@
-// Write-ahead log with group commit and simulated flush latency.
+// Write-ahead log with group commit: simulated flush latency or a real
+// file-backed segmented WAL.
 //
 // The paper's Berkeley DB evaluation contrasts two regimes: commits that
 // return without waiting for the disk (~100us transactions, Fig 6.1) and
 // commits that flush the log (~10ms, Fig 6.2). We reproduce the regimes
-// with a background flusher thread that batches commit records and sleeps
-// for the configured latency per batch — group commit exactly as both
-// Berkeley DB and InnoDB implement it (§4.4).
+// with a background flusher thread that batches commit records — group
+// commit exactly as both Berkeley DB and InnoDB implement it (§4.4).
 //
-// Records are really serialized (so the format is exercised and testable)
-// and discarded after the simulated flush; in-memory retention can be
-// enabled for inspection in tests.
+// What the flusher does with a batch depends on LogOptions::wal_dir:
+//   * empty: sleep for the configured latency and discard the records (the
+//     simulated regime — format exercised, nothing persists);
+//   * set: append the CRC-framed records to segment files in wal_dir and
+//     fsync, so acknowledged (flushed) commits survive a process crash and
+//     src/recovery replays them at DB::Open.
+//
+// Records carry per-key redo (table, key, value/tombstone) rather than an
+// opaque blob, so replay can rebuild version chains with the original
+// commit timestamps.
 
 #ifndef SSIDB_TXN_LOG_MANAGER_H_
 #define SSIDB_TXN_LOG_MANAGER_H_
@@ -17,27 +24,73 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/options.h"
+#include "src/common/status.h"
 #include "src/storage/version.h"
 
 namespace ssidb {
 
+namespace recovery {
+class WalWriter;
+}  // namespace recovery
+
 using Lsn = uint64_t;
 
-/// One commit-time log record (all of a transaction's redo in one blob).
+/// One key's redo in a commit record: enough to reinstall the committed
+/// version at replay (table id, key, value or tombstone).
+struct RedoEntry {
+  uint32_t table = 0;  // TableId; plain uint32_t to avoid a storage include.
+  std::string key;
+  std::string value;
+  bool tombstone = false;
+};
+
+enum class LogRecordType : uint8_t {
+  /// A transaction commit: redo holds the write set.
+  kCommit = 0,
+  /// A table creation: redo holds one entry whose `table` is the assigned
+  /// id and whose `key` is the table name. Replayed idempotently so the
+  /// id→table mapping of commit records stays valid across restarts.
+  kTableCreate = 1,
+};
+
+/// One log record. On-disk frame (also what Encode returns):
+///
+///   u32 crc      CRC32C of `body`
+///   u32 len      length of `body` in bytes
+///   body:
+///     u8  type
+///     u64 txn_id
+///     u64 commit_ts
+///     u32 redo_count
+///     redo_count x { u32 table, len-prefixed key, u8 tombstone,
+///                    len-prefixed value }
+///
+/// Decode distinguishes bytes *missing* (kTruncated — the shape a crash
+/// leaves at the WAL tail) from bytes *damaged* (kCorruption — CRC or
+/// structural mismatch); the recovery tail-scan relies on the distinction.
 struct LogRecord {
+  LogRecordType type = LogRecordType::kCommit;
   TxnId txn_id = 0;
   Timestamp commit_ts = 0;
-  std::string payload;
+  std::vector<RedoEntry> redo;
 
-  /// Serialize/parse the on-"disk" format (tests round-trip this).
+  /// Serialize the full frame (header + body).
   std::string Encode() const;
-  static bool Decode(Slice in, LogRecord* out);
+
+  /// Parse the frame starting at *offset, advancing *offset past it on
+  /// success. kTruncated if `in` ends mid-frame (*offset unchanged);
+  /// kCorruption on CRC mismatch or malformed body.
+  static Status DecodeFrom(Slice in, size_t* offset, LogRecord* out);
+
+  /// Whole-slice convenience: the frame must consume `in` exactly.
+  static Status Decode(Slice in, LogRecord* out);
 };
 
 class LogManager {
@@ -48,12 +101,14 @@ class LogManager {
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
-  /// Append a commit record; returns its LSN. Never blocks on the flusher.
+  /// Append a record; returns its LSN. Never blocks on the flusher.
   Lsn Append(LogRecord record);
 
-  /// Block until a flush covering `lsn` completed. No-op unless
-  /// flush_on_commit is set.
-  void WaitFlushed(Lsn lsn);
+  /// Block until a flush covering `lsn` completed and report whether it
+  /// actually reached the disk. No-op (OK) unless flush_on_commit is set.
+  /// kIOError is sticky: once a WAL write or fsync fails, every subsequent
+  /// wait reports it — the in-memory commit stands, but it is not durable.
+  Status WaitFlushed(Lsn lsn);
 
   /// Retain encoded records in memory for test inspection.
   void set_retain(bool retain) { retain_ = retain; }
@@ -65,11 +120,17 @@ class LogManager {
   uint64_t flush_batches() const {
     return flush_batches_.load(std::memory_order_relaxed);
   }
+  /// Bytes written to WAL segment files (0 in simulated mode).
+  uint64_t wal_bytes_written() const;
+
+  bool durable() const { return !options_.wal_dir.empty(); }
 
  private:
   void FlusherLoop();
 
   const LogOptions options_;
+  /// Non-null in durable mode; written to only by the flusher thread.
+  std::unique_ptr<recovery::WalWriter> wal_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
@@ -79,6 +140,8 @@ class LogManager {
   std::vector<std::string> pending_;
   bool retain_ = false;
   std::vector<std::string> retained_;
+  /// First WAL write/fsync failure, sticky (guarded by mu_).
+  Status io_status_;
 
   std::atomic<uint64_t> appended_records_{0};
   std::atomic<uint64_t> flush_batches_{0};

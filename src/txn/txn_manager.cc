@@ -104,8 +104,20 @@ void TxnManager::WaitStable(Timestamp commit_ts) {
   });
 }
 
+void TxnManager::AdvanceClockTo(Timestamp ts) {
+  Timestamp cur = clock_.load(std::memory_order_relaxed);
+  while (cur < ts &&
+         !clock_.compare_exchange_weak(cur, ts, std::memory_order_relaxed)) {
+  }
+  // Nothing is in flight this early, so the watermark follows the clock.
+  TryAdvanceStable();
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  RecomputeMinLocked();
+}
+
 Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
-                          const CommitCheck& check, std::string log_payload) {
+                          const CommitCheck& check,
+                          std::vector<RedoEntry> redo) {
   Timestamp commit_ts = 0;
   Status abort_cause;
   bool must_abort = false;
@@ -201,14 +213,6 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
     suspended_.emplace(commit_ts, txn);
   }
 
-  // Durability: append the redo blob; under flush_on_commit the wait rides
-  // the group-commit flusher (§6.1.3 regime).
-  LogRecord record;
-  record.txn_id = txn->id;
-  record.commit_ts = commit_ts;
-  record.payload = std::move(log_payload);
-  const Lsn lsn = log_manager_->Append(std::move(record));
-
   auto release_locks = [&] {
     if (txn->isolation == IsolationLevel::kSerializableSSI) {
       // Fig 3.2 line 9: keep SIREAD locks active past commit.
@@ -218,17 +222,38 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
     }
   };
 
-  if (options_.log.early_lock_release) {
-    // InnoDB's original ordering (§4.4): locks released before the flush.
-    release_locks();
-    log_manager_->WaitFlushed(lsn);
+  Status flush_status;
+  if (has_writes) {
+    // Durability: append the redo record; under flush_on_commit the wait
+    // rides the group-commit flusher (§6.1.3 regime — simulated latency
+    // or a real WAL write+fsync, per LogOptions::wal_dir). Read-only
+    // commits skip the log entirely: they have nothing to redo, and in
+    // the durable regime an empty record would still cost a group-commit
+    // fsync wait and permanent log bytes.
+    LogRecord record;
+    record.type = LogRecordType::kCommit;
+    record.txn_id = txn->id;
+    record.commit_ts = commit_ts;
+    record.redo = std::move(redo);
+    const Lsn lsn = log_manager_->Append(std::move(record));
+
+    if (options_.log.early_lock_release) {
+      // InnoDB's original ordering (§4.4): locks released before the
+      // flush.
+      release_locks();
+      flush_status = log_manager_->WaitFlushed(lsn);
+    } else {
+      flush_status = log_manager_->WaitFlushed(lsn);
+      release_locks();
+    }
   } else {
-    log_manager_->WaitFlushed(lsn);
     release_locks();
   }
 
   CleanupSuspended();
-  return Status::OK();
+  // A failed flush cannot be rolled back — the commit is already visible.
+  // Surface the I/O error so the client knows durability was not achieved.
+  return flush_status;
 }
 
 void TxnManager::Abort(const std::shared_ptr<TxnState>& txn) {

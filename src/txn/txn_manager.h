@@ -76,10 +76,13 @@ class TxnManager {
   using CommitCheck = std::function<Status(TxnState*)>;
 
   /// Commit: check hook, timestamp + version stamping, log append (+ group
-  /// commit wait), lock release or suspension, cleanup. `log_payload` is
-  /// the transaction's redo blob.
+  /// commit wait), lock release or suspension, cleanup. `redo` is the
+  /// transaction's per-key redo, captured by the executor; it lands in the
+  /// commit's WAL record so recovery can reinstall the write set.
+  /// Returns kIOError if the commit succeeded in memory but its log flush
+  /// failed (durable mode): the transaction is visible but not durable.
   Status Commit(const std::shared_ptr<TxnState>& txn,
-                const CommitCheck& check, std::string log_payload);
+                const CommitCheck& check, std::vector<RedoEntry> redo);
 
   /// Abort: roll back installed versions, release all locks (including
   /// SIREAD — aborted transactions never participate in conflicts), drop
@@ -100,6 +103,12 @@ class TxnManager {
   Timestamp clock_now() const {
     return clock_.load(std::memory_order_relaxed);
   }
+
+  /// Recovery hook (DB::Open, before any transaction begins): advance the
+  /// clock and the stable watermark to at least `ts`, so every new
+  /// transaction gets an id above — and a snapshot that covers — all
+  /// recovered commit timestamps.
+  void AdvanceClockTo(Timestamp ts);
 
   /// The snapshot watermark: every commit with commit_ts <= stable_ts() has
   /// fully stamped its versions. New snapshots read at this timestamp.

@@ -37,7 +37,7 @@ class TrackerTest : public ::testing::Test {
 
   Status Commit(const std::shared_ptr<TxnState>& t) {
     return mgr_->Commit(
-        t, [this](TxnState* x) { return tracker_->CommitCheck(x); }, "");
+        t, [this](TxnState* x) { return tracker_->CommitCheck(x); }, {});
   }
 
   /// Record the rw-antidependency reader -> writer via the lock-manager

@@ -7,6 +7,8 @@
 #include <chrono>
 #include <thread>
 
+#include "src/common/crc32c.h"
+#include "src/common/encoding.h"
 #include "src/db/db.h"
 #include "src/txn/log_manager.h"
 
@@ -17,18 +19,136 @@ TEST(LogRecordTest, EncodeDecodeRoundTrip) {
   LogRecord r;
   r.txn_id = 42;
   r.commit_ts = 1234567;
-  r.payload = std::string("redo\0blob", 9);
+  r.redo.push_back(RedoEntry{7, "alice", std::string("v\0zero", 6), false});
+  r.redo.push_back(RedoEntry{9, "bob", "", true});
   LogRecord out;
-  ASSERT_TRUE(LogRecord::Decode(r.Encode(), &out));
+  ASSERT_TRUE(LogRecord::Decode(r.Encode(), &out).ok());
+  EXPECT_EQ(out.type, LogRecordType::kCommit);
   EXPECT_EQ(out.txn_id, 42u);
   EXPECT_EQ(out.commit_ts, 1234567u);
-  EXPECT_EQ(out.payload, r.payload);
+  ASSERT_EQ(out.redo.size(), 2u);
+  EXPECT_EQ(out.redo[0].table, 7u);
+  EXPECT_EQ(out.redo[0].key, "alice");
+  EXPECT_EQ(out.redo[0].value, r.redo[0].value);
+  EXPECT_FALSE(out.redo[0].tombstone);
+  EXPECT_EQ(out.redo[1].key, "bob");
+  EXPECT_TRUE(out.redo[1].tombstone);
 }
 
-TEST(LogRecordTest, DecodeRejectsGarbage) {
+TEST(LogRecordTest, TableCreateRoundTrip) {
+  LogRecord r;
+  r.type = LogRecordType::kTableCreate;
+  r.redo.push_back(RedoEntry{3, "accounts", "", false});
   LogRecord out;
-  EXPECT_FALSE(LogRecord::Decode("", &out));
-  EXPECT_FALSE(LogRecord::Decode("abc", &out));
+  ASSERT_TRUE(LogRecord::Decode(r.Encode(), &out).ok());
+  EXPECT_EQ(out.type, LogRecordType::kTableCreate);
+  ASSERT_EQ(out.redo.size(), 1u);
+  EXPECT_EQ(out.redo[0].table, 3u);
+  EXPECT_EQ(out.redo[0].key, "accounts");
+}
+
+// --- The corruption modes the recovery tail-scan distinguishes. ---
+
+LogRecord SampleRecord() {
+  LogRecord r;
+  r.txn_id = 11;
+  r.commit_ts = 22;
+  r.redo.push_back(RedoEntry{1, "key", "value", false});
+  return r;
+}
+
+TEST(LogRecordTest, DecodeShortHeaderIsTruncated) {
+  // Fewer than the 8 header bytes: the torn-tail shape when the crash hit
+  // inside the frame header.
+  LogRecord out;
+  EXPECT_TRUE(LogRecord::Decode("", &out).IsTruncated());
+  EXPECT_TRUE(LogRecord::Decode("abc", &out).IsTruncated());
+  const std::string frame = SampleRecord().Encode();
+  EXPECT_TRUE(LogRecord::Decode(Slice(frame.data(), 7), &out).IsTruncated());
+}
+
+TEST(LogRecordTest, DecodeShortBodyIsTruncated) {
+  // Header intact but the body stops early: torn mid-record.
+  const std::string frame = SampleRecord().Encode();
+  LogRecord out;
+  for (size_t cut = 8; cut < frame.size(); ++cut) {
+    EXPECT_TRUE(LogRecord::Decode(Slice(frame.data(), cut), &out)
+                    .IsTruncated())
+        << "cut at " << cut;
+  }
+}
+
+TEST(LogRecordTest, DecodeBitFlipIsCorruption) {
+  // Any damaged byte in a complete frame must fail the CRC, not parse.
+  const std::string frame = SampleRecord().Encode();
+  LogRecord out;
+  for (size_t i = 8; i < frame.size(); ++i) {
+    std::string bad = frame;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    EXPECT_TRUE(LogRecord::Decode(bad, &out).IsCorruption())
+        << "flip at " << i;
+  }
+}
+
+TEST(LogRecordTest, DecodeImplausibleLengthIsCorruption) {
+  // A huge frame length must be rejected before it drives an allocation
+  // (a damaged length field would otherwise read as "truncated" forever).
+  std::string bad;
+  PutBig32(&bad, 0);            // crc (never checked: length bails first)
+  PutBig32(&bad, 0x7fffffffu);  // body length ~2 GiB
+  LogRecord out;
+  EXPECT_TRUE(LogRecord::Decode(bad, &out).IsCorruption());
+}
+
+TEST(LogRecordTest, DecodeValidCrcMalformedBodyIsCorruption) {
+  // A structurally bad body behind a *valid* CRC (an encoder bug or
+  // deliberate tamper) is corruption, not truncation: redo_count promises
+  // more entries than the body holds.
+  std::string body;
+  body.push_back(0);        // type kCommit
+  PutBig64(&body, 1);       // txn_id
+  PutBig64(&body, 2);       // commit_ts
+  PutBig32(&body, 5);       // redo_count: lies
+  std::string frame;
+  PutBig32(&frame, Crc32c(body));
+  PutBig32(&frame, static_cast<uint32_t>(body.size()));
+  frame += body;
+  LogRecord out;
+  EXPECT_TRUE(LogRecord::Decode(frame, &out).IsCorruption());
+}
+
+TEST(LogRecordTest, DecodeUnknownTypeIsCorruption) {
+  std::string body;
+  body.push_back(9);  // no such record type
+  PutBig64(&body, 1);
+  PutBig64(&body, 2);
+  PutBig32(&body, 0);
+  std::string frame;
+  PutBig32(&frame, Crc32c(body));
+  PutBig32(&frame, static_cast<uint32_t>(body.size()));
+  frame += body;
+  LogRecord out;
+  EXPECT_TRUE(LogRecord::Decode(frame, &out).IsCorruption());
+}
+
+TEST(LogRecordTest, DecodeFromAdvancesAcrossFrames) {
+  LogRecord a = SampleRecord();
+  LogRecord b = SampleRecord();
+  b.txn_id = 99;
+  const std::string stream = a.Encode() + b.Encode();
+  size_t offset = 0;
+  LogRecord out;
+  ASSERT_TRUE(LogRecord::DecodeFrom(stream, &offset, &out).ok());
+  EXPECT_EQ(out.txn_id, 11u);
+  ASSERT_TRUE(LogRecord::DecodeFrom(stream, &offset, &out).ok());
+  EXPECT_EQ(out.txn_id, 99u);
+  EXPECT_EQ(offset, stream.size());
+  // A truncated decode must not advance the offset.
+  size_t torn_offset = 0;
+  EXPECT_TRUE(LogRecord::DecodeFrom(Slice(stream.data(), 3), &torn_offset,
+                                    &out)
+                  .IsTruncated());
+  EXPECT_EQ(torn_offset, 0u);
 }
 
 TEST(LogManagerTest, AppendAssignsMonotonicLsns) {
@@ -100,12 +220,12 @@ TEST(LogManagerTest, RetainedRecordsDecodable) {
   LogRecord r;
   r.txn_id = 7;
   r.commit_ts = 9;
-  r.payload = "p";
+  r.redo.push_back(RedoEntry{0, "k", "p", false});
   log.Append(r);
   auto records = log.RetainedRecords();
   ASSERT_EQ(records.size(), 1u);
   LogRecord out;
-  ASSERT_TRUE(LogRecord::Decode(records[0], &out));
+  ASSERT_TRUE(LogRecord::Decode(records[0], &out).ok());
   EXPECT_EQ(out.txn_id, 7u);
 }
 
@@ -120,6 +240,32 @@ TEST(LogIntegrationTest, CommitWritesOneRecordPerUpdateTxn) {
     ASSERT_TRUE(txn->Commit().ok());
   }
   EXPECT_EQ(db->GetStats().log_records, 3u);
+}
+
+TEST(LogIntegrationTest, ReadOnlyCommitAppendsNoRecord) {
+  // Read-only transactions have nothing to redo: logging them would cost
+  // a group-commit flush wait (a real fsync in durable mode) and
+  // permanent WAL bytes for a no-op record.
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open({}, &db).ok());
+  TableId t = 0;
+  ASSERT_TRUE(db->CreateTable("t", &t).ok());
+  {
+    auto txn = db->Begin({IsolationLevel::kSnapshot});
+    ASSERT_TRUE(txn->Put(t, "k", "v").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  const uint64_t after_write = db->GetStats().log_records;
+  EXPECT_EQ(after_write, 1u);
+  for (auto iso : {IsolationLevel::kSnapshot,
+                   IsolationLevel::kSerializableSSI,
+                   IsolationLevel::kSerializable2PL}) {
+    auto txn = db->Begin({iso});
+    std::string v;
+    ASSERT_TRUE(txn->Get(t, "k", &v).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  EXPECT_EQ(db->GetStats().log_records, after_write);
 }
 
 TEST(LogIntegrationTest, FlushOnCommitSlowsCommitsDown) {

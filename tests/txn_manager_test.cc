@@ -22,7 +22,7 @@ class TxnManagerTest : public ::testing::Test {
         mgr_(options_, &locks_, &log_) {}
 
   Status CommitNoCheck(const std::shared_ptr<TxnState>& txn) {
-    return mgr_.Commit(txn, nullptr, "");
+    return mgr_.Commit(txn, nullptr, {});
   }
 
   DBOptions options_;
@@ -75,7 +75,7 @@ TEST_F(TxnManagerTest, CommitCheckFailureAborts) {
   auto t = mgr_.Begin(IsolationLevel::kSerializableSSI);
   mgr_.EnsureSnapshot(t.get());
   Status st = mgr_.Commit(
-      t, [](TxnState*) { return Status::Unsafe("nope"); }, "");
+      t, [](TxnState*) { return Status::Unsafe("nope"); }, {});
   EXPECT_TRUE(st.IsUnsafe());
   EXPECT_EQ(t->status.load(), TxnStatus::kAborted);
   EXPECT_EQ(mgr_.active_count(), 0u);
