@@ -29,8 +29,12 @@ SetupFn MakeSetup(uint64_t items, uint32_t queries_per_update) {
     opts.log.flush_latency_us = EnvFlushUs(100);  // Fast "disk" (SSD-ish).
     // SSIDB_WAL_DIR switches the point to the durable regime: a real
     // file-backed WAL with write+fsync group commits instead of the
-    // simulated latency.
+    // simulated latency. SSIDB_CKPT_INTERVAL_MS additionally runs the
+    // background checkpointer (incremental base+delta images + metadata
+    // WAL GC) during the measurement, so the JSON artifact tracks the
+    // full durable-regime overhead.
     opts.log.wal_dir = NextWalPointDir();
+    opts.log.checkpoint_interval_ms = EnvCheckpointIntervalMs(0);
     FigureSetup setup;
     Status st = DB::Open(opts, &setup.db);
     if (!st.ok()) abort();

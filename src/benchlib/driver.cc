@@ -63,6 +63,13 @@ RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
     total.timeouts += r.timeouts;
     total.app_rollbacks += r.app_rollbacks;
   }
+  // Durable-regime overhead record: what the engine's durability + GC
+  // machinery did while the workload ran.
+  const DBStats engine = db->GetStats();
+  total.checkpoints_taken = engine.checkpoints_taken;
+  total.checkpoint_bytes_written = engine.checkpoint_bytes_written;
+  total.wal_segments_deleted = engine.wal_segments_deleted;
+  total.versions_pruned = engine.versions_pruned;
   return total;
 }
 
@@ -91,6 +98,13 @@ uint32_t EnvFlushUs(uint32_t dflt) {
   if (v == nullptr) return dflt;
   const long us = std::atol(v);
   return us >= 0 ? static_cast<uint32_t>(us) : dflt;
+}
+
+uint32_t EnvCheckpointIntervalMs(uint32_t dflt) {
+  const char* v = std::getenv("SSIDB_CKPT_INTERVAL_MS");
+  if (v == nullptr) return dflt;
+  const long ms = std::atol(v);
+  return ms >= 0 ? static_cast<uint32_t>(ms) : dflt;
 }
 
 std::string EnvWalDir() {

@@ -65,6 +65,10 @@ RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
 ///   SSIDB_BENCH_SECONDS  - measurement window per point (default `dflt`).
 ///   SSIDB_BENCH_MPLS     - comma-separated MPL sweep (default `dflt`).
 ///   SSIDB_FLUSH_US       - simulated log flush latency override.
+///   SSIDB_CKPT_INTERVAL_MS - background checkpointer interval for
+///                          durable-regime points (incremental
+///                          base+delta images; 0/unset = no
+///                          checkpointer).
 ///   SSIDB_WAL_DIR        - base directory for a real file-backed WAL:
 ///                          flush-on-commit points run against write+fsync
 ///                          instead of the simulated latency (the durable
@@ -76,6 +80,7 @@ RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
 double EnvSeconds(double dflt);
 std::vector<int> EnvMpls(const std::vector<int>& dflt);
 uint32_t EnvFlushUs(uint32_t dflt);
+uint32_t EnvCheckpointIntervalMs(uint32_t dflt);
 std::string EnvWalDir();
 
 /// A fresh per-point WAL directory under EnvWalDir(), or "" when unset.

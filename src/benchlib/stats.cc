@@ -47,18 +47,24 @@ std::string ResultRow(const std::string& figure, const std::string& series,
 std::string ResultJsonLine(const std::string& figure,
                            const std::string& series, int mpl,
                            const RunResult& r) {
-  char buf[512];
+  char buf[768];
   snprintf(buf, sizeof(buf),
            "{\"figure\":\"%s\",\"series\":\"%s\",\"mpl\":%d,"
            "\"commits_per_sec\":%.1f,\"seconds\":%.3f,\"commits\":%llu,"
            "\"deadlocks\":%llu,\"update_conflicts\":%llu,\"unsafe\":%llu,"
-           "\"timeouts\":%llu}",
+           "\"timeouts\":%llu,\"checkpoints\":%llu,"
+           "\"checkpoint_bytes_written\":%llu,\"wal_segments_deleted\":%llu,"
+           "\"versions_pruned\":%llu}",
            figure.c_str(), series.c_str(), mpl, r.Throughput(), r.seconds,
            static_cast<unsigned long long>(r.commits),
            static_cast<unsigned long long>(r.deadlocks),
            static_cast<unsigned long long>(r.update_conflicts),
            static_cast<unsigned long long>(r.unsafe),
-           static_cast<unsigned long long>(r.timeouts));
+           static_cast<unsigned long long>(r.timeouts),
+           static_cast<unsigned long long>(r.checkpoints_taken),
+           static_cast<unsigned long long>(r.checkpoint_bytes_written),
+           static_cast<unsigned long long>(r.wal_segments_deleted),
+           static_cast<unsigned long long>(r.versions_pruned));
   return buf;
 }
 

@@ -22,6 +22,14 @@ struct RunResult {
   uint64_t timeouts = 0;
   uint64_t app_rollbacks = 0;     ///< Intentional rollbacks (e.g. 1% NEWO).
 
+  // Durable-regime overhead counters, snapshotted from DBStats at the end
+  // of the run (absolute for the engine; points use a fresh engine, so
+  // they read as per-run totals). Zero in the simulated/in-memory regime.
+  uint64_t checkpoints_taken = 0;
+  uint64_t checkpoint_bytes_written = 0;
+  uint64_t wal_segments_deleted = 0;
+  uint64_t versions_pruned = 0;
+
   uint64_t TotalAborts() const {
     return deadlocks + update_conflicts + unsafe + timeouts;
   }

@@ -111,6 +111,13 @@ struct LogOptions {
   /// If nonzero, DB runs a background thread that calls DB::Checkpoint()
   /// every this-many milliseconds (durable mode only).
   uint32_t checkpoint_interval_ms = 0;
+
+  /// Incremental checkpoints: after a full base image, up to this many
+  /// delta images (each sweeping only versions committed since the
+  /// previous checkpoint) are chained off it before the next checkpoint
+  /// compacts the chain into a fresh full base. 0 = every checkpoint is a
+  /// full sweep (the pre-delta behaviour).
+  uint32_t checkpoint_max_deltas = 4;
 };
 
 /// Engine-wide options, fixed at DB::Open.
@@ -146,6 +153,14 @@ struct DBOptions {
   /// §4.5: allocate the read snapshot lazily, after the first statement's
   /// locks are granted, so single-statement updates never abort under FCW.
   bool late_snapshot = true;
+
+  /// If nonzero, DB runs a background sweep every this-many milliseconds
+  /// that prunes committed versions unreachable by any active snapshot
+  /// (Table::PruneShards at min_active_read_ts). Inline pruning only fires
+  /// when the *same key* is written again, so without the sweep a
+  /// read-mostly key's chain grows forever once versions pile up behind a
+  /// long snapshot. Works in both in-memory and durable modes.
+  uint32_t version_gc_interval_ms = 100;
 
   /// Record every operation into an in-memory history for the §3.1.1
   /// after-the-fact MVSG analyzer / test oracle. Costs memory; off in

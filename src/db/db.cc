@@ -79,7 +79,10 @@ DB::DB(const DBOptions& options)
                                          history_.get());
 }
 
-DB::~DB() { StopCheckpointer(); }
+DB::~DB() {
+  StopCheckpointer();
+  StopVersionSweeper();
+}
 
 Status DB::Open(const DBOptions& options, std::unique_ptr<DB>* db) {
   if (options.rows_per_page == 0) {
@@ -97,6 +100,7 @@ Status DB::Open(const DBOptions& options, std::unique_ptr<DB>* db) {
     }
     (*db)->StartCheckpointer();
   }
+  (*db)->StartVersionSweeper();
   return Status::OK();
 }
 
@@ -106,6 +110,17 @@ Status DB::RecoverOnOpen() {
   if (!st.ok()) return st;
   // New transactions must draw ids/snapshots above every recovered commit.
   txn_manager_->AdvanceClockTo(recovery_stats_.max_commit_ts);
+  // Seed the WAL writer's per-segment metadata from recovery's scan, so
+  // checkpoint GC can judge pre-crash segments without re-reading them.
+  log_manager_->SeedWalSegmentMeta(recovery_stats_.wal_segments);
+  // Resume the checkpoint chain where the recovered one ends: the next
+  // delta hangs off the chain tip, and WAL GC keeps using the recovered
+  // base as its coverage cut. No lock needed — no checkpointer runs yet.
+  last_base_watermark_ = recovery_stats_.base_watermark;
+  last_base_table_count_ = recovery_stats_.base_table_count;
+  last_checkpoint_watermark_ = recovery_stats_.checkpoint_ts;
+  deltas_since_base_ =
+      static_cast<uint32_t>(recovery_stats_.delta_links_applied);
   return Status::OK();
 }
 
@@ -136,6 +151,52 @@ void DB::StopCheckpointer() {
   if (checkpointer_.joinable()) checkpointer_.join();
 }
 
+void DB::StartVersionSweeper() {
+  if (options_.version_gc_interval_ms == 0) return;
+  sweeper_ = std::thread([this] {
+    const auto interval =
+        std::chrono::milliseconds(options_.version_gc_interval_ms);
+    std::unique_lock<std::mutex> guard(sweeper_mu_);
+    while (!sweeper_stop_) {
+      if (sweeper_cv_.wait_for(guard, interval,
+                               [this] { return sweeper_stop_; })) {
+        return;
+      }
+      guard.unlock();
+      SweepVersions();
+      guard.lock();
+    }
+  });
+}
+
+void DB::StopVersionSweeper() {
+  {
+    std::lock_guard<std::mutex> guard(sweeper_mu_);
+    sweeper_stop_ = true;
+  }
+  sweeper_cv_.notify_all();
+  if (sweeper_.joinable()) sweeper_.join();
+}
+
+void DB::SweepVersions() {
+  // Inline pruning only fires when the same key is written again, so a
+  // chain that stops being written keeps every version that piled up
+  // behind a since-finished snapshot. This sweep is the backstop: one
+  // shard latch at a time, per chain O(dropped). The horizon is capped by
+  // any in-progress checkpoint sweep (prune_horizon), so the sweep can
+  // never delete a version a concurrent image still has to serialize.
+  const Timestamp horizon = txn_manager_->prune_horizon();
+  const size_t tables = catalog_.table_count();
+  size_t freed = 0;
+  for (TableId id = 0; id < tables; ++id) {
+    Table* t = catalog_.table(id);
+    if (t != nullptr) freed += t->PruneShards(horizon);
+  }
+  if (freed > 0) {
+    versions_pruned_.fetch_add(freed, std::memory_order_relaxed);
+  }
+}
+
 Status DB::Checkpoint() {
   if (options_.log.wal_dir.empty()) {
     return Status::InvalidArgument("checkpoint requires LogOptions::wal_dir");
@@ -145,42 +206,71 @@ Status DB::Checkpoint() {
   std::lock_guard<std::mutex> guard(checkpoint_write_mu_);
   // Every commit at or below the stable watermark has fully stamped its
   // versions (txn_manager.h), so the sweep observes a consistent cut.
-  const Timestamp watermark = txn_manager_->stable_ts();
-  Status st = recovery::WriteCheckpoint(catalog_, watermark,
+  // BeginCheckpointSweep also floors version pruning at the watermark for
+  // the duration of the sweep, so no pruner can delete a key's newest
+  // version <= watermark out from under the image.
+  const Timestamp watermark = txn_manager_->BeginCheckpointSweep();
+  if (watermark == last_checkpoint_watermark_) {
+    txn_manager_->EndCheckpointSweep();
+    return Status::OK();  // Nothing committed since the previous image.
+  }
+  // Delta when a base exists and the chain has room; otherwise a full
+  // base that compacts the chain (and the very first image is a base).
+  const bool full = options_.log.checkpoint_max_deltas == 0 ||
+                    last_base_watermark_ == 0 ||
+                    deltas_since_base_ >= options_.log.checkpoint_max_deltas;
+  const Timestamp prev = full ? 0 : last_checkpoint_watermark_;
+  recovery::CheckpointWriteResult written;
+  Status st = recovery::WriteCheckpoint(catalog_, watermark, prev,
                                         options_.log.wal_dir,
-                                        options_.log.wal_fsync);
+                                        options_.log.wal_fsync, &written);
+  txn_manager_->EndCheckpointSweep();
   if (!st.ok()) return st;
   checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
+  checkpoint_bytes_written_.fetch_add(written.bytes,
+                                      std::memory_order_relaxed);
+  if (full) {
+    last_base_watermark_ = watermark;
+    last_base_table_count_ = written.table_count;
+    deltas_since_base_ = 0;
+  } else {
+    ++deltas_since_base_;
+  }
+  last_checkpoint_watermark_ = watermark;
 
-  // WAL GC: the image supersedes sealed segments it fully covers, so
-  // recovery stops paying for (and disk stops holding) the whole history.
-  // A segment is dropped only when it scans clean and every record is a
-  // commit with 0 < commit_ts <= watermark; segments holding
-  // table-create records stay (a create racing the sweep could postdate
-  // the image), and the highest-sequence segment always stays — it may
-  // be the flusher's live file. Best effort: a kept segment just replays
-  // idempotently.
+  // WAL GC, decided from per-segment metadata counters — zero segment
+  // re-reads. The coverage cut is the newest *base* image: recovery may
+  // discard any damaged delta link and fall back to the base plus WAL
+  // replay, so segments past the base watermark must survive even when a
+  // delta covers them. A segment goes when every commit it holds is at or
+  // below the base watermark AND any table-create it holds binds an id the
+  // base image captured (ids are dense: id < base table count — the
+  // create-watermark rule). The highest-sequence segment always stays (it
+  // may be the flusher's live file), as does any segment the registry does
+  // not know (never the case in practice: this session's segments are
+  // registered at append time, pre-crash ones by recovery's scan). Best
+  // effort: a kept segment just replays idempotently.
   std::vector<std::string> segments;
-  if (recovery::ListWalSegments(options_.log.wal_dir, &segments).ok()) {
+  if (last_base_watermark_ > 0 &&
+      recovery::ListWalSegments(options_.log.wal_dir, &segments).ok()) {
+    const std::map<uint64_t, recovery::WalSegmentMeta> meta =
+        log_manager_->WalSegmentMetadata();
     for (size_t i = 0; i + 1 < segments.size(); ++i) {
-      recovery::WalScanResult scan;
-      if (!recovery::ScanWalSegment(segments[i], &scan).ok() ||
-          !scan.tail.ok()) {
+      uint64_t seq = 0;
+      if (!recovery::ParseWalSegmentSeq(segments[i], &seq)) continue;
+      auto it = meta.find(seq);
+      if (it == meta.end()) continue;  // Unknown provenance: keep.
+      const recovery::WalSegmentMeta& m = it->second;
+      if (m.max_commit_ts > last_base_watermark_) continue;
+      if (m.has_table_create &&
+          m.max_table_id_created >= last_base_table_count_) {
         continue;
       }
-      bool covered = true;
-      for (const LogRecord& r : scan.records) {
-        if (r.type != LogRecordType::kCommit || r.commit_ts == 0 ||
-            r.commit_ts > watermark) {
-          covered = false;
-          break;
-        }
-      }
-      if (!covered) continue;
       std::error_code ec;
       std::filesystem::remove(segments[i], ec);
       if (!ec) {
         wal_segments_deleted_.fetch_add(1, std::memory_order_relaxed);
+        log_manager_->ForgetWalSegment(seq);
       }
     }
   }
@@ -225,7 +315,11 @@ std::unique_ptr<Transaction> DB::Begin(const TxnOptions& options) {
 size_t DB::PruneVersions(TableId id) {
   Table* t = catalog_.table(id);
   if (t == nullptr) return 0;
-  return t->PruneShards(txn_manager_->min_active_read_ts());
+  const size_t freed = t->PruneShards(txn_manager_->prune_horizon());
+  if (freed > 0) {
+    versions_pruned_.fetch_add(freed, std::memory_order_relaxed);
+  }
+  return freed;
 }
 
 DBStats DB::GetStats() const {
@@ -238,6 +332,14 @@ DBStats DB::GetStats() const {
   s.active_txns = txn_manager_->active_count();
   s.suspended_txns = txn_manager_->suspended_count();
   s.lock_grants = lock_manager_->GrantCount();
+  s.checkpoints_taken = checkpoints_taken_.load(std::memory_order_relaxed);
+  s.checkpoint_bytes_written =
+      checkpoint_bytes_written_.load(std::memory_order_relaxed);
+  s.wal_segments_deleted =
+      wal_segments_deleted_.load(std::memory_order_relaxed);
+  s.versions_pruned = versions_pruned_.load(std::memory_order_relaxed) +
+                      executor_->versions_pruned();
+  s.page_fcw_entries = txn_manager_->page_write_entries();
   return s;
 }
 

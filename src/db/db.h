@@ -137,6 +137,18 @@ struct DBStats {
   size_t active_txns = 0;
   size_t suspended_txns = 0;       ///< Committed-but-retained (§3.3).
   size_t lock_grants = 0;          ///< Live (txn, key, mode) grants.
+
+  // Durability + storage-GC counters (one coherent record for benches and
+  // the recovery-smoke JSON; zero for in-memory engines where durable).
+  uint64_t checkpoints_taken = 0;  ///< Base + delta images written.
+  uint64_t checkpoint_bytes_written = 0;  ///< Image bytes, incl. deltas.
+  uint64_t wal_segments_deleted = 0;      ///< Segments reclaimed by GC.
+  /// Committed versions reclaimed: inline write-path prunes plus the
+  /// background sweep plus manual PruneVersions calls.
+  uint64_t versions_pruned = 0;
+  /// Live entries in the kPage first-committer-wins map (bounded by the
+  /// CleanupSuspended sweep; 0 under kRow granularity).
+  size_t page_fcw_entries = 0;
 };
 
 class DB {
@@ -165,19 +177,36 @@ class DB {
 
   std::unique_ptr<Transaction> Begin(const TxnOptions& options = {});
 
-  /// Write a checkpoint of every table's committed state at the current
-  /// stable watermark into wal_dir (durable mode only; kInvalidArgument
-  /// otherwise). Runs concurrently with transactions — the sweep holds one
-  /// storage-shard latch at a time and never blocks the commit path.
+  /// Write a checkpoint of committed state at the current stable watermark
+  /// into wal_dir (durable mode only; kInvalidArgument otherwise). With
+  /// LogOptions::checkpoint_max_deltas > 0 and a base image already on
+  /// disk, this writes a *delta* image sweeping only versions committed
+  /// since the previous checkpoint (cold storage shards are skipped via
+  /// their max-commit-ts hints); every checkpoint_max_deltas-th image —
+  /// and the first one — is a full base that compacts the chain. Runs
+  /// concurrently with transactions — the sweep holds one storage-shard
+  /// latch at a time and never blocks the commit path. A call that finds
+  /// nothing committed since the previous image returns OK without
+  /// writing. After a base image, sealed WAL segments it covers are
+  /// garbage-collected from per-segment metadata counters alone — no
+  /// segment is ever re-read from disk.
   Status Checkpoint();
 
-  /// Number of checkpoints taken (manual + background).
+  /// Number of checkpoint images written (manual + background, base +
+  /// delta).
   uint64_t checkpoints_taken() const {
     return checkpoints_taken_.load(std::memory_order_relaxed);
   }
 
-  /// WAL segments garbage-collected by checkpoints (fully covered by an
-  /// image; replay time and disk stay bounded by the checkpoint cadence).
+  /// Total bytes of checkpoint images written (a delta after touching k of
+  /// N keys is O(k) of this while a base is O(N)).
+  uint64_t checkpoint_bytes_written() const {
+    return checkpoint_bytes_written_.load(std::memory_order_relaxed);
+  }
+
+  /// WAL segments garbage-collected by checkpoints (covered by a base
+  /// image per their metadata; replay time and disk stay bounded by the
+  /// base cadence).
   uint64_t wal_segments_deleted() const {
     return wal_segments_deleted_.load(std::memory_order_relaxed);
   }
@@ -215,6 +244,13 @@ class DB {
   /// Start/stop the background checkpointer (checkpoint_interval_ms).
   void StartCheckpointer();
   void StopCheckpointer();
+  /// Start/stop the background version sweep (version_gc_interval_ms):
+  /// prunes versions unreachable by any active snapshot so cold (never
+  /// rewritten) chains stop leaking. Runs in durable and in-memory modes.
+  void StartVersionSweeper();
+  void StopVersionSweeper();
+  /// One sweep over every table; adds to versions_pruned_.
+  void SweepVersions();
 
   const DBOptions options_;
   Catalog catalog_;
@@ -227,14 +263,31 @@ class DB {
 
   recovery::RecoveryStats recovery_stats_;
   std::atomic<uint64_t> checkpoints_taken_{0};
+  std::atomic<uint64_t> checkpoint_bytes_written_{0};
   std::atomic<uint64_t> wal_segments_deleted_{0};
-  /// Serializes Checkpoint() calls (manual vs background interval).
+  std::atomic<uint64_t> versions_pruned_{0};
+  /// Serializes Checkpoint() calls (manual vs background interval) and
+  /// guards the chain bookkeeping below.
   std::mutex checkpoint_write_mu_;
+  /// Watermark + captured table count of the newest base image: the
+  /// coverage cut for metadata-driven WAL GC (seeded from recovery).
+  Timestamp last_base_watermark_ = 0;
+  uint32_t last_base_table_count_ = 0;
+  /// Watermark of the newest image of any kind (the next delta's prev).
+  Timestamp last_checkpoint_watermark_ = 0;
+  /// Delta links written since the last base; at checkpoint_max_deltas the
+  /// next image compacts the chain into a fresh base.
+  uint32_t deltas_since_base_ = 0;
 
   std::mutex checkpointer_mu_;
   std::condition_variable checkpointer_cv_;
   bool checkpointer_stop_ = false;
   std::thread checkpointer_;
+
+  std::mutex sweeper_mu_;
+  std::condition_variable sweeper_cv_;
+  bool sweeper_stop_ = false;
+  std::thread sweeper_;
 };
 
 }  // namespace ssidb

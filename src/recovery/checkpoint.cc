@@ -16,23 +16,32 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kHeaderMagic[8] = {'S', 'S', 'I', 'D', 'B', 'C', 'K', '1'};
+constexpr char kDeltaMagic[8] = {'S', 'S', 'I', 'D', 'B', 'D', 'L', '1'};
 constexpr char kTrailerMagic[8] = {'S', 'S', 'I', 'D', 'B', 'E', 'N', 'D'};
 constexpr char kCheckpointPrefix[] = "checkpoint-";
+constexpr char kDeltaPrefix[] = "delta-";
 constexpr char kCheckpointSuffix[] = ".ckpt";
+constexpr size_t kNumberDigits = 20;  ///< NumberedFileName's fixed width.
 
 /// The sweep's reader id: matches no version creator (real ids come from
 /// the clock, recovered versions use 0), so VersionChain::Read never takes
 /// the own-write path.
 constexpr TxnId kSweepReader = UINT64_MAX;
 
-/// Parse a fully-read checkpoint file. Any defect => non-OK (the caller
-/// falls back to an older checkpoint).
+/// Parse a fully-read checkpoint file, base or delta (told apart by the
+/// header magic). Any defect => non-OK (the caller falls back).
 Status ParseCheckpoint(const std::string& contents, CheckpointData* out) {
   const size_t footer = sizeof(uint32_t) + sizeof(kTrailerMagic);
   if (contents.size() < sizeof(kHeaderMagic) + footer) {
     return Status::Truncated("checkpoint too small");
   }
-  if (std::memcmp(contents.data(), kHeaderMagic, sizeof(kHeaderMagic)) != 0) {
+  bool is_delta = false;
+  if (std::memcmp(contents.data(), kHeaderMagic, sizeof(kHeaderMagic)) == 0) {
+    is_delta = false;
+  } else if (std::memcmp(contents.data(), kDeltaMagic, sizeof(kDeltaMagic)) ==
+             0) {
+    is_delta = true;
+  } else {
     return Status::Corruption("bad checkpoint magic");
   }
   if (std::memcmp(contents.data() + contents.size() - sizeof(kTrailerMagic),
@@ -50,13 +59,18 @@ Status ParseCheckpoint(const std::string& contents, CheckpointData* out) {
     return Status::Corruption("checkpoint crc mismatch");
   }
   off = sizeof(kHeaderMagic);
+  uint64_t prev_watermark = 0;
   uint64_t watermark = 0;
   uint32_t table_count = 0;
+  if (is_delta && !GetBig64(body, &off, &prev_watermark)) {
+    return Status::Corruption("delta header short");
+  }
   if (!GetBig64(body, &off, &watermark) ||
       !GetBig32(body, &off, &table_count)) {
     return Status::Corruption("checkpoint header short");
   }
   CheckpointData data;
+  data.prev_watermark = prev_watermark;
   data.watermark = watermark;
   data.tables.reserve(table_count);
   for (uint32_t t = 0; t < table_count; ++t) {
@@ -75,6 +89,13 @@ Status ParseCheckpoint(const std::string& contents, CheckpointData* out) {
           !GetBig64(body, &off, &e.commit_ts)) {
         return Status::Corruption("checkpoint entry short");
       }
+      if (is_delta) {
+        if (off + 1 > body.size()) {
+          return Status::Corruption("delta tombstone short");
+        }
+        e.tombstone = body.data()[off] != 0;
+        ++off;
+      }
       table.entries.push_back(std::move(e));
     }
     data.tables.push_back(std::move(table));
@@ -86,20 +107,61 @@ Status ParseCheckpoint(const std::string& contents, CheckpointData* out) {
   return Status::OK();
 }
 
+Status ReadAndParse(const std::string& path, CheckpointData* out) {
+  std::string contents;
+  Status st = ReadFileToString(path, &contents);
+  if (!st.ok()) return st;
+  return ParseCheckpoint(contents, out);
+}
+
 }  // namespace
 
 std::string CheckpointFileName(Timestamp watermark) {
   return NumberedFileName(kCheckpointPrefix, watermark, kCheckpointSuffix);
 }
 
+std::string DeltaCheckpointFileName(Timestamp prev, Timestamp watermark) {
+  // "delta-<prev>-<wm>.ckpt": reuse the 20-digit shape for both numbers.
+  std::string name = NumberedFileName(kDeltaPrefix, prev, "-");
+  name += NumberedFileName("", watermark, kCheckpointSuffix);
+  return name;
+}
+
+bool ParseDeltaCheckpointFileName(const std::string& name, Timestamp* prev,
+                                  Timestamp* watermark) {
+  const size_t prefix_len = sizeof(kDeltaPrefix) - 1;
+  const size_t suffix_len = sizeof(kCheckpointSuffix) - 1;
+  const size_t want = prefix_len + kNumberDigits + 1 + kNumberDigits +
+                      suffix_len;
+  if (name.size() != want) return false;
+  if (name.compare(0, prefix_len, kDeltaPrefix) != 0) return false;
+  if (name[prefix_len + kNumberDigits] != '-') return false;
+  // Reuse the numbered-name parser on each half.
+  const std::string first = name.substr(0, prefix_len + kNumberDigits) + "-";
+  if (!ParseNumberedFileName(first, kDeltaPrefix, "-", prev)) return false;
+  const std::string second = name.substr(prefix_len + kNumberDigits + 1);
+  return ParseNumberedFileName(second, "", kCheckpointSuffix, watermark);
+}
+
 Status WriteCheckpoint(const Catalog& catalog, Timestamp watermark,
-                       const std::string& dir, bool do_fsync) {
+                       Timestamp prev_watermark, const std::string& dir,
+                       bool do_fsync, CheckpointWriteResult* result) {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) return Status::IOError("mkdir " + dir + ": " + ec.message());
 
+  const bool is_delta = prev_watermark != 0;
+  CheckpointWriteResult local;
+  CheckpointWriteResult& res = result != nullptr ? *result : local;
+  res = CheckpointWriteResult{};
+
   std::string image;
-  image.append(kHeaderMagic, sizeof(kHeaderMagic));
+  if (is_delta) {
+    image.append(kDeltaMagic, sizeof(kDeltaMagic));
+    PutBig64(&image, prev_watermark);
+  } else {
+    image.append(kHeaderMagic, sizeof(kHeaderMagic));
+  }
   PutBig64(&image, watermark);
   const uint32_t table_count = static_cast<uint32_t>(catalog.table_count());
   PutBig32(&image, table_count);
@@ -112,21 +174,43 @@ Status WriteCheckpoint(const Catalog& catalog, Timestamp watermark,
     std::string entries;
     uint64_t entry_count = 0;
     std::string value;
-    table->ForEachChain([&](const std::string& key, VersionChain* chain) {
+    const auto sweep = [&](const std::string& key, VersionChain* chain) {
       const ReadResult rr = chain->Read(kSweepReader, watermark, &value);
-      if (!rr.found) return;  // Absent or tombstone at the watermark.
+      // version_cts is the commit timestamp of the newest version visible
+      // at the watermark — set for tombstones too, 0 when nothing is
+      // visible yet.
+      if (rr.version_cts == 0) return;
+      if (is_delta) {
+        if (rr.version_cts <= prev_watermark) return;  // In the base cut.
+      } else if (!rr.found) {
+        return;  // Base images omit tombstoned keys: absence == deleted.
+      }
       PutLengthPrefixed(&entries, key);
-      PutLengthPrefixed(&entries, value);
+      PutLengthPrefixed(&entries, rr.found ? value : std::string());
       PutBig64(&entries, rr.version_cts);
+      if (is_delta) entries.push_back(rr.found ? 0 : 1);
       ++entry_count;
-    });
+    };
+    if (is_delta) {
+      // Filtered sweep: shards whose max-commit-ts hint is at or below
+      // prev_watermark are skipped without taking their latch.
+      table->ForEachChain(prev_watermark, sweep);
+    } else {
+      table->ForEachChain(sweep);
+    }
     PutBig64(&image, entry_count);
     image += entries;
+    res.entries += entry_count;
   }
   PutBig32(&image, Crc32c(image));
   image.append(kTrailerMagic, sizeof(kTrailerMagic));
+  res.bytes = image.size();
+  res.table_count = table_count;
 
-  const fs::path final_path = fs::path(dir) / CheckpointFileName(watermark);
+  const std::string file_name =
+      is_delta ? DeltaCheckpointFileName(prev_watermark, watermark)
+               : CheckpointFileName(watermark);
+  const fs::path final_path = fs::path(dir) / file_name;
   const fs::path tmp_path = final_path.string() + ".tmp";
   Status st = WriteFileDurably(tmp_path.string(), image, do_fsync);
   if (!st.ok()) return st;
@@ -140,18 +224,24 @@ Status WriteCheckpoint(const Catalog& catalog, Timestamp watermark,
     st = SyncDir(dir);
     if (!st.ok()) return st;
   }
+  if (is_delta) return Status::OK();  // The chain grows; nothing to GC.
 
-  // The new image supersedes older ones; drop them, along with any .tmp a
-  // crashed earlier attempt stranded (ours was just renamed away). Best
-  // effort.
+  // A new base supersedes every older base and the whole delta chain (its
+  // links all end at or below this watermark); drop them, along with any
+  // .tmp a crashed earlier attempt stranded (ours was just renamed away).
+  // Best effort.
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
-    Timestamp wm = 0;
+    Timestamp wm = 0, prev = 0;
     if (ParseNumberedFileName(name, kCheckpointPrefix, kCheckpointSuffix,
                               &wm) &&
         wm < watermark) {
       fs::remove(entry.path(), ec);
-    } else if (name.rfind(kCheckpointPrefix, 0) == 0 &&
+    } else if (ParseDeltaCheckpointFileName(name, &prev, &wm) &&
+               wm <= watermark) {
+      fs::remove(entry.path(), ec);
+    } else if ((name.rfind(kCheckpointPrefix, 0) == 0 ||
+                name.rfind(kDeltaPrefix, 0) == 0) &&
                name.size() > 4 &&
                name.compare(name.size() - 4, 4, ".tmp") == 0) {
       fs::remove(entry.path(), ec);
@@ -176,15 +266,72 @@ Status LoadLatestCheckpoint(const std::string& dir, CheckpointData* out,
   if (ec) return Status::IOError("list " + dir + ": " + ec.message());
   std::sort(candidates.rbegin(), candidates.rend());
   for (const auto& [wm, path] : candidates) {
-    std::string contents;
-    if (!ReadFileToString(path, &contents).ok()) continue;
     CheckpointData data;
-    if (ParseCheckpoint(contents, &data).ok()) {
+    if (ReadAndParse(path, &data).ok()) {
       *out = std::move(data);
       *found = true;
       return Status::OK();
     }
     // Incomplete/corrupt image (e.g. crash mid-checkpoint): fall back.
+  }
+  return Status::OK();
+}
+
+Status LoadCheckpointChain(const std::string& dir, LoadedCheckpointChain* out,
+                           bool* found) {
+  *out = LoadedCheckpointChain{};
+  Status st = LoadLatestCheckpoint(dir, &out->base, found);
+  if (!st.ok() || !*found) return st;
+  out->tip = out->base.watermark;
+
+  struct DeltaFile {
+    Timestamp prev = 0;
+    Timestamp watermark = 0;
+    std::string path;
+  };
+  std::vector<DeltaFile> links;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    DeltaFile link;
+    if (ParseDeltaCheckpointFileName(entry.path().filename().string(),
+                                     &link.prev, &link.watermark)) {
+      link.path = entry.path().string();
+      links.push_back(std::move(link));
+    }
+  }
+  // Follow the chain from the base. Several links may share a prev (a
+  // damaged link from an earlier session plus its replacement): prefer the
+  // newest watermark that parses; if links exist but none parse, the chain
+  // is cut there and WAL replay covers the remainder.
+  std::sort(links.begin(), links.end(), [](const DeltaFile& a,
+                                           const DeltaFile& b) {
+    return a.watermark > b.watermark;
+  });
+  for (;;) {
+    bool saw_candidate = false;
+    bool advanced = false;
+    for (const DeltaFile& link : links) {
+      if (link.prev != out->tip) continue;
+      // The engine only writes forward links (watermark > prev); a
+      // non-advancing link can only come from foreign/copied files and
+      // would cycle the walk forever.
+      if (link.watermark <= out->tip) continue;
+      saw_candidate = true;
+      CheckpointData data;
+      if (!ReadAndParse(link.path, &data).ok()) continue;
+      if (data.prev_watermark != link.prev ||
+          data.watermark != link.watermark) {
+        continue;  // Name/content mismatch: treat as damaged.
+      }
+      out->deltas.push_back(std::move(data));
+      out->tip = link.watermark;
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      out->truncated = saw_candidate;
+      break;
+    }
   }
   return Status::OK();
 }

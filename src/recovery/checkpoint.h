@@ -1,19 +1,25 @@
-// Watermark checkpoints: a serialized image of every table's newest
-// committed version at a TxnManager stable watermark.
+// Watermark checkpoints: serialized images of table state at a TxnManager
+// stable watermark — a full *base* image of every table's newest committed
+// version, or an incremental *delta* image holding only what committed in
+// a window (prev_watermark, watermark] since the previous checkpoint.
 //
 // Why the watermark: every commit with commit_ts <= stable_ts() has fully
 // stamped its versions before the watermark advanced past it (txn_manager.h),
 // so a sweep that filters versions by commit_ts <= watermark observes a
 // transaction-consistent cut without stopping writers — the sweep rides
-// Table::ForEachChain, which holds one shard latch at a time.
+// Table::ForEachChain, which holds one shard latch at a time. The delta
+// sweep additionally rides the per-shard max-commit-ts hint: shards no
+// commit touched past prev_watermark are skipped without taking their
+// latch, so a delta over a mostly-cold table is O(touched), not O(table).
 //
-// Write protocol: serialize into checkpoint-<watermark>.tmp, fsync, rename
-// to checkpoint-<watermark>.ckpt, fsync the directory. A crash mid-write
-// leaves a .tmp (ignored) or nothing; a checkpoint is only consulted by
-// recovery if its CRC footer and trailer magic validate, so a torn rename
-// target can never be mistaken for a complete image.
+// Write protocol (both kinds): serialize into <name>.tmp, fsync, rename,
+// fsync the directory. A crash mid-write leaves a .tmp (ignored) or
+// nothing; an image is only consulted by recovery if its CRC footer and
+// trailer magic validate, so a torn rename target can never be mistaken
+// for a complete image. Writing a base supersedes everything older: older
+// bases and *all* delta files are deleted (a fresh chain starts).
 //
-// File format (all integers big-endian):
+// Base file "checkpoint-<wm>.ckpt" (all integers big-endian):
 //   magic8 "SSIDBCK1"
 //   u64 watermark
 //   u32 table_count
@@ -22,12 +28,19 @@
 //   u32 crc                 CRC32C of every byte above
 //   magic8 "SSIDBEND"
 //
+// Delta file "delta-<prev>-<wm>.ckpt": as above with magic "SSIDBDL1", a
+// u64 prev_watermark between the magic and the watermark, and a u8
+// tombstone flag after each entry's commit_ts. Bases omit keys whose
+// newest version at the watermark is a tombstone (recovery starts no
+// snapshot older than the watermark, so absence == deleted); deltas must
+// record tombstones explicitly — the key may exist in the base image they
+// patch. Every delta lists every table (ids stay dense for replay) even
+// when a table contributes no entries, so tables created inside the window
+// survive through the chain.
+//
 // Tables appear in id order and ids are dense, so re-creating them in file
 // order on an empty catalog reproduces the original id assignment — which
-// WAL commit records (keyed by table id) rely on. Keys whose newest
-// committed version at the watermark is a tombstone are omitted: recovery
-// starts no snapshots older than the watermark, so the deleted key is
-// simply absent.
+// WAL commit records (keyed by table id) rely on.
 
 #ifndef SSIDB_RECOVERY_CHECKPOINT_H_
 #define SSIDB_RECOVERY_CHECKPOINT_H_
@@ -45,6 +58,9 @@ struct CheckpointEntry {
   std::string key;
   std::string value;
   Timestamp commit_ts = 0;
+  /// Delta images only: the key's newest version in the window is a
+  /// delete — recovery installs a tombstone over the base state.
+  bool tombstone = false;
 };
 
 struct CheckpointTable {
@@ -53,26 +69,70 @@ struct CheckpointTable {
   std::vector<CheckpointEntry> entries;
 };
 
-/// A parsed checkpoint image.
+/// A parsed checkpoint image (base or delta).
 struct CheckpointData {
+  /// 0 for a base image; for a delta, the watermark of the chain link it
+  /// patches (the sweep covered (prev_watermark, watermark]).
+  Timestamp prev_watermark = 0;
   Timestamp watermark = 0;
   std::vector<CheckpointTable> tables;
 };
 
-/// File name for a checkpoint at `watermark`.
+/// File name for a base checkpoint at `watermark`.
 std::string CheckpointFileName(Timestamp watermark);
+/// File name for a delta covering (prev, watermark].
+std::string DeltaCheckpointFileName(Timestamp prev, Timestamp watermark);
+/// Parse a delta file name back; false for any other shape.
+bool ParseDeltaCheckpointFileName(const std::string& name, Timestamp* prev,
+                                  Timestamp* watermark);
 
-/// Sweep `catalog` at `watermark` and durably write the image into `dir`
-/// (created if missing). On success older checkpoint files are deleted —
-/// the new image supersedes them. `fsync=false` is test-only.
+/// What WriteCheckpoint produced (sizing counters for stats/benches, and
+/// the table count a base captured — the create-watermark input for WAL
+/// segment GC).
+struct CheckpointWriteResult {
+  uint64_t bytes = 0;
+  uint64_t entries = 0;
+  uint32_t table_count = 0;
+};
+
+/// Sweep `catalog` at `watermark` and durably write an image into `dir`
+/// (created if missing). With prev_watermark == 0 this is a full base
+/// image and older checkpoint files (bases and deltas) are deleted — the
+/// new image supersedes them. With prev_watermark > 0 a delta image
+/// covering (prev_watermark, watermark] is written and nothing is deleted
+/// (the chain grows). `fsync=false` is test-only. `result` may be null.
 Status WriteCheckpoint(const Catalog& catalog, Timestamp watermark,
-                       const std::string& dir, bool fsync);
+                       Timestamp prev_watermark, const std::string& dir,
+                       bool fsync, CheckpointWriteResult* result = nullptr);
 
-/// Load the newest *complete* checkpoint in `dir` into `out`. Incomplete
-/// or damaged files (bad magic, CRC, or truncation) are skipped in favour
-/// of the next-newest. *found=false with OK status when none qualifies.
+/// Load the newest *complete* base checkpoint in `dir` into `out`.
+/// Incomplete or damaged files (bad magic, CRC, or truncation) are skipped
+/// in favour of the next-newest. *found=false with OK status when none
+/// qualifies.
 Status LoadLatestCheckpoint(const std::string& dir, CheckpointData* out,
                             bool* found);
+
+/// The newest complete base plus its longest complete delta chain.
+struct LoadedCheckpointChain {
+  CheckpointData base;
+  /// Deltas in application order (each link's prev_watermark equals the
+  /// previous link's watermark, starting from the base).
+  std::vector<CheckpointData> deltas;
+  /// A chain link existed on disk but was damaged: the usable prefix ends
+  /// before it (recovery falls back to the older consistent cut and lets
+  /// WAL replay cover the rest).
+  bool truncated = false;
+  /// Watermark of the last usable link (base watermark when deltas is
+  /// empty): the cut WAL replay resumes after.
+  Timestamp tip = 0;
+};
+
+/// Load the newest complete base and follow its delta chain, skipping
+/// damaged links (the chain is cut at the first unusable link). When
+/// several bases exist, damaged newer ones fall back to older ones.
+/// *found=false with OK status when no complete base exists.
+Status LoadCheckpointChain(const std::string& dir, LoadedCheckpointChain* out,
+                           bool* found);
 
 }  // namespace ssidb::recovery
 

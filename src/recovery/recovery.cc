@@ -58,6 +58,30 @@ Status ApplyRecord(const LogRecord& record, Timestamp checkpoint_ts,
   return Status::OK();
 }
 
+/// Install one checkpoint image (base or delta link) into the catalog.
+/// Tables are created idempotently; ids must come out dense and matching.
+Status ApplyCheckpointData(const CheckpointData& data, Catalog* catalog) {
+  for (const CheckpointTable& t : data.tables) {
+    TableId assigned = 0;
+    if (catalog->FindTable(t.name, &assigned).ok()) {
+      if (assigned != t.id) {
+        return Status::Corruption("checkpoint table id diverged");
+      }
+    } else {
+      Status st = catalog->CreateTable(t.name, &assigned);
+      if (!st.ok()) return st;
+      if (assigned != t.id) {
+        return Status::Corruption("checkpoint table ids not dense");
+      }
+    }
+    Table* table = catalog->table(assigned);
+    for (const CheckpointEntry& e : t.entries) {
+      table->RecoverVersion(e.key, e.value, e.tombstone, e.commit_ts);
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status Recover(const std::string& dir, Catalog* catalog,
@@ -66,28 +90,30 @@ Status Recover(const std::string& dir, Catalog* catalog,
   std::error_code ec;
   if (!std::filesystem::exists(dir, ec)) return Status::OK();
 
-  // 1. Checkpoint image.
-  CheckpointData checkpoint;
+  // 1. Checkpoint chain: the newest complete base plus every delta link
+  // that parses. A damaged link cuts the chain — the surviving prefix is
+  // still a consistent cut, and WAL replay (which starts after the cut)
+  // reinstalls everything the lost links held: segment GC only reclaims
+  // up to the *base* watermark, so the WAL past the base is always there.
+  LoadedCheckpointChain chain;
   bool have_checkpoint = false;
-  Status st = LoadLatestCheckpoint(dir, &checkpoint, &have_checkpoint);
+  Status st = LoadCheckpointChain(dir, &chain, &have_checkpoint);
   if (!st.ok()) return st;
   if (have_checkpoint) {
-    for (const CheckpointTable& t : checkpoint.tables) {
-      TableId assigned = 0;
-      st = catalog->CreateTable(t.name, &assigned);
+    st = ApplyCheckpointData(chain.base, catalog);
+    if (!st.ok()) return st;
+    for (const CheckpointData& delta : chain.deltas) {
+      st = ApplyCheckpointData(delta, catalog);
       if (!st.ok()) return st;
-      if (assigned != t.id) {
-        return Status::Corruption("checkpoint table ids not dense");
-      }
-      Table* table = catalog->table(assigned);
-      for (const CheckpointEntry& e : t.entries) {
-        table->RecoverVersion(e.key, e.value, /*tombstone=*/false,
-                              e.commit_ts);
-      }
+      ++stats->delta_links_applied;
     }
     stats->used_checkpoint = true;
-    stats->checkpoint_ts = checkpoint.watermark;
-    stats->max_commit_ts = checkpoint.watermark;
+    stats->checkpoint_ts = chain.tip;
+    stats->base_watermark = chain.base.watermark;
+    stats->base_table_count =
+        static_cast<uint32_t>(chain.base.tables.size());
+    stats->chain_truncated = chain.truncated;
+    stats->max_commit_ts = chain.tip;
   }
 
   // 2. WAL replay past the checkpoint.
@@ -99,10 +125,21 @@ Status Recover(const std::string& dir, Catalog* catalog,
     st = ScanWalSegment(segments[i], &scan);
     if (!st.ok()) return st;
     ++stats->segments_scanned;
+    // Rebuild the segment's metadata from this (obligatory) scan, so the
+    // engine's checkpoint GC never has to re-read it.
+    WalSegmentMeta meta;
+    ParseWalSegmentSeq(segments[i], &meta.seq);
     for (const LogRecord& record : scan.records) {
+      const uint32_t created_table =
+          record.type == LogRecordType::kTableCreate && !record.redo.empty()
+              ? record.redo[0].table
+              : 0;
+      AccumulateSegmentMeta(record.type, record.commit_ts, created_table,
+                            &meta);
       st = ApplyRecord(record, stats->checkpoint_ts, catalog, stats);
       if (!st.ok()) return st;
     }
+    stats->wal_segments.push_back(meta);
     if (!scan.tail.ok()) {
       if (i + 1 == segments.size()) {
         // 3. Torn tail of the newest segment: the crash interrupted the

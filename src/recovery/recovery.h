@@ -1,10 +1,13 @@
 // Crash recovery: rebuild committed state from the newest complete
-// checkpoint plus the WAL segments past it.
+// checkpoint chain (base image + deltas) plus the WAL segments past it.
 //
 // Protocol (DB::Open runs this before the engine accepts transactions):
-//   1. Load the newest complete checkpoint, if any: recreate its tables in
-//      id order and install every entry with its original commit
-//      timestamp.
+//   1. Load the newest complete base checkpoint, if any, and follow its
+//      delta chain as far as every link parses (LoadCheckpointChain): a
+//      damaged link cuts the chain there — the older consistent cut is
+//      used and WAL replay covers the difference. Tables are recreated in
+//      id order and every entry installed with its original commit
+//      timestamp (delta tombstones delete over the base state).
 //   2. Scan WAL segments in sequence order and replay records:
 //        - table creations are applied idempotently (skipped when the name
 //          already exists — e.g. it was in the checkpoint);
@@ -34,15 +37,27 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
+#include "src/recovery/wal.h"
 #include "src/storage/catalog.h"
 
 namespace ssidb::recovery {
 
 struct RecoveryStats {
   bool used_checkpoint = false;
+  /// Watermark of the last usable checkpoint-chain link (base watermark
+  /// when no delta applied): WAL replay resumes after this cut.
   Timestamp checkpoint_ts = 0;
+  /// The base image the chain hangs off: its watermark and the table
+  /// count it captured (the create-watermark input for WAL segment GC).
+  Timestamp base_watermark = 0;
+  uint32_t base_table_count = 0;
+  /// Delta links applied on top of the base.
+  uint64_t delta_links_applied = 0;
+  /// A delta link existed but was damaged; the chain was cut before it.
+  bool chain_truncated = false;
   uint64_t segments_scanned = 0;
   uint64_t commit_records_applied = 0;
   uint64_t redo_entries_applied = 0;
@@ -52,6 +67,10 @@ struct RecoveryStats {
   /// Newest commit timestamp recovered (checkpoint watermark if the WAL
   /// held nothing newer); 0 for a fresh directory.
   Timestamp max_commit_ts = 0;
+  /// Per-segment metadata rebuilt from the one obligatory replay scan —
+  /// seeded into the engine's WAL writer so checkpoint GC can decide
+  /// segment coverage without ever re-reading a segment.
+  std::vector<WalSegmentMeta> wal_segments;
 };
 
 /// Rebuild `catalog` (which must be empty) from `dir`. A missing or empty

@@ -18,10 +18,48 @@ namespace {
 constexpr char kSegmentPrefix[] = "wal-";
 constexpr char kSegmentSuffix[] = ".log";
 
+std::atomic<uint64_t> g_scan_calls{0};
+
 }  // namespace
 
 std::string WalSegmentName(uint64_t seq) {
   return NumberedFileName(kSegmentPrefix, seq, kSegmentSuffix);
+}
+
+bool ParseWalSegmentSeq(const std::string& path, uint64_t* seq) {
+  return ParseNumberedFileName(fs::path(path).filename().string(),
+                               kSegmentPrefix, kSegmentSuffix, seq);
+}
+
+uint64_t ScanWalSegmentCalls() {
+  return g_scan_calls.load(std::memory_order_relaxed);
+}
+
+WalFrame MakeWalFrame(const LogRecord& record) {
+  WalFrame frame;
+  frame.bytes = record.Encode();
+  frame.type = record.type;
+  frame.commit_ts = record.commit_ts;
+  if (record.type == LogRecordType::kTableCreate && !record.redo.empty()) {
+    frame.table_id = record.redo[0].table;
+  }
+  return frame;
+}
+
+void AccumulateSegmentMeta(LogRecordType type, Timestamp commit_ts,
+                           uint32_t table_id, WalSegmentMeta* meta) {
+  ++meta->record_count;
+  if (type == LogRecordType::kCommit) {
+    if (meta->min_commit_ts == 0 || commit_ts < meta->min_commit_ts) {
+      meta->min_commit_ts = commit_ts;
+    }
+    if (commit_ts > meta->max_commit_ts) meta->max_commit_ts = commit_ts;
+  } else if (type == LogRecordType::kTableCreate) {
+    if (!meta->has_table_create || table_id > meta->max_table_id_created) {
+      meta->max_table_id_created = table_id;
+    }
+    meta->has_table_create = true;
+  }
 }
 
 Status ListWalSegments(const std::string& dir,
@@ -44,6 +82,7 @@ Status ListWalSegments(const std::string& dir,
 }
 
 Status ScanWalSegment(const std::string& path, WalScanResult* out) {
+  g_scan_calls.fetch_add(1, std::memory_order_relaxed);
   out->records.clear();
   out->tail = Status::OK();
   std::string contents;
@@ -98,46 +137,81 @@ Status WalWriter::EnsureOpen() {
   return RotateSegment();
 }
 
+void WalWriter::PublishCurrentMeta() {
+  std::lock_guard<std::mutex> guard(meta_mu_);
+  meta_[current_meta_.seq] = current_meta_;
+}
+
 Status WalWriter::RotateSegment() {
   if (fd_ >= 0) {
     if (fsync_ && ::fsync(fd_) != 0) return ErrnoStatus("fsync", dir_);
     ::close(fd_);
     fd_ = -1;
+    // Seal the segment's registry entry *before* the next segment's file
+    // exists, so any directory listing that sees the newer name can trust
+    // this one's metadata (the invariant checkpoint GC relies on).
+    PublishCurrentMeta();
   }
   const std::string path =
       (fs::path(dir_) / WalSegmentName(next_seq_)).string();
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
   if (fd_ < 0) return ErrnoStatus("create", path);
+  current_seq_ = next_seq_;
   ++next_seq_;
   segments_created_.fetch_add(1, std::memory_order_relaxed);
   segment_offset_ = 0;
+  current_meta_ = WalSegmentMeta{};
+  current_meta_.seq = current_seq_;
+  PublishCurrentMeta();  // The open segment is listed, even while empty.
   // Make the new name itself durable before any record relies on it.
   return fsync_ ? SyncDir(dir_) : Status::OK();
 }
 
-Status WalWriter::AppendBatch(const std::vector<std::string>& frames) {
+Status WalWriter::AppendBatch(const std::vector<WalFrame>& frames) {
   Status st = EnsureOpen();
   if (!st.ok()) return st;
-  for (const std::string& frame : frames) {
+  for (const WalFrame& frame : frames) {
     if (segment_offset_ >= segment_bytes_) {
       st = RotateSegment();
       if (!st.ok()) return st;
     }
+    // Accumulated lock-free; counted even if the write below fails —
+    // overstating a segment is the conservative direction for GC.
+    AccumulateSegmentMeta(frame.type, frame.commit_ts, frame.table_id,
+                          &current_meta_);
     size_t written = 0;
-    while (written < frame.size()) {
-      const ssize_t n =
-          ::write(fd_, frame.data() + written, frame.size() - written);
+    while (written < frame.bytes.size()) {
+      const ssize_t n = ::write(fd_, frame.bytes.data() + written,
+                                frame.bytes.size() - written);
       if (n < 0) {
         if (errno == EINTR) continue;
         return ErrnoStatus("write", dir_);
       }
       written += static_cast<size_t>(n);
     }
-    segment_offset_ += frame.size();
-    bytes_written_.fetch_add(frame.size(), std::memory_order_relaxed);
+    segment_offset_ += frame.bytes.size();
+    bytes_written_.fetch_add(frame.bytes.size(), std::memory_order_relaxed);
   }
+  PublishCurrentMeta();
   if (fsync_ && ::fsync(fd_) != 0) return ErrnoStatus("fsync", dir_);
   return Status::OK();
+}
+
+void WalWriter::SeedSegmentMeta(const std::vector<WalSegmentMeta>& metas) {
+  std::lock_guard<std::mutex> guard(meta_mu_);
+  for (const WalSegmentMeta& m : metas) {
+    meta_.emplace(m.seq, m);  // Keep any entry this writer already owns.
+  }
+}
+
+std::map<uint64_t, WalSegmentMeta> WalWriter::SegmentMetadata() const {
+  std::lock_guard<std::mutex> guard(meta_mu_);
+  return meta_;
+}
+
+void WalWriter::ForgetSegment(uint64_t seq) {
+  std::lock_guard<std::mutex> guard(meta_mu_);
+  meta_.erase(seq);
 }
 
 }  // namespace ssidb::recovery

@@ -23,6 +23,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,59 @@ namespace ssidb::recovery {
 
 /// Name of segment `seq` ("wal-00000000000000000007.log").
 std::string WalSegmentName(uint64_t seq);
+
+/// Parse the sequence number out of a segment path or file name; false if
+/// the name is not a WAL segment.
+bool ParseWalSegmentSeq(const std::string& path, uint64_t* seq);
+
+/// Per-segment metadata, recorded frame-by-frame at append time (and
+/// rebuilt by recovery's one obligatory scan for pre-crash segments), so
+/// checkpoint-driven WAL GC can decide coverage from counters instead of
+/// re-reading candidate segments from disk — O(1) per segment.
+///
+/// The registry invariant GC relies on: a *sealed* segment's metadata is
+/// complete and never understates (the writer publishes a sealing
+/// segment's full metadata before the next segment's file is created, so
+/// any directory listing that observes a higher-numbered file can trust
+/// the lower one's entry). The open segment's entry may trail mid-batch,
+/// but GC never touches the highest-sequence segment.
+struct WalSegmentMeta {
+  uint64_t seq = 0;
+  uint64_t record_count = 0;
+  /// Min/max commit_ts over kCommit records (0 when the segment holds no
+  /// commit record). A segment with max_commit_ts <= a base-image
+  /// watermark has every commit captured by that image.
+  Timestamp min_commit_ts = 0;
+  Timestamp max_commit_ts = 0;
+  /// Create-watermark rule: a segment holding kTableCreate records is
+  /// reclaimable only once every created table's id/name binding is
+  /// captured in the surviving base image — i.e. max_table_id_created is
+  /// below the base image's table count (ids are dense).
+  bool has_table_create = false;
+  uint32_t max_table_id_created = 0;
+};
+
+/// One record headed for the WAL: the encoded frame plus the fields the
+/// per-segment metadata accumulates. Built by MakeWalFrame so the encoder
+/// and the metadata can never disagree.
+struct WalFrame {
+  std::string bytes;
+  LogRecordType type = LogRecordType::kCommit;
+  Timestamp commit_ts = 0;
+  /// Assigned table id for kTableCreate records; 0 otherwise.
+  uint32_t table_id = 0;
+};
+
+WalFrame MakeWalFrame(const LogRecord& record);
+
+/// Fold one record's contribution into `meta` (shared by the writer's
+/// append path and recovery's rebuild-from-scan).
+void AccumulateSegmentMeta(LogRecordType type, Timestamp commit_ts,
+                           uint32_t table_id, WalSegmentMeta* meta);
+
+/// Total ScanWalSegment invocations in this process — lets tests assert
+/// that metadata-driven GC performs zero segment re-reads.
+uint64_t ScanWalSegmentCalls();
 
 /// Segment files in `dir`, sorted by sequence number ascending. A missing
 /// directory yields OK and an empty list (fresh database). Non-WAL files
@@ -74,8 +129,24 @@ class WalWriter {
 
   /// Append every frame, rotating segments as needed, then sync once.
   /// Frames are written whole and in order, so the durable log is always a
-  /// prefix of the appended sequence (modulo a torn final frame).
-  Status AppendBatch(const std::vector<std::string>& frames);
+  /// prefix of the appended sequence (modulo a torn final frame). Segment
+  /// metadata is accumulated locally (no locking on the per-frame path)
+  /// and published to the registry when a segment seals (before the next
+  /// segment's file exists) and at the end of each batch — exactly the
+  /// granularity the registry invariant needs, since GC never touches the
+  /// open (highest-sequence) segment.
+  Status AppendBatch(const std::vector<WalFrame>& frames);
+
+  /// Install metadata for segments that predate this writer (recovery's
+  /// scan already parsed them). Existing entries are kept — a segment this
+  /// writer wrote is never overwritten by stale seed data.
+  void SeedSegmentMeta(const std::vector<WalSegmentMeta>& metas);
+
+  /// Snapshot of the registry, keyed by segment sequence number.
+  std::map<uint64_t, WalSegmentMeta> SegmentMetadata() const;
+
+  /// Drop a deleted segment's registry entry (checkpoint GC).
+  void ForgetSegment(uint64_t seq);
 
   // Counters are relaxed atomics: the writer is single-threaded (the
   // flusher), but stats/GC readers sample from other threads.
@@ -97,12 +168,27 @@ class WalWriter {
   const uint64_t segment_bytes_;
   const bool fsync_;
 
+  /// Publish current_meta_ into the registry (overwrites the open
+  /// segment's entry with the authoritative accumulation).
+  void PublishCurrentMeta();
+
   int fd_ = -1;
   uint64_t next_seq_ = 0;       ///< Valid after EnsureOpen.
+  uint64_t current_seq_ = 0;    ///< Sequence of the open segment (fd_).
   uint64_t segment_offset_ = 0; ///< Bytes in the open segment.
   bool opened_ = false;
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> segments_created_{0};
+
+  /// The open segment's metadata, accumulated lock-free by the flusher
+  /// and published to meta_ at rotation and batch end.
+  WalSegmentMeta current_meta_;
+
+  /// Segment metadata registry: seeded by recovery for pre-crash
+  /// segments, extended by the append path for this session's. Guarded by
+  /// meta_mu_ (the flusher writes, stats/GC threads read).
+  mutable std::mutex meta_mu_;
+  std::map<uint64_t, WalSegmentMeta> meta_;
 };
 
 }  // namespace ssidb::recovery

@@ -78,6 +78,11 @@ void Table::MaybeSplit(const std::string& hint_key) {
   auto mid = shard.index.begin();
   std::advance(mid, shard.index.size() / 2);
   auto right = std::make_unique<Shard>(mid->first);
+  // Both halves inherit the parent's commit hint: an overstated hint only
+  // costs a visit, an understated one would hide commits from delta sweeps.
+  right->max_commit_ts.store(
+      shard.max_commit_ts.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   // Move [median, end) into the new right shard; node handles keep the
   // heap-allocated chains (and their addresses) intact.
   while (mid != shard.index.end()) {
@@ -151,9 +156,37 @@ void Table::ForEachChain(
   }
 }
 
+void Table::ForEachChain(
+    Timestamp since,
+    const std::function<void(const std::string&, VersionChain*)>& fn) const {
+  std::shared_lock<std::shared_mutex> route(routing_mu_);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    if (shard.max_commit_ts.load(std::memory_order_relaxed) <= since) {
+      continue;  // Cold shard: skipped without touching its latch.
+    }
+    shard.reads.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> guard(shard.mu);
+    for (const auto& [key, chain] : shard.index) {
+      fn(key, chain.get());
+    }
+  }
+}
+
+void Table::NoteCommit(Slice key, Timestamp commit_ts) {
+  std::shared_lock<std::shared_mutex> route(routing_mu_);
+  Shard& shard = *shards_[RouteLocked(key.view())];
+  Timestamp cur = shard.max_commit_ts.load(std::memory_order_relaxed);
+  while (cur < commit_ts &&
+         !shard.max_commit_ts.compare_exchange_weak(
+             cur, commit_ts, std::memory_order_relaxed)) {
+  }
+}
+
 void Table::RecoverVersion(Slice key, Slice value, bool tombstone,
                            Timestamp commit_ts) {
   GetOrCreate(key)->InstallRecovered(commit_ts, value, tombstone);
+  NoteCommit(key, commit_ts);
 }
 
 size_t Table::PruneShards(Timestamp min_read_ts) {

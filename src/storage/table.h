@@ -104,6 +104,25 @@ class Table {
   void ForEachChain(
       const std::function<void(const std::string&, VersionChain*)>& fn) const;
 
+  /// Filtered overload for incremental sweeps: visit only entries of
+  /// shards whose per-shard max-commit-ts hint is > `since` — a shard no
+  /// commit has touched past `since` is skipped without taking its latch,
+  /// so a delta checkpoint over a cold table costs one routing-latch
+  /// acquisition. The hint is maintained by NoteCommit/RecoverVersion and
+  /// is conservative (splits copy it to both halves), so a skipped shard
+  /// provably holds no version with commit_ts > since; a visited shard may
+  /// still contain only older entries — the callback filters per chain.
+  void ForEachChain(
+      Timestamp since,
+      const std::function<void(const std::string&, VersionChain*)>& fn) const;
+
+  /// Record that a version of `key` committed at `commit_ts`: raises the
+  /// owning shard's max-commit-ts hint. Called by the transaction manager
+  /// during commit-time version stamping, *before* the stable watermark
+  /// can cover `commit_ts`, so any sweep at watermark >= commit_ts is
+  /// guaranteed to see the raised hint.
+  void NoteCommit(Slice key, Timestamp commit_ts);
+
   /// Per-shard version-prune sweep: for each shard in turn (one latch at a
   /// time), drop versions unreachable by any snapshot >= min_read_ts.
   /// Returns the number of versions freed.
@@ -137,6 +156,10 @@ class Table {
     std::map<std::string, std::unique_ptr<VersionChain>, std::less<>> index;
     mutable std::atomic<uint64_t> reads{0};
     mutable std::atomic<uint64_t> writes{0};
+    /// Largest commit_ts ever stamped into this shard's range (0 = none).
+    /// Conservative upper bound (splits copy it), consulted by the
+    /// filtered ForEachChain to skip cold shards latch-free.
+    std::atomic<Timestamp> max_commit_ts{0};
   };
 
   /// Index of the shard whose range contains `key`: the last shard whose

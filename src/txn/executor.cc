@@ -259,7 +259,7 @@ Status Executor::GetForUpdate(TxnCtx& txn, TableId table, Slice key,
                                            &replaced_own);
     if (!replaced_own) {
       state->write_set.push_back(
-          TxnState::WriteRecord{table, key.ToString(), chain, v});
+          TxnState::WriteRecord{table, key.ToString(), chain, v, t});
     }
     if (page_mode && !replaced_own) {
       state->page_writes.push_back(row_lk);
@@ -345,9 +345,13 @@ Status Executor::WriteImpl(TxnCtx& txn, TableId table, Slice key, Slice value,
       state->id, value, kind == WriteKind::kDelete, &replaced_own);
   if (!replaced_own) {
     state->write_set.push_back(
-        TxnState::WriteRecord{table, key.ToString(), chain, v});
-    // Inline GC: drop versions no active snapshot can reach.
-    chain->Prune(txns_->min_active_read_ts());
+        TxnState::WriteRecord{table, key.ToString(), chain, v, t});
+    // Inline GC: drop versions no active snapshot (nor any in-progress
+    // checkpoint sweep) can reach.
+    const size_t freed = chain->Prune(txns_->prune_horizon());
+    if (freed > 0) {
+      versions_pruned_.fetch_add(freed, std::memory_order_relaxed);
+    }
   }
   if (options_.granularity == LockGranularity::kPage && !replaced_own) {
     state->page_writes.push_back(row_lk);

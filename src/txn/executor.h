@@ -23,6 +23,7 @@
 #ifndef SSIDB_TXN_EXECUTOR_H_
 #define SSIDB_TXN_EXECUTOR_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -76,6 +77,12 @@ class Executor {
               const ScanCallback& fn);
   Status Commit(TxnCtx& txn);
   Status Abort(TxnCtx& txn);
+
+  /// Versions reclaimed by the inline write-path prune (one slice of
+  /// DBStats::versions_pruned; the background sweep is the other).
+  uint64_t versions_pruned() const {
+    return versions_pruned_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Pre-flight for every operation: reject finished transactions, honour
@@ -142,6 +149,8 @@ class Executor {
   LockManager* const locks_;
   ConflictTracker* const tracker_;
   sgt::HistoryRecorder* const history_;
+
+  std::atomic<uint64_t> versions_pruned_{0};
 };
 
 }  // namespace ssidb

@@ -130,13 +130,13 @@ LogManager::~LogManager() {
 }
 
 Lsn LogManager::Append(LogRecord record) {
-  std::string encoded = record.Encode();
+  recovery::WalFrame frame = recovery::MakeWalFrame(record);
   std::lock_guard<std::mutex> guard(mu_);
   const Lsn lsn = next_lsn_++;
   appended_records_.fetch_add(1, std::memory_order_relaxed);
-  if (retain_) retained_.push_back(encoded);
+  if (retain_) retained_.push_back(frame.bytes);
   if (durable() || options_.flush_on_commit) {
-    pending_.push_back(std::move(encoded));
+    pending_.push_back(std::move(frame));
     work_cv_.notify_one();
   } else {
     // Simulated "no flush" regime: the buffer is durable by decree.
@@ -162,10 +162,25 @@ uint64_t LogManager::wal_bytes_written() const {
   return wal_ != nullptr ? wal_->bytes_written() : 0;
 }
 
+std::map<uint64_t, recovery::WalSegmentMeta> LogManager::WalSegmentMetadata()
+    const {
+  return wal_ != nullptr ? wal_->SegmentMetadata()
+                         : std::map<uint64_t, recovery::WalSegmentMeta>{};
+}
+
+void LogManager::SeedWalSegmentMeta(
+    const std::vector<recovery::WalSegmentMeta>& metas) {
+  if (wal_ != nullptr) wal_->SeedSegmentMeta(metas);
+}
+
+void LogManager::ForgetWalSegment(uint64_t seq) {
+  if (wal_ != nullptr) wal_->ForgetSegment(seq);
+}
+
 void LogManager::FlusherLoop() {
   for (;;) {
     Lsn batch_end;
-    std::vector<std::string> batch;
+    std::vector<recovery::WalFrame> batch;
     {
       std::unique_lock<std::mutex> guard(mu_);
       work_cv_.wait(guard,

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +39,8 @@ namespace ssidb {
 
 namespace recovery {
 class WalWriter;
+struct WalFrame;
+struct WalSegmentMeta;
 }  // namespace recovery
 
 using Lsn = uint64_t;
@@ -123,6 +126,14 @@ class LogManager {
   /// Bytes written to WAL segment files (0 in simulated mode).
   uint64_t wal_bytes_written() const;
 
+  /// Per-segment metadata registry (empty map in simulated mode): the
+  /// input to metadata-driven WAL GC. See recovery::WalSegmentMeta.
+  std::map<uint64_t, recovery::WalSegmentMeta> WalSegmentMetadata() const;
+  /// Install metadata recovery reconstructed for pre-crash segments.
+  void SeedWalSegmentMeta(const std::vector<recovery::WalSegmentMeta>& metas);
+  /// Drop a GC'd segment's registry entry.
+  void ForgetWalSegment(uint64_t seq);
+
   bool durable() const { return !options_.wal_dir.empty(); }
 
  private:
@@ -137,7 +148,7 @@ class LogManager {
   std::condition_variable flushed_cv_;
   Lsn next_lsn_ = 1;
   Lsn flushed_lsn_ = 0;
-  std::vector<std::string> pending_;
+  std::vector<recovery::WalFrame> pending_;
   bool retain_ = false;
   std::vector<std::string> retained_;
   /// First WAL write/fsync failure, sticky (guarded by mu_).

@@ -32,6 +32,8 @@
 
 namespace ssidb {
 
+class Table;
+
 enum class TxnStatus : uint8_t { kActive, kCommitted, kAborted };
 
 struct TxnState;
@@ -128,6 +130,9 @@ struct TxnState {
     std::string key;
     VersionChain* chain;
     Version* version;
+    /// The owning table, for commit-time shard hint maintenance
+    /// (Table::NoteCommit). Tables live for the engine's lifetime.
+    Table* table_ref = nullptr;
   };
   std::vector<WriteRecord> write_set;
 

@@ -2,7 +2,16 @@
 
 #include <cassert>
 
+#include "src/storage/table.h"
+
 namespace ssidb {
+
+namespace {
+/// CleanupSuspended sweeps the page first-committer-wins map every this
+/// many invocations (kPage granularity only): O(map/period) amortized per
+/// commit, and a test that wants a sweep just commits this many times.
+constexpr uint64_t kPageSweepPeriod = 16;
+}  // namespace
 
 TxnManager::TxnManager(const DBOptions& options, LockManager* lock_manager,
                        LogManager* log_manager)
@@ -58,8 +67,22 @@ Timestamp TxnManager::MinActiveSnapshotLocked() const {
 }
 
 void TxnManager::RecomputeMinLocked() {
+  // Release pairs with prune_horizon()'s acquire: a pruner that observes a
+  // minimum above an in-progress sweep's watermark inherits visibility of
+  // the sweep's floor through min -> stable -> floor.
   min_active_read_ts_.store(MinActiveSnapshotLocked(),
-                            std::memory_order_relaxed);
+                            std::memory_order_release);
+}
+
+Timestamp TxnManager::BeginCheckpointSweep() {
+  std::lock_guard<std::mutex> guard(window_mu_);
+  const Timestamp wm = stable_ts_.load(std::memory_order_relaxed);
+  checkpoint_floor_.store(wm, std::memory_order_release);
+  return wm;
+}
+
+void TxnManager::EndCheckpointSweep() {
+  checkpoint_floor_.store(kMaxTimestamp, std::memory_order_release);
 }
 
 bool TxnManager::AdvanceStableLocked() {
@@ -181,6 +204,14 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
     // commit as a whole until it retires from the window.
     for (const TxnState::WriteRecord& w : txn->write_set) {
       w.version->commit_ts.store(commit_ts, std::memory_order_release);
+      // Raise the storage shard's max-commit-ts hint before this commit
+      // retires from the window: once the stable watermark covers
+      // commit_ts, an incremental checkpoint sweeping at that watermark
+      // must find the hint raised, or it would skip the shard and lose
+      // the write from the delta image.
+      if (w.table_ref != nullptr) {
+        w.table_ref->NoteCommit(w.key, commit_ts);
+      }
     }
     if (!txn->page_writes.empty()) {
       std::lock_guard<std::mutex> page_guard(page_mu_);
@@ -310,6 +341,29 @@ void TxnManager::CleanupSuspended() {
   for (const auto& t : expired) {
     sireads->ReleaseAll(t->id);
   }
+
+  // Page-granularity FCW bookkeeping (§4.2) would otherwise grow without
+  // bound: entries are inserted at commit and were never erased. An entry
+  // with ts <= min_active_read_ts can never again fail the FCW test or
+  // mark an rw-conflict — every current snapshot, and every future one
+  // (>= the stable watermark, the base of the minimum), is at or past it,
+  // and a missing entry already reads as "never written". Swept
+  // periodically rather than per cleanup to amortize the map walk.
+  const Timestamp page_cutoff = min_active_read_ts();
+  {
+    std::lock_guard<std::mutex> page_guard(page_mu_);
+    if (!page_write_ts_.empty() &&
+        ++page_sweep_tick_ % kPageSweepPeriod == 0) {
+      for (auto it = page_write_ts_.begin(); it != page_write_ts_.end();) {
+        if (it->second.ts <= page_cutoff) {
+          it = page_write_ts_.erase(it);
+          ++page_entries_pruned_;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
 }
 
 Timestamp TxnManager::PageLastWriteTs(const LockKey& page_key) const {
@@ -326,6 +380,16 @@ bool TxnManager::PageLastWrite(const LockKey& page_key, Timestamp* ts,
   *ts = it->second.ts;
   *txn = it->second.txn;
   return true;
+}
+
+size_t TxnManager::page_write_entries() const {
+  std::lock_guard<std::mutex> guard(page_mu_);
+  return page_write_ts_.size();
+}
+
+uint64_t TxnManager::page_entries_pruned() const {
+  std::lock_guard<std::mutex> guard(page_mu_);
+  return page_entries_pruned_;
 }
 
 size_t TxnManager::active_count() const {

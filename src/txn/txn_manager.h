@@ -100,6 +100,36 @@ class TxnManager {
     return min_active_read_ts_.load(std::memory_order_relaxed);
   }
 
+  /// Enter a checkpoint sweep: publishes the sweep watermark as a floor on
+  /// version pruning and returns it. Floor publication and the watermark
+  /// read share one window_mu_ critical section, so any stable-watermark
+  /// value above the returned one is stored strictly after the floor —
+  /// which is what makes prune_horizon() airtight (see there). Sweeps are
+  /// serialized by the caller (DB::checkpoint_write_mu_).
+  Timestamp BeginCheckpointSweep();
+  /// Leave the sweep: lifts the floor.
+  void EndCheckpointSweep();
+
+  /// Horizon for version pruning: min_active_read_ts capped by an
+  /// in-progress checkpoint sweep's watermark. Without the cap, a pruner
+  /// whose horizon ran past the sweep watermark W could delete a key's
+  /// newest version <= W (because a newer one exists) before the sweep
+  /// reads that chain — silently dropping a committed key from the image
+  /// whose cut claims to cover it. Why the cap is race-free: a checkpoint
+  /// that begins *after* this call has W >= the returned horizon (the
+  /// stable watermark is monotonic and min_active_read_ts never exceeds
+  /// it), so pruning below the horizon cannot touch what that sweep reads;
+  /// and if an in-progress sweep's W is *below* our min_active value, that
+  /// min was derived from a stable value stored after the floor (same
+  /// window_mu_), so the acquire chain min -> stable -> floor guarantees
+  /// the floor load below observes it.
+  Timestamp prune_horizon() const {
+    const Timestamp min = min_active_read_ts_.load(std::memory_order_acquire);
+    const Timestamp floor =
+        checkpoint_floor_.load(std::memory_order_acquire);
+    return min < floor ? min : floor;
+  }
+
   Timestamp clock_now() const {
     return clock_.load(std::memory_order_relaxed);
   }
@@ -129,6 +159,13 @@ class TxnManager {
 
   size_t active_count() const;
   size_t suspended_count() const;
+
+  /// Live entries in the page first-committer-wins map (kPage mode; 0
+  /// otherwise). Bounded: CleanupSuspended periodically erases entries at
+  /// or below min_active_read_ts.
+  size_t page_write_entries() const;
+  /// Total page-FCW entries reclaimed by those sweeps.
+  uint64_t page_entries_pruned() const;
 
   const DBOptions& options() const { return options_; }
   LockManager* lock_manager() { return lock_manager_; }
@@ -180,6 +217,9 @@ class TxnManager {
   /// Snapshot watermark: max timestamp with all commits <= it stamped.
   std::atomic<Timestamp> stable_ts_{1};
   std::atomic<Timestamp> min_active_read_ts_{1};
+  /// Prune floor of the in-progress checkpoint sweep (kMaxTimestamp when
+  /// none). Written by Begin/EndCheckpointSweep.
+  std::atomic<Timestamp> checkpoint_floor_{kMaxTimestamp};
 
   /// Commit window: timestamps allocated but whose versions may not all be
   /// stamped yet. Narrow: held for O(log inflight) on the commit path only.
@@ -204,6 +244,10 @@ class TxnManager {
   };
   mutable std::mutex page_mu_;
   std::unordered_map<LockKey, PageWrite, LockKeyHash> page_write_ts_;
+  /// Cleanup invocations since start; every kPageSweepPeriod-th sweeps the
+  /// map. Guarded by page_mu_.
+  uint64_t page_sweep_tick_ = 0;
+  uint64_t page_entries_pruned_ = 0;
 };
 
 }  // namespace ssidb

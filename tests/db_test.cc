@@ -435,7 +435,11 @@ TEST(DBTest, PruneVersionsReclaimsOldVersions) {
     ASSERT_TRUE(w->Put(t, "k", std::to_string(i)).ok());
     ASSERT_TRUE(w->Commit().ok());
   }
-  EXPECT_GT(db->PruneVersions(t), 0u);
+  // The background sweep (version_gc_interval_ms) may beat the manual
+  // call to the reclaim; either way the chain ends at one version.
+  db->PruneVersions(t);
+  EXPECT_EQ(db->table(t)->Find("k")->size(), 1u);
+  EXPECT_GT(db->GetStats().versions_pruned, 0u);
   auto reader = db->Begin({IsolationLevel::kSnapshot});
   std::string v;
   ASSERT_TRUE(reader->Get(t, "k", &v).ok());
