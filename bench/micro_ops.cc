@@ -241,6 +241,20 @@ void ReportShardCounters(benchmark::State& state) {
       total_acq == 0 ? 0.0
                      : static_cast<double>(max_acq) /
                            static_cast<double>(total_acq));
+  // Commit-pipeline behaviour over the whole run: how often commit
+  // acknowledgment actually parked, how targeted the watermark wakeups
+  // were, whether the ring ever backpressured, and the deepest in-flight
+  // commit window — these land in BENCH_micro_ops.json so the lock-free
+  // pipeline's behaviour stays tracked alongside its throughput.
+  const DBStats s = g_mt_db->GetStats();
+  state.counters["commit_waits"] =
+      benchmark::Counter(static_cast<double>(s.commit_waits));
+  state.counters["commit_wakeups"] =
+      benchmark::Counter(static_cast<double>(s.commit_wakeups));
+  state.counters["ring_full_stalls"] =
+      benchmark::Counter(static_cast<double>(s.ring_full_stalls));
+  state.counters["max_commit_window"] =
+      benchmark::Counter(static_cast<double>(s.max_commit_window_depth));
 }
 
 /// Shared harness: thread-0 builds the DB, each thread draws keys from its
@@ -305,6 +319,41 @@ void BM_MTReadModifyWriteDisjoint(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_MTReadModifyWriteDisjoint)->Threads(1)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+/// Write-heavy commit-pipeline series: one Put per transaction, so the
+/// measurement is dominated by the commit path — the window critical
+/// section, version stamping, the commit-slot ring (watermark advance +
+/// coverage wait), registry deregistration and the log append. range(0)
+/// selects the keyspace: 0 = disjoint per-thread partitions (pipeline
+/// mechanics only — no logical conflicts), 1 = contended (all threads
+/// hammer a 64-key space: hot-key EXCLUSIVE-lock handoff joins the
+/// pipeline cost). The contended abort counter is expected to stay 0 —
+/// single-statement updates never abort under first-committer-wins with
+/// late snapshots (§4.5: lock first, then snapshot), and a nonzero value
+/// here would mean that invariant broke. commits/s is the headline
+/// number the lock-free commit pipeline is accountable for.
+void BM_MTCommitPipeline(benchmark::State& state) {
+  const bool contended = state.range(0) != 0;
+  constexpr uint64_t kContendedKeys = 64;
+  uint64_t aborted = 0;
+  RunMTDisjoint(state, 37, [&](uint64_t key_id) {
+    if (contended) key_id %= kContendedKeys;
+    auto txn = g_mt_db->Begin({IsolationLevel::kSnapshot});
+    txn->Put(g_mt_table, EncodeU64Key(key_id), "updated");
+    if (!txn->Commit().ok()) ++aborted;
+  });
+  state.SetLabel(contended ? "SI/contended" : "SI/disjoint");
+  state.counters["aborts"] =
+      benchmark::Counter(static_cast<double>(aborted));
+}
+BENCHMARK(BM_MTCommitPipeline)
+    ->Args({0})
+    ->Args({1})
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->Threads(16)
     ->UseRealTime();
 
 /// SSI read-mostly series: the tentpole workload of the SIREAD read path.

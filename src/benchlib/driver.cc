@@ -46,6 +46,10 @@ RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
   };
   sleep_for(config.warmup_seconds);
+  // Snapshot the group-commit counters at the window start: the mean
+  // batch size must be derived over the measurement window alone, or the
+  // setup/load and warmup phases would dominate the ratio.
+  const DBStats at_start = db->GetStats();
   const auto start = std::chrono::steady_clock::now();
   phase.store(1, std::memory_order_release);
   sleep_for(config.measure_seconds);
@@ -70,6 +74,15 @@ RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
   total.checkpoint_bytes_written = engine.checkpoint_bytes_written;
   total.wal_segments_deleted = engine.wal_segments_deleted;
   total.versions_pruned = engine.versions_pruned;
+  const uint64_t window_batches =
+      engine.log_flush_batches - at_start.log_flush_batches;
+  const uint64_t window_records = engine.log_records - at_start.log_records;
+  total.log_flush_batches = window_batches;
+  total.log_mean_batch =
+      window_batches == 0
+          ? 0.0
+          : static_cast<double>(window_records) /
+                static_cast<double>(window_batches);
   return total;
 }
 
@@ -105,6 +118,13 @@ uint32_t EnvCheckpointIntervalMs(uint32_t dflt) {
   if (v == nullptr) return dflt;
   const long ms = std::atol(v);
   return ms >= 0 ? static_cast<uint32_t>(ms) : dflt;
+}
+
+uint32_t EnvGroupCommitWaitUs(uint32_t dflt) {
+  const char* v = std::getenv("SSIDB_GC_WAIT_US");
+  if (v == nullptr) return dflt;
+  const long us = std::atol(v);
+  return us >= 0 ? static_cast<uint32_t>(us) : dflt;
 }
 
 std::string EnvWalDir() {

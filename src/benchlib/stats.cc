@@ -54,7 +54,8 @@ std::string ResultJsonLine(const std::string& figure,
            "\"deadlocks\":%llu,\"update_conflicts\":%llu,\"unsafe\":%llu,"
            "\"timeouts\":%llu,\"checkpoints\":%llu,"
            "\"checkpoint_bytes_written\":%llu,\"wal_segments_deleted\":%llu,"
-           "\"versions_pruned\":%llu}",
+           "\"versions_pruned\":%llu,\"log_flush_batches\":%llu,"
+           "\"log_mean_batch\":%.2f}",
            figure.c_str(), series.c_str(), mpl, r.Throughput(), r.seconds,
            static_cast<unsigned long long>(r.commits),
            static_cast<unsigned long long>(r.deadlocks),
@@ -64,7 +65,9 @@ std::string ResultJsonLine(const std::string& figure,
            static_cast<unsigned long long>(r.checkpoints_taken),
            static_cast<unsigned long long>(r.checkpoint_bytes_written),
            static_cast<unsigned long long>(r.wal_segments_deleted),
-           static_cast<unsigned long long>(r.versions_pruned));
+           static_cast<unsigned long long>(r.versions_pruned),
+           static_cast<unsigned long long>(r.log_flush_batches),
+           r.log_mean_batch);
   return buf;
 }
 

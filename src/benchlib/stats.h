@@ -29,6 +29,12 @@ struct RunResult {
   uint64_t checkpoint_bytes_written = 0;
   uint64_t wal_segments_deleted = 0;
   uint64_t versions_pruned = 0;
+  /// Group-commit shape over the *measurement window* (delta-derived from
+  /// counters snapshotted at window start, so setup/warmup appends cannot
+  /// contaminate the ratio): flush batches and the mean records per batch
+  /// (what LogOptions::group_commit_wait_us tunes at high MPL).
+  uint64_t log_flush_batches = 0;
+  double log_mean_batch = 0;
 
   uint64_t TotalAborts() const {
     return deadlocks + update_conflicts + unsafe + timeouts;

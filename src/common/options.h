@@ -118,6 +118,14 @@ struct LogOptions {
   /// compacts the chain into a fresh full base. 0 = every checkpoint is a
   /// full sweep (the pre-delta behaviour).
   uint32_t checkpoint_max_deltas = 4;
+
+  /// Adaptive group commit: when nonzero and flush_on_commit is set, the
+  /// flusher briefly waits (up to this many microseconds) for straggler
+  /// commits before flushing a batch that is small relative to the recent
+  /// arrival rate — trading a bounded latency bump for larger fsync
+  /// batches at high MPL. 0 (default) flushes whatever arrived during the
+  /// previous flush, the classic group-commit policy.
+  uint32_t group_commit_wait_us = 0;
 };
 
 /// Engine-wide options, fixed at DB::Open.
@@ -166,6 +174,17 @@ struct DBOptions {
   /// after-the-fact MVSG analyzer / test oracle. Costs memory; off in
   /// benchmarks, on in correctness tests.
   bool record_history = false;
+
+  /// Commit-slot ring size (rounded up to a power of two): the maximum
+  /// number of writing commits that may be between timestamp allocation
+  /// and watermark coverage before a committer parks (ring-full
+  /// backpressure). The default comfortably exceeds any realistic
+  /// in-flight commit window; tiny values are for tests.
+  uint64_t commit_ring_slots = 4096;
+
+  /// Transaction-registry shard count (rounded up to a power of two).
+  /// Begin/commit/abort touch one shard; Find probes one shard.
+  uint32_t txn_registry_shards = 16;
 };
 
 /// Per-transaction options.

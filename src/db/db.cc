@@ -329,6 +329,7 @@ DBStats DB::GetStats() const {
   s.lock_waits = lock_manager_->waits();
   s.log_records = log_manager_->appended_records();
   s.log_flush_batches = log_manager_->flush_batches();
+  s.log_mean_flush_batch = log_manager_->mean_flush_batch();
   s.active_txns = txn_manager_->active_count();
   s.suspended_txns = txn_manager_->suspended_count();
   s.lock_grants = lock_manager_->GrantCount();
@@ -340,6 +341,10 @@ DBStats DB::GetStats() const {
   s.versions_pruned = versions_pruned_.load(std::memory_order_relaxed) +
                       executor_->versions_pruned();
   s.page_fcw_entries = txn_manager_->page_write_entries();
+  s.commit_waits = txn_manager_->commit_waits();
+  s.commit_wakeups = txn_manager_->commit_wakeups();
+  s.ring_full_stalls = txn_manager_->ring_full_stalls();
+  s.max_commit_window_depth = txn_manager_->max_commit_window_depth();
   return s;
 }
 

@@ -134,6 +134,10 @@ struct DBStats {
   uint64_t lock_waits = 0;         ///< Blocking lock acquisitions.
   uint64_t log_records = 0;  ///< Commit records appended (write txns only).
   uint64_t log_flush_batches = 0;  ///< Group-commit flushes.
+  /// Mean records per group-commit flush batch (0 before the first
+  /// flush). The adaptive straggler wait (LogOptions::group_commit_wait_us)
+  /// exists to raise this at high MPL.
+  double log_mean_flush_batch = 0;
   size_t active_txns = 0;
   size_t suspended_txns = 0;       ///< Committed-but-retained (§3.3).
   size_t lock_grants = 0;          ///< Live (txn, key, mode) grants.
@@ -149,6 +153,20 @@ struct DBStats {
   /// Live entries in the kPage first-committer-wins map (bounded by the
   /// CleanupSuspended sweep; 0 under kRow granularity).
   size_t page_fcw_entries = 0;
+
+  // Commit-pipeline counters (the lock-free commit-slot ring + sharded
+  // waiter parking; see src/txn/commit_ring.h).
+  /// Commit acknowledgments that parked waiting for watermark coverage.
+  uint64_t commit_waits = 0;
+  /// Waiter-shard notifications issued by watermark advances (targeted
+  /// wakeups — the old design issued one notify_all per retire).
+  uint64_t commit_wakeups = 0;
+  /// Commits that stalled on a full commit-slot ring (backpressure;
+  /// should stay 0 unless DBOptions::commit_ring_slots is tiny).
+  uint64_t ring_full_stalls = 0;
+  /// Deepest observed in-flight commit window (allocated commit clock
+  /// minus stable watermark, sampled at allocation).
+  uint64_t max_commit_window_depth = 0;
 };
 
 class DB {

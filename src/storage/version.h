@@ -2,8 +2,8 @@
 //
 // Each key maps to a VersionChain: a latched, newest-first linked list of
 // Versions. A version is uncommitted until its creator stamps a commit
-// timestamp (under the transaction manager's system mutex), at which point
-// it becomes atomically visible to snapshots taken at or after that
+// timestamp (before publishing its commit-ring slot), at which point it
+// becomes atomically visible to snapshots taken at or after that
 // timestamp. Deletes install tombstone versions (§3.5) so that the key keeps
 // its slot in the index and the gap-lock keyspace stays stable.
 
@@ -21,8 +21,10 @@
 
 namespace ssidb {
 
-/// Transaction ids and timestamps are drawn from the same global counter
-/// domain; 0 is never a valid id or commit timestamp.
+/// Transaction ids and commit/read timestamps are separate counter
+/// domains (ids name transactions; timestamps order snapshots and
+/// commits — see txn_manager.h) and are never compared across domains.
+/// 0 is never a valid id or commit timestamp.
 using TxnId = uint64_t;
 using Timestamp = uint64_t;
 
@@ -37,7 +39,8 @@ struct Version {
   TxnId creator_txn_id;
 
   /// 0 while uncommitted; the creator's commit timestamp afterwards.
-  /// Written under the system mutex, read by concurrent visibility checks.
+  /// Stamped by the committing transaction before its commit-ring slot is
+  /// published, read by concurrent visibility checks.
   std::atomic<Timestamp> commit_ts{0};
 
   /// True for delete markers.

@@ -1,0 +1,148 @@
+#include "src/txn/commit_ring.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ssidb {
+
+CommitRing::CommitRing(uint64_t slots)
+    : mask_(RoundUpPow2(slots, /*floor=*/2) - 1),
+      slots_(new std::atomic<Timestamp>[mask_ + 1]()),
+      waiters_(new WaiterShard[kWaiterShards]) {}
+
+Timestamp CommitRing::Allocate() {
+  const Timestamp ts = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Window-depth high-water mark. The watermark load is seq_cst: a stale
+  // (relaxed) read could lawfully run many commits behind and inflate the
+  // sampled depth past the true uncovered window, which stats consumers
+  // bound by the concurrent-writer count.
+  const Timestamp s = stable_.load(std::memory_order_seq_cst);
+  const uint64_t depth = ts - s;
+  uint64_t prev = max_depth_.load(std::memory_order_relaxed);
+  while (prev < depth &&
+         !max_depth_.compare_exchange_weak(prev, depth,
+                                           std::memory_order_relaxed)) {
+  }
+  return ts;
+}
+
+void CommitRing::Publish(Timestamp ts) {
+  const uint64_t n = mask_ + 1;
+  if (ts > n) {
+    // Slot reuse: the previous occupant (ts - N) must be covered before
+    // its slot value may be destroyed, or the watermark scan could no
+    // longer prove that older commit stamped. The oldest in-flight commit
+    // always passes this test (see header), so the pipeline cannot wedge.
+    const Timestamp reuse_floor = ts - n;
+    if (stable_.load(std::memory_order_acquire) < reuse_floor) {
+      full_stalls_.fetch_add(1, std::memory_order_relaxed);
+      // Backpressure parks are counted by full_stalls_ alone — never as
+      // commit-ack waits, so DBStats keeps the two distinguishable.
+      WaitUntilCovered(reuse_floor, nullptr);
+    }
+  }
+  // Release: a scanner that reads this slot value acquires every version
+  // stamp (and shard max-commit-ts hint) performed before Publish.
+  slots_[ts & mask_].store(ts, std::memory_order_release);
+  Drive();
+}
+
+void CommitRing::Drive() {
+  for (;;) {
+    Timestamp s = stable_.load(std::memory_order_acquire);
+    // Collect the run of consecutively stamped slots, then advance the
+    // watermark over the whole run with one CAS. Bounded by the in-flight
+    // window (<= ring size).
+    Timestamp end = s;
+    while (slots_[(end + 1) & mask_].load(std::memory_order_acquire) ==
+           end + 1) {
+      ++end;
+    }
+    if (end == s) return;
+    if (stable_.compare_exchange_strong(s, end, std::memory_order_seq_cst,
+                                        std::memory_order_acquire)) {
+      WakeCovered(s, end);
+      // A slot just past `end` may have been stamped while we scanned;
+      // loop to pick it up (otherwise its owner — who saw our CAS in
+      // flight — could be left waiting with no later driver).
+      continue;
+    }
+    // Lost the CAS to a concurrent driver that advanced past s; rescan
+    // from the new watermark.
+  }
+}
+
+void CommitRing::WakeCovered(Timestamp from, Timestamp to) {
+  // Waiters for ts park on shard ts % kWaiterShards; only shards owning a
+  // newly covered timestamp can hold a waiter this advance releases. If
+  // the advance spans >= kWaiterShards timestamps, every shard qualifies.
+  const uint64_t span = std::min<uint64_t>(to - from, kWaiterShards);
+  for (uint64_t i = 1; i <= span; ++i) {
+    WaiterShard& w = waiters_[(from + i) % kWaiterShards];
+    if (w.count.load(std::memory_order_seq_cst) == 0) continue;
+    wakeups_issued_.fetch_add(1, std::memory_order_relaxed);
+    // Empty critical section: serializes with a waiter between its final
+    // predicate check and its sleep, so the notify cannot be lost.
+    { std::lock_guard<std::mutex> guard(w.mu); }
+    w.cv.notify_all();
+  }
+}
+
+void CommitRing::WaitCovered(Timestamp ts) {
+  WaitUntilCovered(ts, &waits_parked_);
+}
+
+void CommitRing::WaitUntilCovered(Timestamp ts,
+                                  std::atomic<uint64_t>* park_counter) {
+  if (stable_.load(std::memory_order_seq_cst) >= ts) return;
+  WaiterShard& w = waiters_[ts % kWaiterShards];
+  // Count first (seq_cst), then re-check: see the missed-wakeup argument
+  // in the header.
+  w.count.fetch_add(1, std::memory_order_seq_cst);
+  // Self-drive before parking. Release/acquire alone does not force a
+  // concurrent driver's scan to observe our just-published slot store; if
+  // that driver was the last one (we are the newest commit), no later
+  // Publish would ever rescan and we would park forever. Our own store is
+  // visible to our own scan by program order, so driving here closes the
+  // last-publisher case outright.
+  Drive();
+  if (stable_.load(std::memory_order_seq_cst) >= ts) {
+    w.count.fetch_sub(1, std::memory_order_release);
+    return;
+  }
+  if (park_counter != nullptr) {
+    park_counter->fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::unique_lock<std::mutex> guard(w.mu);
+    for (;;) {
+      const bool covered =
+          w.cv.wait_for(guard, std::chrono::milliseconds(1), [&] {
+            return stable_.load(std::memory_order_seq_cst) >= ts;
+          });
+      if (covered) break;
+      // Timed out: re-drive as a visibility backstop (the abstract
+      // machine only promises stores become visible in *finite* time, so
+      // a bounded re-scan guarantees liveness no matter which driver's
+      // scan went stale). Never taken on the wakeup fast path.
+      guard.unlock();
+      Drive();
+      guard.lock();
+      if (stable_.load(std::memory_order_seq_cst) >= ts) break;
+    }
+  }
+  w.count.fetch_sub(1, std::memory_order_release);
+}
+
+void CommitRing::AdvanceTo(Timestamp ts) {
+  Timestamp cur = clock_.load(std::memory_order_relaxed);
+  while (cur < ts &&
+         !clock_.compare_exchange_weak(cur, ts, std::memory_order_relaxed)) {
+  }
+  cur = stable_.load(std::memory_order_relaxed);
+  while (cur < ts &&
+         !stable_.compare_exchange_weak(cur, ts, std::memory_order_seq_cst)) {
+  }
+}
+
+}  // namespace ssidb

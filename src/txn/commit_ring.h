@@ -1,0 +1,179 @@
+// CommitRing: the lock-free commit pipeline — timestamp allocation, the
+// commit-slot ring that orders version stamping against snapshot
+// publication, and sharded parking for commit-acknowledgment waits.
+//
+// The problem it solves: a commit stamps its versions *after* allocating
+// its timestamp, so a snapshot taken from the raw clock could observe a
+// half-stamped commit. The previous design kept a `std::set` of in-flight
+// commit timestamps under a mutex and recomputed the stable watermark on
+// every retire, waking every waiter through one condition variable with an
+// unconditional notify_all. At high MPL that mutex + thundering herd *is*
+// the commit pipeline. This structure replaces it:
+//
+//   * The commit clock is dedicated: every allocated timestamp belongs to
+//     exactly one writing commit (transaction ids live in a separate id
+//     counter). Consequently the timestamp sequence has no gaps, and
+//     "which commits are still unstamped" needs no set — it is exactly the
+//     suffix of timestamps whose ring slot is not yet stamped.
+//   * Slots: `slot[ts % N]` is an atomic that the owner of `ts` stores
+//     `ts` into once its versions are fully stamped. The stable watermark
+//     advances by scanning consecutive stamped slots from the current
+//     watermark and CAS-maxing it forward — any retiring committer can
+//     drive the scan; no lock, no notify-all.
+//   * Slot reuse (the ring-full case): the owner of `ts` may overwrite
+//     `slot[ts % N]` only once the watermark has covered the previous
+//     occupant `ts - N` — i.e. `stable() >= ts - N`. Until then it parks
+//     (bounded backpressure, counted in full_stalls). Progress is
+//     guaranteed: the oldest in-flight commit is `stable()+1` and its
+//     reuse condition `stable() >= stable()+1-N` holds for any N >= 1, so
+//     it always publishes, which advances the watermark and unblocks the
+//     rest in timestamp order.
+//   * Waiting (commit acknowledgment, `stable() >= ts`) parks on one of
+//     kWaiterShards {mutex, condvar} pairs keyed by `ts`; a successful
+//     watermark advance from `s` to `e` wakes only the shards owning
+//     timestamps in (s, e] — waiters for uncovered timestamps stay asleep.
+//
+// Memory-ordering contract:
+//   * The slot store is a release; the scan loads acquire; the watermark
+//     CAS is seq_cst. A snapshot reader that observes `stable() >= ts`
+//     therefore observes every version stamp (and every storage-shard
+//     max-commit-ts hint) the owner of `ts` performed before Publish.
+//   * stable() loads are seq_cst: the checkpoint prune-floor protocol
+//     (TxnManager::BeginCheckpointSweep) depends on a single total order
+//     over watermark advances, floor publication and min-active
+//     publication — see the proof sketch there. seq_cst loads cost the
+//     same as acquire loads on x86 and the extra fence elsewhere is paid
+//     on begin/commit paths, never per read.
+//
+// Missed-wakeup freedom (waiter vs driver): the waiter increments its
+// shard's count (seq_cst) and only then checks the watermark; the driver
+// CASes the watermark (seq_cst) and only then reads the count (seq_cst).
+// In the seq_cst total order, a waiter that decided to sleep ordered its
+// increment before the driver's CAS, so the driver's count read sees it
+// and the driver notifies — taking the shard mutex first, so the notify
+// cannot slip between the waiter's final predicate check and its sleep.
+
+#ifndef SSIDB_TXN_COMMIT_RING_H_
+#define SSIDB_TXN_COMMIT_RING_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/storage/version.h"
+
+namespace ssidb {
+
+/// Smallest power of two >= max(n, floor). Shared by the ring and the
+/// registry-shard sizing; saturates at 2^63 for absurd inputs.
+inline uint64_t RoundUpPow2(uint64_t n, uint64_t floor) {
+  uint64_t p = floor;
+  while (p < n && p < (uint64_t{1} << 63)) p <<= 1;
+  return p;
+}
+
+class CommitRing {
+ public:
+  /// `slots` is rounded up to a power of two (minimum 2). Larger rings
+  /// tolerate more concurrently-unstamped commits before backpressure.
+  explicit CommitRing(uint64_t slots);
+
+  CommitRing(const CommitRing&) = delete;
+  CommitRing& operator=(const CommitRing&) = delete;
+
+  /// Allocate the next commit timestamp. The caller serializes this with
+  /// its commit check (TxnManager::window_mu_); the allocation itself is
+  /// one fetch-add. Every allocated timestamp MUST be published
+  /// (allocation happens only after the commit decision is final).
+  Timestamp Allocate();
+
+  /// Declare `ts`'s versions fully stamped. May park briefly when the
+  /// ring is full (see header comment); drives the watermark forward.
+  void Publish(Timestamp ts);
+
+  /// Block until the watermark covers `ts`. Fast path is one load; the
+  /// slow path self-drives before parking (see WaitUntilCovered) and
+  /// counts the park in waits_parked().
+  void WaitCovered(Timestamp ts);
+
+  /// The snapshot watermark: every commit with commit_ts <= stable() has
+  /// fully stamped its versions.
+  Timestamp stable() const {
+    return stable_.load(std::memory_order_seq_cst);
+  }
+
+  /// Last allocated commit timestamp.
+  Timestamp clock() const { return clock_.load(std::memory_order_relaxed); }
+
+  /// Jump clock and watermark to at least `ts`. Quiescent use only
+  /// (recovery at DB::Open, before any commit is in flight).
+  void AdvanceTo(Timestamp ts);
+
+  uint64_t slots() const { return mask_ + 1; }
+
+  // --- Commit-pipeline counters (relaxed; DBStats contract). ---
+  /// Acknowledgment waits that actually parked on a condvar.
+  uint64_t waits_parked() const {
+    return waits_parked_.load(std::memory_order_relaxed);
+  }
+  /// Waiter-shard notifications issued by watermark advances.
+  uint64_t wakeups_issued() const {
+    return wakeups_issued_.load(std::memory_order_relaxed);
+  }
+  /// Publishes that had to park because the ring was full.
+  uint64_t full_stalls() const {
+    return full_stalls_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of (allocated clock - watermark) observed at
+  /// allocation: the deepest the in-flight commit window ever got.
+  uint64_t max_depth() const {
+    return max_depth_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Advance the watermark over consecutive stamped slots; wake newly
+  /// covered waiter shards. Lock-free; any thread may call.
+  void Drive();
+  /// Wake waiter shards owning timestamps in (from, to].
+  void WakeCovered(Timestamp from, Timestamp to);
+  /// WaitCovered body. `park_counter` (may be null) is bumped once if the
+  /// wait actually parks — commit-ack waits and ring-full backpressure
+  /// keep separate books. Self-drives before parking and re-drives on a
+  /// 1ms backstop tick while parked: release/acquire does not force a
+  /// concurrent driver's scan to observe the newest slot store, so the
+  /// newest committer must be able to finish the scan itself rather than
+  /// depend on a later Publish that may never come.
+  void WaitUntilCovered(Timestamp ts, std::atomic<uint64_t>* park_counter);
+
+  static constexpr uint64_t kWaiterShards = 16;
+
+  struct alignas(64) WaiterShard {
+    std::mutex mu;
+    std::condition_variable cv;
+    /// Parked-or-parking waiters; lets drivers skip the mutex when the
+    /// shard is empty (the common case).
+    std::atomic<uint32_t> count{0};
+  };
+
+  const uint64_t mask_;
+  /// slot[ts & mask_] == ts  <=>  commit `ts` is fully stamped.
+  const std::unique_ptr<std::atomic<Timestamp>[]> slots_;
+
+  /// Commit clock: the last allocated commit timestamp.
+  std::atomic<Timestamp> clock_{1};
+  /// Watermark; trails the oldest unstamped commit.
+  std::atomic<Timestamp> stable_{1};
+
+  const std::unique_ptr<WaiterShard[]> waiters_;
+
+  std::atomic<uint64_t> waits_parked_{0};
+  std::atomic<uint64_t> wakeups_issued_{0};
+  std::atomic<uint64_t> full_stalls_{0};
+  std::atomic<uint64_t> max_depth_{0};
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_TXN_COMMIT_RING_H_

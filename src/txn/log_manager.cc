@@ -130,16 +130,26 @@ LogManager::~LogManager() {
 }
 
 Lsn LogManager::Append(LogRecord record) {
+  if (!durable() && !options_.flush_on_commit &&
+      !retain_.load(std::memory_order_acquire)) {
+    // "No flush" regime: the buffer is durable by decree, nothing reads
+    // the record again, and WaitFlushed returns without consulting
+    // flushed_lsn_. Two fetch-adds — no encode, no mutex — so the commit
+    // pipeline's log step is free of global serialization.
+    appended_records_.fetch_add(1, std::memory_order_relaxed);
+    return next_lsn_.fetch_add(1, std::memory_order_relaxed);
+  }
   recovery::WalFrame frame = recovery::MakeWalFrame(record);
   std::lock_guard<std::mutex> guard(mu_);
-  const Lsn lsn = next_lsn_++;
+  const Lsn lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
   appended_records_.fetch_add(1, std::memory_order_relaxed);
-  if (retain_) retained_.push_back(frame.bytes);
+  if (retain_.load(std::memory_order_relaxed)) {
+    retained_.push_back(frame.bytes);
+  }
   if (durable() || options_.flush_on_commit) {
     pending_.push_back(std::move(frame));
     work_cv_.notify_one();
   } else {
-    // Simulated "no flush" regime: the buffer is durable by decree.
     flushed_lsn_ = lsn;
   }
   return lsn;
@@ -186,10 +196,51 @@ void LogManager::FlusherLoop() {
       work_cv_.wait(guard,
                     [&] { return !pending_.empty() || stop_.load(); });
       if (stop_.load() && pending_.empty()) return;
+      // Adaptive group commit (LogOptions::group_commit_wait_us): when
+      // the batch on hand is small relative to the recent arrival rate —
+      // commits trickling in one fsync each while more are clearly on
+      // the way — a brief straggler wait coalesces them into one flush.
+      // The wait is bounded by the knob, exits early once the expected
+      // batch materializes, and is skipped when waiting cannot at least
+      // double the batch, when commits do not wait on flushes (no one's
+      // latency to trade), or during shutdown.
+      const uint32_t wait_us = options_.group_commit_wait_us;
+      if (wait_us > 0 && options_.flush_on_commit && !stop_.load()) {
+        const double expected =
+            arrival_rate_per_us_ * static_cast<double>(wait_us);
+        if (expected >= 2.0 &&
+            expected >= 2.0 * static_cast<double>(pending_.size())) {
+          const size_t target = static_cast<size_t>(expected);
+          work_cv_.wait_for(guard, std::chrono::microseconds(wait_us),
+                            [&] {
+                              return pending_.size() >= target ||
+                                     stop_.load();
+                            });
+        }
+      }
       // Take everything appended so far as one batch: commits arriving
       // while we write join the next batch (group commit).
       batch.swap(pending_);
-      batch_end = next_lsn_ - 1;
+      batch_end = next_lsn_.load(std::memory_order_relaxed) - 1;
+      // Arrival-rate EWMA update (records/us between batch takes).
+      const auto now = std::chrono::steady_clock::now();
+      const uint64_t total =
+          appended_records_.load(std::memory_order_relaxed);
+      if (last_take_time_.time_since_epoch().count() != 0) {
+        const double us =
+            std::chrono::duration<double, std::micro>(now - last_take_time_)
+                .count();
+        if (us > 0) {
+          const double rate =
+              static_cast<double>(total - last_take_records_) / us;
+          arrival_rate_per_us_ = arrival_rate_per_us_ == 0.0
+                                     ? rate
+                                     : 0.75 * arrival_rate_per_us_ +
+                                           0.25 * rate;
+        }
+      }
+      last_take_time_ = now;
+      last_take_records_ = total;
     }
     Status io = Status::OK();
     if (wal_ != nullptr) {
@@ -205,6 +256,7 @@ void LogManager::FlusherLoop() {
       if (batch_end > flushed_lsn_) flushed_lsn_ = batch_end;
       if (!io.ok() && io_status_.ok()) io_status_ = io;
       flush_batches_.fetch_add(1, std::memory_order_relaxed);
+      flushed_records_.fetch_add(batch.size(), std::memory_order_relaxed);
     }
     flushed_cv_.notify_all();
   }

@@ -22,6 +22,7 @@
 #define SSIDB_TXN_LOG_MANAGER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -104,7 +105,10 @@ class LogManager {
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
-  /// Append a record; returns its LSN. Never blocks on the flusher.
+  /// Append a record; returns its LSN. Never blocks on the flusher. In
+  /// the in-memory "no flush" regime (not durable, flush_on_commit unset,
+  /// no retain) this is entirely lock-free: two fetch-adds, no encode, no
+  /// mutex — the commit pipeline pays nothing for the log it discards.
   Lsn Append(LogRecord record);
 
   /// Block until a flush covering `lsn` completed and report whether it
@@ -113,8 +117,11 @@ class LogManager {
   /// wait reports it — the in-memory commit stands, but it is not durable.
   Status WaitFlushed(Lsn lsn);
 
-  /// Retain encoded records in memory for test inspection.
-  void set_retain(bool retain) { retain_ = retain; }
+  /// Retain encoded records in memory for test inspection. Set before any
+  /// concurrent appends (flips Append off its lock-free fast path).
+  void set_retain(bool retain) {
+    retain_.store(retain, std::memory_order_release);
+  }
   std::vector<std::string> RetainedRecords() const;
 
   uint64_t appended_records() const {
@@ -122,6 +129,18 @@ class LogManager {
   }
   uint64_t flush_batches() const {
     return flush_batches_.load(std::memory_order_relaxed);
+  }
+  /// Mean records per group-commit flush batch (0 before the first
+  /// flush). The adaptive straggler wait (LogOptions::group_commit_wait_us)
+  /// exists to push this up at high MPL; the durable-regime bench JSON
+  /// records it per point.
+  double mean_flush_batch() const {
+    const uint64_t batches = flush_batches();
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(flushed_records_.load(
+                     std::memory_order_relaxed)) /
+                     static_cast<double>(batches);
   }
   /// Bytes written to WAL segment files (0 in simulated mode).
   uint64_t wal_bytes_written() const;
@@ -146,16 +165,28 @@ class LogManager {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable flushed_cv_;
-  Lsn next_lsn_ = 1;
+  /// Atomic so the no-flush fast path can allocate LSNs without mu_; the
+  /// flusher still reads it under mu_ when computing batch coverage.
+  std::atomic<Lsn> next_lsn_{1};
   Lsn flushed_lsn_ = 0;
   std::vector<recovery::WalFrame> pending_;
-  bool retain_ = false;
+  std::atomic<bool> retain_{false};
   std::vector<std::string> retained_;
   /// First WAL write/fsync failure, sticky (guarded by mu_).
   Status io_status_;
 
+  // Adaptive group-commit state (flusher thread only): EWMA of the
+  // record arrival rate (records per microsecond, measured between batch
+  // takes). The straggler wait fires when the batch on hand is small
+  // relative to what that rate says a bounded wait would add.
+  double arrival_rate_per_us_ = 0.0;
+  uint64_t last_take_records_ = 0;
+  std::chrono::steady_clock::time_point last_take_time_{};
+
   std::atomic<uint64_t> appended_records_{0};
   std::atomic<uint64_t> flush_batches_{0};
+  /// Records covered by completed flush batches (mean_flush_batch).
+  std::atomic<uint64_t> flushed_records_{0};
 
   std::atomic<bool> stop_{false};
   std::thread flusher_;

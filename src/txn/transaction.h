@@ -93,7 +93,10 @@ struct TxnState {
   /// assignment happens after the first statement's locks are granted.
   std::atomic<Timestamp> read_ts{0};
 
-  /// 0 until commit; assigned under the system mutex.
+  /// 0 until commit. Writing commits: allocated from the commit ring
+  /// under TxnManager::window_mu_, atomic with the dangerous-structure
+  /// check. Read-only commits: the stable watermark at commit (may tie
+  /// with other read-only commits; see txn_manager.h).
   std::atomic<Timestamp> commit_ts{0};
 
   std::atomic<TxnStatus> status{TxnStatus::kActive};
@@ -122,6 +125,7 @@ struct TxnState {
   ConflictRef out_ref;
 
   /// True once the transaction was moved to the suspended list (§3.3).
+  /// Written under TxnManager::suspended_mu_.
   bool suspended = false;
 
   // --- Write set (owned by the executing client thread). ---

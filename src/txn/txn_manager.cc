@@ -17,22 +17,29 @@ TxnManager::TxnManager(const DBOptions& options, LockManager* lock_manager,
                        LogManager* log_manager)
     : options_(options),
       lock_manager_(lock_manager),
-      log_manager_(log_manager) {}
+      log_manager_(log_manager),
+      ring_(options.commit_ring_slots),
+      shard_mask_(RoundUpPow2(options.txn_registry_shards, /*floor=*/1) - 1),
+      shards_(new RegistryShard[shard_mask_ + 1]) {}
 
 std::shared_ptr<TxnState> TxnManager::Begin(IsolationLevel isolation) {
-  // Lock-free id allocation; ids and commit timestamps share the clock
-  // domain so a transaction id doubles as a begin event.
-  const TxnId id = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Lock-free id allocation. Ids are a separate domain from commit
+  // timestamps (the ring's commit clock); nothing compares across them.
+  const TxnId id = id_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto txn = std::make_shared<TxnState>(id, isolation);
   const bool defer_snapshot =
       options_.late_snapshot && isolation != IsolationLevel::kSerializable2PL;
-  std::lock_guard<std::mutex> guard(registry_mu_);
+  RegistryShard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> guard(shard.mu);
   if (!defer_snapshot) {
-    txn->read_ts.store(stable_ts(), std::memory_order_release);
+    txn->read_ts.store(ClaimSnapshotLocked(&shard),
+                       std::memory_order_release);
   }
-  registry_.emplace(id, txn);
-  active_.insert(txn.get());
-  RecomputeMinLocked();
+  shard.txns.emplace(id, txn);
+  shard.active.insert(txn.get());
+  active_count_.fetch_add(1, std::memory_order_relaxed);
+  // No PublishMinActive: a registration adds a constraint at or above the
+  // current watermark, which can never raise the stored minimum.
   return txn;
 }
 
@@ -40,102 +47,103 @@ void TxnManager::EnsureSnapshot(TxnState* txn) {
   if (txn->read_ts.load(std::memory_order_acquire) != 0) return;
   // The snapshot is the stable watermark: every commit at or below it has
   // finished stamping its versions, so the snapshot is consistent without
-  // any global lock. The registry mutex only covers the prune-threshold
-  // recomputation (a new, older snapshot may lower it).
-  std::lock_guard<std::mutex> guard(registry_mu_);
+  // any global lock. The shard mutex only covers the cached-minimum
+  // maintenance (a new, older snapshot may lower the shard's minimum).
+  RegistryShard& shard = ShardFor(txn->id);
+  std::lock_guard<std::mutex> guard(shard.mu);
   if (txn->read_ts.load(std::memory_order_relaxed) != 0) return;
-  txn->read_ts.store(stable_ts(), std::memory_order_release);
-  RecomputeMinLocked();
+  txn->read_ts.store(ClaimSnapshotLocked(&shard), std::memory_order_release);
+}
+
+Timestamp TxnManager::ClaimSnapshotLocked(RegistryShard* shard) {
+  // Claim-then-read: pre-claim the shard minimum at a watermark lower
+  // bound, THEN take the snapshot from a second watermark read. This is
+  // what makes the lock-free aggregate in PublishMinActive safe against a
+  // registrant paused mid-registration: if an aggregator's shard load
+  // misses the pre-claim store, that store — and therefore the second
+  // watermark read after it — is ordered after the aggregator's own
+  // watermark read in the seq_cst total order, so the snapshot returned
+  // here is >= the aggregator's base, and its aggregate (<= base) cannot
+  // overshoot this transaction. If the shard load sees the pre-claim, the
+  // aggregate is <= s0 <= the snapshot. Either way min_active_read_ts_
+  // never exceeds a live snapshot. The pre-claim (s0 <= snapshot) leaves
+  // the shard minimum slightly conservative until the next removal
+  // recomputes it from read_ts values — pruning lags a beat, never leads.
+  const Timestamp s0 = ring_.stable();
+  if (s0 < shard->min_read_ts.load(std::memory_order_relaxed)) {
+    shard->min_read_ts.store(s0, std::memory_order_seq_cst);
+  }
+  return ring_.stable();
 }
 
 std::shared_ptr<TxnState> TxnManager::Find(TxnId id) const {
-  std::lock_guard<std::mutex> guard(registry_mu_);
-  auto it = registry_.find(id);
-  return it == registry_.end() ? nullptr : it->second;
+  RegistryShard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.txns.find(id);
+  return it == shard.txns.end() ? nullptr : it->second;
 }
 
-Timestamp TxnManager::MinActiveSnapshotLocked() const {
+void TxnManager::RecomputeShardMinLocked(RegistryShard* shard) {
   // Transactions with an unassigned (late) snapshot do not constrain the
-  // minimum: their eventual read_ts will be >= the current stable
-  // watermark, which is the base and is monotonic.
-  Timestamp min_ts = stable_ts();
-  for (const TxnState* t : active_) {
+  // minimum: their eventual read_ts will be >= the stable watermark at
+  // assignment time, which is monotonic and floors the aggregate.
+  Timestamp min_ts = kMaxTimestamp;
+  for (const TxnState* t : shard->active) {
     const Timestamp ts = t->read_ts.load(std::memory_order_relaxed);
     if (ts != 0 && ts < min_ts) min_ts = ts;
   }
-  return min_ts;
+  shard->min_read_ts.store(min_ts, std::memory_order_release);
 }
 
-void TxnManager::RecomputeMinLocked() {
-  // Release pairs with prune_horizon()'s acquire: a pruner that observes a
-  // minimum above an in-progress sweep's watermark inherits visibility of
-  // the sweep's floor through min -> stable -> floor.
-  min_active_read_ts_.store(MinActiveSnapshotLocked(),
-                            std::memory_order_release);
+void TxnManager::PublishMinActive() {
+  // Watermark FIRST (seq_cst — part of the checkpoint-floor total order),
+  // then the shard minima (seq_cst loads, pairing with the pre-claim
+  // stores): a registrant whose pre-claim a shard load misses performed
+  // its snapshot-defining watermark read after ours (ClaimSnapshotLocked
+  // re-reads the watermark after the claim), so its snapshot is >= `base`
+  // >= the aggregate; a pre-claim a shard load sees bounds the aggregate
+  // directly. So the aggregate never exceeds any live or future snapshot,
+  // and CAS-max keeps the stored value monotonic.
+  const Timestamp base = ring_.stable();
+  Timestamp m = base;
+  for (uint64_t i = 0; i <= shard_mask_; ++i) {
+    const Timestamp v = shards_[i].min_read_ts.load(std::memory_order_seq_cst);
+    if (v < m) m = v;
+  }
+  Timestamp cur = min_active_read_ts_.load(std::memory_order_relaxed);
+  while (cur < m && !min_active_read_ts_.compare_exchange_weak(
+                        cur, m, std::memory_order_seq_cst)) {
+  }
 }
 
 Timestamp TxnManager::BeginCheckpointSweep() {
-  std::lock_guard<std::mutex> guard(window_mu_);
-  const Timestamp wm = stable_ts_.load(std::memory_order_relaxed);
-  checkpoint_floor_.store(wm, std::memory_order_release);
-  return wm;
+  // The watermark advances lock-free, so the floor cannot be made atomic
+  // with the watermark read by a mutex. Instead: publish the floor at the
+  // observed watermark and confirm by re-reading — if the watermark moved,
+  // raise the floor and repeat. On return, floor(W) was stored BEFORE a
+  // watermark load that still returned W; in the seq_cst total order every
+  // advance past W is therefore ordered after the floor store, which is
+  // what the prune_horizon() argument needs (see txn_manager.h). The loop
+  // converges as soon as one store/load pair straddles no advance — at
+  // most a handful of iterations even under a commit storm.
+  Timestamp w = ring_.stable();
+  for (;;) {
+    checkpoint_floor_.store(w, std::memory_order_seq_cst);
+    const Timestamp w2 = ring_.stable();
+    if (w2 == w) return w;
+    w = w2;
+  }
 }
 
 void TxnManager::EndCheckpointSweep() {
-  checkpoint_floor_.store(kMaxTimestamp, std::memory_order_release);
-}
-
-bool TxnManager::AdvanceStableLocked() {
-  const Timestamp new_stable =
-      inflight_commits_.empty() ? clock_.load(std::memory_order_relaxed)
-                                : *inflight_commits_.begin() - 1;
-  // Monotonic: a concurrent retire may already have advanced further.
-  if (new_stable > stable_ts_.load(std::memory_order_relaxed)) {
-    stable_ts_.store(new_stable, std::memory_order_release);
-    return true;
-  }
-  return false;
-}
-
-void TxnManager::RetireCommit(Timestamp commit_ts) {
-  {
-    std::lock_guard<std::mutex> guard(window_mu_);
-    inflight_commits_.erase(commit_ts);
-    AdvanceStableLocked();
-  }
-  window_cv_.notify_all();
-}
-
-void TxnManager::TryAdvanceStable() {
-  // Read-only commits bypass the in-flight window, so nothing retires on
-  // their behalf and the watermark would lag their timestamps forever —
-  // pinning them on the suspended list. Cleanup pulls the watermark up to
-  // the clock whenever no unstamped commit bounds it.
-  bool advanced;
-  {
-    std::lock_guard<std::mutex> guard(window_mu_);
-    advanced = AdvanceStableLocked();
-  }
-  if (advanced) window_cv_.notify_all();
-}
-
-void TxnManager::WaitStable(Timestamp commit_ts) {
-  if (stable_ts() >= commit_ts) return;
-  std::unique_lock<std::mutex> guard(window_mu_);
-  window_cv_.wait(guard, [&] {
-    return stable_ts_.load(std::memory_order_relaxed) >= commit_ts;
-  });
+  checkpoint_floor_.store(kMaxTimestamp, std::memory_order_seq_cst);
 }
 
 void TxnManager::AdvanceClockTo(Timestamp ts) {
-  Timestamp cur = clock_.load(std::memory_order_relaxed);
-  while (cur < ts &&
-         !clock_.compare_exchange_weak(cur, ts, std::memory_order_relaxed)) {
-  }
-  // Nothing is in flight this early, so the watermark follows the clock.
-  TryAdvanceStable();
-  std::lock_guard<std::mutex> guard(registry_mu_);
-  RecomputeMinLocked();
+  // Recovery-time only: nothing is in flight, so the commit clock and the
+  // watermark jump together.
+  ring_.AdvanceTo(ts);
+  PublishMinActive();
 }
 
 Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
@@ -144,8 +152,10 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
   Timestamp commit_ts = 0;
   Status abort_cause;
   bool must_abort = false;
-  // A commit with nothing to stamp never enters the in-flight window and
-  // never waits on the watermark: read-only transactions publish nothing.
+  // A commit with nothing to stamp never enters the ring and never waits
+  // on the watermark: read-only transactions publish nothing. Their commit
+  // timestamp is the watermark itself — the snapshot boundary they read
+  // at (file header).
   const bool has_writes =
       !txn->write_set.empty() || !txn->page_writes.empty();
   {
@@ -168,9 +178,10 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
       // while that partner wins a *smaller* timestamp — the dangerous
       // structure would go undetected (the seed's system mutex gave this
       // for free; PostgreSQL's SSI serializes commits the same way with
-      // SerializableXactHashLock). window_mu_ is that unit: a partner's
-      // commit_ts is either already published here, or will be allocated
-      // after ours and cannot have committed first.
+      // SerializableXactHashLock). window_mu_ is that unit — and it is
+      // the ONLY global critical section left on the commit path: a
+      // partner's commit_ts is either already published here, or will be
+      // allocated after ours and cannot have committed first.
       std::unique_lock<std::mutex> window(window_mu_, std::defer_lock);
       if (check || has_writes) window.lock();
       if (check) {
@@ -183,8 +194,7 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
         }
       }
       if (!must_abort) {
-        commit_ts = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (has_writes) inflight_commits_.insert(commit_ts);
+        commit_ts = has_writes ? ring_.Allocate() : ring_.stable();
         txn->commit_ts.store(commit_ts, std::memory_order_release);
       }
     }
@@ -201,14 +211,15 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
     // Stamp the new versions. The row EXCLUSIVE locks are still held, so
     // no first-committer-wins check can interleave with the stamping of
     // any individual chain; the watermark keeps snapshots away from the
-    // commit as a whole until it retires from the window.
+    // commit as a whole until its ring slot is published.
     for (const TxnState::WriteRecord& w : txn->write_set) {
       w.version->commit_ts.store(commit_ts, std::memory_order_release);
-      // Raise the storage shard's max-commit-ts hint before this commit
-      // retires from the window: once the stable watermark covers
-      // commit_ts, an incremental checkpoint sweeping at that watermark
-      // must find the hint raised, or it would skip the shard and lose
-      // the write from the delta image.
+      // Raise the storage shard's max-commit-ts hint before this commit's
+      // slot is published: once the stable watermark covers commit_ts, an
+      // incremental checkpoint sweeping at that watermark must find the
+      // hint raised, or it would skip the shard and lose the write from
+      // the delta image. The slot store is a release and the watermark
+      // scan acquires it, so coverage implies hint visibility.
       if (w.table_ref != nullptr) {
         w.table_ref->NoteCommit(w.key, commit_ts);
       }
@@ -220,29 +231,43 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
         if (commit_ts > slot.ts) slot = PageWrite{commit_ts, txn->id};
       }
     }
-    RetireCommit(commit_ts);
-    // Do not acknowledge (or release this commit's locks) before the
-    // watermark covers it: once Commit returns, any transaction the
-    // client starts — and any writer that acquires a lock this commit
-    // held — must get a snapshot that includes it. This is what keeps the
-    // §4.5 "single-statement updates never abort under
-    // first-committer-wins" invariant true with watermark snapshots: a
-    // key's exclusive lock is only released once every committed version
-    // of it is below the watermark, so lock-then-snapshot always sees the
-    // newest version.
-    WaitStable(commit_ts);
+    // Publish the ring slot (lock-free watermark advance; may park
+    // briefly on ring-full backpressure), then wait for coverage. Do not
+    // acknowledge (or release this commit's locks) before the watermark
+    // covers it: once Commit returns, any transaction the client starts —
+    // and any writer that acquires a lock this commit held — must get a
+    // snapshot that includes it. This is what keeps the §4.5
+    // "single-statement updates never abort under first-committer-wins"
+    // invariant true with watermark snapshots: a key's exclusive lock is
+    // only released once every committed version of it is below the
+    // watermark, so lock-then-snapshot always sees the newest version.
+    ring_.Publish(commit_ts);
+    ring_.WaitCovered(commit_ts);
   }
 
+  // Deregister from the active set. Only SSI transactions are retained
+  // past commit (§3.3): they may still be resolved by conflict marking
+  // against their retained SIREAD state. SI/S2PL transactions are
+  // unreachable after commit (the tracker filters to SSI participants),
+  // so they leave the registry immediately.
+  const bool retain = txn->isolation == IsolationLevel::kSerializableSSI;
   {
-    std::lock_guard<std::mutex> guard(registry_mu_);
-    active_.erase(txn.get());
-    RecomputeMinLocked();
-    // Retain the transaction until nothing concurrent remains (§3.3); its
-    // versions and conflict state may be consulted by overlapping
-    // transactions. Cleanup releases it.
+    RegistryShard& shard = ShardFor(txn->id);
+    std::lock_guard<std::mutex> guard(shard.mu);
+    shard.active.erase(txn.get());
+    if (!retain) shard.txns.erase(txn->id);
+    RecomputeShardMinLocked(&shard);
+  }
+  active_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (retain) {
+    std::lock_guard<std::mutex> guard(suspended_mu_);
     txn->suspended = true;
     suspended_.emplace(commit_ts, txn);
+    if (commit_ts < oldest_suspended_.load(std::memory_order_relaxed)) {
+      oldest_suspended_.store(commit_ts, std::memory_order_release);
+    }
   }
+  PublishMinActive();
 
   auto release_locks = [&] {
     if (txn->isolation == IsolationLevel::kSerializableSSI) {
@@ -303,11 +328,14 @@ void TxnManager::AbortInternal(const std::shared_ptr<TxnState>& txn) {
     txn->status.store(TxnStatus::kAborted, std::memory_order_release);
   }
   {
-    std::lock_guard<std::mutex> guard(registry_mu_);
-    active_.erase(txn.get());
-    RecomputeMinLocked();
-    registry_.erase(txn->id);
+    RegistryShard& shard = ShardFor(txn->id);
+    std::lock_guard<std::mutex> guard(shard.mu);
+    shard.active.erase(txn.get());
+    shard.txns.erase(txn->id);
+    RecomputeShardMinLocked(&shard);
   }
+  active_count_.fetch_sub(1, std::memory_order_relaxed);
+  PublishMinActive();
   // Roll back uncommitted versions while still holding the write locks, so
   // no concurrent writer can observe or interleave with the removal.
   for (const TxnState::WriteRecord& w : txn->write_set) {
@@ -318,28 +346,43 @@ void TxnManager::AbortInternal(const std::shared_ptr<TxnState>& txn) {
 }
 
 void TxnManager::CleanupSuspended() {
-  TryAdvanceStable();
-  std::vector<std::shared_ptr<TxnState>> expired;
-  {
-    std::lock_guard<std::mutex> guard(registry_mu_);
-    // A suspended transaction is released once every active transaction's
-    // snapshot (and every future snapshot: >= the stable watermark, the
-    // base of the minimum) is at or past its commit — no overlap remains.
-    const Timestamp cutoff = MinActiveSnapshotLocked();
-    auto it = suspended_.begin();
-    while (it != suspended_.end() && it->first <= cutoff) {
-      expired.push_back(it->second);
-      registry_.erase(it->second->id);
-      it = suspended_.erase(it);
+  // A suspended transaction is released once every active transaction's
+  // snapshot (and every future snapshot: >= the stable watermark, the
+  // base of the maintained minimum) is at or past its commit — no overlap
+  // remains. Fast path: the oldest suspended commit timestamp is cached
+  // in an atomic; when it exceeds the cutoff, nothing can be released and
+  // no lock is taken. The cached value may lag a concurrent insert, but
+  // every commit ends with a cleanup call, so a lingering entry is reaped
+  // by the next one that observes the updated cache.
+  const Timestamp cutoff = min_active_read_ts();
+  if (oldest_suspended_.load(std::memory_order_acquire) <= cutoff) {
+    std::vector<std::shared_ptr<TxnState>> expired;
+    {
+      std::lock_guard<std::mutex> guard(suspended_mu_);
+      auto it = suspended_.begin();
+      while (it != suspended_.end() && it->first <= cutoff) {
+        expired.push_back(std::move(it->second));
+        it = suspended_.erase(it);
+      }
+      oldest_suspended_.store(suspended_.empty() ? kMaxTimestamp
+                                                 : suspended_.begin()->first,
+                              std::memory_order_release);
     }
-  }
-  // A suspended transaction's blocking locks were released at its own
-  // commit; only the retained SIREAD entries remain (§3.3). Drop them
-  // straight from the SIREAD index — O(held) per transaction, no
-  // lock-table sweep.
-  SIReadIndex* sireads = lock_manager_->siread_index();
-  for (const auto& t : expired) {
-    sireads->ReleaseAll(t->id);
+    // Registry erase after suspended_mu_ is released: the two mutexes are
+    // never nested (lock-ordering leaf rule).
+    SIReadIndex* sireads = lock_manager_->siread_index();
+    for (const auto& t : expired) {
+      {
+        RegistryShard& shard = ShardFor(t->id);
+        std::lock_guard<std::mutex> guard(shard.mu);
+        shard.txns.erase(t->id);
+      }
+      // A suspended transaction's blocking locks were released at its own
+      // commit; only the retained SIREAD entries remain (§3.3). Drop them
+      // straight from the SIREAD index — O(held) per transaction, no
+      // lock-table sweep.
+      sireads->ReleaseAll(t->id);
+    }
   }
 
   // Page-granularity FCW bookkeeping (§4.2) would otherwise grow without
@@ -348,14 +391,14 @@ void TxnManager::CleanupSuspended() {
   // mark an rw-conflict — every current snapshot, and every future one
   // (>= the stable watermark, the base of the minimum), is at or past it,
   // and a missing entry already reads as "never written". Swept
-  // periodically rather than per cleanup to amortize the map walk.
-  const Timestamp page_cutoff = min_active_read_ts();
-  {
+  // periodically rather than per cleanup to amortize the map walk; kRow
+  // engines never populate the map and skip the mutex entirely.
+  if (options_.granularity == LockGranularity::kPage) {
     std::lock_guard<std::mutex> page_guard(page_mu_);
     if (!page_write_ts_.empty() &&
         ++page_sweep_tick_ % kPageSweepPeriod == 0) {
       for (auto it = page_write_ts_.begin(); it != page_write_ts_.end();) {
-        if (it->second.ts <= page_cutoff) {
+        if (it->second.ts <= cutoff) {
           it = page_write_ts_.erase(it);
           ++page_entries_pruned_;
         } else {
@@ -393,12 +436,11 @@ uint64_t TxnManager::page_entries_pruned() const {
 }
 
 size_t TxnManager::active_count() const {
-  std::lock_guard<std::mutex> guard(registry_mu_);
-  return active_.size();
+  return active_count_.load(std::memory_order_relaxed);
 }
 
 size_t TxnManager::suspended_count() const {
-  std::lock_guard<std::mutex> guard(registry_mu_);
+  std::lock_guard<std::mutex> guard(suspended_mu_);
   return suspended_.size();
 }
 

@@ -4,47 +4,71 @@
 // atomic blocks; §4.4's InnoDB kernel mutex): every begin, snapshot and
 // commit-timestamp assignment, and conflict-flag mutation serialized
 // through one lock — the bottleneck the paper itself observes bounds
-// InnoDB's scalability (§6.4). That mutex is now split into three
-// independent pieces, so no Get/Put/Scan ever takes a global lock:
+// InnoDB's scalability (§6.4). PR 1 split that mutex; this layer now keeps
+// exactly ONE global critical section, the same one PostgreSQL's SSI keeps
+// (`SerializableXactHashLock`, Ports & Grittner, VLDB 2012): the
+// commit-time dangerous-structure check made atomic with commit-timestamp
+// publication, under the narrow `window_mu_`, held for just those two
+// steps. Everything else scales with cores:
 //
-//   * Timestamps: a lock-free atomic counter (`clock_`). Transaction ids
-//     and commit timestamps are single fetch-adds.
+//   * Timestamps: two lock-free counters. Transaction ids come from
+//     `id_clock_`; commit timestamps from the CommitRing's dedicated
+//     commit clock. Splitting the domains is what makes the commit
+//     pipeline ring-indexable: every commit timestamp belongs to exactly
+//     one writing commit, so "which commits are unstamped" is a gap-free
+//     suffix — no set, no mutex (see commit_ring.h). The two domains are
+//     never compared: overlap and visibility tests all use read/commit
+//     timestamps (commit domain); ids only name transactions.
 //   * Snapshot consistency: commits publish their versions *before*
-//     becoming visible to new snapshots via a stable-timestamp watermark
-//     (`stable_ts_`). A committing transaction enters a small in-flight
-//     window, stamps its versions, then retires; `stable_ts_` always
-//     trails the oldest unstamped commit, and snapshots read `stable_ts_`,
-//     so a snapshot can never observe a half-stamped commit. The window is
-//     guarded by the narrow `window_mu_` (commit path only).
-//   * Registry: the transaction table, active set and suspended list keep
-//     a narrow `registry_mu_`, touched once per begin / first statement /
-//     commit / abort — never per read or write.
+//     becoming visible to new snapshots via the CommitRing's stable
+//     watermark. A committing transaction allocates its timestamp (under
+//     window_mu_, atomic with the check), stamps its versions, then
+//     publishes its ring slot; the watermark advances by a lock-free scan
+//     of consecutive stamped slots, and snapshots read the watermark — a
+//     snapshot can never observe a half-stamped commit. Retiring and
+//     waiting take no lock; acknowledgment waits park on sharded
+//     condvars keyed by commit timestamp and are woken only when the
+//     watermark actually covers them (no thundering herd).
+//   * Registry: the transaction table and active set are sharded by
+//     transaction id (DBOptions::txn_registry_shards); begin / first
+//     statement / commit / abort touch one shard, `Find` probes one
+//     shard. `min_active_read_ts` is maintained from per-shard cached
+//     minima, aggregated lock-free (see PublishMinActive) instead of an
+//     O(active) rescan under a global lock.
 //   * SSI conflict state: per-TxnState latches (TxnState::ssi_mu),
 //     acquired pairwise in txn-id order by the ConflictTracker; the
 //     commit-time dangerous-structure check runs under the committing
 //     transaction's own latch (see transaction.h).
 //
-// Committed transactions are not forgotten immediately: their TxnState
+// Committed SSI transactions are not forgotten immediately: their TxnState
 // remains registered (the paper's *suspended* state, §3.3) until no active
-// transaction overlaps them, at which point their retained SIREAD locks are
-// released and the state is dropped — the eager cleanup of the InnoDB
-// prototype (§4.6.1).
+// transaction overlaps them, at which point their retained SIREAD locks
+// are released and the state is dropped — the eager cleanup of the InnoDB
+// prototype (§4.6.1). SI and S2PL transactions never participate in SSI
+// conflict tracking (nothing ever resolves them after commit), so they are
+// deregistered at commit and skip the suspended list entirely.
+//
+// Read-only commits (nothing to stamp) bypass the ring: their commit
+// timestamp is the current stable watermark — they are "committed at" the
+// snapshot boundary they already read at. Timestamps of distinct read-only
+// commits may therefore collide (the suspended list is a multimap); a
+// read-only commit never blocks on, and never blocks, the watermark.
 
 #ifndef SSIDB_TXN_TXN_MANAGER_H_
 #define SSIDB_TXN_TXN_MANAGER_H_
 
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "src/common/options.h"
 #include "src/common/status.h"
 #include "src/lock/lock_manager.h"
+#include "src/txn/commit_ring.h"
 #include "src/txn/log_manager.h"
 #include "src/txn/transaction.h"
 
@@ -58,7 +82,7 @@ class TxnManager {
   /// Start a transaction. S2PL transactions get their begin timestamp
   /// immediately; SI/SSI transactions defer it when late_snapshot is set
   /// (§4.5) until EnsureSnapshot. The transaction id is a lock-free
-  /// fetch-add; only registration takes the registry mutex.
+  /// fetch-add; only registration takes the (sharded) registry mutex.
   std::shared_ptr<TxnState> Begin(IsolationLevel isolation);
 
   /// Assign the read snapshot if not yet assigned. Called by the operation
@@ -89,23 +113,30 @@ class TxnManager {
   /// registration.
   void Abort(const std::shared_ptr<TxnState>& txn);
 
-  /// Resolve a transaction id to its state, if still registered (active or
-  /// suspended). Thread-safe (registry mutex inside); the returned
-  /// shared_ptr keeps the state alive past deregistration.
+  /// Resolve a transaction id to its state, if still registered (active,
+  /// or committed-SSI-and-suspended). Thread-safe (one registry shard
+  /// probed); the returned shared_ptr keeps the state alive past
+  /// deregistration. Committed SI/S2PL transactions are not resolvable —
+  /// nothing in the engine asks for them (the conflict tracker filters to
+  /// SSI participants before use).
   std::shared_ptr<TxnState> Find(TxnId id) const;
 
   /// Oldest snapshot among active transactions (stable watermark if none);
   /// versions older than this are unreachable (prune threshold).
+  /// Maintained as a monotonic CAS-max of lock-free aggregates over the
+  /// registry shards' cached minima (see PublishMinActive).
   Timestamp min_active_read_ts() const {
-    return min_active_read_ts_.load(std::memory_order_relaxed);
+    return min_active_read_ts_.load(std::memory_order_seq_cst);
   }
 
   /// Enter a checkpoint sweep: publishes the sweep watermark as a floor on
-  /// version pruning and returns it. Floor publication and the watermark
-  /// read share one window_mu_ critical section, so any stable-watermark
-  /// value above the returned one is stored strictly after the floor —
-  /// which is what makes prune_horizon() airtight (see there). Sweeps are
-  /// serialized by the caller (DB::checkpoint_write_mu_).
+  /// version pruning and returns it. The watermark now advances lock-free,
+  /// so floor publication cannot ride a mutex; instead the floor is
+  /// store/re-read confirmed: publish the floor at the observed watermark,
+  /// re-read the watermark, and repeat until it did not move past the
+  /// floor (see BeginCheckpointSweep for the seq_cst ordering argument
+  /// that makes prune_horizon() airtight). Sweeps are serialized by the
+  /// caller (DB::checkpoint_write_mu_).
   Timestamp BeginCheckpointSweep();
   /// Leave the sweep: lifts the floor.
   void EndCheckpointSweep();
@@ -115,36 +146,37 @@ class TxnManager {
   /// whose horizon ran past the sweep watermark W could delete a key's
   /// newest version <= W (because a newer one exists) before the sweep
   /// reads that chain — silently dropping a committed key from the image
-  /// whose cut claims to cover it. Why the cap is race-free: a checkpoint
-  /// that begins *after* this call has W >= the returned horizon (the
-  /// stable watermark is monotonic and min_active_read_ts never exceeds
-  /// it), so pruning below the horizon cannot touch what that sweep reads;
-  /// and if an in-progress sweep's W is *below* our min_active value, that
-  /// min was derived from a stable value stored after the floor (same
-  /// window_mu_), so the acquire chain min -> stable -> floor guarantees
-  /// the floor load below observes it.
+  /// whose cut claims to cover it. Why the cap is race-free: every
+  /// watermark advance, floor store, and min-active store/load involved is
+  /// seq_cst, so they have one total order S. BeginCheckpointSweep returns
+  /// W only after a floor(W) store F followed by a watermark load that
+  /// still read W — hence any advance C past W is ordered after F in S. A
+  /// min_active value above W can only come from an aggregate whose
+  /// watermark load saw > W (ordered after C, hence after F), so a pruner
+  /// that reads such a value reads the floor afterwards and sees F's W.
+  /// And a sweep that begins after a horizon was computed has W' >= that
+  /// horizon (the watermark is monotonic and min_active never exceeds it).
   Timestamp prune_horizon() const {
-    const Timestamp min = min_active_read_ts_.load(std::memory_order_acquire);
+    const Timestamp min = min_active_read_ts();
     const Timestamp floor =
-        checkpoint_floor_.load(std::memory_order_acquire);
+        checkpoint_floor_.load(std::memory_order_seq_cst);
     return min < floor ? min : floor;
   }
 
-  Timestamp clock_now() const {
-    return clock_.load(std::memory_order_relaxed);
-  }
+  /// Current commit-domain time: the last allocated commit timestamp.
+  /// (S2PL reads latest-committed state; the history oracle records their
+  /// scans at this bound.)
+  Timestamp clock_now() const { return ring_.clock(); }
 
   /// Recovery hook (DB::Open, before any transaction begins): advance the
-  /// clock and the stable watermark to at least `ts`, so every new
-  /// transaction gets an id above — and a snapshot that covers — all
-  /// recovered commit timestamps.
+  /// commit clock and the stable watermark to at least `ts`, so every new
+  /// transaction gets a snapshot that covers — and every new commit a
+  /// timestamp above — all recovered commit timestamps.
   void AdvanceClockTo(Timestamp ts);
 
   /// The snapshot watermark: every commit with commit_ts <= stable_ts() has
   /// fully stamped its versions. New snapshots read at this timestamp.
-  Timestamp stable_ts() const {
-    return stable_ts_.load(std::memory_order_acquire);
-  }
+  Timestamp stable_ts() const { return ring_.stable(); }
 
   /// Page-granularity first-committer-wins (§4.2): the commit timestamp of
   /// the last committed write to a page lock unit. Returns 0 if never
@@ -167,75 +199,104 @@ class TxnManager {
   /// Total page-FCW entries reclaimed by those sweeps.
   uint64_t page_entries_pruned() const;
 
+  // --- Commit-pipeline counters (DBStats). ---
+  /// Commit-acknowledgment waits that parked on a condvar.
+  uint64_t commit_waits() const { return ring_.waits_parked(); }
+  /// Waiter-shard notifications issued by watermark advances.
+  uint64_t commit_wakeups() const { return ring_.wakeups_issued(); }
+  /// Commits that stalled on a full commit-slot ring.
+  uint64_t ring_full_stalls() const { return ring_.full_stalls(); }
+  /// Deepest observed in-flight commit window (allocated - stable).
+  uint64_t max_commit_window_depth() const { return ring_.max_depth(); }
+
   const DBOptions& options() const { return options_; }
   LockManager* lock_manager() { return lock_manager_; }
 
  private:
-  /// Recompute the prune threshold. Caller holds registry_mu_. The base is
-  /// the stable watermark (not the raw clock): a still-unassigned snapshot
-  /// will later read stable_ts_, which is monotonic, so the stored minimum
-  /// can never overtake a future snapshot.
-  void RecomputeMinLocked();
+  struct alignas(64) RegistryShard {
+    mutable std::mutex mu;
+    /// Registered transactions homed here: active, plus committed SSI
+    /// transactions retained for conflict resolution (§3.3).
+    std::unordered_map<TxnId, std::shared_ptr<TxnState>> txns;
+    std::unordered_set<TxnState*> active;
+    /// Cached min over the assigned read_ts of `active` members
+    /// (kMaxTimestamp when none is assigned). Maintained exactly under
+    /// `mu`: inserts/assignments lower it with min(), removals recompute
+    /// it; read lock-free by PublishMinActive.
+    std::atomic<Timestamp> min_read_ts{kMaxTimestamp};
+  };
 
-  /// Minimum snapshot constraint over the active set, based at the stable
-  /// watermark. Caller holds registry_mu_.
-  Timestamp MinActiveSnapshotLocked() const;
+  RegistryShard& ShardFor(TxnId id) const {
+    return shards_[id & shard_mask_];
+  }
 
-  /// Recompute the watermark from the in-flight window; true if it moved.
-  /// Caller holds window_mu_ (and notifies window_cv_ on true).
-  bool AdvanceStableLocked();
-  /// Retire a fully stamped commit and advance the watermark. The
-  /// timestamp fetch-add and the window insert happen together under
-  /// window_mu_ (in Commit) so the watermark can never advance past an
-  /// unstamped commit.
-  void RetireCommit(Timestamp commit_ts);
-  /// Pull the watermark up to the clock when nothing is in flight; called
-  /// by cleanup so window-bypassing (read-only) commits still become
-  /// droppable from the suspended list.
-  void TryAdvanceStable();
-  /// Block until the watermark covers `commit_ts`. Commit acknowledgment
-  /// (and lock release) waits for this so that every transaction that
-  /// begins after a commit returned — or that locks a key the committer
-  /// wrote — gets a snapshot that includes it. Waits are bounded by the
-  /// pure-memory stamping of earlier in-flight commits (no I/O inside the
-  /// window; the log flush happens after).
-  void WaitStable(Timestamp commit_ts);
+  /// Recompute shard.min_read_ts from its members. Caller holds shard.mu.
+  static void RecomputeShardMinLocked(RegistryShard* shard);
+
+  /// Assign a snapshot: pre-claim the shard minimum at a watermark lower
+  /// bound, then take the snapshot from a second watermark read (the
+  /// claim-then-read protocol that keeps PublishMinActive's lock-free
+  /// aggregate from overshooting a registrant paused mid-registration —
+  /// see the implementation comment). Caller holds shard->mu.
+  Timestamp ClaimSnapshotLocked(RegistryShard* shard);
+
+  /// Aggregate the per-shard minima (floored at the stable watermark) and
+  /// CAS-max the result into min_active_read_ts_. Lock-free. Safe against
+  /// concurrent registration via the claim-then-read protocol
+  /// (ClaimSnapshotLocked): an aggregate that misses a registrant's
+  /// pre-claim is ordered before that registrant's snapshot-defining
+  /// watermark read, so the snapshot is >= the aggregate's base; one it
+  /// sees bounds the aggregate directly. The true minimum is monotonic
+  /// (snapshots are watermark-based and the watermark is monotonic), so
+  /// CAS-max converges on it. Called after removals and watermark-raising
+  /// events; registrations never need it (they cannot raise the minimum).
+  void PublishMinActive();
 
   /// Abort body shared by Abort() and failed commits. The caller must NOT
   /// hold the transaction's ssi_mu latch.
   void AbortInternal(const std::shared_ptr<TxnState>& txn);
 
   /// Release suspended transactions no longer overlapping anything active.
+  /// Fast path: one atomic compare (oldest suspended commit_ts vs the
+  /// maintained min_active_read_ts) — no lock when nothing can be
+  /// released.
   void CleanupSuspended();
 
   const DBOptions options_;
   LockManager* const lock_manager_;
   LogManager* const log_manager_;
 
-  /// Global logical clock: txn ids and commit timestamps. Lock-free.
-  std::atomic<Timestamp> clock_{1};
-  /// Snapshot watermark: max timestamp with all commits <= it stamped.
-  std::atomic<Timestamp> stable_ts_{1};
+  /// Transaction ids. Lock-free; a separate domain from commit timestamps
+  /// (see file header).
+  std::atomic<Timestamp> id_clock_{1};
+
+  /// The commit pipeline: commit clock, slot ring, watermark, parking.
+  CommitRing ring_;
+
+  /// The one global critical section (PostgreSQL's
+  /// SerializableXactHashLock role): dangerous-structure check + commit
+  /// timestamp allocation + commit_ts publication, nothing else.
+  std::mutex window_mu_;
+
   std::atomic<Timestamp> min_active_read_ts_{1};
   /// Prune floor of the in-progress checkpoint sweep (kMaxTimestamp when
   /// none). Written by Begin/EndCheckpointSweep.
   std::atomic<Timestamp> checkpoint_floor_{kMaxTimestamp};
 
-  /// Commit window: timestamps allocated but whose versions may not all be
-  /// stamped yet. Narrow: held for O(log inflight) on the commit path only.
-  mutable std::mutex window_mu_;
-  std::condition_variable window_cv_;
-  std::set<Timestamp> inflight_commits_;
+  const uint64_t shard_mask_;
+  const std::unique_ptr<RegistryShard[]> shards_;
+  /// Exact live-transaction count (a per-shard sum would not be a
+  /// coherent cut; DBStats promises individually coherent counters).
+  std::atomic<size_t> active_count_{0};
 
-  /// Registry mutex: guards the three containers below (and TxnState::
-  /// suspended). Never held while acquiring a TxnState latch or any lock
-  /// manager mutex.
-  mutable std::mutex registry_mu_;
-  /// All registered transactions: active + suspended committed.
-  std::unordered_map<TxnId, std::shared_ptr<TxnState>> registry_;
-  std::unordered_set<TxnState*> active_;
-  /// Committed, retained transactions ordered by commit timestamp.
-  std::map<Timestamp, std::shared_ptr<TxnState>> suspended_;
+  /// Committed, retained SSI transactions ordered by commit timestamp
+  /// (multimap: read-only commit timestamps may collide). Guarded by
+  /// suspended_mu_; never held together with a shard mutex.
+  mutable std::mutex suspended_mu_;
+  std::multimap<Timestamp, std::shared_ptr<TxnState>> suspended_;
+  /// Smallest key in suspended_ (kMaxTimestamp when empty): the
+  /// CleanupSuspended lock-free fast path. Updated under suspended_mu_.
+  std::atomic<Timestamp> oldest_suspended_{kMaxTimestamp};
 
   /// Page-level FCW bookkeeping (kPage granularity only).
   struct PageWrite {

@@ -383,6 +383,10 @@ std::tuple<Status, Status, Status> RunFig38(Fixture* f) {
   Status s = in->Get(f->table, "x", &v);
   if (s.ok()) s = in->Get(f->table, "z", &v);
   if (s.ok()) s = pivot->Get(f->table, "y", &v);  // rpivot(y)
+  // Advance the watermark past the pivot's snapshot before Tin's
+  // read-only commit: its commit timestamp is the watermark, and the
+  // figure needs Tin concurrent with the pivot (cin > begin(pivot)).
+  f->Seed("fig38_bump", "1");
   Status c_in = s.ok() ? in->Commit() : s;
 
   auto out = f->db->Begin({iso});

@@ -40,6 +40,19 @@ class TrackerTest : public ::testing::Test {
         t, [this](TxnState* x) { return tracker_->CommitCheck(x); }, {});
   }
 
+  /// Commit with a synthetic write so the commit allocates a ring
+  /// timestamp. Read-only commits carry the watermark as their timestamp
+  /// (and may tie); tests about commit *order* need distinct timestamps.
+  Status CommitW(const std::shared_ptr<TxnState>& t) {
+    auto chain = std::make_unique<VersionChain>();
+    bool replaced = false;
+    Version* v = chain->InstallUncommitted(t->id, "v", false, &replaced);
+    t->write_set.push_back(
+        TxnState::WriteRecord{0, "k", chain.get(), v, nullptr});
+    chains_.push_back(std::move(chain));
+    return Commit(t);
+  }
+
   /// Record the rw-antidependency reader -> writer via the lock-manager
   /// detection point (writer saw the reader's SIREAD).
   Status MarkRw(const std::shared_ptr<TxnState>& reader,
@@ -48,6 +61,7 @@ class TrackerTest : public ::testing::Test {
   }
 
   DBOptions options_;
+  std::vector<std::unique_ptr<VersionChain>> chains_;
   std::unique_ptr<LogManager> log_;
   std::unique_ptr<LockManager> locks_;
   std::unique_ptr<TxnManager> mgr_;
@@ -146,15 +160,17 @@ TEST_F(TrackerTest, ReferencesOutCommittedFirstAborts) {
 
 TEST_F(TrackerTest, ReferencesInCommittedBeforeOutIsSafe) {
   // The Fig 3.8 order: in commits, then out, then the pivot. out did not
-  // commit before in, so there is no cycle and no abort.
+  // commit before in, so there is no cycle and no abort. Both partners
+  // commit with writes: the §3.6 test is about commit-timestamp order,
+  // which only writing commits carry distinctly.
   Init(ConflictTracking::kReferences);
   auto in = BeginSSI();
   auto pivot = BeginSSI();
   auto out = BeginSSI();
   EXPECT_TRUE(MarkRw(in, pivot).ok());
-  EXPECT_TRUE(Commit(in).ok());
+  EXPECT_TRUE(CommitW(in).ok());
   EXPECT_TRUE(MarkRw(pivot, out).ok());
-  EXPECT_TRUE(Commit(out).ok());
+  EXPECT_TRUE(CommitW(out).ok());
   Status st = Commit(pivot);
   EXPECT_TRUE(st.ok()) << st.ToString();
   EXPECT_EQ(tracker_->unsafe_aborts(), 0u);
@@ -231,6 +247,14 @@ TEST_F(TrackerTest, CommittedSuspendedReaderStillConflictsWhenOverlapping) {
                   LockMode::kSIRead);
 
   auto writer = BeginSSI();  // Overlaps the reader (begins before commit).
+  {
+    // Advance the watermark past the writer's snapshot: the reader's
+    // read-only commit timestamp is the watermark, and the Fig 3.5 filter
+    // only records the edge when commit(reader) > begin(writer).
+    auto bump = mgr_->Begin(IsolationLevel::kSnapshot);
+    mgr_->EnsureSnapshot(bump.get());
+    ASSERT_TRUE(CommitW(bump).ok());
+  }
   ASSERT_TRUE(Commit(reader).ok());
   EXPECT_TRUE(MarkRw(reader, writer).ok());
   EXPECT_TRUE(writer->in_ref.IsSet());  // Conflict recorded.

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/db/db.h"
+#include "tests/test_util.h"
 
 namespace ssidb {
 namespace {
@@ -409,6 +410,9 @@ TEST(DBTest, SuspendedTransactionsAreCleanedUp) {
   auto overlapping = db->Begin({IsolationLevel::kSerializableSSI});
   std::string v;
   ASSERT_TRUE(overlapping->Get(t, "k", &v).ok());  // Pin a snapshot.
+  // Watermark past that snapshot: suspension requires
+  // commit(reader) > begin(overlapping).
+  BumpWatermark(db.get(), t);
 
   auto reader = db->Begin({IsolationLevel::kSerializableSSI});
   ASSERT_TRUE(reader->Get(t, "k", &v).ok());

@@ -19,6 +19,7 @@
 #include "src/db/db.h"
 #include "src/lock/lock_manager.h"
 #include "src/lock/siread_index.h"
+#include "tests/test_util.h"
 
 namespace ssidb {
 namespace {
@@ -236,6 +237,9 @@ TEST(SIReadLifetimeTest, EntriesSurviveCommitWhileOverlapped) {
   auto keeper = db->Begin({IsolationLevel::kSerializableSSI});
   std::string v;
   keeper->Get(table, "k", &v);  // Assigns keeper's snapshot.
+  // Watermark past the keeper's snapshot: a read-only commit's timestamp
+  // is the watermark, and retention requires it to exceed the snapshot.
+  BumpWatermark(db.get(), table);
 
   auto reader = db->Begin({IsolationLevel::kSerializableSSI});
   ASSERT_TRUE(reader->Get(table, "k", &v).ok());
@@ -296,6 +300,9 @@ TEST(SIReadLifetimeTest, WriterSeesPostCommitReaderThroughIndex) {
 
   auto writer = db->Begin({IsolationLevel::kSerializableSSI});
   writer->Get(table, "other", &v);  // Snapshot before the reader commits.
+  // Watermark past the writer's snapshot: commit(reader) > begin(writer),
+  // the Fig 3.5 overlap the test is about.
+  BumpWatermark(db.get(), table);
 
   auto reader = db->Begin({IsolationLevel::kSerializableSSI});
   ASSERT_TRUE(reader->Get(table, "k", &v).ok());
@@ -333,6 +340,8 @@ TEST(SIReadLifetimeTest, NonOverlappingCommittedReaderIsFiltered) {
   auto keeper = db->Begin({IsolationLevel::kSerializableSSI});
   std::string v;
   keeper->Get(table, "other", &v);
+  // Keep the keeper genuinely overlapping the reader's commit.
+  BumpWatermark(db.get(), table);
 
   auto reader = db->Begin({IsolationLevel::kSerializableSSI});
   ASSERT_TRUE(reader->Get(table, "k", &v).ok());

@@ -1,0 +1,25 @@
+// Shared helpers for the DB-level test suites.
+
+#ifndef SSIDB_TESTS_TEST_UTIL_H_
+#define SSIDB_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "src/db/db.h"
+
+namespace ssidb {
+
+/// Advance the stable watermark by committing a throwaway write. Needed
+/// wherever a test wants a read-only commit to genuinely overlap an
+/// earlier-begun transaction: a read-only commit's timestamp is the
+/// watermark, so retention/edge semantics require the watermark to have
+/// moved past the overlapping transaction's snapshot first.
+inline void BumpWatermark(DB* db, TableId table) {
+  auto bump = db->Begin({IsolationLevel::kSnapshot});
+  ASSERT_TRUE(bump->Put(table, "bump", "1").ok());
+  ASSERT_TRUE(bump->Commit().ok());
+}
+
+}  // namespace ssidb
+
+#endif  // SSIDB_TESTS_TEST_UTIL_H_

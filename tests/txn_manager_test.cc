@@ -1,12 +1,18 @@
-// Direct unit tests for the transaction manager: lifecycle, timestamps,
-// snapshot allocation (§4.5), suspension and eager cleanup (§3.3/§4.6.1),
-// and the page-level first-committer-wins bookkeeping (§4.2).
+// Direct unit tests for the transaction manager and the commit pipeline:
+// lifecycle, timestamps, snapshot allocation (§4.5), suspension and eager
+// cleanup (§3.3/§4.6.1), page-level first-committer-wins bookkeeping
+// (§4.2), the commit-slot ring (wraparound, backpressure, watermark
+// safety), and the sharded registry's min-active maintenance.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "src/lock/lock_manager.h"
+#include "src/txn/commit_ring.h"
 #include "src/txn/log_manager.h"
 #include "src/txn/txn_manager.h"
 
@@ -25,10 +31,31 @@ class TxnManagerTest : public ::testing::Test {
     return mgr_.Commit(txn, nullptr, {});
   }
 
+  /// Commit with a synthetic write, so the commit allocates a commit-ring
+  /// timestamp and advances the watermark (read-only commits carry the
+  /// watermark itself as their timestamp).
+  Status CommitWithWrite(const std::shared_ptr<TxnState>& txn) {
+    auto chain = std::make_unique<VersionChain>();
+    bool replaced = false;
+    Version* v = chain->InstallUncommitted(txn->id, "v", false, &replaced);
+    txn->write_set.push_back(
+        TxnState::WriteRecord{0, "k", chain.get(), v, nullptr});
+    chains_.push_back(std::move(chain));
+    return CommitNoCheck(txn);
+  }
+
+  /// Commit a throwaway writer: advances the stable watermark by one.
+  void AdvanceWatermark() {
+    auto t = mgr_.Begin(IsolationLevel::kSnapshot);
+    mgr_.EnsureSnapshot(t.get());
+    ASSERT_TRUE(CommitWithWrite(t).ok());
+  }
+
   DBOptions options_;
   LogManager log_;
   LockManager locks_;
   TxnManager mgr_;
+  std::vector<std::unique_ptr<VersionChain>> chains_;
 };
 
 TEST_F(TxnManagerTest, BeginAssignsUniqueIds) {
@@ -59,16 +86,31 @@ TEST_F(TxnManagerTest, S2PLGetsSnapshotImmediately) {
   mgr_.Abort(t);
 }
 
-TEST_F(TxnManagerTest, CommitAssignsMonotonicTimestamps) {
+TEST_F(TxnManagerTest, WritingCommitsGetMonotonicTimestamps) {
   auto t1 = mgr_.Begin(IsolationLevel::kSnapshot);
   mgr_.EnsureSnapshot(t1.get());
-  ASSERT_TRUE(CommitNoCheck(t1).ok());
+  ASSERT_TRUE(CommitWithWrite(t1).ok());
   auto t2 = mgr_.Begin(IsolationLevel::kSnapshot);
   mgr_.EnsureSnapshot(t2.get());
-  ASSERT_TRUE(CommitNoCheck(t2).ok());
+  ASSERT_TRUE(CommitWithWrite(t2).ok());
   EXPECT_GT(t1->commit_ts.load(), 0u);
   EXPECT_GT(t2->commit_ts.load(), t1->commit_ts.load());
   EXPECT_TRUE(t1->IsCommitted());
+  // Acknowledged commits are covered by the watermark.
+  EXPECT_GE(mgr_.stable_ts(), t2->commit_ts.load());
+}
+
+TEST_F(TxnManagerTest, ReadOnlyCommitsCarryTheWatermark) {
+  // A read-only commit publishes nothing: its commit timestamp is the
+  // stable watermark — the snapshot boundary it read at — and it never
+  // enters the commit ring.
+  AdvanceWatermark();
+  const Timestamp wm = mgr_.stable_ts();
+  auto t = mgr_.Begin(IsolationLevel::kSnapshot);
+  mgr_.EnsureSnapshot(t.get());
+  ASSERT_TRUE(CommitNoCheck(t).ok());
+  EXPECT_EQ(t->commit_ts.load(), wm);
+  EXPECT_EQ(mgr_.stable_ts(), wm);  // Watermark unmoved.
 }
 
 TEST_F(TxnManagerTest, CommitCheckFailureAborts) {
@@ -107,10 +149,14 @@ TEST_F(TxnManagerTest, AbortIsIdempotent) {
 
 TEST_F(TxnManagerTest, SSICommitWithSIReadLocksSuspends) {
   // Fig 3.2 line 11: a committing SSI transaction holding SIREAD locks is
-  // retained; without any overlapping transaction it is cleaned up by the
-  // next commit's sweep.
+  // retained while a concurrent transaction overlaps it; once none does,
+  // the next commit's sweep releases it.
   auto overlap = mgr_.Begin(IsolationLevel::kSerializableSSI);
   mgr_.EnsureSnapshot(overlap.get());
+  // Watermark past overlap's snapshot: the reader's read-only commit
+  // timestamp is the watermark, and retention requires
+  // commit(reader) > begin(overlap).
+  AdvanceWatermark();
 
   auto t = mgr_.Begin(IsolationLevel::kSerializableSSI);
   mgr_.EnsureSnapshot(t.get());
@@ -128,6 +174,44 @@ TEST_F(TxnManagerTest, SSICommitWithSIReadLocksSuspends) {
   EXPECT_EQ(mgr_.suspended_count(), 0u);
   EXPECT_FALSE(locks_.HoldsAnySIRead(t->id));
   EXPECT_EQ(mgr_.Find(t->id), nullptr);
+}
+
+TEST_F(TxnManagerTest, ReadOnlyBypassStillRetiresSuspendedTxns) {
+  // Read-only commits bypass the ring entirely; the suspended list must
+  // still drain through them (their cleanup runs with the maintained
+  // min-active, no watermark nudge required).
+  auto overlap = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(overlap.get());
+  AdvanceWatermark();
+
+  auto reader = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(reader.get());
+  locks_.Acquire(reader->id, LockKey{1, LockKind::kRow, "k"},
+                 LockMode::kSIRead);
+  ASSERT_TRUE(CommitNoCheck(reader).ok());
+  ASSERT_EQ(mgr_.suspended_count(), 1u);
+
+  // The overlap commits read-only; its cleanup sweep must release the
+  // suspended reader even though no ring slot was ever touched.
+  ASSERT_TRUE(CommitNoCheck(overlap).ok());
+  EXPECT_EQ(mgr_.suspended_count(), 0u);
+  EXPECT_FALSE(locks_.HoldsAnySIRead(reader->id));
+}
+
+TEST_F(TxnManagerTest, NonSSICommitsAreNotRetained) {
+  // SI/S2PL transactions never participate in SSI conflict tracking:
+  // nothing resolves them after commit, so they skip the suspended list
+  // and leave the registry at commit.
+  auto overlap = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(overlap.get());
+  AdvanceWatermark();
+
+  auto si = mgr_.Begin(IsolationLevel::kSnapshot);
+  mgr_.EnsureSnapshot(si.get());
+  ASSERT_TRUE(CommitWithWrite(si).ok());
+  EXPECT_EQ(mgr_.suspended_count(), 0u);
+  EXPECT_EQ(mgr_.Find(si->id), nullptr);
+  mgr_.Abort(overlap);
 }
 
 TEST_F(TxnManagerTest, CommitWithoutSIReadLocksDoesNotLingerForConflicts) {
@@ -156,6 +240,39 @@ TEST_F(TxnManagerTest, MinActiveReadTsTracksOldestSnapshot) {
   mgr_.Abort(t1);
   EXPECT_GE(mgr_.min_active_read_ts(), t1_snap);  // Advanced past t1.
   mgr_.Abort(t2);
+}
+
+TEST_F(TxnManagerTest, MinActiveCorrectAcrossRegistryShards) {
+  // Sequential ids land on consecutive registry shards; the maintained
+  // minimum must stay exact as transactions with distinct snapshots begin
+  // and finish across all of them — this is the sharded replacement for
+  // the old global O(active) rescan.
+  constexpr int kTxns = 64;  // Several laps around the default 16 shards.
+  std::vector<std::shared_ptr<TxnState>> txns;
+  std::vector<Timestamp> snaps;
+  for (int i = 0; i < kTxns; ++i) {
+    auto t = mgr_.Begin(IsolationLevel::kSerializableSSI);
+    mgr_.EnsureSnapshot(t.get());
+    txns.push_back(t);
+    snaps.push_back(t->read_ts.load());
+    // Stagger snapshots: every 4th iteration a writer bumps the
+    // watermark, so shards hold genuinely different minima.
+    if (i % 4 == 3) AdvanceWatermark();
+  }
+  // Finish in an order that exercises per-shard recomputation: evens
+  // forward (commit), odds backward (abort).
+  for (int i = 0; i < kTxns; i += 2) {
+    const Timestamp oldest_live = snaps[i];
+    EXPECT_LE(mgr_.min_active_read_ts(), oldest_live);
+    ASSERT_TRUE(CommitNoCheck(txns[i]).ok());
+  }
+  for (int i = kTxns - 1; i >= 1; i -= 2) {
+    EXPECT_LE(mgr_.min_active_read_ts(), snaps[1]);
+    mgr_.Abort(txns[i]);
+  }
+  // Registry empty: the minimum returns to the watermark.
+  EXPECT_EQ(mgr_.active_count(), 0u);
+  EXPECT_EQ(mgr_.min_active_read_ts(), mgr_.stable_ts());
 }
 
 TEST_F(TxnManagerTest, PageWriteBookkeeping) {
@@ -196,6 +313,7 @@ TEST_F(TxnManagerTest, SuspendedChainCleanupInCommitOrder) {
   // them all alive; ending the fourth releases all three at once.
   auto keeper = mgr_.Begin(IsolationLevel::kSerializableSSI);
   mgr_.EnsureSnapshot(keeper.get());
+  AdvanceWatermark();  // Readers' commit timestamps exceed keeper's snap.
   std::vector<std::shared_ptr<TxnState>> readers;
   for (int i = 0; i < 3; ++i) {
     auto r = mgr_.Begin(IsolationLevel::kSerializableSSI);
@@ -209,6 +327,192 @@ TEST_F(TxnManagerTest, SuspendedChainCleanupInCommitOrder) {
   mgr_.Abort(keeper);  // Abort also sweeps.
   EXPECT_EQ(mgr_.suspended_count(), 0u);
   EXPECT_EQ(locks_.GrantCount(), 0u);
+}
+
+TEST_F(TxnManagerTest, CheckpointFloorCapsPruneHorizon) {
+  // BeginCheckpointSweep publishes the sweep watermark as a floor on
+  // pruning; commits landing during the sweep may advance the watermark
+  // and the min-active past it, but prune_horizon() must stay at or
+  // below the returned watermark until the sweep ends.
+  AdvanceWatermark();
+  const Timestamp w = mgr_.BeginCheckpointSweep();
+  EXPECT_EQ(w, mgr_.stable_ts());
+  AdvanceWatermark();
+  AdvanceWatermark();
+  EXPECT_GT(mgr_.stable_ts(), w);
+  EXPECT_GT(mgr_.min_active_read_ts(), w);
+  EXPECT_LE(mgr_.prune_horizon(), w);
+  mgr_.EndCheckpointSweep();
+  EXPECT_GT(mgr_.prune_horizon(), w);
+}
+
+// ---------------------------------------------------------------------------
+// Commit-ring property tests (tiny rings; the ring is the unit under
+// test — TxnManager::Commit drives it with allocation/stamping fused, so
+// the adversarial interleavings are constructed here directly).
+// ---------------------------------------------------------------------------
+
+TEST(CommitRingTest, WatermarkNeverPassesAnUnstampedSlot) {
+  CommitRing ring(8);
+  const Timestamp t1 = ring.Allocate();
+  const Timestamp t2 = ring.Allocate();
+  const Timestamp t3 = ring.Allocate();
+  ASSERT_EQ(t2, t1 + 1);
+  ASSERT_EQ(t3, t2 + 1);
+  // Stamp out of order: t2 and t3 first. The watermark must hold below
+  // t1 — it may never cover a commit whose versions are not stamped.
+  ring.Publish(t2);
+  ring.Publish(t3);
+  EXPECT_EQ(ring.stable(), t1 - 1);
+  ring.Publish(t1);
+  EXPECT_EQ(ring.stable(), t3);
+}
+
+TEST(CommitRingTest, WraparoundPastManyLaps) {
+  // 10 laps around a tiny ring, alternating in-order and out-of-order
+  // publication of small in-flight windows.
+  CommitRing ring(4);
+  const uint64_t n = ring.slots();
+  for (uint64_t lap = 0; lap < 10 * n; ++lap) {
+    const Timestamp a = ring.Allocate();
+    const Timestamp b = ring.Allocate();
+    if (lap % 2 == 0) {
+      ring.Publish(b);  // Out of order: watermark waits for a.
+      EXPECT_EQ(ring.stable(), a - 1);
+      ring.Publish(a);
+    } else {
+      ring.Publish(a);
+      ring.Publish(b);
+    }
+    EXPECT_EQ(ring.stable(), b);
+    ring.WaitCovered(b);  // Fast path; must not block.
+  }
+  EXPECT_EQ(ring.full_stalls(), 0u);  // Window (2) never exceeded 4 slots.
+}
+
+TEST(CommitRingTest, RingFullBackpressureBlocksUntilCovered) {
+  CommitRing ring(2);
+  const uint64_t n = ring.slots();  // 2.
+  // Allocate n + 1 timestamps: the last one's slot is still owned by the
+  // first (uncovered) commit, so its Publish must stall.
+  std::vector<Timestamp> ts;
+  for (uint64_t i = 0; i < n + 1; ++i) ts.push_back(ring.Allocate());
+
+  std::atomic<bool> published{false};
+  std::thread straggler([&] {
+    ring.Publish(ts.back());  // Parks: stable < ts.back() - n.
+    published.store(true);
+  });
+  // Give the straggler time to park; the watermark must not have moved
+  // and the publication must not have happened.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(published.load());
+  EXPECT_EQ(ring.stable(), ts.front() - 1);
+
+  // Covering the first commit frees the straggler's slot.
+  ring.Publish(ts[0]);
+  ring.Publish(ts[1]);
+  straggler.join();
+  EXPECT_TRUE(published.load());
+  EXPECT_GE(ring.full_stalls(), 1u);
+  EXPECT_EQ(ring.stable(), ts.back());
+}
+
+TEST(CommitRingTest, ConcurrentPublishersConvergeAndWake) {
+  // Hammer a small ring from several threads; every allocation must end
+  // up covered, the watermark must equal the clock at quiescence, and no
+  // waiter may be left behind.
+  CommitRing ring(8);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Timestamp ts = ring.Allocate();
+        ring.Publish(ts);
+        ring.WaitCovered(ts);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(ring.stable(), ring.clock());
+  EXPECT_EQ(ring.clock(), 1u + kThreads * kPerThread);
+  EXPECT_GE(ring.max_depth(), 1u);
+}
+
+TEST(CommitRingTest, AdvanceToJumpsClockAndWatermark) {
+  CommitRing ring(8);
+  ring.AdvanceTo(1000);
+  EXPECT_EQ(ring.clock(), 1000u);
+  EXPECT_EQ(ring.stable(), 1000u);
+  ring.AdvanceTo(500);  // Monotonic: never moves backwards.
+  EXPECT_EQ(ring.clock(), 1000u);
+  const Timestamp next = ring.Allocate();
+  EXPECT_EQ(next, 1001u);
+  ring.Publish(next);
+  EXPECT_EQ(ring.stable(), 1001u);
+}
+
+// ---------------------------------------------------------------------------
+// Tiny-ring TxnManager integration: backpressure and wraparound through
+// the real commit path.
+// ---------------------------------------------------------------------------
+
+class TinyRingTxnManagerTest : public TxnManagerTest {
+ protected:
+  static DBOptions TinyRingOptions() {
+    DBOptions o;
+    o.commit_ring_slots = 2;
+    o.txn_registry_shards = 2;
+    return o;
+  }
+  TinyRingTxnManagerTest() : TxnManagerTest(TinyRingOptions()) {}
+};
+
+TEST_F(TinyRingTxnManagerTest, ManyLapsOfWritingCommits) {
+  // 64 sequential writing commits lap the 2-slot ring 32 times; every
+  // commit must acknowledge covered and the watermark must track the
+  // commit clock exactly.
+  for (int i = 0; i < 64; ++i) {
+    auto t = mgr_.Begin(IsolationLevel::kSnapshot);
+    mgr_.EnsureSnapshot(t.get());
+    ASSERT_TRUE(CommitWithWrite(t).ok());
+    ASSERT_EQ(mgr_.stable_ts(), t->commit_ts.load());
+  }
+  EXPECT_EQ(mgr_.ring_full_stalls(), 0u);  // Sequential: window depth 1.
+}
+
+TEST_F(TinyRingTxnManagerTest, ConcurrentWritersSurviveBackpressure) {
+  // 4 threads × 200 writing commits through a 2-slot ring: backpressure
+  // and out-of-order stamping happen constantly; everything must drain.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&] {
+      std::vector<std::unique_ptr<VersionChain>> local_chains;
+      for (int i = 0; i < kPerThread; ++i) {
+        auto t = mgr_.Begin(IsolationLevel::kSnapshot);
+        mgr_.EnsureSnapshot(t.get());
+        auto chain = std::make_unique<VersionChain>();
+        bool replaced = false;
+        Version* v =
+            chain->InstallUncommitted(t->id, "v", false, &replaced);
+        t->write_set.push_back(
+            TxnState::WriteRecord{0, "k", chain.get(), v, nullptr});
+        local_chains.push_back(std::move(chain));
+        ASSERT_TRUE(mgr_.Commit(t, nullptr, {}).ok());
+        committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(committed.load(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(mgr_.active_count(), 0u);
+  // Watermark caught up with every allocated commit timestamp.
+  EXPECT_EQ(mgr_.stable_ts(), mgr_.clock_now());
 }
 
 }  // namespace
