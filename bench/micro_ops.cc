@@ -255,6 +255,19 @@ void ReportShardCounters(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(s.ring_full_stalls));
   state.counters["max_commit_window"] =
       benchmark::Counter(static_cast<double>(s.max_commit_window_depth));
+  // Certification-stage split: how many SSI commits skipped certification
+  // entirely (conflict-free fast path) vs were validated by a combining
+  // pass, and how much batching the combiner actually achieved
+  // (combined/batches > 1 means one lock acquisition certified several
+  // committers).
+  state.counters["commit_fastpath"] =
+      benchmark::Counter(static_cast<double>(s.commit_fastpath));
+  state.counters["commit_combined"] =
+      benchmark::Counter(static_cast<double>(s.commit_combined_txns));
+  state.counters["commit_batches"] =
+      benchmark::Counter(static_cast<double>(s.commit_combine_batches));
+  state.counters["commit_max_batch"] =
+      benchmark::Counter(static_cast<double>(s.commit_max_batch));
 }
 
 /// Shared harness: thread-0 builds the DB, each thread draws keys from its

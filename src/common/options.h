@@ -183,8 +183,19 @@ struct DBOptions {
   uint64_t commit_ring_slots = 4096;
 
   /// Transaction-registry shard count (rounded up to a power of two).
-  /// Begin/commit/abort touch one shard; Find probes one shard.
-  uint32_t txn_registry_shards = 16;
+  /// Begin/commit/abort touch one shard; Find probes one shard. 0 (the
+  /// default) sizes the shard array from the runtime core topology
+  /// (std::thread::hardware_concurrency); nonzero pins an explicit count
+  /// (tests use tiny values to force collisions).
+  uint32_t txn_registry_shards = 0;
+
+  /// Flat-combining SSI commit certification (commit_combiner.h): when a
+  /// batch of transactions arrives at the certification stage together,
+  /// one committer validates all of them under a single lock acquisition.
+  /// false degrades the stage to a plain mutex, one commit per
+  /// acquisition — the reference engine for differential tests; verdicts
+  /// must be identical either way.
+  bool certification_batching = true;
 };
 
 /// Per-transaction options.

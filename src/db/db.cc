@@ -345,6 +345,10 @@ DBStats DB::GetStats() const {
   s.commit_wakeups = txn_manager_->commit_wakeups();
   s.ring_full_stalls = txn_manager_->ring_full_stalls();
   s.max_commit_window_depth = txn_manager_->max_commit_window_depth();
+  s.commit_combine_batches = txn_manager_->commit_combine_batches();
+  s.commit_combined_txns = txn_manager_->commit_combined_txns();
+  s.commit_max_batch = txn_manager_->commit_max_batch();
+  s.commit_fastpath = txn_manager_->commit_fastpath();
   return s;
 }
 

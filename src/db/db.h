@@ -167,6 +167,20 @@ struct DBStats {
   /// Deepest observed in-flight commit window (allocated commit clock
   /// minus stable watermark, sampled at allocation).
   uint64_t max_commit_window_depth = 0;
+
+  // Certification-stage counters (flat-combining SSI commit validation +
+  // the conflict-free fast path; see src/txn/commit_combiner.h and the
+  // "Certification triage" argument in src/txn/txn_manager.h).
+  /// Combining passes that certified at least one commit.
+  uint64_t commit_combine_batches = 0;
+  /// Commits certified by those passes (combined/batches = mean batch;
+  /// > batches under contention means combining actually amortized).
+  uint64_t commit_combined_txns = 0;
+  /// Largest single combining pass.
+  uint64_t commit_max_batch = 0;
+  /// SSI commits that skipped certification entirely because both
+  /// conflict sides were clear under their own latch.
+  uint64_t commit_fastpath = 0;
 };
 
 class DB {

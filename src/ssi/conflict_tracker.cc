@@ -120,11 +120,14 @@ ConflictTracker::EdgeTime ConflictTracker::OutEdgeTimeLocked(
       return edge;
     case ConflictRef::Kind::kOther: {
       // Keyed on the published commit timestamp, not the status flip: a
-      // partner inside its commit has its cts published (under the
-      // TxnManager's commit window, atomically with our own commit check)
-      // before its status store becomes visible, and once the cts exists
-      // the partner commits unconditionally. Reading the status here
-      // instead could miss an out-partner that wins a smaller timestamp.
+      // partner holding an edge to us is itself a certifying commit
+      // (edges are bilateral, so it cannot take the conflict-free fast
+      // path), which means its cts is published by the certification
+      // stage in commit order relative to this check (commit_combiner.h)
+      // and before its status store becomes visible — and once the cts
+      // exists the partner commits unconditionally. Reading the status
+      // here instead could miss an out-partner that wins a smaller
+      // timestamp.
       const Timestamp cts =
           ref.other->commit_ts.load(std::memory_order_acquire);
       if (cts != 0) {

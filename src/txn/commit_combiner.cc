@@ -1,0 +1,144 @@
+#include "src/txn/commit_combiner.h"
+
+#include <cassert>
+#include <thread>
+
+#include "src/common/epoch.h"
+
+namespace ssidb {
+
+CommitCombiner::CommitCombiner(CommitRing* ring, uint32_t slots,
+                               bool batching)
+    : ring_(ring),
+      mask_(RoundUpPow2(slots != 0 ? slots : TopologyShards(/*floor=*/4),
+                        /*floor=*/4) -
+            1),
+      batching_(batching),
+      slots_(new Slot[mask_ + 1]) {}
+
+Status CommitCombiner::Certify(TxnState* txn, const CheckFn& check,
+                               bool has_writes, Timestamp* commit_ts) {
+  if (!batching_) {
+    // Reference mode: the PR 5 critical section, one request per
+    // acquisition. Kept for differential testing (the combiner must abort
+    // exactly the set this path aborts) and as an escape hatch.
+    std::lock_guard<std::mutex> guard(combine_mu_);
+    if (check) {
+      const Status verdict = check(txn);
+      if (!verdict.ok()) return verdict;
+    }
+    const Timestamp ts = has_writes ? ring_->Allocate() : ring_->stable();
+    txn->commit_ts.store(ts, std::memory_order_release);
+    *commit_ts = ts;
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    combined_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t cur = max_batch_.load(std::memory_order_relaxed);
+    while (cur < 1 && !max_batch_.compare_exchange_weak(
+                          cur, 1, std::memory_order_relaxed)) {
+    }
+    return Status::OK();
+  }
+
+  const size_t idx = Post(txn, &check, has_writes);
+  Slot& slot = slots_[idx];
+  // Spin on our own slot; opportunistically become the combiner. We never
+  // block on combine_mu_: if it is held, the holder is certifying our
+  // request (or will be the moment it reaches our slot), so waiting on
+  // the verdict IS waiting on the lock — without the handoff.
+  uint32_t spins = 0;
+  for (;;) {
+    if (slot.state.load(std::memory_order_acquire) == kDone) break;
+    if (combine_mu_.try_lock()) {
+      CombineLocked();
+      combine_mu_.unlock();
+      // Our request was pending before the pass started, so it is done
+      // now — either by us or by the combiner that beat us to the lock.
+      break;
+    }
+    // Single-core friendliness: the combiner may need our timeslice.
+    if ((++spins & 63) == 0) std::this_thread::yield();
+  }
+  return Harvest(idx, commit_ts);
+}
+
+size_t CommitCombiner::Post(TxnState* txn, const CheckFn* check,
+                            bool has_writes) {
+  const uint64_t start = ThreadTopologySlot() & mask_;
+  uint32_t sweeps = 0;
+  for (uint64_t i = start;; i = (i + 1) & mask_) {
+    Slot& slot = slots_[i];
+    uint32_t expected = kFree;
+    if (slot.state.load(std::memory_order_relaxed) == kFree &&
+        slot.state.compare_exchange_strong(expected, kClaimed,
+                                           std::memory_order_acq_rel)) {
+      slot.txn = txn;
+      slot.check = check;
+      slot.has_writes = has_writes;
+      slot.verdict = Status::OK();
+      slot.commit_ts = 0;
+      slot.state.store(kPending, std::memory_order_release);
+      return i;
+    }
+    if (i == ((start + mask_) & mask_)) {
+      // A full sweep found no free slot: more certifiers than slots.
+      // Correct, just slower — yield until a harvest frees one.
+      if ((++sweeps & 3) == 0) std::this_thread::yield();
+    }
+  }
+}
+
+size_t CommitCombiner::Combine() {
+  std::lock_guard<std::mutex> guard(combine_mu_);
+  return CombineLocked();
+}
+
+size_t CommitCombiner::CombineLocked() {
+  size_t n = 0;
+  for (uint64_t i = 0; i <= mask_; ++i) {
+    Slot& slot = slots_[i];
+    if (slot.state.load(std::memory_order_acquire) != kPending) continue;
+    Status verdict;
+    if (slot.check != nullptr && *slot.check) {
+      // Fig 3.2 / Fig 3.10: the dangerous-structure test. Runs before
+      // this request's timestamp exists and after every earlier-in-pass
+      // request's verdict is final — the serial order (header).
+      verdict = (*slot.check)(slot.txn);
+    }
+    if (verdict.ok()) {
+      const Timestamp ts =
+          slot.has_writes ? ring_->Allocate() : ring_->stable();
+      slot.commit_ts = ts;
+      slot.txn->commit_ts.store(ts, std::memory_order_release);
+    }
+    slot.verdict = std::move(verdict);
+    slot.state.store(kDone, std::memory_order_release);
+    ++n;
+  }
+  if (n != 0) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    combined_.fetch_add(n, std::memory_order_relaxed);
+    uint64_t cur = max_batch_.load(std::memory_order_relaxed);
+    while (cur < n && !max_batch_.compare_exchange_weak(
+                          cur, n, std::memory_order_relaxed)) {
+    }
+  }
+  return n;
+}
+
+Status CommitCombiner::Harvest(size_t slot_index, Timestamp* commit_ts) {
+  Slot& slot = slots_[slot_index];
+  // The acquire pairs with the combiner's kDone release store and carries
+  // the verdict/timestamp (kept outside the assert: NDEBUG must not drop
+  // the fence).
+  const uint32_t observed = slot.state.load(std::memory_order_acquire);
+  assert(observed == kDone);
+  (void)observed;
+  Status verdict = std::move(slot.verdict);
+  if (commit_ts != nullptr) *commit_ts = slot.commit_ts;
+  slot.txn = nullptr;
+  slot.check = nullptr;
+  slot.state.store(kFree, std::memory_order_release);
+  return verdict;
+}
+
+}  // namespace ssidb

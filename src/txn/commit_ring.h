@@ -62,17 +62,10 @@
 #include <memory>
 #include <mutex>
 
+#include "src/common/epoch.h"  // RoundUpPow2
 #include "src/storage/version.h"
 
 namespace ssidb {
-
-/// Smallest power of two >= max(n, floor). Shared by the ring and the
-/// registry-shard sizing; saturates at 2^63 for absurd inputs.
-inline uint64_t RoundUpPow2(uint64_t n, uint64_t floor) {
-  uint64_t p = floor;
-  while (p < n && p < (uint64_t{1} << 63)) p <<= 1;
-  return p;
-}
 
 class CommitRing {
  public:
@@ -83,10 +76,12 @@ class CommitRing {
   CommitRing(const CommitRing&) = delete;
   CommitRing& operator=(const CommitRing&) = delete;
 
-  /// Allocate the next commit timestamp. The caller serializes this with
-  /// its commit check (TxnManager::window_mu_); the allocation itself is
-  /// one fetch-add. Every allocated timestamp MUST be published
-  /// (allocation happens only after the commit decision is final).
+  /// Allocate the next commit timestamp: one fetch-add, callable lock-free
+  /// (the conflict-free fast path and SI/S2PL writers allocate directly;
+  /// certifying SSI committers allocate inside the CommitCombiner's pass,
+  /// which orders allocation against the dangerous-structure checks).
+  /// Every allocated timestamp MUST be published (allocation happens only
+  /// after the commit decision is final).
   Timestamp Allocate();
 
   /// Declare `ts`'s versions fully stamped. May park briefly when the

@@ -93,10 +93,13 @@ struct TxnState {
   /// assignment happens after the first statement's locks are granted.
   std::atomic<Timestamp> read_ts{0};
 
-  /// 0 until commit. Writing commits: allocated from the commit ring
-  /// under TxnManager::window_mu_, atomic with the dangerous-structure
-  /// check. Read-only commits: the stable watermark at commit (may tie
-  /// with other read-only commits; see txn_manager.h).
+  /// 0 until commit. Writing commits: allocated from the commit ring —
+  /// inside the flat-combining certification stage when the transaction
+  /// has recorded conflict state (atomic-in-order with the
+  /// dangerous-structure checks; commit_combiner.h), lock-free on the
+  /// conflict-free fast path (txn_manager.h "Certification triage").
+  /// Read-only commits: the stable watermark at commit (may tie with
+  /// other read-only commits; see txn_manager.h).
   std::atomic<Timestamp> commit_ts{0};
 
   std::atomic<TxnStatus> status{TxnStatus::kActive};
@@ -113,7 +116,9 @@ struct TxnState {
   /// active→committed/aborted transition of `status`. Lock ordering: when
   /// two transactions' latches are needed (pairwise conflict marking),
   /// acquire in ascending txn-id order; ssi_mu is acquired before the
-  /// TxnManager's commit-window and registry mutexes, never after.
+  /// CommitCombiner's lock and the TxnManager's registry mutexes, never
+  /// after — and the combiner never takes any latch (checks read partner
+  /// state through atomics), so a combining committer holds only its own.
   std::mutex ssi_mu;
 
   // --- Serializable SI conflict state (guarded by ssi_mu). ---
@@ -124,8 +129,9 @@ struct TxnState {
   ConflictRef in_ref;
   ConflictRef out_ref;
 
-  /// True once the transaction was moved to the suspended list (§3.3).
-  /// Written under TxnManager::suspended_mu_.
+  /// True once the transaction was retired to the suspended-state epoch
+  /// reclaimer (§3.3). Written by the committing thread just before
+  /// Retire publishes the state (epoch.h slot handoff).
   bool suspended = false;
 
   // --- Write set (owned by the executing client thread). ---

@@ -7,7 +7,7 @@
 namespace ssidb {
 
 namespace {
-/// CleanupSuspended sweeps the page first-committer-wins map every this
+/// CleanupSuspended sweeps the page first-committer-wins shards every this
 /// many invocations (kPage granularity only): O(map/period) amortized per
 /// commit, and a test that wants a sweep just commits this many times.
 constexpr uint64_t kPageSweepPeriod = 16;
@@ -19,8 +19,19 @@ TxnManager::TxnManager(const DBOptions& options, LockManager* lock_manager,
       lock_manager_(lock_manager),
       log_manager_(log_manager),
       ring_(options.commit_ring_slots),
-      shard_mask_(RoundUpPow2(options.txn_registry_shards, /*floor=*/1) - 1),
-      shards_(new RegistryShard[shard_mask_ + 1]) {}
+      combiner_(&ring_, /*slots=*/0, options.certification_batching),
+      shard_mask_(RoundUpPow2(options.txn_registry_shards != 0
+                                  ? options.txn_registry_shards
+                                  : TopologyShards(),
+                              /*floor=*/1) -
+                  1),
+      shards_(new RegistryShard[shard_mask_ + 1]),
+      suspended_(/*slots=*/0),
+      // kRow engines never touch the page-FCW map; one token shard.
+      page_shard_mask_(options.granularity == LockGranularity::kPage
+                           ? TopologyShards(/*floor=*/4) - 1
+                           : 0),
+      page_shards_(new PageShard[page_shard_mask_ + 1]) {}
 
 std::shared_ptr<TxnState> TxnManager::Begin(IsolationLevel isolation) {
   // Lock-free id allocation. Ids are a separate domain from commit
@@ -66,14 +77,23 @@ Timestamp TxnManager::ClaimSnapshotLocked(RegistryShard* shard) {
   // here is >= the aggregator's base, and its aggregate (<= base) cannot
   // overshoot this transaction. If the shard load sees the pre-claim, the
   // aggregate is <= s0 <= the snapshot. Either way min_active_read_ts_
-  // never exceeds a live snapshot. The pre-claim (s0 <= snapshot) leaves
-  // the shard minimum slightly conservative until the next removal
-  // recomputes it from read_ts values — pruning lags a beat, never leads.
+  // never exceeds a live snapshot.
+  const Timestamp prev = shard->min_read_ts.load(std::memory_order_relaxed);
   const Timestamp s0 = ring_.stable();
-  if (s0 < shard->min_read_ts.load(std::memory_order_relaxed)) {
+  if (s0 < prev) {
     shard->min_read_ts.store(s0, std::memory_order_seq_cst);
   }
-  return ring_.stable();
+  const Timestamp snapshot = ring_.stable();
+  // Settle the cache at the exact minimum: `prev` bounds every other
+  // member (the cache was exact before the pre-claim), `snapshot` bounds
+  // this registrant. Without this, a conservative pre-claim (s0 below
+  // every member) would stick — NoteDepartureLocked's rescan-skip could
+  // then never raise it again and version pruning would stall forever.
+  const Timestamp exact = prev < snapshot ? prev : snapshot;
+  if (exact != shard->min_read_ts.load(std::memory_order_relaxed)) {
+    shard->min_read_ts.store(exact, std::memory_order_seq_cst);
+  }
+  return snapshot;
 }
 
 std::shared_ptr<TxnState> TxnManager::Find(TxnId id) const {
@@ -83,7 +103,19 @@ std::shared_ptr<TxnState> TxnManager::Find(TxnId id) const {
   return it == shard.txns.end() ? nullptr : it->second;
 }
 
-void TxnManager::RecomputeShardMinLocked(RegistryShard* shard) {
+void TxnManager::NoteDepartureLocked(RegistryShard* shard,
+                                     Timestamp departed_read_ts) {
+  // Skip the O(active) rescan unless the departing snapshot was (at or
+  // below) the cached minimum. Sound because the cache is exact outside
+  // ClaimSnapshotLocked's critical section (which this call, holding the
+  // same shard mutex, cannot interleave with): a member above the minimum
+  // leaving cannot change the minimum. An unassigned snapshot (0) never
+  // constrained it.
+  if (departed_read_ts != 0 &&
+      departed_read_ts >
+          shard->min_read_ts.load(std::memory_order_relaxed)) {
+    return;
+  }
   // Transactions with an unassigned (late) snapshot do not constrain the
   // minimum: their eventual read_ts will be >= the stable watermark at
   // assignment time, which is monotonic and floors the aggregate.
@@ -159,10 +191,10 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
   const bool has_writes =
       !txn->write_set.empty() || !txn->page_writes.empty();
   {
-    // The transaction's own latch makes the dangerous-structure check
-    // atomic with the committed transition: concurrent conflict marking
-    // locks both endpoints' latches, so it either completes before the
-    // check (and is seen) or observes the committed status afterwards.
+    // The transaction's own latch makes the commit decision atomic with
+    // the committed transition: concurrent conflict marking locks both
+    // endpoints' latches, so it either completes before the triage below
+    // (and is seen) or observes the committed status afterwards.
     std::lock_guard<std::mutex> latch(txn->ssi_mu);
     if (txn->status.load(std::memory_order_relaxed) != TxnStatus::kActive) {
       return Status::TxnInvalid("commit of finished transaction");
@@ -172,30 +204,29 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
       abort_cause = reason.ok() ? Status::Unsafe("marked for abort") : reason;
       must_abort = true;
     } else {
-      // The check and the commit-timestamp publication must be one atomic
-      // unit with respect to every other committing transaction, or a
-      // pivot's check could observe its out-partner as "not committed"
-      // while that partner wins a *smaller* timestamp — the dangerous
-      // structure would go undetected (the seed's system mutex gave this
-      // for free; PostgreSQL's SSI serializes commits the same way with
-      // SerializableXactHashLock). window_mu_ is that unit — and it is
-      // the ONLY global critical section left on the commit path: a
-      // partner's commit_ts is either already published here, or will be
-      // allocated after ours and cannot have committed first.
-      std::unique_lock<std::mutex> window(window_mu_, std::defer_lock);
-      if (check || has_writes) window.lock();
-      if (check) {
-        // Fig 3.2 / Fig 3.10: the dangerous-structure test, atomic with
-        // the transition to the committed state.
-        const Status st = check(txn.get());
+      // Certification triage (txn_manager.h): only an SSI commit with
+      // recorded conflict state must order its check and timestamp
+      // against other certifying commits. Everything else — SI/S2PL
+      // (no check hook, invisible to certification) and conflict-free
+      // SSI (nobody's partner: edges are bilateral and we hold our own
+      // latch) — allocates lock-free.
+      const bool needs_certification =
+          check && (txn->in_conflict_flag || txn->out_conflict_flag ||
+                    txn->in_ref.IsSet() || txn->out_ref.IsSet());
+      if (!needs_certification) {
+        if (check) fastpath_commits_.fetch_add(1, std::memory_order_relaxed);
+        commit_ts = has_writes ? ring_.Allocate() : ring_.stable();
+        txn->commit_ts.store(commit_ts, std::memory_order_release);
+      } else {
+        // Flat-combining certification: the check (Fig 3.2 / Fig 3.10)
+        // runs atomically-in-order with the timestamp allocation across
+        // every certifying commit (commit_combiner.h).
+        const Status st =
+            combiner_.Certify(txn.get(), check, has_writes, &commit_ts);
         if (!st.ok()) {
           abort_cause = st;
           must_abort = true;
         }
-      }
-      if (!must_abort) {
-        commit_ts = has_writes ? ring_.Allocate() : ring_.stable();
-        txn->commit_ts.store(commit_ts, std::memory_order_release);
       }
     }
     if (!must_abort) {
@@ -224,11 +255,14 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
         w.table_ref->NoteCommit(w.key, commit_ts);
       }
     }
-    if (!txn->page_writes.empty()) {
-      std::lock_guard<std::mutex> page_guard(page_mu_);
-      for (const LockKey& pk : txn->page_writes) {
-        PageWrite& slot = page_write_ts_[pk];
-        if (commit_ts > slot.ts) slot = PageWrite{commit_ts, txn->id};
+    for (const LockKey& pk : txn->page_writes) {
+      PageShard& ps = PageShardFor(pk);
+      std::lock_guard<std::mutex> page_guard(ps.mu);
+      auto inserted = ps.writes.emplace(pk, PageWrite{commit_ts, txn->id});
+      if (inserted.second) {
+        page_entries_.fetch_add(1, std::memory_order_relaxed);
+      } else if (commit_ts > inserted.first->second.ts) {
+        inserted.first->second = PageWrite{commit_ts, txn->id};
       }
     }
     // Publish the ring slot (lock-free watermark advance; may park
@@ -251,21 +285,19 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
   // unreachable after commit (the tracker filters to SSI participants),
   // so they leave the registry immediately.
   const bool retain = txn->isolation == IsolationLevel::kSerializableSSI;
+  const Timestamp departed_read_ts =
+      txn->read_ts.load(std::memory_order_relaxed);
   {
     RegistryShard& shard = ShardFor(txn->id);
     std::lock_guard<std::mutex> guard(shard.mu);
     shard.active.erase(txn.get());
     if (!retain) shard.txns.erase(txn->id);
-    RecomputeShardMinLocked(&shard);
+    NoteDepartureLocked(&shard, departed_read_ts);
   }
   active_count_.fetch_sub(1, std::memory_order_relaxed);
   if (retain) {
-    std::lock_guard<std::mutex> guard(suspended_mu_);
-    txn->suspended = true;
-    suspended_.emplace(commit_ts, txn);
-    if (commit_ts < oldest_suspended_.load(std::memory_order_relaxed)) {
-      oldest_suspended_.store(commit_ts, std::memory_order_release);
-    }
+    txn->suspended = true;  // Published by the Retire slot release.
+    suspended_.Retire(commit_ts, txn);
   }
   PublishMinActive();
 
@@ -327,12 +359,14 @@ void TxnManager::AbortInternal(const std::shared_ptr<TxnState>& txn) {
     }
     txn->status.store(TxnStatus::kAborted, std::memory_order_release);
   }
+  const Timestamp departed_read_ts =
+      txn->read_ts.load(std::memory_order_relaxed);
   {
     RegistryShard& shard = ShardFor(txn->id);
     std::lock_guard<std::mutex> guard(shard.mu);
     shard.active.erase(txn.get());
     shard.txns.erase(txn->id);
-    RecomputeShardMinLocked(&shard);
+    NoteDepartureLocked(&shard, departed_read_ts);
   }
   active_count_.fetch_sub(1, std::memory_order_relaxed);
   PublishMinActive();
@@ -349,41 +383,24 @@ void TxnManager::CleanupSuspended() {
   // A suspended transaction is released once every active transaction's
   // snapshot (and every future snapshot: >= the stable watermark, the
   // base of the maintained minimum) is at or past its commit — no overlap
-  // remains. Fast path: the oldest suspended commit timestamp is cached
-  // in an atomic; when it exceeds the cutoff, nothing can be released and
-  // no lock is taken. The cached value may lag a concurrent insert, but
-  // every commit ends with a cleanup call, so a lingering entry is reaped
-  // by the next one that observes the updated cache.
+  // remains. The epoch reclaimer's Collect has the lock-free "nothing
+  // collectible" fast path and hands out each expired state exactly once
+  // (epoch.h); the registry erase and SIREAD release run after its slot
+  // locks are dropped (lock-ordering leaf rule).
   const Timestamp cutoff = min_active_read_ts();
-  if (oldest_suspended_.load(std::memory_order_acquire) <= cutoff) {
-    std::vector<std::shared_ptr<TxnState>> expired;
+  SIReadIndex* sireads = lock_manager_->siread_index();
+  suspended_.Collect(cutoff, [&](std::shared_ptr<TxnState> t) {
     {
-      std::lock_guard<std::mutex> guard(suspended_mu_);
-      auto it = suspended_.begin();
-      while (it != suspended_.end() && it->first <= cutoff) {
-        expired.push_back(std::move(it->second));
-        it = suspended_.erase(it);
-      }
-      oldest_suspended_.store(suspended_.empty() ? kMaxTimestamp
-                                                 : suspended_.begin()->first,
-                              std::memory_order_release);
+      RegistryShard& shard = ShardFor(t->id);
+      std::lock_guard<std::mutex> guard(shard.mu);
+      shard.txns.erase(t->id);
     }
-    // Registry erase after suspended_mu_ is released: the two mutexes are
-    // never nested (lock-ordering leaf rule).
-    SIReadIndex* sireads = lock_manager_->siread_index();
-    for (const auto& t : expired) {
-      {
-        RegistryShard& shard = ShardFor(t->id);
-        std::lock_guard<std::mutex> guard(shard.mu);
-        shard.txns.erase(t->id);
-      }
-      // A suspended transaction's blocking locks were released at its own
-      // commit; only the retained SIREAD entries remain (§3.3). Drop them
-      // straight from the SIREAD index — O(held) per transaction, no
-      // lock-table sweep.
-      sireads->ReleaseAll(t->id);
-    }
-  }
+    // A suspended transaction's blocking locks were released at its own
+    // commit; only the retained SIREAD entries remain (§3.3). Drop them
+    // straight from the SIREAD index — O(held) per transaction, no
+    // lock-table sweep.
+    sireads->ReleaseAll(t->id);
+  });
 
   // Page-granularity FCW bookkeeping (§4.2) would otherwise grow without
   // bound: entries are inserted at commit and were never erased. An entry
@@ -391,16 +408,21 @@ void TxnManager::CleanupSuspended() {
   // mark an rw-conflict — every current snapshot, and every future one
   // (>= the stable watermark, the base of the minimum), is at or past it,
   // and a missing entry already reads as "never written". Swept
-  // periodically rather than per cleanup to amortize the map walk; kRow
-  // engines never populate the map and skip the mutex entirely.
-  if (options_.granularity == LockGranularity::kPage) {
-    std::lock_guard<std::mutex> page_guard(page_mu_);
-    if (!page_write_ts_.empty() &&
-        ++page_sweep_tick_ % kPageSweepPeriod == 0) {
-      for (auto it = page_write_ts_.begin(); it != page_write_ts_.end();) {
+  // periodically rather than per cleanup to amortize the shard walk; kRow
+  // engines never populate the shards and skip them entirely.
+  if (options_.granularity == LockGranularity::kPage &&
+      page_entries_.load(std::memory_order_relaxed) != 0 &&
+      page_sweep_tick_.fetch_add(1, std::memory_order_relaxed) %
+              kPageSweepPeriod ==
+          kPageSweepPeriod - 1) {
+    for (uint64_t i = 0; i <= page_shard_mask_; ++i) {
+      PageShard& ps = page_shards_[i];
+      std::lock_guard<std::mutex> page_guard(ps.mu);
+      for (auto it = ps.writes.begin(); it != ps.writes.end();) {
         if (it->second.ts <= cutoff) {
-          it = page_write_ts_.erase(it);
-          ++page_entries_pruned_;
+          it = ps.writes.erase(it);
+          page_entries_.fetch_sub(1, std::memory_order_relaxed);
+          page_entries_pruned_.fetch_add(1, std::memory_order_relaxed);
         } else {
           ++it;
         }
@@ -410,38 +432,35 @@ void TxnManager::CleanupSuspended() {
 }
 
 Timestamp TxnManager::PageLastWriteTs(const LockKey& page_key) const {
-  std::lock_guard<std::mutex> guard(page_mu_);
-  auto it = page_write_ts_.find(page_key);
-  return it == page_write_ts_.end() ? 0 : it->second.ts;
+  PageShard& ps = PageShardFor(page_key);
+  std::lock_guard<std::mutex> guard(ps.mu);
+  auto it = ps.writes.find(page_key);
+  return it == ps.writes.end() ? 0 : it->second.ts;
 }
 
 bool TxnManager::PageLastWrite(const LockKey& page_key, Timestamp* ts,
                                TxnId* txn) const {
-  std::lock_guard<std::mutex> guard(page_mu_);
-  auto it = page_write_ts_.find(page_key);
-  if (it == page_write_ts_.end()) return false;
+  PageShard& ps = PageShardFor(page_key);
+  std::lock_guard<std::mutex> guard(ps.mu);
+  auto it = ps.writes.find(page_key);
+  if (it == ps.writes.end()) return false;
   *ts = it->second.ts;
   *txn = it->second.txn;
   return true;
 }
 
 size_t TxnManager::page_write_entries() const {
-  std::lock_guard<std::mutex> guard(page_mu_);
-  return page_write_ts_.size();
+  return page_entries_.load(std::memory_order_relaxed);
 }
 
 uint64_t TxnManager::page_entries_pruned() const {
-  std::lock_guard<std::mutex> guard(page_mu_);
-  return page_entries_pruned_;
+  return page_entries_pruned_.load(std::memory_order_relaxed);
 }
 
 size_t TxnManager::active_count() const {
   return active_count_.load(std::memory_order_relaxed);
 }
 
-size_t TxnManager::suspended_count() const {
-  std::lock_guard<std::mutex> guard(suspended_mu_);
-  return suspended_.size();
-}
+size_t TxnManager::suspended_count() const { return suspended_.size(); }
 
 }  // namespace ssidb

@@ -4,12 +4,10 @@
 // atomic blocks; §4.4's InnoDB kernel mutex): every begin, snapshot and
 // commit-timestamp assignment, and conflict-flag mutation serialized
 // through one lock — the bottleneck the paper itself observes bounds
-// InnoDB's scalability (§6.4). PR 1 split that mutex; this layer now keeps
-// exactly ONE global critical section, the same one PostgreSQL's SSI keeps
-// (`SerializableXactHashLock`, Ports & Grittner, VLDB 2012): the
-// commit-time dangerous-structure check made atomic with commit-timestamp
-// publication, under the narrow `window_mu_`, held for just those two
-// steps. Everything else scales with cores:
+// InnoDB's scalability (§6.4). PR 1 split that mutex; PR 5 narrowed the
+// remainder to one commit-window mutex (PostgreSQL's
+// SerializableXactHashLock role); this layer now has NO global mutex on
+// the commit path at all:
 //
 //   * Timestamps: two lock-free counters. Transaction ids come from
 //     `id_clock_`; commit timestamps from the CommitRing's dedicated
@@ -19,55 +17,108 @@
 //     suffix — no set, no mutex (see commit_ring.h). The two domains are
 //     never compared: overlap and visibility tests all use read/commit
 //     timestamps (commit domain); ids only name transactions.
+//   * Certification (the dangerous-structure check made atomic with
+//     commit-timestamp publication) runs in a flat-combining stage
+//     (commit_combiner.h): committers that need it publish a request and
+//     one combiner-of-the-moment certifies the whole batch under a single
+//     lock acquisition. Committers that provably don't need it skip the
+//     stage entirely and allocate lock-free — see "Certification triage"
+//     below for the soundness argument.
 //   * Snapshot consistency: commits publish their versions *before*
 //     becoming visible to new snapshots via the CommitRing's stable
-//     watermark. A committing transaction allocates its timestamp (under
-//     window_mu_, atomic with the check), stamps its versions, then
-//     publishes its ring slot; the watermark advances by a lock-free scan
-//     of consecutive stamped slots, and snapshots read the watermark — a
-//     snapshot can never observe a half-stamped commit. Retiring and
-//     waiting take no lock; acknowledgment waits park on sharded
-//     condvars keyed by commit timestamp and are woken only when the
-//     watermark actually covers them (no thundering herd).
+//     watermark. A committing transaction allocates its timestamp (in
+//     certification order for certifying commits; lock-free otherwise),
+//     stamps its versions, then publishes its ring slot; the watermark
+//     advances by a lock-free scan of consecutive stamped slots, and
+//     snapshots read the watermark — a snapshot can never observe a
+//     half-stamped commit. Retiring and waiting take no lock;
+//     acknowledgment waits park on sharded condvars keyed by commit
+//     timestamp and are woken only when the watermark actually covers
+//     them (no thundering herd).
 //   * Registry: the transaction table and active set are sharded by
-//     transaction id (DBOptions::txn_registry_shards); begin / first
-//     statement / commit / abort touch one shard, `Find` probes one
-//     shard. `min_active_read_ts` is maintained from per-shard cached
-//     minima, aggregated lock-free (see PublishMinActive) instead of an
-//     O(active) rescan under a global lock.
+//     transaction id; the shard count follows the runtime core topology
+//     (DBOptions::txn_registry_shards = 0) instead of a fixed constant.
+//     Begin / first statement / commit / abort touch one shard, `Find`
+//     probes one shard. `min_active_read_ts` is maintained from per-shard
+//     cached minima, aggregated lock-free (see PublishMinActive) instead
+//     of an O(active) rescan under a global lock.
 //   * SSI conflict state: per-TxnState latches (TxnState::ssi_mu),
 //     acquired pairwise in txn-id order by the ConflictTracker; the
 //     commit-time dangerous-structure check runs under the committing
 //     transaction's own latch (see transaction.h).
 //
+// Certification triage (who must enter the combiner, and why skipping it
+// is sound). The check and commit-timestamp publication must be atomic
+// across certifying committers or a pivot's check could observe its
+// out-partner as "not committed" while that partner wins a *smaller*
+// timestamp — an undetected dangerous structure. Under its own ssi_mu a
+// committer classifies itself:
+//
+//   1. No check hook (SI/S2PL): the transaction records no
+//      rw-antidependency edges and the ConflictTracker filters it out of
+//      every partner's state (Participates()), so no concurrent check's
+//      verdict mentions it. Its timestamp allocation is invisible to
+//      certification — lock-free ring_.Allocate().
+//   2. SSI with ALL conflict state clear (both flags false and both
+//      references kNone, read under its own latch): edges are recorded
+//      bilaterally under pairwise latches (conflict_tracker.h), so "we
+//      have no edge" implies "no partner has an edge to us" at this
+//      instant, and any edge recorded later happens-after our latch
+//      releases — by which time our committed status and timestamp are
+//      published together, exactly what a later serial certification
+//      would observe. A transaction with no edge can neither be a pivot
+//      nor complete a partner's structure — fast path, lock-free
+//      allocation.
+//   3. SSI with ANY conflict state: a partner's in-flight certification
+//      may reason about our commit time; ordering our allocation against
+//      their check requires the combiner. This is the only class that
+//      enters the certification stage.
+//
+// Batch atomicity (why one combined pass == N serial critical sections):
+// the combiner holds one lock and processes requests strictly in slot
+// order; request i's check runs after every earlier request's verdict and
+// timestamp are final and before any later request's exist — a serial
+// schedule with that arrival order. Same-batch successors hold LARGER
+// timestamps, so the §3.6 "out-partner committed first" comparison is
+// decided identically to the serial run. And a certifying committer still
+// holds its ssi_mu across the whole stage, so markings serialize against
+// the check + status transition exactly as before (transaction.h). The
+// per-pass details live in commit_combiner.h.
+//
 // Committed SSI transactions are not forgotten immediately: their TxnState
 // remains registered (the paper's *suspended* state, §3.3) until no active
 // transaction overlaps them, at which point their retained SIREAD locks
 // are released and the state is dropped — the eager cleanup of the InnoDB
-// prototype (§4.6.1). SI and S2PL transactions never participate in SSI
-// conflict tracking (nothing ever resolves them after commit), so they are
-// deregistered at commit and skip the suspended list entirely.
+// prototype (§4.6.1). The retained states park in an epoch reclaimer
+// keyed by commit timestamp (src/common/epoch.h): retiring is one
+// per-thread slot touch instead of an ordered-multimap insert under a
+// global mutex, and the "nothing to release" case stays lock-free. SI and
+// S2PL transactions never participate in SSI conflict tracking (nothing
+// ever resolves them after commit), so they are deregistered at commit
+// and skip suspension entirely.
 //
 // Read-only commits (nothing to stamp) bypass the ring: their commit
 // timestamp is the current stable watermark — they are "committed at" the
 // snapshot boundary they already read at. Timestamps of distinct read-only
-// commits may therefore collide (the suspended list is a multimap); a
-// read-only commit never blocks on, and never blocks, the watermark.
+// commits may therefore collide (the epoch reclaimer permits duplicate
+// epochs); a read-only commit never blocks on, and never blocks, the
+// watermark.
 
 #ifndef SSIDB_TXN_TXN_MANAGER_H_
 #define SSIDB_TXN_TXN_MANAGER_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/common/options.h"
 #include "src/common/status.h"
 #include "src/lock/lock_manager.h"
+#include "src/txn/commit_combiner.h"
 #include "src/txn/commit_ring.h"
 #include "src/txn/log_manager.h"
 #include "src/txn/transaction.h"
@@ -92,11 +143,14 @@ class TxnManager {
   /// commits at or below it are fully stamped).
   void EnsureSnapshot(TxnState* txn);
 
-  /// Hook run under the committing transaction's ssi_mu latch *and*
-  /// window_mu_, just before the commit timestamp is assigned — one atomic
-  /// unit per committing transaction, so the dangerous-structure test and
-  /// the commit-order it reasons about can never diverge (Fig 3.2 lines
-  /// 3-5 / Fig 3.10 lines 3-6 live here, provided by the SSI tracker).
+  /// Hook run under the committing transaction's ssi_mu latch, just
+  /// before the commit timestamp is assigned (Fig 3.2 lines 3-5 /
+  /// Fig 3.10 lines 3-6, provided by the SSI tracker). Consulted ONLY for
+  /// transactions with recorded conflict state — a conflict-free SSI
+  /// commit takes the fast path and never calls it (see the certification
+  /// triage argument in the file header). When it does run, it runs
+  /// inside the flat-combining certification stage, atomically-in-order
+  /// with every other certifying commit's check and timestamp.
   using CommitCheck = std::function<Status(TxnState*)>;
 
   /// Commit: check hook, timestamp + version stamping, log append (+ group
@@ -208,6 +262,18 @@ class TxnManager {
   uint64_t ring_full_stalls() const { return ring_.full_stalls(); }
   /// Deepest observed in-flight commit window (allocated - stable).
   uint64_t max_commit_window_depth() const { return ring_.max_depth(); }
+  /// Combining passes that certified at least one commit.
+  uint64_t commit_combine_batches() const {
+    return combiner_.combine_batches();
+  }
+  /// Commits certified by those passes.
+  uint64_t commit_combined_txns() const { return combiner_.combined_txns(); }
+  /// Largest single combining pass.
+  uint64_t commit_max_batch() const { return combiner_.max_batch(); }
+  /// SSI commits that skipped certification (conflict-free fast path).
+  uint64_t commit_fastpath() const {
+    return fastpath_commits_.load(std::memory_order_relaxed);
+  }
 
   const DBOptions& options() const { return options_; }
   LockManager* lock_manager() { return lock_manager_; }
@@ -219,10 +285,12 @@ class TxnManager {
     /// transactions retained for conflict resolution (§3.3).
     std::unordered_map<TxnId, std::shared_ptr<TxnState>> txns;
     std::unordered_set<TxnState*> active;
-    /// Cached min over the assigned read_ts of `active` members
-    /// (kMaxTimestamp when none is assigned). Maintained exactly under
-    /// `mu`: inserts/assignments lower it with min(), removals recompute
-    /// it; read lock-free by PublishMinActive.
+    /// Exact min over the assigned read_ts of `active` members
+    /// (kMaxTimestamp when none is assigned) — except for the bounded
+    /// instant inside ClaimSnapshotLocked where a pre-claim holds it one
+    /// watermark step low. Maintained under `mu`: assignments store
+    /// min(previous, snapshot), removals of the minimum holder recompute;
+    /// read lock-free by PublishMinActive.
     std::atomic<Timestamp> min_read_ts{kMaxTimestamp};
   };
 
@@ -230,14 +298,21 @@ class TxnManager {
     return shards_[id & shard_mask_];
   }
 
-  /// Recompute shard.min_read_ts from its members. Caller holds shard.mu.
-  static void RecomputeShardMinLocked(RegistryShard* shard);
+  /// Recompute shard.min_read_ts from its members — but only when the
+  /// departing transaction's snapshot could have been the cached minimum.
+  /// The cache is exact (see RegistryShard::min_read_ts), so a departing
+  /// read_ts above it cannot change the minimum and the O(active) rescan
+  /// is skipped; an unassigned snapshot (0) never constrained it. Caller
+  /// holds shard.mu.
+  static void NoteDepartureLocked(RegistryShard* shard,
+                                  Timestamp departed_read_ts);
 
   /// Assign a snapshot: pre-claim the shard minimum at a watermark lower
-  /// bound, then take the snapshot from a second watermark read (the
+  /// bound, take the snapshot from a second watermark read (the
   /// claim-then-read protocol that keeps PublishMinActive's lock-free
   /// aggregate from overshooting a registrant paused mid-registration —
-  /// see the implementation comment). Caller holds shard->mu.
+  /// see the implementation comment), then settle the cache at the exact
+  /// min(previous, snapshot). Caller holds shard->mu.
   Timestamp ClaimSnapshotLocked(RegistryShard* shard);
 
   /// Aggregate the per-shard minima (floored at the stable watermark) and
@@ -257,9 +332,9 @@ class TxnManager {
   void AbortInternal(const std::shared_ptr<TxnState>& txn);
 
   /// Release suspended transactions no longer overlapping anything active.
-  /// Fast path: one atomic compare (oldest suspended commit_ts vs the
-  /// maintained min_active_read_ts) — no lock when nothing can be
-  /// released.
+  /// Fast path: one atomic compare inside the epoch reclaimer (oldest
+  /// retired commit_ts vs the maintained min_active_read_ts) — no lock
+  /// when nothing can be released.
   void CleanupSuspended();
 
   const DBOptions options_;
@@ -273,10 +348,13 @@ class TxnManager {
   /// The commit pipeline: commit clock, slot ring, watermark, parking.
   CommitRing ring_;
 
-  /// The one global critical section (PostgreSQL's
-  /// SerializableXactHashLock role): dangerous-structure check + commit
-  /// timestamp allocation + commit_ts publication, nothing else.
-  std::mutex window_mu_;
+  /// The certification stage (file header: certification triage / batch
+  /// atomicity). Only SSI commits with recorded conflict state enter it;
+  /// everything else allocates straight from ring_.
+  CommitCombiner combiner_;
+
+  /// SSI commits that skipped certification (triage class 2).
+  std::atomic<uint64_t> fastpath_commits_{0};
 
   std::atomic<Timestamp> min_active_read_ts_{1};
   /// Prune floor of the in-progress checkpoint sweep (kMaxTimestamp when
@@ -289,26 +367,33 @@ class TxnManager {
   /// coherent cut; DBStats promises individually coherent counters).
   std::atomic<size_t> active_count_{0};
 
-  /// Committed, retained SSI transactions ordered by commit timestamp
-  /// (multimap: read-only commit timestamps may collide). Guarded by
-  /// suspended_mu_; never held together with a shard mutex.
-  mutable std::mutex suspended_mu_;
-  std::multimap<Timestamp, std::shared_ptr<TxnState>> suspended_;
-  /// Smallest key in suspended_ (kMaxTimestamp when empty): the
-  /// CleanupSuspended lock-free fast path. Updated under suspended_mu_.
-  std::atomic<Timestamp> oldest_suspended_{kMaxTimestamp};
+  /// Committed, retained SSI transactions, keyed by commit timestamp
+  /// (duplicates allowed: read-only commit timestamps may collide).
+  /// Collected by CleanupSuspended once min_active_read_ts passes them.
+  EpochReclaimer<std::shared_ptr<TxnState>> suspended_;
 
-  /// Page-level FCW bookkeeping (kPage granularity only).
+  /// Page-level FCW bookkeeping (kPage granularity only), sharded by lock
+  /// key hash: page commits from disjoint pages touch disjoint mutexes.
   struct PageWrite {
     Timestamp ts = 0;
     TxnId txn = 0;
   };
-  mutable std::mutex page_mu_;
-  std::unordered_map<LockKey, PageWrite, LockKeyHash> page_write_ts_;
+  struct alignas(64) PageShard {
+    mutable std::mutex mu;
+    std::unordered_map<LockKey, PageWrite, LockKeyHash> writes;
+  };
+  PageShard& PageShardFor(const LockKey& key) const {
+    return page_shards_[LockKeyHash{}(key) & page_shard_mask_];
+  }
+  const uint64_t page_shard_mask_;
+  const std::unique_ptr<PageShard[]> page_shards_;
+  /// Live entries across all page shards (page_write_entries must be one
+  /// coherent counter, not a per-shard sum).
+  std::atomic<size_t> page_entries_{0};
   /// Cleanup invocations since start; every kPageSweepPeriod-th sweeps the
-  /// map. Guarded by page_mu_.
-  uint64_t page_sweep_tick_ = 0;
-  uint64_t page_entries_pruned_ = 0;
+  /// shards.
+  std::atomic<uint64_t> page_sweep_tick_{0};
+  std::atomic<uint64_t> page_entries_pruned_{0};
 };
 
 }  // namespace ssidb

@@ -1,0 +1,174 @@
+// Shared §4.7 exhaustive-interleaving harness: transaction programs, the
+// interleaving enumerator, and a deterministic single-threaded replayer.
+// Used by interleaving_test.cc (the thesis's validation methodology) and
+// commit_combiner_test.cc (differential certification: batched combiner vs
+// the serial reference engine must abort identical transaction sets).
+
+#ifndef SSIDB_TESTS_INTERLEAVING_HARNESS_H_
+#define SSIDB_TESTS_INTERLEAVING_HARNESS_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/db/db.h"
+#include "src/sgt/mvsg.h"
+
+namespace ssidb {
+namespace interleave {
+
+struct Op {
+  int txn;  // Index into the transaction set.
+  enum Kind { kRead, kWrite, kCommit } kind;
+  std::string key;
+};
+
+/// The thesis's §4.7 test set:
+///   T1: b1 r1(x) c1
+///   T2: b2 r2(y) w2(x) c2
+///   T3: b3 w3(y) c3
+/// Note this set produces only a chain T1 -rw-> T2 -rw-> T3 (never a
+/// cycle), so every execution is serializable — it probes the *conservative*
+/// side of the detector: SSI may abort (T2 is a structural pivot) but must
+/// never be needed for correctness here.
+inline std::vector<std::vector<Op>> TestSetPrograms() {
+  return {
+      {{0, Op::kRead, "x"}, {0, Op::kCommit, ""}},
+      {{1, Op::kRead, "y"}, {1, Op::kWrite, "x"}, {1, Op::kCommit, ""}},
+      {{2, Op::kWrite, "y"}, {2, Op::kCommit, ""}},
+  };
+}
+
+/// The classic write-skew pair (Example 2, Fig 2.1): interleavings where
+/// both transactions read before either commits are genuinely
+/// non-serializable under SI.
+inline std::vector<std::vector<Op>> WriteSkewPrograms() {
+  return {
+      {{0, Op::kRead, "x"},
+       {0, Op::kRead, "y"},
+       {0, Op::kWrite, "x"},
+       {0, Op::kCommit, ""}},
+      {{1, Op::kRead, "x"},
+       {1, Op::kRead, "y"},
+       {1, Op::kWrite, "y"},
+       {1, Op::kCommit, ""}},
+  };
+}
+
+/// All merges of the per-transaction sequences, preserving each program's
+/// internal order (standard multiset-permutation enumeration).
+inline void EnumerateInterleavings(const std::vector<std::vector<Op>>& programs,
+                                   std::vector<Op>* current,
+                                   std::vector<size_t>* pos,
+                                   std::vector<std::vector<Op>>* out) {
+  bool done = true;
+  for (size_t i = 0; i < programs.size(); ++i) {
+    if ((*pos)[i] < programs[i].size()) {
+      done = false;
+      current->push_back(programs[i][(*pos)[i]]);
+      (*pos)[i]++;
+      EnumerateInterleavings(programs, current, pos, out);
+      (*pos)[i]--;
+      current->pop_back();
+    }
+  }
+  if (done) out->push_back(*current);
+}
+
+inline std::vector<std::vector<Op>> AllInterleavings(
+    const std::vector<std::vector<Op>>& programs) {
+  std::vector<std::vector<Op>> out;
+  std::vector<Op> current;
+  std::vector<size_t> pos(programs.size(), 0);
+  EnumerateInterleavings(programs, &current, &pos, &out);
+  return out;
+}
+
+struct ReplayResult {
+  int committed = 0;
+  int unsafe_aborts = 0;
+  int other_aborts = 0;
+  bool history_serializable = true;
+  /// Which transaction indices committed (for exact differential
+  /// comparison, not just counts).
+  std::vector<int> committed_txns;
+};
+
+/// Replay one interleaving of `num_txns` programs at `iso` against a fresh
+/// engine built from `opts` (history recording and a short lock timeout
+/// are forced on — S2PL interleavings can block and must fail fast). A
+/// transaction that aborts mid-stream skips its remaining operations (as a
+/// real client would). Single-threaded and fully deterministic for a given
+/// (interleaving, opts) pair.
+inline ReplayResult Replay(const std::vector<Op>& interleaving, int num_txns,
+                           IsolationLevel iso, DBOptions opts = DBOptions{}) {
+  opts.record_history = true;
+  opts.lock_timeout_ms = 100;
+  std::unique_ptr<DB> db;
+  EXPECT_TRUE(DB::Open(opts, &db).ok());
+  TableId table = 0;
+  EXPECT_TRUE(db->CreateTable("t", &table).ok());
+  {
+    auto seed = db->Begin({IsolationLevel::kSnapshot});
+    EXPECT_TRUE(seed->Put(table, "x", "0").ok());
+    EXPECT_TRUE(seed->Put(table, "y", "0").ok());
+    EXPECT_TRUE(seed->Commit().ok());
+  }
+
+  std::vector<std::unique_ptr<Transaction>> txns;
+  for (int i = 0; i < num_txns; ++i) txns.push_back(db->Begin({iso}));
+  std::vector<bool> dead(num_txns, false);
+
+  ReplayResult result;
+  for (const Op& op : interleaving) {
+    Transaction* txn = txns[op.txn].get();
+    if (dead[op.txn] || !txn->active()) {
+      if (!dead[op.txn]) {
+        dead[op.txn] = true;
+      }
+      continue;
+    }
+    Status s;
+    switch (op.kind) {
+      case Op::kRead: {
+        std::string v;
+        s = txn->Get(table, op.key, &v);
+        break;
+      }
+      case Op::kWrite:
+        s = txn->Put(table, op.key, "1");
+        break;
+      case Op::kCommit:
+        s = txn->Commit();
+        if (s.ok()) {
+          ++result.committed;
+          result.committed_txns.push_back(op.txn);
+          dead[op.txn] = true;
+          continue;
+        }
+        break;
+    }
+    if (!s.ok()) {
+      dead[op.txn] = true;
+      if (txn->active()) txn->Abort();
+      if (s.IsUnsafe()) {
+        ++result.unsafe_aborts;
+      } else if (s.IsAbort()) {
+        ++result.other_aborts;
+      }
+    }
+  }
+  for (auto& txn : txns) {
+    if (txn->active()) txn->Abort();
+  }
+  result.history_serializable =
+      sgt::AnalyzeHistory(db->history()->Snapshot()).serializable;
+  return result;
+}
+
+}  // namespace interleave
+}  // namespace ssidb
+
+#endif  // SSIDB_TESTS_INTERLEAVING_HARNESS_H_

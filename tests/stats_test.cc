@@ -215,6 +215,60 @@ TEST(StatsTest, CommitPipelineCountersFoldAndStayMonotonic) {
   EXPECT_EQ(s1.ring_full_stalls, 0u);
 }
 
+/// Certification-stage counters: the conflict-free fast path and the
+/// combiner are mutually exclusive classifications of an SSI commit, and
+/// DBStats must attribute each commit to exactly one of them.
+TEST(StatsTest, CertificationCountersSplitFastPathFromCombining) {
+  DBOptions opts;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+  TableId table = 0;
+  ASSERT_TRUE(db->CreateTable("t", &table).ok());
+  {
+    // SI seeding never touches the certification stage (no commit check).
+    auto seed = db->Begin({IsolationLevel::kSnapshot});
+    ASSERT_TRUE(seed->Put(table, "x", "0").ok());
+    ASSERT_TRUE(seed->Put(table, "y", "0").ok());
+    ASSERT_TRUE(seed->Commit().ok());
+    EXPECT_EQ(db->GetStats().commit_fastpath, 0u);
+  }
+
+  // A lone SSI writer has no conflict state: fast path, never combined.
+  {
+    auto t = db->Begin({IsolationLevel::kSerializableSSI});
+    ASSERT_TRUE(t->Put(table, "x", "1").ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  DBStats s0 = db->GetStats();
+  EXPECT_EQ(s0.commit_fastpath, 1u);
+  EXPECT_EQ(s0.commit_combined_txns, 0u);
+  EXPECT_EQ(s0.commit_combine_batches, 0u);
+  EXPECT_EQ(s0.commit_max_batch, 0u);
+
+  // A write-skew pair: both transactions carry rw-antidependency state at
+  // commit, so both must go through the combiner (whatever the verdicts).
+  {
+    auto t1 = db->Begin({IsolationLevel::kSerializableSSI});
+    auto t2 = db->Begin({IsolationLevel::kSerializableSSI});
+    std::string v;
+    ASSERT_TRUE(t1->Get(table, "x", &v).ok());
+    ASSERT_TRUE(t1->Get(table, "y", &v).ok());
+    ASSERT_TRUE(t2->Get(table, "x", &v).ok());
+    ASSERT_TRUE(t2->Get(table, "y", &v).ok());
+    ASSERT_TRUE(t1->Put(table, "x", "1").ok());
+    ASSERT_TRUE(t2->Put(table, "y", "1").ok());
+    t1->Commit();  // Verdicts may differ by tracking mode; the
+    t2->Commit();  // classification must not.
+  }
+  DBStats s1 = db->GetStats();
+  EXPECT_EQ(s1.commit_fastpath, 1u);  // Unchanged: neither took it.
+  EXPECT_GE(s1.commit_combined_txns, 1u);
+  EXPECT_GE(s1.commit_combine_batches, 1u);
+  EXPECT_LE(s1.commit_combine_batches, s1.commit_combined_txns);
+  EXPECT_GE(s1.commit_max_batch, 1u);
+  EXPECT_LE(s1.commit_max_batch, s1.commit_combined_txns);
+}
+
 /// The commit_ring_slots knob reaches the pipeline: a tiny ring under
 /// concurrent writers still drains correctly (and records any stalls it
 /// took doing so).

@@ -116,11 +116,62 @@ TEST_F(TxnManagerTest, ReadOnlyCommitsCarryTheWatermark) {
 TEST_F(TxnManagerTest, CommitCheckFailureAborts) {
   auto t = mgr_.Begin(IsolationLevel::kSerializableSSI);
   mgr_.EnsureSnapshot(t.get());
+  // The check is only consulted for transactions with recorded conflict
+  // state (certification triage, txn_manager.h); give this one a pivot's
+  // shape so the failing verdict actually runs.
+  t->in_conflict_flag = true;
+  t->out_conflict_flag = true;
   Status st = mgr_.Commit(
       t, [](TxnState*) { return Status::Unsafe("nope"); }, {});
   EXPECT_TRUE(st.IsUnsafe());
   EXPECT_EQ(t->status.load(), TxnStatus::kAborted);
   EXPECT_EQ(mgr_.active_count(), 0u);
+  EXPECT_EQ(mgr_.commit_fastpath(), 0u);
+}
+
+TEST_F(TxnManagerTest, ConflictFreeSSICommitSkipsCertification) {
+  // Certification triage class 2 (txn_manager.h): an SSI commit whose
+  // conflict state is entirely clear under its own latch can be nobody's
+  // partner, so the check hook is never consulted — even one that would
+  // refuse the commit.
+  auto t = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(t.get());
+  bool check_ran = false;
+  Status st = mgr_.Commit(
+      t,
+      [&](TxnState*) {
+        check_ran = true;
+        return Status::Unsafe("must not run");
+      },
+      {});
+  EXPECT_TRUE(st.ok());
+  EXPECT_FALSE(check_ran);
+  EXPECT_EQ(t->status.load(), TxnStatus::kCommitted);
+  EXPECT_EQ(mgr_.commit_fastpath(), 1u);
+  EXPECT_EQ(mgr_.commit_combined_txns(), 0u);
+}
+
+TEST_F(TxnManagerTest, AnyConflictStateForcesCertification) {
+  // Triage class 3: one recorded edge — of either polarity, in either
+  // representation — routes the commit through the certification stage.
+  int checks_ran = 0;
+  auto check = [&](TxnState*) {
+    ++checks_ran;
+    return Status::OK();
+  };
+  auto t1 = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(t1.get());
+  t1->out_conflict_flag = true;  // Basic (kFlags) representation.
+  EXPECT_TRUE(mgr_.Commit(t1, check, {}).ok());
+  auto t2 = mgr_.Begin(IsolationLevel::kSerializableSSI);
+  mgr_.EnsureSnapshot(t2.get());
+  t2->in_ref.SetSelf();  // Precise (kReferences) representation.
+  EXPECT_TRUE(mgr_.Commit(t2, check, {}).ok());
+  EXPECT_EQ(checks_ran, 2);
+  EXPECT_EQ(mgr_.commit_fastpath(), 0u);
+  EXPECT_EQ(mgr_.commit_combined_txns(), 2u);
+  EXPECT_GE(mgr_.commit_combine_batches(), 1u);
+  EXPECT_GE(mgr_.commit_max_batch(), 1u);
 }
 
 TEST_F(TxnManagerTest, MarkedForAbortHonouredAtCommit) {
