@@ -83,6 +83,13 @@ RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
           ? 0.0
           : static_cast<double>(window_records) /
                 static_cast<double>(window_batches);
+  // Disk-tier record (zero when the buffer pool is disabled).
+  total.buffer_pool_hits = engine.buffer_pool_hits;
+  total.buffer_pool_misses = engine.buffer_pool_misses;
+  total.buffer_pool_evictions = engine.buffer_pool_evictions;
+  total.buffer_pool_writebacks = engine.buffer_pool_writebacks;
+  total.spilled_chains = engine.spilled_chains;
+  total.faulted_chains = engine.faulted_chains;
   return total;
 }
 

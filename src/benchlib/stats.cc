@@ -47,7 +47,7 @@ std::string ResultRow(const std::string& figure, const std::string& series,
 std::string ResultJsonLine(const std::string& figure,
                            const std::string& series, int mpl,
                            const RunResult& r) {
-  char buf[768];
+  char buf[1024];
   snprintf(buf, sizeof(buf),
            "{\"figure\":\"%s\",\"series\":\"%s\",\"mpl\":%d,"
            "\"commits_per_sec\":%.1f,\"seconds\":%.3f,\"commits\":%llu,"
@@ -55,7 +55,10 @@ std::string ResultJsonLine(const std::string& figure,
            "\"timeouts\":%llu,\"checkpoints\":%llu,"
            "\"checkpoint_bytes_written\":%llu,\"wal_segments_deleted\":%llu,"
            "\"versions_pruned\":%llu,\"log_flush_batches\":%llu,"
-           "\"log_mean_batch\":%.2f}",
+           "\"log_mean_batch\":%.2f,\"buffer_pool_hits\":%llu,"
+           "\"buffer_pool_misses\":%llu,\"buffer_pool_evictions\":%llu,"
+           "\"buffer_pool_writebacks\":%llu,\"spilled_chains\":%llu,"
+           "\"faulted_chains\":%llu}",
            figure.c_str(), series.c_str(), mpl, r.Throughput(), r.seconds,
            static_cast<unsigned long long>(r.commits),
            static_cast<unsigned long long>(r.deadlocks),
@@ -67,7 +70,13 @@ std::string ResultJsonLine(const std::string& figure,
            static_cast<unsigned long long>(r.wal_segments_deleted),
            static_cast<unsigned long long>(r.versions_pruned),
            static_cast<unsigned long long>(r.log_flush_batches),
-           r.log_mean_batch);
+           r.log_mean_batch,
+           static_cast<unsigned long long>(r.buffer_pool_hits),
+           static_cast<unsigned long long>(r.buffer_pool_misses),
+           static_cast<unsigned long long>(r.buffer_pool_evictions),
+           static_cast<unsigned long long>(r.buffer_pool_writebacks),
+           static_cast<unsigned long long>(r.spilled_chains),
+           static_cast<unsigned long long>(r.faulted_chains));
   return buf;
 }
 

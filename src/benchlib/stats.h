@@ -36,6 +36,20 @@ struct RunResult {
   uint64_t log_flush_batches = 0;
   double log_mean_batch = 0;
 
+  // Disk-tier counters (DBStats snapshot; zero when the buffer pool is
+  // disabled). hit_rate = hits / (hits + misses) when pages were touched.
+  uint64_t buffer_pool_hits = 0;
+  uint64_t buffer_pool_misses = 0;
+  uint64_t buffer_pool_evictions = 0;
+  uint64_t buffer_pool_writebacks = 0;
+  uint64_t spilled_chains = 0;
+  uint64_t faulted_chains = 0;
+
+  double BufferPoolHitRate() const {
+    const uint64_t total = buffer_pool_hits + buffer_pool_misses;
+    return total > 0 ? static_cast<double>(buffer_pool_hits) / total : 0;
+  }
+
   uint64_t TotalAborts() const {
     return deadlocks + update_conflicts + unsafe + timeouts;
   }

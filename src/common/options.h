@@ -189,6 +189,33 @@ struct DBOptions {
   /// (tests use tiny values to force collisions).
   uint32_t txn_registry_shards = 0;
 
+  /// Disk-backed storage tier (buffer_pool.h / storage_tier.h). Nonzero
+  /// enables it: cold version chains (newest commit at or below the prune
+  /// horizon, not accessed since the previous sweep) are evicted to
+  /// immutable sorted run files under data_dir, and a read that misses in
+  /// memory faults the chain suffix back through a buffer pool of this
+  /// many bytes (fixed frame array, clock second-chance eviction). 0 (the
+  /// default) keeps every chain memory-resident — the pre-tier engine,
+  /// bit-for-bit.
+  uint64_t buffer_pool_bytes = 0;
+
+  /// Directory for run files. Empty defaults to "<wal_dir>/runs" when
+  /// LogOptions::wal_dir is set; with both empty the storage tier stays
+  /// disabled regardless of buffer_pool_bytes (there is nowhere to spill).
+  /// In-memory engines (wal_dir unset) wipe stale runs at Open — runs are
+  /// part of the durable state only when the WAL is.
+  std::string data_dir;
+
+  /// Size of one run-file page: the buffer pool's frame size and the CRC
+  /// framing unit of run files. Entries larger than a page's payload are
+  /// never spilled (they stay memory-resident).
+  uint32_t run_page_bytes = 16384;
+
+  /// Background compaction trigger: when a table accumulates at least this
+  /// many run files, the sweeper merges them into one (newest commit
+  /// timestamp per key wins). Minimum 2.
+  uint32_t run_compaction_min_runs = 4;
+
   /// Flat-combining SSI commit certification (commit_combiner.h): when a
   /// batch of transactions arrives at the certification stage together,
   /// one committer validates all of them under a single lock acquisition.

@@ -70,6 +70,17 @@ DB::DB(const DBOptions& options)
       txn_manager_(std::make_unique<TxnManager>(options, lock_manager_.get(),
                                                 log_manager_.get())),
       tracker_(std::make_unique<ConflictTracker>(options, txn_manager_.get())) {
+  if (options.buffer_pool_bytes > 0 &&
+      (!options.data_dir.empty() || !options.log.wal_dir.empty())) {
+    // Tier enabled: runs live in data_dir, defaulting to a subdirectory of
+    // the WAL directory. A pool size with nowhere to put runs (both dirs
+    // empty) leaves the tier off — the engine stays memory-only.
+    const std::string dir = options.data_dir.empty()
+                                ? options.log.wal_dir + "/runs"
+                                : options.data_dir;
+    tier_ = std::make_unique<StorageTier>(options, dir);
+    catalog_.SetStorageTier(tier_.get());
+  }
   if (options.record_history) {
     history_ = std::make_unique<sgt::HistoryRecorder>();
   }
@@ -89,6 +100,16 @@ Status DB::Open(const DBOptions& options, std::unique_ptr<DB>* db) {
     return Status::InvalidArgument("rows_per_page must be positive");
   }
   db->reset(new DB(options));
+  if ((*db)->tier_ != nullptr) {
+    // Without a WAL the runs cannot be reconciled with any recovered
+    // state, so a fresh in-memory engine wipes leftovers from a previous
+    // process instead of resurrecting them.
+    Status st = (*db)->tier_->Init(/*wipe=*/options.log.wal_dir.empty());
+    if (!st.ok()) {
+      db->reset();
+      return st;
+    }
+  }
   if (!options.log.wal_dir.empty()) {
     // Crash recovery runs before the first transaction — and before the
     // engine's own WAL writer creates its first segment, so the newest
@@ -110,6 +131,16 @@ Status DB::RecoverOnOpen() {
   if (!st.ok()) return st;
   // New transactions must draw ids/snapshots above every recovered commit.
   txn_manager_->AdvanceClockTo(recovery_stats_.max_commit_ts);
+  if (tier_ != nullptr) {
+    // Open the run files and re-mark their chains evicted: spilled state
+    // stays on disk across restarts instead of being replayed into RAM.
+    // A run may hold commits newer than anything in the WAL/checkpoint
+    // cut only if that cut was damaged; the clock still must clear them.
+    Timestamp max_run_cts = 0;
+    st = tier_->RecoverRuns(&catalog_, &max_run_cts);
+    if (!st.ok()) return st;
+    txn_manager_->AdvanceClockTo(max_run_cts);
+  }
   // Seed the WAL writer's per-segment metadata from recovery's scan, so
   // checkpoint GC can judge pre-crash segments without re-reading them.
   log_manager_->SeedWalSegmentMeta(recovery_stats_.wal_segments);
@@ -194,6 +225,18 @@ void DB::SweepVersions() {
   }
   if (freed > 0) {
     versions_pruned_.fetch_add(freed, std::memory_order_relaxed);
+  }
+  if (tier_ != nullptr) {
+    // Spill the cold tail the prune left behind: chains whose anchor is at
+    // or below the horizon and that stayed untouched for two sweeps move
+    // to a run file; the merge daemon then keeps each table's run count
+    // bounded. Best effort — a failed run write just retries next sweep.
+    for (TableId id = 0; id < tables; ++id) {
+      Table* t = catalog_.table(id);
+      if (t == nullptr) continue;
+      t->SpillShards(horizon);
+      tier_->MaybeCompact(id);
+    }
   }
 }
 
@@ -312,6 +355,13 @@ std::unique_ptr<Transaction> DB::Begin(const TxnOptions& options) {
       executor_.get(), txn_manager_->Begin(options.isolation)));
 }
 
+size_t DB::SpillChains(TableId id) {
+  if (tier_ == nullptr) return 0;
+  Table* t = catalog_.table(id);
+  if (t == nullptr) return 0;
+  return t->SpillShards(txn_manager_->prune_horizon());
+}
+
 size_t DB::PruneVersions(TableId id) {
   Table* t = catalog_.table(id);
   if (t == nullptr) return 0;
@@ -349,6 +399,15 @@ DBStats DB::GetStats() const {
   s.commit_combined_txns = txn_manager_->commit_combined_txns();
   s.commit_max_batch = txn_manager_->commit_max_batch();
   s.commit_fastpath = txn_manager_->commit_fastpath();
+  if (tier_ != nullptr) {
+    const BufferPool* pool = tier_->pool();
+    s.buffer_pool_hits = pool->hits();
+    s.buffer_pool_misses = pool->misses();
+    s.buffer_pool_evictions = pool->evictions();
+    s.buffer_pool_writebacks = pool->writebacks();
+    s.spilled_chains = tier_->spilled_chains();
+    s.faulted_chains = tier_->faulted_chains();
+  }
   return s;
 }
 

@@ -42,6 +42,7 @@
 #include "src/sgt/history.h"
 #include "src/ssi/conflict_tracker.h"
 #include "src/storage/catalog.h"
+#include "src/storage/storage_tier.h"
 #include "src/storage/table.h"
 #include "src/txn/executor.h"
 #include "src/txn/log_manager.h"
@@ -181,6 +182,22 @@ struct DBStats {
   /// SSI commits that skipped certification entirely because both
   /// conflict sides were clear under their own latch.
   uint64_t commit_fastpath = 0;
+
+  // Disk-tier counters (buffer pool + spill/fault protocol; see
+  // src/storage/storage_tier.h). All zero when the tier is disabled
+  // (DBOptions::buffer_pool_bytes == 0).
+  /// Run-file page reads served from a resident pool frame.
+  uint64_t buffer_pool_hits = 0;
+  /// Run-file page reads that went to disk (pool frame load).
+  uint64_t buffer_pool_misses = 0;
+  /// Valid frames reclaimed by the clock (second-chance) scan.
+  uint64_t buffer_pool_evictions = 0;
+  /// Dirty frames written back to their run file.
+  uint64_t buffer_pool_writebacks = 0;
+  /// Cold version chains evicted to runs by the spill sweep.
+  uint64_t spilled_chains = 0;
+  /// Evicted chains faulted back in from runs by reads.
+  uint64_t faulted_chains = 0;
 };
 
 class DB {
@@ -260,12 +277,21 @@ class DB {
   /// sweep). Returns the number of versions freed.
   size_t PruneVersions(TableId table);
 
+  /// One spill sweep over `table` at the current prune horizon (tests):
+  /// cold committed chains move to a run file. Chains touched since the
+  /// previous probe only have their clock bit cleared — call twice to
+  /// spill a chain that was just written. Returns chains evicted; 0 when
+  /// the tier is disabled.
+  size_t SpillChains(TableId table);
+
   // Internal subsystem access (tests, benchmarks).
   TxnManager* txn_manager() { return txn_manager_.get(); }
   LockManager* lock_manager() { return lock_manager_.get(); }
   ConflictTracker* conflict_tracker() { return tracker_.get(); }
   Catalog* catalog() { return &catalog_; }
   Table* table(TableId id) { return catalog_.table(id); }
+  /// Disk tier, or nullptr when disabled.
+  StorageTier* storage_tier() { return tier_.get(); }
 
  private:
   explicit DB(const DBOptions& options);
@@ -285,6 +311,10 @@ class DB {
   void SweepVersions();
 
   const DBOptions options_;
+  /// Declared before catalog_ (destroyed after it): tables hold raw tier
+  /// pointers, and the tier's run files purge their buffer-pool pages on
+  /// destruction. Null when the tier is disabled.
+  std::unique_ptr<StorageTier> tier_;
   Catalog catalog_;
   std::unique_ptr<LogManager> log_manager_;
   std::unique_ptr<LockManager> lock_manager_;

@@ -1,0 +1,336 @@
+#include "src/storage/buffer_pool.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace ssidb {
+
+namespace {
+
+Status PreadFull(int fd, void* buf, size_t n, uint64_t offset) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(fd, p + done, n - done,
+                              static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("pread: ") + strerror(errno));
+    }
+    if (r == 0) {
+      // Short file: the tail of the page is zero (the writer pads pages,
+      // so this only happens for a corrupt/truncated file — the page CRC
+      // check downstream rejects it).
+      memset(p + done, 0, n - done);
+      return Status::OK();
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status PwriteFull(int fd, const void* buf, size_t n, uint64_t offset) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pwrite(fd, p + done, n - done,
+                               static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("pwrite: ") + strerror(errno));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+PoolFile::~PoolFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+BufferPool::BufferPool(uint64_t pool_bytes, uint32_t page_bytes)
+    : page_bytes_(page_bytes),
+      arena_(new uint8_t[static_cast<size_t>(
+          (pool_bytes / page_bytes < 4 ? 4 : pool_bytes / page_bytes) *
+          page_bytes)]) {
+  const size_t n = static_cast<size_t>(
+      pool_bytes / page_bytes < 4 ? 4 : pool_bytes / page_bytes);
+  frames_.reserve(n);
+  free_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+    free_.push_back(static_cast<uint32_t>(n - 1 - i));
+  }
+}
+
+BufferPool::~BufferPool() = default;
+
+void BufferPool::RegisterFile(const std::shared_ptr<PoolFile>& file) {
+  std::lock_guard<std::mutex> guard(map_mu_);
+  files_[file->id()] = file;
+}
+
+void BufferPool::Purge(uint64_t file_id) {
+  std::lock_guard<std::mutex> guard(map_mu_);
+  files_.erase(file_id);
+  for (uint32_t i = 0; i < frames_.size(); ++i) {
+    Frame& fr = *frames_[i];
+    if (fr.state == FrameState::kFree || fr.file_id != file_id) continue;
+    if (fr.pins.load(std::memory_order_acquire) != 0) {
+      // A faulter still parses this page; it keeps the frame (and the
+      // descriptor, via fr.file) until Unpin. The mapping stays — the
+      // purged id is never looked up again, and the clock reclaims the
+      // frame once unpinned.
+      continue;
+    }
+    map_.erase(TagKey{fr.file_id, fr.page_no});
+    fr.state = FrameState::kFree;
+    fr.dirty = false;
+    fr.referenced = false;
+    fr.file.reset();
+    free_.push_back(i);
+  }
+}
+
+bool BufferPool::ClaimVictimLocked(uint32_t* idx) {
+  if (!free_.empty()) {
+    *idx = free_.back();
+    free_.pop_back();
+    return true;
+  }
+  // Clock scan, at most two full revolutions: the first clears reference
+  // bits, the second takes the first unpinned frame.
+  const size_t n = frames_.size();
+  for (size_t step = 0; step < 2 * n; ++step) {
+    Frame& fr = *frames_[clock_hand_];
+    const uint32_t at = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % static_cast<uint32_t>(n);
+    if (fr.pins.load(std::memory_order_acquire) != 0) continue;
+    if (fr.state == FrameState::kLoading) continue;
+    if (fr.referenced) {
+      fr.referenced = false;  // Second chance.
+      continue;
+    }
+    if (fr.state != FrameState::kFree) {
+      map_.erase(TagKey{fr.file_id, fr.page_no});
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    *idx = at;
+    return true;
+  }
+  return false;  // Every frame pinned.
+}
+
+Status BufferPool::ClaimFrameLocked(uint64_t file_id, uint32_t page_no,
+                                    const std::shared_ptr<PoolFile>& file,
+                                    uint32_t* idx, Writeback* wb) {
+  uint32_t victim = 0;
+  if (!ClaimVictimLocked(&victim)) {
+    return Status::IOError("buffer pool exhausted: every frame pinned");
+  }
+  Frame& fr = *frames_[victim];
+  if (fr.state != FrameState::kFree && fr.dirty) {
+    wb->needed = true;
+    wb->file = fr.file;
+    wb->page_no = fr.page_no;
+  }
+  fr.file_id = file_id;
+  fr.page_no = page_no;
+  fr.state = FrameState::kLoading;
+  fr.dirty = false;
+  fr.referenced = true;
+  fr.file = file;
+  fr.pins.store(1, std::memory_order_release);
+  map_[TagKey{file_id, page_no}] = victim;
+  *idx = victim;
+  return Status::OK();
+}
+
+Status BufferPool::PinPage(uint64_t file_id, uint32_t page_no, Pin* out) {
+  for (int attempt = 0;; ++attempt) {
+    std::shared_ptr<PoolFile> file;
+    uint32_t idx = 0;
+    Writeback wb;
+    bool loader = false;
+    {
+      std::lock_guard<std::mutex> guard(map_mu_);
+      auto it = map_.find(TagKey{file_id, page_no});
+      if (it != map_.end()) {
+        Frame& fr = *frames_[it->second];
+        fr.pins.fetch_add(1, std::memory_order_acq_rel);
+        fr.referenced = true;
+        idx = it->second;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        auto fit = files_.find(file_id);
+        if (fit == files_.end()) {
+          return Status::IOError("buffer pool: unregistered file");
+        }
+        file = fit->second;
+        Status st = ClaimFrameLocked(file_id, page_no, file, &idx, &wb);
+        if (!st.ok()) {
+          if (attempt < 1024) {
+            // Transient: every frame pinned. Release the mutex and retry;
+            // pins are short (parse one page), so this resolves quickly
+            // even for a 4-frame test pool.
+            goto retry;
+          }
+          return st;
+        }
+        loader = true;
+        misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    if (loader) {
+      // I/O outside map_mu_. Writeback of the evicted occupant must finish
+      // before its bytes are overwritten by the new page's read — both
+      // happen here, in order, while the frame is exclusively ours (one
+      // pin, state kLoading keeps waiters parked and the clock away).
+      Frame& fr = *frames_[idx];
+      Status st;
+      if (wb.needed) {
+        st = PwriteFull(wb.file->fd(), frame_data(idx), page_bytes_,
+                        static_cast<uint64_t>(wb.page_no) * page_bytes_);
+        if (st.ok()) writebacks_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (st.ok()) {
+        st = PreadFull(file->fd(), frame_data(idx), page_bytes_,
+                       static_cast<uint64_t>(page_no) * page_bytes_);
+      }
+      {
+        std::lock_guard<std::mutex> io_guard(fr.io_mu);
+        std::lock_guard<std::mutex> guard(map_mu_);
+        fr.state = st.ok() ? FrameState::kValid : FrameState::kFailed;
+        if (!st.ok()) {
+          // Unmap so a later retry reloads instead of caching the failure.
+          map_.erase(TagKey{file_id, page_no});
+        }
+      }
+      fr.io_cv.notify_all();
+      if (!st.ok()) {
+        Unpin(idx);
+        return st;
+      }
+      out->data = frame_data(idx);
+      out->frame = idx;
+      return Status::OK();
+    }
+
+    {
+      // Found in the map: wait out a concurrent loader, then check how the
+      // load ended.
+      Frame& fr = *frames_[idx];
+      FrameState state;
+      {
+        std::unique_lock<std::mutex> io_guard(fr.io_mu);
+        fr.io_cv.wait(io_guard, [&] {
+          std::lock_guard<std::mutex> guard(map_mu_);
+          return fr.state != FrameState::kLoading;
+        });
+        std::lock_guard<std::mutex> guard(map_mu_);
+        state = fr.state;
+      }
+      if (state == FrameState::kValid) {
+        out->data = frame_data(idx);
+        out->frame = idx;
+        return Status::OK();
+      }
+      Unpin(idx);  // Load failed (or frame recycled): retry from the map.
+      if (attempt >= 1024) {
+        return Status::IOError("buffer pool: page load failed");
+      }
+    }
+  retry:
+    std::this_thread::yield();
+  }
+}
+
+Status BufferPool::PinForWrite(uint64_t file_id, uint32_t page_no,
+                               WritePin* out) {
+  uint32_t idx = 0;
+  Writeback wb;
+  {
+    std::lock_guard<std::mutex> guard(map_mu_);
+    auto fit = files_.find(file_id);
+    if (fit == files_.end()) {
+      return Status::IOError("buffer pool: unregistered file");
+    }
+    Status st = ClaimFrameLocked(file_id, page_no, fit->second, &idx, &wb);
+    if (!st.ok()) return st;
+  }
+  Frame& fr = *frames_[idx];
+  Status st;
+  if (wb.needed) {
+    st = PwriteFull(wb.file->fd(), frame_data(idx), page_bytes_,
+                    static_cast<uint64_t>(wb.page_no) * page_bytes_);
+    if (st.ok()) writebacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  memset(frame_data(idx), 0, page_bytes_);
+  {
+    std::lock_guard<std::mutex> io_guard(fr.io_mu);
+    std::lock_guard<std::mutex> guard(map_mu_);
+    if (st.ok()) {
+      fr.state = FrameState::kValid;
+      fr.dirty = true;
+    } else {
+      fr.state = FrameState::kFailed;
+      map_.erase(TagKey{file_id, page_no});
+    }
+  }
+  fr.io_cv.notify_all();
+  if (!st.ok()) {
+    Unpin(idx);
+    return st;
+  }
+  out->data = frame_data(idx);
+  out->frame = idx;
+  return Status::OK();
+}
+
+void BufferPool::Unpin(uint32_t frame) {
+  frames_[frame]->pins.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+Status BufferPool::FlushFile(uint64_t file_id) {
+  // Collect the dirty pages under the mutex, pinning each so the clock
+  // cannot steal a frame mid-write; pwrite outside.
+  struct Work {
+    uint32_t frame;
+    uint32_t page_no;
+    std::shared_ptr<PoolFile> file;
+  };
+  std::vector<Work> work;
+  {
+    std::lock_guard<std::mutex> guard(map_mu_);
+    for (uint32_t i = 0; i < frames_.size(); ++i) {
+      Frame& fr = *frames_[i];
+      if (fr.state != FrameState::kValid || !fr.dirty ||
+          fr.file_id != file_id) {
+        continue;
+      }
+      fr.pins.fetch_add(1, std::memory_order_acq_rel);
+      // Run pages are immutable once the writer unpins, so clearing the
+      // bit before the write cannot lose an update.
+      fr.dirty = false;
+      work.push_back(Work{i, fr.page_no, fr.file});
+    }
+  }
+  Status st;
+  for (const Work& w : work) {
+    if (st.ok()) {
+      st = PwriteFull(w.file->fd(), frame_data(w.frame), page_bytes_,
+                      static_cast<uint64_t>(w.page_no) * page_bytes_);
+      if (st.ok()) writebacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Unpin(w.frame);
+  }
+  return st;
+}
+
+}  // namespace ssidb

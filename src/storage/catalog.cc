@@ -21,7 +21,9 @@ Status Catalog::CreateTable(const std::string& name, TableId* id,
     return Status::InvalidArgument("table limit reached");
   }
   const TableId tid = static_cast<TableId>(n);
-  slots_[tid].store(new Table(tid, name), std::memory_order_relaxed);
+  Table* table = new Table(tid, name);
+  table->SetStorageTier(tier_);
+  slots_[tid].store(table, std::memory_order_relaxed);
   if (before_publish) before_publish(tid);
   // The release publish orders the slot store (and the hook's side
   // effects) before any reader that observes the new count.

@@ -34,6 +34,10 @@ class Catalog {
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
+  /// Attach the disk tier: every table created afterwards gets it. Called
+  /// once at DB::Open, before any CreateTable.
+  void SetStorageTier(StorageTier* tier) { tier_ = tier; }
+
   /// Create a table. kInvalidArgument on duplicate name or table overflow.
   /// `before_publish`, if set, runs with the id assigned but the table not
   /// yet visible to any other thread (still inside the creation critical
@@ -69,6 +73,9 @@ class Catalog {
   /// Guards creation (name map + slot append); readers never take it.
   mutable std::mutex create_mu_;
   std::unordered_map<std::string, TableId> names_;
+
+  /// Disk tier handed to new tables; nullptr = memory-only.
+  StorageTier* tier_ = nullptr;
 };
 
 }  // namespace ssidb

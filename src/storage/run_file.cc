@@ -1,0 +1,363 @@
+#include "src/storage/run_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/crc32c.h"
+#include "src/common/encoding.h"
+#include "src/recovery/fs_util.h"
+
+namespace ssidb {
+
+namespace {
+
+constexpr char kRunMagic[] = "SSIDBRUN";
+constexpr char kIndexMagic[] = "SSIDBRIX";
+constexpr char kEndMagic[] = "SSIDBEND";
+constexpr size_t kMagicLen = 8;
+constexpr size_t kTrailerLen = 8 + kMagicLen;  // u64 footer_offset + magic.
+/// Data-page header: u32 crc, u32 payload_bytes, u32 entry_count.
+constexpr uint32_t kPageHeaderLen = 12;
+
+Status PreadFull(int fd, void* buf, size_t n, uint64_t offset) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r =
+        ::pread(fd, p + done, n - done, static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("pread run: ") + strerror(errno));
+    }
+    if (r == 0) return Status::Corruption("run file truncated");
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status PwriteFull(int fd, const void* buf, size_t n, uint64_t offset) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r =
+        ::pwrite(fd, p + done, n - done, static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("pwrite run: ") + strerror(errno));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+uint64_t EntryEncodedBytes(const RunEntry& e) {
+  return 4 + e.key.size() + 8 + 1 + 4 + e.value.size();
+}
+
+void EncodeEntry(std::string* dst, const RunEntry& e) {
+  PutLengthPrefixed(dst, e.key);
+  PutBig64(dst, e.commit_ts);
+  dst->push_back(e.tombstone ? 1 : 0);
+  PutLengthPrefixed(dst, e.value);
+}
+
+bool DecodeEntry(Slice page, size_t* offset, RunEntry* e) {
+  if (!GetLengthPrefixed(page, offset, &e->key)) return false;
+  if (!GetBig64(page, offset, &e->commit_ts)) return false;
+  if (*offset >= page.size()) return false;
+  e->tombstone = page[*offset] != 0;
+  ++*offset;
+  return GetLengthPrefixed(page, offset, &e->value);
+}
+
+}  // namespace
+
+uint64_t RunFile::MaxEntryBytes(uint32_t page_bytes) {
+  return page_bytes > kPageHeaderLen ? page_bytes - kPageHeaderLen : 0;
+}
+
+RunFile::RunFile(std::string path, std::shared_ptr<PoolFile> file,
+                 uint32_t table_id, uint64_t seq, uint32_t page_bytes,
+                 uint32_t page_count, uint64_t entry_count,
+                 std::vector<std::string> fences, BufferPool* pool)
+    : path_(std::move(path)),
+      file_(std::move(file)),
+      table_id_(table_id),
+      seq_(seq),
+      page_bytes_(page_bytes),
+      page_count_(page_count),
+      entry_count_(entry_count),
+      fences_(std::move(fences)),
+      pool_(pool) {}
+
+RunFile::~RunFile() { pool_->Purge(file_->id()); }
+
+Status RunFile::Create(const std::string& path, uint32_t table_id,
+                       uint64_t seq, uint64_t file_id, uint32_t page_bytes,
+                       const std::vector<RunEntry>& entries, BufferPool* pool,
+                       bool fsync, std::shared_ptr<RunFile>* out) {
+  assert(!entries.empty());
+  assert(pool->page_bytes() == page_bytes);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return recovery::ErrnoStatus("open", tmp);
+  auto file = std::make_shared<PoolFile>(file_id, fd);
+  pool->RegisterFile(file);
+
+  // Header page.
+  std::string header;
+  header.append(kRunMagic, kMagicLen);
+  PutBig32(&header, table_id);
+  PutBig32(&header, page_bytes);
+  PutBig64(&header, seq);
+  header.resize(page_bytes, '\0');
+  Status st = PwriteFull(fd, header.data(), header.size(), 0);
+
+  // Data pages, through the pool: build each page's payload, frame it with
+  // its CRC, and hand the bytes to a dirty frame. FlushFile below performs
+  // the actual pwrites (the pool's writeback path — also exercised early
+  // by clock evictions when the pool is smaller than the run).
+  std::vector<std::string> fences;
+  std::string payload;
+  uint32_t entry_count_in_page = 0;
+  uint32_t page_no = 0;  // Data page index; file page is page_no + 1.
+  std::string first_key_in_page;
+  auto emit_page = [&]() -> Status {
+    if (entry_count_in_page == 0) return Status::OK();
+    std::string framed;
+    framed.reserve(kPageHeaderLen + payload.size());
+    PutBig32(&framed, 0);  // CRC placeholder.
+    PutBig32(&framed, static_cast<uint32_t>(payload.size()));
+    PutBig32(&framed, entry_count_in_page);
+    framed += payload;
+    const uint32_t crc =
+        Crc32c(0, framed.data() + 4, framed.size() - 4);
+    std::string crc_be;
+    PutBig32(&crc_be, crc);
+    framed.replace(0, 4, crc_be);
+    BufferPool::WritePin pin;
+    Status s = pool->PinForWrite(file_id, page_no + 1, &pin);
+    if (!s.ok()) return s;
+    memcpy(pin.data, framed.data(), framed.size());
+    pool->Unpin(pin.frame);
+    fences.push_back(std::move(first_key_in_page));
+    ++page_no;
+    payload.clear();
+    entry_count_in_page = 0;
+    return Status::OK();
+  };
+  const uint64_t max_payload = page_bytes - kPageHeaderLen;
+  for (const RunEntry& e : entries) {
+    if (!st.ok()) break;
+    const uint64_t need = EntryEncodedBytes(e);
+    assert(need <= max_payload);  // StorageTier filters oversized entries.
+    if (payload.size() + need > max_payload) st = emit_page();
+    if (!st.ok()) break;
+    if (entry_count_in_page == 0) first_key_in_page = e.key;
+    EncodeEntry(&payload, e);
+    ++entry_count_in_page;
+  }
+  if (st.ok()) st = emit_page();
+  if (st.ok()) st = pool->FlushFile(file_id);
+
+  // Footer + trailer.
+  if (st.ok()) {
+    std::string footer;
+    footer.append(kIndexMagic, kMagicLen);
+    PutBig32(&footer, page_no);
+    PutBig32(&footer, static_cast<uint32_t>(entries.size()));
+    for (const std::string& f : fences) PutLengthPrefixed(&footer, f);
+    PutBig32(&footer, Crc32c(0, footer.data(), footer.size()));
+    const uint64_t footer_offset =
+        static_cast<uint64_t>(page_no + 1) * page_bytes;
+    PutBig64(&footer, footer_offset);
+    footer.append(kEndMagic, kMagicLen);
+    st = PwriteFull(fd, footer.data(), footer.size(), footer_offset);
+    if (st.ok() && fsync && ::fsync(fd) != 0) {
+      st = recovery::ErrnoStatus("fsync", tmp);
+    }
+    if (st.ok()) {
+      std::error_code ec;
+      std::filesystem::rename(tmp, path, ec);
+      if (ec) st = Status::IOError("rename " + tmp + ": " + ec.message());
+    }
+    if (st.ok() && fsync) {
+      st = recovery::SyncDir(
+          std::filesystem::path(path).parent_path().string());
+    }
+    if (st.ok()) {
+      out->reset(new RunFile(path, std::move(file), table_id, seq,
+                             page_bytes, page_no,
+                             static_cast<uint64_t>(entries.size()),
+                             std::move(fences), pool));
+      return Status::OK();
+    }
+  }
+  pool->Purge(file_id);
+  std::error_code ec;
+  std::filesystem::remove(tmp, ec);
+  return st;
+}
+
+Status RunFile::Open(const std::string& path, uint64_t file_id,
+                     BufferPool* pool, std::shared_ptr<RunFile>* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return recovery::ErrnoStatus("open", path);
+  auto file = std::make_shared<PoolFile>(file_id, fd);
+
+  std::error_code ec;
+  const uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec || size < kTrailerLen + kMagicLen) {
+    return Status::Corruption("run too small: " + path);
+  }
+  // Trailer → footer offset → footer (fence index).
+  char trailer[kTrailerLen];
+  Status st = PreadFull(fd, trailer, kTrailerLen, size - kTrailerLen);
+  if (!st.ok()) return st;
+  if (memcmp(trailer + 8, kEndMagic, kMagicLen) != 0) {
+    return Status::Corruption("bad run trailer: " + path);
+  }
+  uint64_t footer_offset = 0;
+  {
+    size_t off = 0;
+    GetBig64(Slice(trailer, 8), &off, &footer_offset);
+  }
+  if (footer_offset + kTrailerLen > size) {
+    return Status::Corruption("bad run footer offset: " + path);
+  }
+  std::string footer(size - kTrailerLen - footer_offset, '\0');
+  st = PreadFull(fd, footer.data(), footer.size(), footer_offset);
+  if (!st.ok()) return st;
+  if (footer.size() < kMagicLen + 12 ||
+      memcmp(footer.data(), kIndexMagic, kMagicLen) != 0) {
+    return Status::Corruption("bad run index magic: " + path);
+  }
+  const uint32_t stored_crc_off = static_cast<uint32_t>(footer.size() - 4);
+  uint32_t stored_crc = 0;
+  {
+    size_t off = stored_crc_off;
+    GetBig32(footer, &off, &stored_crc);
+  }
+  if (Crc32c(0, footer.data(), stored_crc_off) != stored_crc) {
+    return Status::Corruption("run index crc mismatch: " + path);
+  }
+  size_t off = kMagicLen;
+  uint32_t page_count = 0, entry_count = 0;
+  GetBig32(footer, &off, &page_count);
+  GetBig32(footer, &off, &entry_count);
+  std::vector<std::string> fences;
+  fences.reserve(page_count);
+  for (uint32_t i = 0; i < page_count; ++i) {
+    std::string fence;
+    if (!GetLengthPrefixed(footer, &off, &fence)) {
+      return Status::Corruption("run fence truncated: " + path);
+    }
+    fences.push_back(std::move(fence));
+  }
+
+  // Header.
+  std::string header(kMagicLen + 16, '\0');
+  st = PreadFull(fd, header.data(), header.size(), 0);
+  if (!st.ok()) return st;
+  if (memcmp(header.data(), kRunMagic, kMagicLen) != 0) {
+    return Status::Corruption("bad run magic: " + path);
+  }
+  size_t hoff = kMagicLen;
+  uint32_t table_id = 0, page_bytes = 0;
+  uint64_t seq = 0;
+  GetBig32(header, &hoff, &table_id);
+  GetBig32(header, &hoff, &page_bytes);
+  GetBig64(header, &hoff, &seq);
+  if (page_bytes != pool->page_bytes()) {
+    return Status::Corruption("run page size mismatch: " + path);
+  }
+  if (footer_offset != static_cast<uint64_t>(page_count + 1) * page_bytes) {
+    return Status::Corruption("run page count mismatch: " + path);
+  }
+
+  pool->RegisterFile(file);
+  out->reset(new RunFile(path, std::move(file), table_id, seq, page_bytes,
+                         page_count, entry_count, std::move(fences), pool));
+  return Status::OK();
+}
+
+Status RunFile::SearchPage(const uint8_t* page, uint32_t page_bytes,
+                           const Slice* key, RunEntry* out, bool* found,
+                           const std::function<void(const RunEntry&)>& fn) {
+  const Slice raw(reinterpret_cast<const char*>(page), page_bytes);
+  size_t off = 0;
+  uint32_t stored_crc = 0, payload_bytes = 0, entry_count = 0;
+  if (!GetBig32(raw, &off, &stored_crc) ||
+      !GetBig32(raw, &off, &payload_bytes) ||
+      !GetBig32(raw, &off, &entry_count) ||
+      payload_bytes > page_bytes - kPageHeaderLen) {
+    return Status::Corruption("run page header damaged");
+  }
+  if (Crc32c(0, raw.data() + 4, 8 + payload_bytes) != stored_crc) {
+    return Status::Corruption("run page crc mismatch");
+  }
+  const Slice body(raw.data(), kPageHeaderLen + payload_bytes);
+  RunEntry e;
+  for (uint32_t i = 0; i < entry_count; ++i) {
+    if (!DecodeEntry(body, &off, &e)) {
+      return Status::Corruption("run page entry damaged");
+    }
+    if (key != nullptr) {
+      const int cmp = Slice(e.key).compare(*key);
+      if (cmp == 0) {
+        *out = std::move(e);
+        *found = true;
+        return Status::OK();
+      }
+      if (cmp > 0) return Status::OK();  // Sorted: key absent.
+    } else if (fn) {
+      fn(e);
+    }
+  }
+  return Status::OK();
+}
+
+Status RunFile::Lookup(BufferPool* pool, Slice key, RunEntry* out,
+                       bool* found) const {
+  *found = false;
+  if (fences_.empty()) return Status::OK();
+  // Last fence <= key; fences_[0] is the run's smallest key.
+  if (Slice(fences_[0]).compare(key) > 0) return Status::OK();
+  size_t lo = 0, hi = fences_.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (Slice(fences_[mid]).compare(key) <= 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  BufferPool::Pin pin;
+  Status st = pool->PinPage(file_->id(), static_cast<uint32_t>(lo) + 1, &pin);
+  if (!st.ok()) return st;
+  st = SearchPage(pin.data, page_bytes_, &key, out, found, nullptr);
+  pool->Unpin(pin.frame);
+  return st;
+}
+
+Status RunFile::ForEachEntry(
+    const std::function<void(const RunEntry&)>& fn) const {
+  std::string page(page_bytes_, '\0');
+  for (uint32_t p = 0; p < page_count_; ++p) {
+    Status st = PreadFull(file_->fd(), page.data(), page.size(),
+                          static_cast<uint64_t>(p + 1) * page_bytes_);
+    if (!st.ok()) return st;
+    st = SearchPage(reinterpret_cast<const uint8_t*>(page.data()),
+                    page_bytes_, nullptr, nullptr, nullptr, fn);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace ssidb

@@ -1,0 +1,124 @@
+// StorageTier: the disk-backed half of the storage layer — owns the buffer
+// pool, the run-file directory and each table's run list, and implements
+// the spill / fault / compaction protocols Table delegates to.
+//
+// Enablement: DB::Open constructs a tier only when
+// DBOptions::buffer_pool_bytes > 0 and a run directory is resolvable
+// (DBOptions::data_dir, defaulting to "<wal_dir>/runs"). With no tier,
+// Table's hot paths are bit-for-bit the memory-only engine.
+//
+// Durability contract: a version chain is marked evicted only after the
+// run holding its anchor version is durably on disk (tmp + fsync + rename
+// + directory fsync). Checkpoint base images skip evicted chains (their
+// sweep read observes nothing), so the run files ARE the durable home of
+// spilled keys: they are deleted only when a merged replacement run is
+// durable (compaction), never by checkpoint GC.
+//
+// Lookup order: a key may appear in several runs (respilled after new
+// commits); Lookup probes newest-first (descending seq) and stops at the
+// first hit, so the newest spilled version wins. Compaction merges a
+// table's runs into one, keeping the highest commit_ts per key.
+//
+// Locking: runs_mu_ (shared_mutex) guards the per-table run lists; held
+// shared for lookups (copying shared_ptrs out before any I/O), exclusive
+// for publish/replace. Never held while a chain latch or table shard latch
+// is held, and vice versa — see the lock-order rules in ARCHITECTURE.md.
+
+#ifndef SSIDB_STORAGE_STORAGE_TIER_H_
+#define SSIDB_STORAGE_STORAGE_TIER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/options.h"
+#include "src/common/status.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/run_file.h"
+
+namespace ssidb {
+
+class Catalog;
+
+class StorageTier {
+ public:
+  StorageTier(const DBOptions& options, std::string dir);
+  ~StorageTier();
+
+  StorageTier(const StorageTier&) = delete;
+  StorageTier& operator=(const StorageTier&) = delete;
+
+  /// Create the run directory. `wipe` (in-memory engines: the WAL is not
+  /// durable so stale runs must not resurrect state) removes existing
+  /// run files first.
+  Status Init(bool wipe);
+
+  BufferPool* pool() { return &pool_; }
+
+  /// Largest value the spill path accepts (bigger chains stay resident).
+  uint64_t max_entry_bytes() const {
+    return RunFile::MaxEntryBytes(options_.run_page_bytes);
+  }
+
+  /// Durably write `entries` (sorted by key, non-empty) as table `table`'s
+  /// newest run and publish it for lookups.
+  Status WriteRun(uint32_t table_id, const std::vector<RunEntry>& entries);
+
+  /// Probe table `table_id`'s runs newest-first for `key`.
+  Status Lookup(uint32_t table_id, Slice key, RunEntry* out, bool* found);
+
+  /// Merge all of `table_id`'s runs into one when at least
+  /// run_compaction_min_runs have accumulated (newest commit_ts per key
+  /// wins); delete the inputs once the replacement is durable. Called from
+  /// the DB sweeper thread — the background merge daemon.
+  Status MaybeCompact(uint32_t table_id);
+
+  /// Recovery: open every run file in the directory, publish each under
+  /// its table, and re-mark the covered chains evicted (Table::
+  /// RecoverEvicted) so spilled values stay on disk instead of being
+  /// replayed into RAM. Returns the highest commit_ts seen in any run.
+  Status RecoverRuns(Catalog* catalog, Timestamp* max_commit_ts);
+
+  size_t run_count(uint32_t table_id) const;
+
+  // Spill/fault counters (relaxed; DBStats contract). The pool owns
+  // hits/misses/evictions/writebacks.
+  uint64_t spilled_chains() const {
+    return spilled_chains_.load(std::memory_order_relaxed);
+  }
+  uint64_t faulted_chains() const {
+    return faulted_chains_.load(std::memory_order_relaxed);
+  }
+  void AddSpilled(uint64_t n) {
+    spilled_chains_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddFaulted(uint64_t n) {
+    faulted_chains_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string RunPath(uint32_t table_id, uint64_t seq) const;
+
+  const DBOptions options_;
+  const std::string dir_;
+  BufferPool pool_;
+
+  std::atomic<uint64_t> next_file_id_{1};
+  std::atomic<uint64_t> next_seq_{1};
+
+  mutable std::shared_mutex runs_mu_;
+  /// Newest run first (descending seq).
+  std::unordered_map<uint32_t, std::vector<std::shared_ptr<RunFile>>> runs_;
+
+  std::atomic<uint64_t> spilled_chains_{0};
+  std::atomic<uint64_t> faulted_chains_{0};
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_STORAGE_STORAGE_TIER_H_

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/common/encoding.h"
+#include "src/storage/storage_tier.h"
 
 namespace ssidb {
 
@@ -186,6 +187,73 @@ void Table::NoteCommit(Slice key, Timestamp commit_ts) {
 void Table::RecoverVersion(Slice key, Slice value, bool tombstone,
                            Timestamp commit_ts) {
   GetOrCreate(key)->InstallRecovered(commit_ts, value, tombstone);
+  NoteCommit(key, commit_ts);
+}
+
+Status Table::FaultChain(Slice key, VersionChain* chain) {
+  if (tier_ == nullptr) {
+    return Status::Corruption("evicted chain in table '" + name_ +
+                              "' but no storage tier attached");
+  }
+  RunEntry entry;
+  bool found = false;
+  Status st = tier_->Lookup(id_, key, &entry, &found);
+  if (!st.ok()) return st;
+  if (!found) {
+    // Violates the durability contract: evicted => durable in a live run.
+    return Status::Corruption("evicted key missing from runs: " +
+                              key.ToString());
+  }
+  chain->FaultInstall(entry.commit_ts, entry.value, entry.tombstone);
+  tier_->AddFaulted(1);
+  return Status::OK();
+}
+
+size_t Table::SpillShards(Timestamp horizon) {
+  if (tier_ == nullptr || horizon == 0) return 0;
+  const uint64_t max_entry = tier_->max_entry_bytes();
+  // Phase A: probe under the shard latches (lock order shard -> chain, the
+  // same as every reader). ForEachChain walks shards in range order, so
+  // `entries` comes out sorted by key — ready for RunFile::Create.
+  std::vector<RunEntry> entries;
+  std::vector<VersionChain*> chains;
+  size_t evicted = 0;
+  ForEachChain([&](const std::string& key, VersionChain* chain) {
+    // Conservative per-entry encoding overhead (two varint32 length
+    // prefixes, u64 commit_ts, tombstone byte): 32 bytes covers it.
+    const uint64_t overhead = key.size() + 32;
+    const uint64_t max_value = overhead >= max_entry ? 0 : max_entry - overhead;
+    RunEntry e;
+    switch (chain->SpillProbe(horizon, max_value, &e.value, &e.commit_ts,
+                              &e.tombstone)) {
+      case VersionChain::SpillAction::kSkip:
+        break;
+      case VersionChain::SpillAction::kDropNow:
+        ++evicted;  // Anchor already durable; freed inline.
+        break;
+      case VersionChain::SpillAction::kWrite:
+        e.key = key;
+        entries.push_back(std::move(e));
+        chains.push_back(chain);
+        break;
+    }
+  });
+  // Phase B: no latches held. Persist the run, then re-verify and evict
+  // each chain; a chain touched since its probe stays resident and retries
+  // as kDropNow on a later sweep (its anchor is durable now).
+  if (!entries.empty()) {
+    if (tier_->WriteRun(id_, entries).ok()) {
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (chains[i]->CommitSpill(entries[i].commit_ts)) ++evicted;
+      }
+    }
+  }
+  if (evicted != 0) tier_->AddSpilled(evicted);
+  return evicted;
+}
+
+void Table::RecoverEvicted(Slice key, Timestamp commit_ts) {
+  GetOrCreate(key)->SetEvictedRecovered(commit_ts);
   NoteCommit(key, commit_ts);
 }
 

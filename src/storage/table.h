@@ -40,9 +40,12 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/storage/version.h"
 
 namespace ssidb {
+
+class StorageTier;
 
 using TableId = uint32_t;
 
@@ -134,6 +137,28 @@ class Table {
   void RecoverVersion(Slice key, Slice value, bool tombstone,
                       Timestamp commit_ts);
 
+  // --- Disk tier hooks (no-ops when no tier is attached) ---
+
+  /// Attach the disk tier. Called once at DB::Open, before any traffic.
+  void SetStorageTier(StorageTier* tier) { tier_ = tier; }
+  StorageTier* storage_tier() const { return tier_; }
+
+  /// Fault an evicted chain's spilled anchor back from the run files.
+  /// Corruption if no run holds the key (the durability contract says one
+  /// must). Racing faulters are fine: FaultInstall keeps the first winner.
+  Status FaultChain(Slice key, VersionChain* chain);
+
+  /// Two-phase spill sweep (DB sweeper thread, after PruneShards): probe
+  /// every chain under the shard latch (phase A, collecting cold anchors
+  /// below `horizon` in key order), durably write them as one run, then
+  /// re-verify and evict each chain (phase B). Returns chains evicted.
+  size_t SpillShards(Timestamp horizon);
+
+  /// Recovery: a run file durably holds `key` at `commit_ts`. Marks the
+  /// chain evicted unless WAL/checkpoint replay installed something newer
+  /// (see VersionChain::SetEvictedRecovered).
+  void RecoverEvicted(Slice key, Timestamp commit_ts);
+
   /// Number of shards the key space is currently partitioned into.
   size_t ShardCount() const;
 
@@ -173,6 +198,8 @@ class Table {
   const TableId id_;
   const std::string name_;
   const size_t split_threshold_;
+  /// Disk tier, or nullptr (memory-only). Set once before traffic.
+  StorageTier* tier_ = nullptr;
 
   mutable std::shared_mutex routing_mu_;
   /// Shards ordered by lower bound; shards_[0].lower is always "".

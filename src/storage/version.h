@@ -75,6 +75,13 @@ struct ReadResult {
   /// that overlaps the reader. Inline storage: the common chain depths
   /// report no allocation.
   InlineVec<NewerVersionInfo, 4> newer;
+  /// Nothing was visible AND the chain's cold suffix lives in a run file:
+  /// the caller must fault the chain back (Table::FaultChain) and retry
+  /// the read. Never set alongside a visible answer — a spilled version's
+  /// commit_ts is at or below the prune horizon, hence at or below every
+  /// active snapshot, so any resident visible version is the correct
+  /// (newer) answer and the spilled one is unreachable.
+  bool evicted = false;
 };
 
 /// The version list for a single key. All operations latch the chain; the
@@ -129,9 +136,75 @@ class VersionChain {
   /// Number of versions currently in the chain (test/introspection).
   size_t size() const;
 
+  // --- Disk spill / fault protocol (storage tier; see storage_tier.h) ---
+  //
+  // A chain is "evicted" when its versions have been freed and its anchor
+  // (newest committed version at spill time) lives durably in a run file.
+  // spilled_cts_ records the anchor's commit timestamp and only grows —
+  // it names the newest version that is durable in SOME live run, whether
+  // or not the chain is currently resident. Invariant maintained by the
+  // spiller: a version is only spilled when its commit_ts <= the prune
+  // horizon, so it is invisible to FCW races and at-or-below every active
+  // snapshot; and every resident version is newer than spilled_cts_ (new
+  // installs commit past the horizon), so FaultInstall's tail append is
+  // always order-correct.
+
+  /// What the spill sweeper should do with this chain.
+  enum class SpillAction {
+    kSkip,     ///< Hot, uncommitted, too new, or empty — leave resident.
+    kDropNow,  ///< Anchor already durable in a run: versions freed inline.
+    kWrite,    ///< Anchor copied out; caller writes a run then CommitSpill.
+  };
+
+  /// Phase A of the two-phase spill. Cold test: skips (clearing the
+  /// accessed bit — second-chance) if the chain was touched since the last
+  /// probe, has an uncommitted head, or its newest committed version is
+  /// newer than `horizon` or larger than `max_value_bytes`. If the anchor's
+  /// commit_ts equals spilled_cts_ it is already durable and the chain is
+  /// evicted inline (kDropNow). Otherwise copies the anchor out for the
+  /// caller to persist (kWrite). A hybrid chain — evicted but carrying
+  /// resident versions installed by an upsert that never faulted the old
+  /// anchor in — re-spills the same way: its newest committed version
+  /// becomes the new anchor and shadows the stale run entry.
+  SpillAction SpillProbe(Timestamp horizon, uint64_t max_value_bytes,
+                         std::string* value, Timestamp* commit_ts,
+                         bool* tombstone);
+
+  /// Phase B: called after the run holding the anchor (commit_ts `cts`) is
+  /// durable. Re-verifies under the latch that the chain is still exactly
+  /// as probed (same newest committed cts, no uncommitted head, not
+  /// touched); if so frees all versions and marks the chain evicted.
+  /// Either way records cts as durable (spilled_cts_), so a skipped
+  /// commit retries as kDropNow next sweep. Returns true if evicted.
+  bool CommitSpill(Timestamp cts);
+
+  /// Fault the spilled anchor back in (tier lookup result). No-op if the
+  /// chain is no longer evicted (lost race with another faulter). The
+  /// version is appended at the TAIL: residents installed since eviction
+  /// committed past the horizon, hence past `cts`.
+  void FaultInstall(Timestamp cts, Slice value, bool tombstone);
+
+  /// Recovery (single-threaded, quiescent): a run holds `cts` for this
+  /// key. If the WAL/checkpoint replay already installed a version at or
+  /// past `cts`, the resident copy wins and the run entry is just recorded
+  /// as durable; otherwise the chain is emptied and marked evicted so the
+  /// run stays its home (no RAM cost on open).
+  void SetEvictedRecovered(Timestamp cts);
+
+  /// True if the chain is currently evicted (test/introspection).
+  bool evicted() const;
+
  private:
+  /// Free every version in the chain. Caller holds latch_.
+  void FreeAllLocked();
+
   mutable std::mutex latch_;
   Version* newest_ = nullptr;
+  /// Spill state, all under latch_. accessed_ is the clock bit: set by
+  /// Read and InstallUncommitted, cleared by SpillProbe.
+  bool evicted_ = false;
+  bool accessed_ = false;
+  Timestamp spilled_cts_ = 0;
 };
 
 }  // namespace ssidb

@@ -8,7 +8,8 @@ namespace ssidb {
 CommitRing::CommitRing(uint64_t slots)
     : mask_(RoundUpPow2(slots, /*floor=*/2) - 1),
       slots_(new std::atomic<Timestamp>[mask_ + 1]()),
-      waiters_(new WaiterShard[kWaiterShards]) {}
+      waiter_mask_(TopologyShards(/*floor=*/16) - 1),
+      waiters_(new WaiterShard[waiter_mask_ + 1]) {}
 
 Timestamp CommitRing::Allocate() {
   const Timestamp ts = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -73,12 +74,12 @@ void CommitRing::Drive() {
 }
 
 void CommitRing::WakeCovered(Timestamp from, Timestamp to) {
-  // Waiters for ts park on shard ts % kWaiterShards; only shards owning a
+  // Waiters for ts park on shard ts & waiter_mask_; only shards owning a
   // newly covered timestamp can hold a waiter this advance releases. If
-  // the advance spans >= kWaiterShards timestamps, every shard qualifies.
-  const uint64_t span = std::min<uint64_t>(to - from, kWaiterShards);
+  // the advance spans every shard, every shard qualifies.
+  const uint64_t span = std::min<uint64_t>(to - from, waiter_mask_ + 1);
   for (uint64_t i = 1; i <= span; ++i) {
-    WaiterShard& w = waiters_[(from + i) % kWaiterShards];
+    WaiterShard& w = waiters_[(from + i) & waiter_mask_];
     if (w.count.load(std::memory_order_seq_cst) == 0) continue;
     wakeups_issued_.fetch_add(1, std::memory_order_relaxed);
     // Empty critical section: serializes with a waiter between its final
@@ -95,7 +96,7 @@ void CommitRing::WaitCovered(Timestamp ts) {
 void CommitRing::WaitUntilCovered(Timestamp ts,
                                   std::atomic<uint64_t>* park_counter) {
   if (stable_.load(std::memory_order_seq_cst) >= ts) return;
-  WaiterShard& w = waiters_[ts % kWaiterShards];
+  WaiterShard& w = waiters_[ts & waiter_mask_];
   // Count first (seq_cst), then re-check: see the missed-wakeup argument
   // in the header.
   w.count.fetch_add(1, std::memory_order_seq_cst);

@@ -62,7 +62,7 @@
 #include <memory>
 #include <mutex>
 
-#include "src/common/epoch.h"  // RoundUpPow2
+#include "src/common/epoch.h"  // RoundUpPow2, TopologyShards
 #include "src/storage/version.h"
 
 namespace ssidb {
@@ -108,6 +108,12 @@ class CommitRing {
 
   uint64_t slots() const { return mask_ + 1; }
 
+  /// Number of waiter shards (power of two). Sized from the runtime core
+  /// topology (TopologyShards, floored at the previous fixed 16): on big
+  /// machines more commit-ack waiters park and wake without sharing a
+  /// mutex/condvar line; small machines keep the old footprint.
+  uint64_t waiter_shards() const { return waiter_mask_ + 1; }
+
   // --- Commit-pipeline counters (relaxed; DBStats contract). ---
   /// Acknowledgment waits that actually parked on a condvar.
   uint64_t waits_parked() const {
@@ -142,8 +148,6 @@ class CommitRing {
   /// depend on a later Publish that may never come.
   void WaitUntilCovered(Timestamp ts, std::atomic<uint64_t>* park_counter);
 
-  static constexpr uint64_t kWaiterShards = 16;
-
   struct alignas(64) WaiterShard {
     std::mutex mu;
     std::condition_variable cv;
@@ -161,6 +165,8 @@ class CommitRing {
   /// Watermark; trails the oldest unstamped commit.
   std::atomic<Timestamp> stable_{1};
 
+  /// waiter_mask_ + 1 shards; waiters for ts park on ts & waiter_mask_.
+  const uint64_t waiter_mask_;
   const std::unique_ptr<WaiterShard[]> waiters_;
 
   std::atomic<uint64_t> waits_parked_{0};

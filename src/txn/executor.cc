@@ -164,6 +164,25 @@ Status Executor::ReadChainAndMark(TxnCtx& txn, const LockKey* page_lk,
   return Status::OK();
 }
 
+Status Executor::ReadChainFaulting(TxnCtx& txn, Table* t, Slice key,
+                                   const LockKey* page_lk,
+                                   VersionChain* chain, std::string* value,
+                                   ReadResult* out) {
+  // A faulted chain can in principle be re-evicted by the sweeper between
+  // our install and the re-read; the bound turns a pathological loop into
+  // an abort the application can retry.
+  for (int attempt = 0;; ++attempt) {
+    Status st = ReadChainAndMark(txn, page_lk, chain, value, out);
+    if (!st.ok()) return st;
+    if (!out->evicted) return Status::OK();
+    if (attempt >= 8) {
+      return AbortWith(txn, Status::IOError("version fault retry limit"));
+    }
+    st = t->FaultChain(key, chain);
+    if (!st.ok()) return AbortWith(txn, st);
+  }
+}
+
 Status Executor::Get(TxnCtx& txn, TableId table, Slice key,
                      std::string* value) {
   Status st = CheckUsable(txn);
@@ -202,7 +221,7 @@ Status Executor::Get(TxnCtx& txn, TableId table, Slice key,
 
   VersionChain* chain = t->Find(key);
   ReadResult rr;
-  st = ReadChainAndMark(txn, page_lk, chain, value, &rr);
+  st = ReadChainFaulting(txn, t, key, page_lk, chain, value, &rr);
   if (!st.ok()) return st;
 
   if (history_ != nullptr) {
@@ -241,7 +260,7 @@ Status Executor::GetForUpdate(TxnCtx& txn, TableId table, Slice key,
   std::string local;
   if (value == nullptr) value = &local;
   ReadResult rr;
-  st = ReadChainAndMark(txn, page_lk, chain, value, &rr);
+  st = ReadChainFaulting(txn, t, key, page_lk, chain, value, &rr);
   if (!st.ok()) return st;
   if (history_ != nullptr) {
     history_->Read(state->id, table, key, rr.version_cts, rr.own_write);
@@ -332,6 +351,16 @@ Status Executor::WriteImpl(TxnCtx& txn, TableId table, Slice key, Slice value,
             ? kMaxTimestamp
             : state->read_ts.load();
     ReadResult rr = chain->Read(state->id, read_ts, nullptr);
+    for (int attempt = 0; rr.evicted; ++attempt) {
+      // The duplicate/existence verdict may hinge on the spilled anchor
+      // (e.g. its tombstone): fault it back before deciding.
+      if (attempt >= 8) {
+        return AbortWith(txn, Status::IOError("version fault retry limit"));
+      }
+      st = t->FaultChain(key, chain);
+      if (!st.ok()) return AbortWith(txn, st);
+      rr = chain->Read(state->id, read_ts, nullptr);
+    }
     if (kind == WriteKind::kInsert && rr.found) {
       return Status::DuplicateKey();
     }
@@ -488,7 +517,7 @@ Status Executor::Scan(TxnCtx& txn, TableId table, Slice lo, Slice hi,
       page_lk = &RowLockKeyInto(txn, table, e.key);
     }
     ReadResult rr;
-    st = ReadChainAndMark(txn, page_lk, e.chain, &value, &rr);
+    st = ReadChainFaulting(txn, t, e.key, page_lk, e.chain, &value, &rr);
     if (!st.ok()) return st;
     if (history_ != nullptr) {
       history_->Read(state->id, table, e.key, rr.version_cts, rr.own_write);

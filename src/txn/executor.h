@@ -132,6 +132,16 @@ class Executor {
                           VersionChain* chain, std::string* value,
                           ReadResult* out);
 
+  /// ReadChainAndMark plus the storage-tier fault path: when the read
+  /// reports an evicted chain (nothing resident visible but the cold
+  /// anchor lives in a run file), fault the anchor back through the buffer
+  /// pool and retry. Memory-only engines never set `evicted`, so the hot
+  /// path is a single extra branch. Conflict re-marking across retries is
+  /// idempotent. Aborts on tier I/O failure or retry exhaustion.
+  Status ReadChainFaulting(TxnCtx& txn, Table* t, Slice key,
+                           const LockKey* page_lk, VersionChain* chain,
+                           std::string* value, ReadResult* out);
+
   /// First-committer-wins check (§2.5/§4.2) for a write to `chain`; in
   /// page mode also consults the page write table. Call with the exclusive
   /// lock held and the snapshot assigned.

@@ -262,6 +262,8 @@ class TxnManager {
   uint64_t ring_full_stalls() const { return ring_.full_stalls(); }
   /// Deepest observed in-flight commit window (allocated - stable).
   uint64_t max_commit_window_depth() const { return ring_.max_depth(); }
+  /// Commit-ack waiter shards (topology-sized; tests assert the sizing).
+  uint64_t commit_waiter_shards() const { return ring_.waiter_shards(); }
   /// Combining passes that certified at least one commit.
   uint64_t commit_combine_batches() const {
     return combiner_.combine_batches();

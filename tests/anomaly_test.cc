@@ -14,6 +14,7 @@
 
 #include "src/db/db.h"
 #include "src/sgt/mvsg.h"
+#include "tests/test_util.h"
 
 namespace ssidb {
 namespace {
@@ -487,6 +488,145 @@ TEST(VictimPolicyTest, YoungestPolicyChoosesYoungerTransaction) {
   EXPECT_TRUE(c_old.ok()) << c_old.ToString();
   if (older->active()) older->Abort();
   if (younger->active()) younger->Abort();
+}
+
+// ---- Tiny-pool re-runs (storage tier, §2.5.1 under memory pressure) ----
+//
+// The write-skew programs again, but with a disk tier whose buffer pool is
+// a handful of frames and with every seeded chain spilled to a run before
+// the racing transactions start — so the programs' reads routinely fault
+// through the pool mid-interleaving. The isolation verdicts must be
+// IDENTICAL to the memory-only runs above: spilling is invisible to SSI
+// certification, because a version is only spilled once its commit
+// timestamp is at or below the prune horizon, hence at or below every
+// active snapshot — it can never be the newer version an rw-conflict is
+// made of.
+
+DBOptions TinyPoolOptions(const std::string& dir) {
+  DBOptions opts;
+  opts.buffer_pool_bytes = 1 << 14;  // 4 frames of 4 KiB.
+  opts.run_page_bytes = 4096;
+  opts.data_dir = dir;
+  opts.version_gc_interval_ms = 0;  // Spills are driven explicitly below.
+  return opts;
+}
+
+/// Holds the run directory; a base class so it outlives Fixture's DB.
+struct TinyPoolDir {
+  ScratchDir dir;
+};
+
+struct TinyPoolFixture : TinyPoolDir, Fixture {
+  TinyPoolFixture() : Fixture(TinyPoolOptions(dir.path)) {}
+
+  /// Evict every seeded chain (two sweeps: clear clock bits, then spill).
+  size_t SpillSeeds() {
+    db->SpillChains(table);
+    return db->SpillChains(table);
+  }
+};
+
+TEST(WriteSkewTinyPoolTest, SnapshotIsolationStillAdmitsIt) {
+  TinyPoolFixture f;
+  f.Seed("x", "50");
+  f.Seed("y", "50");
+  ASSERT_EQ(f.SpillSeeds(), 2u);
+  auto [c1, c2] = RunWriteSkew(&f, IsolationLevel::kSnapshot);
+  EXPECT_TRUE(c1.ok());
+  EXPECT_TRUE(c2.ok());
+  EXPECT_EQ(f.GetInt("x") + f.GetInt("y"), -50);
+  EXPECT_FALSE(f.HistorySerializable());
+  EXPECT_GT(f.db->GetStats().faulted_chains, 0u)
+      << "the program must actually have read through the disk tier";
+}
+
+TEST(WriteSkewTinyPoolTest, SSIVerdictUnchangedByFaulting) {
+  TinyPoolFixture f;
+  f.Seed("x", "50");
+  f.Seed("y", "50");
+  ASSERT_EQ(f.SpillSeeds(), 2u);
+  auto [c1, c2] = RunWriteSkew(&f, IsolationLevel::kSerializableSSI);
+  // Same verdict as the memory-only run: exactly one aborts, kUnsafe.
+  EXPECT_NE(c1.ok(), c2.ok());
+  const Status& failed = c1.ok() ? c2 : c1;
+  EXPECT_TRUE(failed.IsUnsafe()) << failed.ToString();
+  EXPECT_GT(f.GetInt("x") + f.GetInt("y"), 0);
+  EXPECT_TRUE(f.HistorySerializable());
+  EXPECT_EQ(f.db->GetStats().unsafe_aborts, 1u);
+  EXPECT_GT(f.db->GetStats().faulted_chains, 0u);
+}
+
+TEST(WriteSkewTinyPoolTest, S2PLVerdictUnchangedByFaulting) {
+  ScratchDir dir;
+  DBOptions opts = TinyPoolOptions(dir.path);
+  opts.lock_timeout_ms = 1000;
+  Fixture f(opts);
+  f.Seed("x", "50");
+  f.Seed("y", "50");
+  f.db->SpillChains(f.table);
+  ASSERT_EQ(f.db->SpillChains(f.table), 2u);
+  auto [c1, c2] = RunWriteSkew(&f, IsolationLevel::kSerializable2PL);
+  EXPECT_FALSE(c1.ok() && c2.ok());
+  EXPECT_GT(f.GetInt("x") + f.GetInt("y"), 0);
+  EXPECT_TRUE(f.HistorySerializable());
+  EXPECT_GT(f.db->GetStats().faulted_chains, 0u);
+}
+
+TEST(WriteSkewTinyPoolTest, DoctorsOnCallPredicateReadsFaultSpilledRows) {
+  // The doctors-on-call write skew driven through Scan: predicate reads
+  // must surface spilled rows (a fault mid-scan), and SSI must still
+  // prevent both doctors leaving.
+  TinyPoolFixture f;
+  f.Seed("doc1", "onduty");
+  f.Seed("doc2", "onduty");
+  ASSERT_EQ(f.SpillSeeds(), 2u);
+
+  auto t1 = f.db->Begin({IsolationLevel::kSerializableSSI});
+  auto t2 = f.db->Begin({IsolationLevel::kSerializableSSI});
+  auto on_duty_count = [&](Transaction* txn, Status* scan_status) {
+    int count = 0;
+    *scan_status = txn->Scan(f.table, "doc1", "doc9",
+                             [&count](Slice, Slice v) {
+                               if (v == Slice("onduty")) ++count;
+                               return true;
+                             });
+    return count;
+  };
+
+  Status s1 = t1->Put(f.table, "doc1", "reserve");
+  Status s2 = t2->Put(f.table, "doc2", "reserve");
+  Status c1 = s1, c2 = s2;
+  if (c1.ok()) {
+    Status scan;
+    const int on_duty = on_duty_count(t1.get(), &scan);
+    c1 = !scan.ok() ? scan
+                    : (on_duty >= 1 ? t1->Commit()
+                                    : Status::InvalidArgument("constraint"));
+  }
+  if (c2.ok()) {
+    Status scan;
+    const int on_duty = on_duty_count(t2.get(), &scan);
+    c2 = !scan.ok() ? scan
+                    : (on_duty >= 1 ? t2->Commit()
+                                    : Status::InvalidArgument("constraint"));
+  }
+  if (t1->active()) t1->Abort();
+  if (t2->active()) t2->Abort();
+
+  // Identical outcome to the memory-only DoctorsOnCallTest: at most one
+  // doctor actually leaves, and the execution stays serializable.
+  EXPECT_FALSE(c1.ok() && c2.ok());
+  int reserve = 0;
+  {
+    auto check = f.db->Begin({IsolationLevel::kSnapshot});
+    std::string v;
+    if (check->Get(f.table, "doc1", &v).ok() && v == "reserve") ++reserve;
+    if (check->Get(f.table, "doc2", &v).ok() && v == "reserve") ++reserve;
+    check->Commit();
+  }
+  EXPECT_LE(reserve, 1);
+  EXPECT_TRUE(f.HistorySerializable());
+  EXPECT_GT(f.db->GetStats().faulted_chains, 0u);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/encoding.h"
+#include "src/common/epoch.h"
 #include "src/common/random.h"
 #include "src/db/db.h"
 #include "tests/test_util.h"
@@ -301,6 +302,83 @@ TEST(StatsTest, TinyCommitRingStillDrains) {
   // The in-flight window is bounded by the concurrent writer count (each
   // thread has at most one allocated-but-unstamped commit).
   EXPECT_LE(s.max_commit_window_depth, 4u);
+}
+
+/// The commit-ack waiter shards are sized from the runtime core topology
+/// (ROADMAP item 3 leftover), floored at the previous fixed constant so
+/// small machines keep the old footprint.
+TEST(StatsTest, CommitAckWaiterShardsAreTopologySized) {
+  DBOptions opts;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+  const uint64_t shards = db->txn_manager()->commit_waiter_shards();
+  EXPECT_EQ(shards, TopologyShards(/*floor=*/16));
+  EXPECT_GE(shards, 16u);
+  EXPECT_EQ(shards & (shards - 1), 0u) << "must be a power of two";
+}
+
+/// Disk-tier counters: all six stay zero while the tier is disabled, and a
+/// spill/fault round trip moves each of them through DBStats.
+TEST(StatsTest, DiskTierCountersFoldIntoStats) {
+  {
+    // Memory-only engine: the tier never initializes, counters stay 0.
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open({}, &db).ok());
+    TableId table = 0;
+    ASSERT_TRUE(db->CreateTable("t", &table).ok());
+    auto txn = db->Begin({IsolationLevel::kSnapshot});
+    ASSERT_TRUE(txn->Put(table, "k", "v").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+    EXPECT_EQ(db->SpillChains(table), 0u);
+    DBStats s = db->GetStats();
+    EXPECT_EQ(s.buffer_pool_hits, 0u);
+    EXPECT_EQ(s.buffer_pool_misses, 0u);
+    EXPECT_EQ(s.buffer_pool_evictions, 0u);
+    EXPECT_EQ(s.buffer_pool_writebacks, 0u);
+    EXPECT_EQ(s.spilled_chains, 0u);
+    EXPECT_EQ(s.faulted_chains, 0u);
+  }
+
+  ScratchDir dir;
+  DBOptions opts;
+  opts.buffer_pool_bytes = 1 << 16;
+  opts.run_page_bytes = 4096;
+  opts.data_dir = dir.path;
+  // Background sweeps would race the explicit SpillChains calls below and
+  // blur the exact counter expectations.
+  opts.version_gc_interval_ms = 0;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+  TableId table = 0;
+  ASSERT_TRUE(db->CreateTable("t", &table).ok());
+  constexpr uint64_t kKeys = 32;
+  {
+    auto txn = db->Begin({IsolationLevel::kSnapshot});
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      ASSERT_TRUE(txn->Put(table, EncodeU64Key(i), "v").ok());
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  // First sweep clears the clock bits, second evicts (second chance).
+  EXPECT_EQ(db->SpillChains(table), 0u);
+  EXPECT_EQ(db->SpillChains(table), kKeys);
+  {
+    auto txn = db->Begin({IsolationLevel::kSnapshot});
+    std::string v;
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      ASSERT_TRUE(txn->Get(table, EncodeU64Key(i), &v).ok());
+      EXPECT_EQ(v, "v");
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  DBStats s = db->GetStats();
+  EXPECT_EQ(s.spilled_chains, kKeys);
+  EXPECT_EQ(s.faulted_chains, kKeys);
+  // The run writer warms its own pages, so faults hit; the page reads all
+  // went through the pool either way.
+  EXPECT_GT(s.buffer_pool_hits + s.buffer_pool_misses, 0u);
+  // Dirty run pages were written back by RunFile::Create's flush.
+  EXPECT_GT(s.buffer_pool_writebacks, 0u);
 }
 
 }  // namespace

@@ -4,10 +4,28 @@
 #define SSIDB_TESTS_TEST_UTIL_H_
 
 #include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <filesystem>
+#include <string>
 
 #include "src/db/db.h"
 
 namespace ssidb {
+
+/// A fresh scratch directory, removed on destruction. Used by the disk-tier
+/// suites for run directories and WALs.
+struct ScratchDir {
+  ScratchDir() {
+    char tmpl[] = "/tmp/ssidb_test_XXXXXX";
+    path = mkdtemp(tmpl);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
 
 /// Advance the stable watermark by committing a throwaway write. Needed
 /// wherever a test wants a read-only commit to genuinely overlap an
