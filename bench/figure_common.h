@@ -70,6 +70,14 @@ inline void RunFigure(const std::string& figure, const SetupFn& setup,
           fclose(jf);
         }
       }
+      // Full registry snapshot per point, suffixed so the sweep's files
+      // don't overwrite each other (SSIDB_METRICS_DUMP=/tmp/m.json gives
+      // /tmp/m.json.SSI.mpl20 etc.).
+      const std::string dump_base = EnvMetricsDump();
+      if (!dump_base.empty()) {
+        MaybeDumpMetrics(point.db.get(), dump_base + "." + series.name +
+                                             ".mpl" + std::to_string(mpl));
+      }
     }
   }
 }

@@ -6,7 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/encoding.h"
@@ -268,6 +272,36 @@ void ReportShardCounters(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(s.commit_combine_batches));
   state.counters["commit_max_batch"] =
       benchmark::Counter(static_cast<double>(s.commit_max_batch));
+  // Commit-path latency percentiles over the whole run, read straight off
+  // the engine's commit.total_ns stage histogram (sampled recording; the
+  // MT series push enough commits that the quantiles are stable).
+  const obs::Histogram* commit_hist =
+      g_mt_db->metrics()->FindHistogram("commit.total_ns");
+  if (commit_hist != nullptr) {
+    const obs::HistogramSnapshot snap = commit_hist->Snapshot();
+    if (snap.count > 0) {
+      state.counters["commit_p50_us"] =
+          benchmark::Counter(snap.Quantile(0.50) / 1000.0);
+      state.counters["commit_p95_us"] =
+          benchmark::Counter(snap.Quantile(0.95) / 1000.0);
+      state.counters["commit_p99_us"] =
+          benchmark::Counter(snap.Quantile(0.99) / 1000.0);
+    }
+  }
+  // SSIDB_METRICS_DUMP: write the full registry snapshot once per MT run
+  // (numeric suffix keeps successive benchmarks from overwriting).
+  if (const char* dump_base = getenv("SSIDB_METRICS_DUMP")) {
+    static std::atomic<uint64_t> dump_seq{0};
+    const std::string path =
+        std::string(dump_base) + "." +
+        std::to_string(dump_seq.fetch_add(1, std::memory_order_relaxed));
+    const std::string body = g_mt_db->DumpMetrics(obs::MetricsFormat::kJson);
+    if (FILE* f = fopen(path.c_str(), "w")) {
+      fwrite(body.data(), 1, body.size(), f);
+      fputc('\n', f);
+      fclose(f);
+    }
+  }
 }
 
 /// Shared harness: thread-0 builds the DB, each thread draws keys from its

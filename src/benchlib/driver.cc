@@ -4,11 +4,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <sstream>
 #include <thread>
 #include <vector>
+
+#include "src/obs/metrics.h"
 
 namespace ssidb::bench {
 
@@ -50,6 +53,13 @@ RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
   // batch size must be derived over the measurement window alone, or the
   // setup/load and warmup phases would dominate the ratio.
   const DBStats at_start = db->GetStats();
+  // Commit-latency percentiles are windowed the same way: snapshot the
+  // commit.total_ns stage histogram here, subtract it from the end-of-run
+  // snapshot, and read the quantiles off the delta.
+  const obs::Histogram* commit_hist =
+      db->metrics()->FindHistogram("commit.total_ns");
+  obs::HistogramSnapshot commit_at_start;
+  if (commit_hist != nullptr) commit_at_start = commit_hist->Snapshot();
   const auto start = std::chrono::steady_clock::now();
   phase.store(1, std::memory_order_release);
   sleep_for(config.measure_seconds);
@@ -90,6 +100,16 @@ RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
   total.buffer_pool_writebacks = engine.buffer_pool_writebacks;
   total.spilled_chains = engine.spilled_chains;
   total.faulted_chains = engine.faulted_chains;
+  if (commit_hist != nullptr) {
+    const obs::HistogramSnapshot window =
+        commit_hist->Snapshot().Delta(commit_at_start);
+    if (window.count > 0) {
+      total.commit_p50_us = window.Quantile(0.50) / 1000.0;
+      total.commit_p95_us = window.Quantile(0.95) / 1000.0;
+      total.commit_p99_us = window.Quantile(0.99) / 1000.0;
+      total.commit_max_us = static_cast<double>(window.max) / 1000.0;
+    }
+  }
   return total;
 }
 
@@ -137,6 +157,21 @@ uint32_t EnvGroupCommitWaitUs(uint32_t dflt) {
 std::string EnvWalDir() {
   const char* v = std::getenv("SSIDB_WAL_DIR");
   return v == nullptr ? std::string() : std::string(v);
+}
+
+std::string EnvMetricsDump() {
+  const char* v = std::getenv("SSIDB_METRICS_DUMP");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+void MaybeDumpMetrics(DB* db, const std::string& path) {
+  if (path.empty() || db == nullptr) return;
+  const std::string body = db->DumpMetrics(obs::MetricsFormat::kJson);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
 }
 
 std::string NextWalPointDir() {

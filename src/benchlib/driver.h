@@ -77,6 +77,10 @@ RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
 ///   SSIDB_BENCH_JSON     - path to append one JSON object per measured
 ///                          point (JSON Lines) for machine-readable
 ///                          artifacts next to the CSV on stdout.
+///   SSIDB_METRICS_DUMP   - path to write a full DB::DumpMetrics() JSON
+///                          snapshot after each run (figure binaries and
+///                          micro_ops write one file per run; a numeric
+///                          suffix distinguishes points).
 double EnvSeconds(double dflt);
 std::vector<int> EnvMpls(const std::vector<int>& dflt);
 uint32_t EnvFlushUs(uint32_t dflt);
@@ -85,6 +89,14 @@ uint32_t EnvCheckpointIntervalMs(uint32_t dflt);
 /// straggler wait (0/unset = classic group commit).
 uint32_t EnvGroupCommitWaitUs(uint32_t dflt);
 std::string EnvWalDir();
+
+/// SSIDB_METRICS_DUMP: base path for DumpMetrics() snapshots ("" = off).
+std::string EnvMetricsDump();
+
+/// Write db->DumpMetrics() (JSON) to `path` if non-empty. Figure binaries
+/// call this with EnvMetricsDump() plus a per-point suffix. Best-effort:
+/// failures are ignored (a bench run must not die on a metrics file).
+void MaybeDumpMetrics(DB* db, const std::string& path);
 
 /// A fresh per-point WAL directory under EnvWalDir(), or "" when unset.
 std::string NextWalPointDir();

@@ -47,7 +47,7 @@ std::string ResultRow(const std::string& figure, const std::string& series,
 std::string ResultJsonLine(const std::string& figure,
                            const std::string& series, int mpl,
                            const RunResult& r) {
-  char buf[1024];
+  char buf[1536];
   snprintf(buf, sizeof(buf),
            "{\"figure\":\"%s\",\"series\":\"%s\",\"mpl\":%d,"
            "\"commits_per_sec\":%.1f,\"seconds\":%.3f,\"commits\":%llu,"
@@ -58,7 +58,9 @@ std::string ResultJsonLine(const std::string& figure,
            "\"log_mean_batch\":%.2f,\"buffer_pool_hits\":%llu,"
            "\"buffer_pool_misses\":%llu,\"buffer_pool_evictions\":%llu,"
            "\"buffer_pool_writebacks\":%llu,\"spilled_chains\":%llu,"
-           "\"faulted_chains\":%llu}",
+           "\"faulted_chains\":%llu,\"commit_p50_us\":%.2f,"
+           "\"commit_p95_us\":%.2f,\"commit_p99_us\":%.2f,"
+           "\"commit_max_us\":%.2f}",
            figure.c_str(), series.c_str(), mpl, r.Throughput(), r.seconds,
            static_cast<unsigned long long>(r.commits),
            static_cast<unsigned long long>(r.deadlocks),
@@ -76,7 +78,9 @@ std::string ResultJsonLine(const std::string& figure,
            static_cast<unsigned long long>(r.buffer_pool_evictions),
            static_cast<unsigned long long>(r.buffer_pool_writebacks),
            static_cast<unsigned long long>(r.spilled_chains),
-           static_cast<unsigned long long>(r.faulted_chains));
+           static_cast<unsigned long long>(r.faulted_chains),
+           r.commit_p50_us, r.commit_p95_us, r.commit_p99_us,
+           r.commit_max_us);
   return buf;
 }
 

@@ -45,6 +45,16 @@ struct RunResult {
   uint64_t spilled_chains = 0;
   uint64_t faulted_chains = 0;
 
+  /// Commit-path latency over the measurement window (microseconds),
+  /// derived from the engine's "commit.total_ns" stage histogram delta.
+  /// Zero when the window recorded no samples (commit timing is sampled;
+  /// very short windows may record none). max is cumulative across the
+  /// engine's lifetime (histogram maxima cannot be windowed).
+  double commit_p50_us = 0;
+  double commit_p95_us = 0;
+  double commit_p99_us = 0;
+  double commit_max_us = 0;
+
   double BufferPoolHitRate() const {
     const uint64_t total = buffer_pool_hits + buffer_pool_misses;
     return total > 0 ? static_cast<double>(buffer_pool_hits) / total : 0;

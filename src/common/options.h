@@ -223,6 +223,23 @@ struct DBOptions {
   /// acquisition — the reference engine for differential tests; verdicts
   /// must be identical either way.
   bool certification_batching = true;
+
+  /// Commit-pipeline stage timing samples every N-th commit per thread
+  /// (rounded up to a power of two). The clock reads for a fully timed
+  /// commit cost ~100ns; at the default 1-in-16 rate that is noise
+  /// against the commit itself, which keeps metrics effectively free on
+  /// the hot path. 1 times every commit (tests); the read-path fault/hit
+  /// split uses the same period.
+  uint32_t metrics_sample_period = 16;
+
+  /// When nonzero (and metrics_dump_path is set), a background thread
+  /// appends one DumpMetrics() JSON line to metrics_dump_path every
+  /// this-many milliseconds — a flight-recorder time series for
+  /// post-mortem analysis. 0 (default) disables the dumper.
+  uint32_t metrics_dump_interval_ms = 0;
+
+  /// Target file of the background metrics dumper (appended, JSON lines).
+  std::string metrics_dump_path;
 };
 
 /// Per-transaction options.

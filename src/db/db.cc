@@ -5,6 +5,7 @@
 #include "src/db/db.h"
 
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 
 #include "src/recovery/checkpoint.h"
@@ -88,11 +89,145 @@ DB::DB(const DBOptions& options)
                                          txn_manager_.get(),
                                          lock_manager_.get(), tracker_.get(),
                                          history_.get());
+  RegisterAllMetrics();
 }
 
 DB::~DB() {
+  StopMetricsDumper();
   StopCheckpointer();
   StopVersionSweeper();
+}
+
+void DB::RegisterAllMetrics() {
+  obs::MetricsRegistry* r = &metrics_;
+  // Histograms live in their subsystems; each registers its own and hooks
+  // the trace ring where it emits events.
+  txn_manager_->RegisterMetrics(r, &trace_);
+  executor_->RegisterMetrics(r, &trace_);
+  log_manager_->RegisterMetrics(r);
+  if (tier_ != nullptr) tier_->pool()->RegisterMetrics(r);
+
+  // Counters and gauges read through the subsystems' existing relaxed
+  // accessors: the recording site stays a single fetch-add (or narrow
+  // mutex), and the registry only attaches names at collection time.
+  ConflictTracker* tracker = tracker_.get();
+  r->RegisterCounter("ssi.unsafe_aborts",
+                     [tracker] { return tracker->unsafe_aborts(); });
+  LockManager* locks = lock_manager_.get();
+  r->RegisterCounter("lock.waits", [locks] { return locks->waits(); });
+  r->RegisterCounter("lock.deadlocks",
+                     [locks] { return locks->deadlocks_detected(); });
+  r->RegisterGauge("lock.grants", [locks] {
+    return static_cast<uint64_t>(locks->GrantCount());
+  });
+  LogManager* log = log_manager_.get();
+  r->RegisterCounter("log.records",
+                     [log] { return log->appended_records(); });
+  r->RegisterCounter("log.flush_batches",
+                     [log] { return log->flush_batches(); });
+  TxnManager* txns = txn_manager_.get();
+  r->RegisterGauge("engine.active_txns", [txns] {
+    return static_cast<uint64_t>(txns->active_count());
+  });
+  r->RegisterGauge("engine.suspended_txns", [txns] {
+    return static_cast<uint64_t>(txns->suspended_count());
+  });
+  r->RegisterCounter("commit.waits", [txns] { return txns->commit_waits(); });
+  r->RegisterCounter("commit.wakeups",
+                     [txns] { return txns->commit_wakeups(); });
+  r->RegisterCounter("commit.ring_full_stalls",
+                     [txns] { return txns->ring_full_stalls(); });
+  r->RegisterGauge("commit.max_window_depth",
+                   [txns] { return txns->max_commit_window_depth(); });
+  r->RegisterCounter("commit.combine_batches",
+                     [txns] { return txns->commit_combine_batches(); });
+  r->RegisterCounter("commit.combined_txns",
+                     [txns] { return txns->commit_combined_txns(); });
+  r->RegisterCounter("commit.fastpath",
+                     [txns] { return txns->commit_fastpath(); });
+  r->RegisterGauge("txn.page_fcw_entries", [txns] {
+    return static_cast<uint64_t>(txns->page_write_entries());
+  });
+  r->RegisterCounter("ckpt.taken", [this] {
+    return checkpoints_taken_.load(std::memory_order_relaxed);
+  });
+  r->RegisterCounter("ckpt.bytes_written", [this] {
+    return checkpoint_bytes_written_.load(std::memory_order_relaxed);
+  });
+  r->RegisterCounter("wal.segments_deleted", [this] {
+    return wal_segments_deleted_.load(std::memory_order_relaxed);
+  });
+  Executor* exec = executor_.get();
+  r->RegisterCounter("gc.versions_pruned", [this, exec] {
+    return versions_pruned_.load(std::memory_order_relaxed) +
+           exec->versions_pruned();
+  });
+  if (tier_ != nullptr) {
+    BufferPool* pool = tier_->pool();
+    StorageTier* tier = tier_.get();
+    r->RegisterCounter("pool.hits", [pool] { return pool->hits(); });
+    r->RegisterCounter("pool.misses", [pool] { return pool->misses(); });
+    r->RegisterCounter("pool.evictions",
+                       [pool] { return pool->evictions(); });
+    r->RegisterCounter("pool.writebacks",
+                       [pool] { return pool->writebacks(); });
+    r->RegisterCounter("tier.spilled_chains",
+                       [tier] { return tier->spilled_chains(); });
+    r->RegisterCounter("tier.faulted_chains",
+                       [tier] { return tier->faulted_chains(); });
+  }
+  // One counter per abort-taxonomy reason (kNone excluded: it is never
+  // counted — unclassified aborts fold into kExplicit).
+  for (size_t i = 1; i < kAbortReasonCount; ++i) {
+    const AbortReason reason = static_cast<AbortReason>(i);
+    r->RegisterCounter(std::string("abort.") + AbortReasonName(reason),
+                       [txns, reason] { return txns->abort_count(reason); });
+  }
+}
+
+std::string DB::DumpMetrics(obs::MetricsFormat format) {
+  return obs::Render(metrics_.Collect(), format);
+}
+
+Status DB::DumpTrace(const std::string& path) const {
+  return trace_.DumpTo(path);
+}
+
+void DB::StartMetricsDumper() {
+  if (options_.metrics_dump_interval_ms == 0 ||
+      options_.metrics_dump_path.empty()) {
+    return;
+  }
+  dumper_ = std::thread([this] {
+    const auto interval =
+        std::chrono::milliseconds(options_.metrics_dump_interval_ms);
+    std::unique_lock<std::mutex> guard(dumper_mu_);
+    while (!dumper_stop_) {
+      if (dumper_cv_.wait_for(guard, interval,
+                              [this] { return dumper_stop_; })) {
+        return;
+      }
+      guard.unlock();
+      // Append one JSON line per tick — a flight-recorder time series.
+      // Best effort: an unwritable path just skips the tick.
+      const std::string line = DumpMetrics(obs::MetricsFormat::kJson);
+      if (FILE* f = std::fopen(options_.metrics_dump_path.c_str(), "a")) {
+        std::fwrite(line.data(), 1, line.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+      }
+      guard.lock();
+    }
+  });
+}
+
+void DB::StopMetricsDumper() {
+  {
+    std::lock_guard<std::mutex> guard(dumper_mu_);
+    dumper_stop_ = true;
+  }
+  dumper_cv_.notify_all();
+  if (dumper_.joinable()) dumper_.join();
 }
 
 Status DB::Open(const DBOptions& options, std::unique_ptr<DB>* db) {
@@ -122,6 +257,7 @@ Status DB::Open(const DBOptions& options, std::unique_ptr<DB>* db) {
     (*db)->StartCheckpointer();
   }
   (*db)->StartVersionSweeper();
+  (*db)->StartMetricsDumper();
   return Status::OK();
 }
 
@@ -272,6 +408,9 @@ Status DB::Checkpoint() {
   checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
   checkpoint_bytes_written_.fetch_add(written.bytes,
                                       std::memory_order_relaxed);
+  trace_.Emit(obs::TraceEvent::kCheckpoint, /*txn=*/0,
+              /*arg16=*/full ? 1 : 0, /*arg32=*/written.table_count,
+              /*payload=*/watermark);
   if (full) {
     last_base_watermark_ = watermark;
     last_base_table_count_ = written.table_count;
@@ -407,6 +546,10 @@ DBStats DB::GetStats() const {
     s.buffer_pool_writebacks = pool->writebacks();
     s.spilled_chains = tier_->spilled_chains();
     s.faulted_chains = tier_->faulted_chains();
+  }
+  for (size_t i = 0; i < kAbortReasonCount; ++i) {
+    s.aborts.by_reason[i] =
+        txn_manager_->abort_count(static_cast<AbortReason>(i));
   }
   return s;
 }

@@ -34,10 +34,14 @@
 #include <string>
 #include <thread>
 
+#include "src/common/abort_reason.h"
 #include "src/common/options.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/lock/lock_manager.h"
+#include "src/obs/exporter.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_ring.h"
 #include "src/recovery/recovery.h"
 #include "src/sgt/history.h"
 #include "src/ssi/conflict_tracker.h"
@@ -111,6 +115,17 @@ class Transaction {
   /// Commit timestamp (0 unless committed).
   Timestamp commit_ts() const { return ctx_.state->commit_ts.load(); }
   bool active() const { return !ctx_.finished; }
+  /// Abort forensics: why this transaction aborted (kNone while active or
+  /// after a successful commit; abort_reason.h taxonomy otherwise).
+  AbortReason abort_cause() const {
+    return static_cast<AbortReason>(
+        ctx_.state->abort_cause.load(std::memory_order_relaxed));
+  }
+  /// The conflicting transaction recorded with the cause, when the abort
+  /// came from an rw-antidependency (0 otherwise).
+  TxnId abort_conflict_txn() const {
+    return ctx_.state->abort_conflict_txn.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class DB;
@@ -198,6 +213,25 @@ struct DBStats {
   uint64_t spilled_chains = 0;
   /// Evicted chains faulted back in from runs by reads.
   uint64_t faulted_chains = 0;
+
+  /// Abort forensics: per-reason taxonomy counts (abort_reason.h), counted
+  /// exactly once per abort at its kActive->kAborted transition. The
+  /// classification is made at the decision site (conflict tracker, FCW
+  /// check, deadlock detector), so e.g. kSsiInSide vs kSsiOutSide tells
+  /// which side of a dangerous structure the victim sat on.
+  struct AbortBreakdown {
+    uint64_t by_reason[kAbortReasonCount] = {};
+    uint64_t Count(AbortReason r) const {
+      return by_reason[static_cast<size_t>(r)];
+    }
+    uint64_t total() const {
+      uint64_t t = 0;
+      for (uint64_t v : by_reason) t += v;
+      return t;
+    }
+  };
+  AbortBreakdown aborts;
+  const AbortBreakdown& abort_breakdown() const { return aborts; }
 };
 
 class DB {
@@ -268,6 +302,21 @@ class DB {
   DBStats GetStats() const;
   const DBOptions& options() const { return options_; }
 
+  /// Render a full metrics snapshot — every registered counter, gauge and
+  /// histogram (commit stages, read hit/fault split, pool I/O, abort
+  /// taxonomy) — as a single JSON line or Prometheus text.
+  std::string DumpMetrics(
+      obs::MetricsFormat format = obs::MetricsFormat::kJson);
+
+  /// Dump the in-memory trace ring (aborts, ring stalls, tier faults,
+  /// checkpoints) to `path`, one timestamp-sorted text line per event.
+  Status DumpTrace(const std::string& path) const;
+
+  /// The metrics registry (tests/benches fold snapshots into their own
+  /// output; the eventual network front-end serves it from /metrics).
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  obs::TraceRing* trace_ring() { return &trace_; }
+
   /// The §3.1.1 after-the-fact history oracle; non-null only when
   /// DBOptions::record_history was set.
   sgt::HistoryRecorder* history() { return history_.get(); }
@@ -309,8 +358,22 @@ class DB {
   void StopVersionSweeper();
   /// One sweep over every table; adds to versions_pruned_.
   void SweepVersions();
+  /// Hook every subsystem's histograms into metrics_ and register callback
+  /// readers over the existing flat counters (recording cost unchanged:
+  /// the registry only adds names at collection time).
+  void RegisterAllMetrics();
+  /// Start/stop the background metrics dumper (metrics_dump_interval_ms +
+  /// metrics_dump_path): appends one DumpMetrics() JSON line per tick.
+  void StartMetricsDumper();
+  void StopMetricsDumper();
 
   const DBOptions options_;
+  /// Observability primitives. Declared before every subsystem (destroyed
+  /// after them): subsystems hold raw pointers to the trace ring, and the
+  /// registry holds pointers to subsystem-owned histograms that must not
+  /// dangle while a dumper tick could still collect.
+  obs::MetricsRegistry metrics_;
+  obs::TraceRing trace_;
   /// Declared before catalog_ (destroyed after it): tables hold raw tier
   /// pointers, and the tier's run files purge their buffer-pool pages on
   /// destruction. Null when the tier is disabled.
@@ -350,6 +413,11 @@ class DB {
   std::condition_variable sweeper_cv_;
   bool sweeper_stop_ = false;
   std::thread sweeper_;
+
+  std::mutex dumper_mu_;
+  std::condition_variable dumper_cv_;
+  bool dumper_stop_ = false;
+  std::thread dumper_;
 };
 
 }  // namespace ssidb

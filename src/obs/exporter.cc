@@ -1,0 +1,121 @@
+#include "src/obs/exporter.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ssidb {
+namespace obs {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  out->append(buf);
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = "ssidb_";
+  for (char c : name) {
+    out.push_back(c == '.' || c == '-' ? '_' : c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\"").append(name).append("\":");
+    AppendU64(&out, value);
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\"").append(name).append("\":");
+    AppendU64(&out, value);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\"").append(name).append("\":{\"count\":");
+    AppendU64(&out, h.count);
+    out.append(",\"sum\":");
+    AppendU64(&out, h.sum);
+    out.append(",\"max\":");
+    AppendU64(&out, h.max);
+    out.append(",\"mean\":");
+    AppendDouble(&out, h.mean());
+    out.append(",\"p50\":");
+    AppendU64(&out, h.Quantile(0.50));
+    out.append(",\"p95\":");
+    AppendU64(&out, h.Quantile(0.95));
+    out.append(",\"p99\":");
+    AppendU64(&out, h.Quantile(0.99));
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string ToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string p = PromName(name);
+    out.append("# TYPE ").append(p).append(" counter\n");
+    out.append(p).append(" ");
+    AppendU64(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string p = PromName(name);
+    out.append("# TYPE ").append(p).append(" gauge\n");
+    out.append(p).append(" ");
+    AppendU64(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string p = PromName(name);
+    out.append("# TYPE ").append(p).append(" summary\n");
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"0.5", 0.50},
+          std::pair<const char*, double>{"0.95", 0.95},
+          std::pair<const char*, double>{"0.99", 0.99}}) {
+      out.append(p).append("{quantile=\"").append(label).append("\"} ");
+      AppendU64(&out, h.Quantile(q));
+      out.push_back('\n');
+    }
+    out.append(p).append("_count ");
+    AppendU64(&out, h.count);
+    out.push_back('\n');
+    out.append(p).append("_sum ");
+    AppendU64(&out, h.sum);
+    out.push_back('\n');
+    out.append(p).append("_max ");
+    AppendU64(&out, h.max);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Render(const MetricsSnapshot& snapshot, MetricsFormat format) {
+  return format == MetricsFormat::kJson ? ToJson(snapshot)
+                                        : ToPrometheus(snapshot);
+}
+
+}  // namespace obs
+}  // namespace ssidb

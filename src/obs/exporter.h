@@ -1,0 +1,37 @@
+// Exporters: render a MetricsSnapshot as compact JSON (one object per
+// line — greppable, appendable, the bench-artifact format) or as
+// Prometheus text exposition (the format the eventual network front-end
+// will serve from a /metrics endpoint).
+
+#ifndef SSIDB_OBS_EXPORTER_H_
+#define SSIDB_OBS_EXPORTER_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace ssidb {
+namespace obs {
+
+enum class MetricsFormat {
+  kJson,
+  kPrometheus,
+};
+
+/// One single-line JSON object:
+///   {"counters":{"name":v,...},"gauges":{...},
+///    "histograms":{"name":{"count":c,"sum":s,"max":m,"mean":x,
+///                          "p50":v,"p95":v,"p99":v},...}}
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text format. Metric names are prefixed with "ssidb_" and
+/// sanitized ('.' and '-' become '_'); histograms emit quantile-labeled
+/// summary samples plus _count/_sum/_max.
+std::string ToPrometheus(const MetricsSnapshot& snapshot);
+
+std::string Render(const MetricsSnapshot& snapshot, MetricsFormat format);
+
+}  // namespace obs
+}  // namespace ssidb
+
+#endif  // SSIDB_OBS_EXPORTER_H_

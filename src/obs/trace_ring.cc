@@ -1,0 +1,100 @@
+#include "src/obs/trace_ring.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/obs/metrics.h"  // NowNanos
+
+namespace ssidb {
+namespace obs {
+
+namespace {
+
+size_t TraceShards() {
+  const uint64_t t = TopologyShards(/*floor=*/1);
+  return static_cast<size_t>(t < 16 ? t : 16);
+}
+
+}  // namespace
+
+TraceRing::TraceRing(uint32_t slots_per_shard)
+    : shard_mask_(RoundUpPow2(TraceShards(), 1) - 1),
+      slot_mask_(RoundUpPow2(slots_per_shard, 8) - 1),
+      shards_(new Shard[shard_mask_ + 1]) {
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    shards_[i].slots.reset(new Slot[slot_mask_ + 1]);
+  }
+}
+
+void TraceRing::Emit(TraceEvent event, uint64_t txn, uint16_t arg16,
+                     uint32_t arg32, uint64_t payload) {
+  Shard& shard = shards_[ThreadTopologySlot() & shard_mask_];
+  const uint64_t idx =
+      shard.next.fetch_add(1, std::memory_order_relaxed) & slot_mask_;
+  Slot& slot = shard.slots[idx];
+  // Threads beyond the shard count share a shard; CAS-claim the seqlock so
+  // two writers landing on the same slot cannot interleave (the loser
+  // drops its event — a flight recorder prefers losing one record to
+  // publishing a torn one).
+  uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  if ((seq & 1) != 0 ||
+      !slot.seq.compare_exchange_strong(seq, seq + 1,
+                                        std::memory_order_acquire)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.ts_ns.store(NowNanos(), std::memory_order_relaxed);
+  slot.txn.store(txn, std::memory_order_relaxed);
+  slot.packed.store(static_cast<uint64_t>(event) |
+                        (static_cast<uint64_t>(arg16) << 16) |
+                        (static_cast<uint64_t>(arg32) << 32),
+                    std::memory_order_relaxed);
+  slot.payload.store(payload, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+std::vector<TraceRing::Record> TraceRing::Snapshot() const {
+  std::vector<Record> out;
+  for (size_t s = 0; s <= shard_mask_; ++s) {
+    const Shard& shard = shards_[s];
+    for (size_t i = 0; i <= slot_mask_; ++i) {
+      const Slot& slot = shard.slots[i];
+      const uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+      if (seq1 < 2 || (seq1 & 1) != 0) continue;  // Empty or mid-write.
+      Record r;
+      r.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+      r.txn = slot.txn.load(std::memory_order_relaxed);
+      const uint64_t packed = slot.packed.load(std::memory_order_relaxed);
+      r.payload = slot.payload.load(std::memory_order_relaxed);
+      const uint64_t seq2 = slot.seq.load(std::memory_order_acquire);
+      if (seq2 != seq1) continue;  // Overwritten mid-read: discard.
+      r.event = static_cast<TraceEvent>(packed & 0xffff);
+      r.arg16 = static_cast<uint16_t>((packed >> 16) & 0xffff);
+      r.arg32 = static_cast<uint32_t>(packed >> 32);
+      out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Record& a, const Record& b) { return a.ts_ns < b.ts_ns; });
+  return out;
+}
+
+Status TraceRing::DumpTo(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("trace ring: cannot open " + path);
+  }
+  for (const Record& r : Snapshot()) {
+    std::fprintf(f, "%" PRIu64 " %s %" PRIu64 " %u %u %" PRIu64 "\n", r.ts_ns,
+                 TraceEventName(r.event), r.txn,
+                 static_cast<unsigned>(r.arg16), r.arg32, r.payload);
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IOError("trace ring: close failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace ssidb

@@ -1,0 +1,123 @@
+// TraceRing: a bounded in-memory event ring for post-mortem forensics.
+//
+// Fixed-size per-thread-shard slot arrays of binary records (timestamp,
+// txn id, event code, two small args, one payload word). Writers claim a
+// slot with one fetch-add on their shard's cursor and publish through a
+// per-slot seqlock (seq odd while writing, even when stable); every field
+// is an atomic, so concurrent Snapshot() readers are race-free under TSan
+// and simply discard records whose seq changed mid-read. Old records are
+// overwritten in ring order — the ring is a flight recorder, not a log.
+//
+// Emit cost: one fetch-add, one CAS, five relaxed stores, one release
+// store — cheap enough for abort paths and stall paths, which are the
+// events worth recording (per-commit tracing belongs to the sampled
+// histograms, not the ring).
+
+#ifndef SSIDB_OBS_TRACE_RING_H_
+#define SSIDB_OBS_TRACE_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/epoch.h"  // RoundUpPow2, TopologyShards, ThreadTopologySlot
+#include "src/common/status.h"
+
+namespace ssidb {
+namespace obs {
+
+enum class TraceEvent : uint16_t {
+  kNone = 0,
+  /// A transaction aborted. arg16 = AbortReason, payload = conflicting
+  /// transaction id (0 if none/unknown).
+  kAbort = 1,
+  /// The commit ring backpressured a publisher. payload = the reuse floor
+  /// the publisher had to wait for, arg32 = ring slots.
+  kRingStall = 2,
+  /// A read faulted an evicted version chain back from the storage tier.
+  /// arg32 = fault attempts, payload = nanoseconds spent.
+  kFault = 3,
+  /// A checkpoint completed. payload = watermark covered.
+  kCheckpoint = 4,
+};
+
+inline const char* TraceEventName(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kNone: return "none";
+    case TraceEvent::kAbort: return "abort";
+    case TraceEvent::kRingStall: return "ring_stall";
+    case TraceEvent::kFault: return "fault";
+    case TraceEvent::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+class TraceRing {
+ public:
+  /// One decoded record (Snapshot output, ordered by timestamp).
+  struct Record {
+    uint64_t ts_ns = 0;
+    uint64_t txn = 0;
+    uint64_t payload = 0;
+    uint32_t arg32 = 0;
+    uint16_t arg16 = 0;
+    TraceEvent event = TraceEvent::kNone;
+  };
+
+  /// `slots_per_shard` is rounded up to a power of two; one shard per
+  /// topology slot (capped), so total capacity is shards * slots.
+  explicit TraceRing(uint32_t slots_per_shard = 1024);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Record one event on the calling thread's shard. Never blocks; drops
+  /// the event if it loses a (cross-thread shard-sharing) slot race.
+  void Emit(TraceEvent event, uint64_t txn, uint16_t arg16, uint32_t arg32,
+            uint64_t payload);
+
+  /// Every stable record currently in the ring, sorted by timestamp.
+  /// Safe concurrently with writers.
+  std::vector<Record> Snapshot() const;
+
+  /// Dump Snapshot() as one text line per record:
+  ///   ts_ns event txn arg16 arg32 payload
+  Status DumpTo(const std::string& path) const;
+
+  size_t shards() const { return shard_mask_ + 1; }
+  size_t slots_per_shard() const { return slot_mask_ + 1; }
+
+  /// Events dropped to a lost slot race (diagnostic; relaxed).
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    /// Seqlock: odd while a writer owns the slot, even when stable;
+    /// >= 2 means the slot has been written at least once.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> txn{0};
+    /// event | arg16 << 16 | arg32 << 32.
+    std::atomic<uint64_t> packed{0};
+    std::atomic<uint64_t> payload{0};
+  };
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> next{0};
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  const size_t shard_mask_;
+  const size_t slot_mask_;
+  const std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace obs
+}  // namespace ssidb
+
+#endif  // SSIDB_OBS_TRACE_RING_H_

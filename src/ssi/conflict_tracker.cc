@@ -232,6 +232,17 @@ Status ConflictTracker::AbortVictimLocked(TxnState* caller, TxnState* pivot,
     }
   }
   assert(victim != nullptr && victim->IsActive());
+  // Forensics: classify the victim by its position in the dangerous
+  // structure. The edge is reader ->rw-> writer; if the victim is the
+  // pivot itself that is the classification, otherwise the victim is the
+  // edge's other endpoint: with the pivot reading, the victim wrote the
+  // pivot's out-edge (T_out); with the pivot writing, the victim read the
+  // pivot's in-edge (T_in).
+  TxnState* other = (victim == pivot) ? counterpart : pivot;
+  const AbortReason why = (victim == pivot)     ? AbortReason::kSsiPivot
+                          : (pivot == reader)   ? AbortReason::kSsiOutSide
+                                                : AbortReason::kSsiInSide;
+  victim->SetAbortCause(why, other->id);
   if (victim == caller) {
     return Status::Unsafe("dangerous structure: consecutive rw-conflicts");
   }
@@ -265,11 +276,15 @@ Status ConflictTracker::MarkLocked(TxnState* caller,
     if (writer->IsCommitted() && writer->out_conflict_flag) {
       unsafe_aborts_.fetch_add(1, std::memory_order_relaxed);
       assert(caller == reader.get());
+      // The caller read into a committed pivot: it is the T_in side.
+      caller->SetAbortCause(AbortReason::kSsiInSide, writer->id);
       return Status::Unsafe("committed pivot (writer) has out-conflict");
     }
     if (reader->IsCommitted() && reader->in_conflict_flag) {
       unsafe_aborts_.fetch_add(1, std::memory_order_relaxed);
       assert(caller == writer.get());
+      // The caller wrote out of a committed pivot: it is the T_out side.
+      caller->SetAbortCause(AbortReason::kSsiOutSide, reader->id);
       return Status::Unsafe("committed pivot (reader) has in-conflict");
     }
   }
@@ -370,6 +385,7 @@ Status ConflictTracker::CommitCheck(TxnState* txn) {
   if (options_.conflict_tracking == ConflictTracking::kFlags) {
     if (txn->in_conflict_flag && txn->out_conflict_flag) {
       unsafe_aborts_.fetch_add(1, std::memory_order_relaxed);
+      txn->SetAbortCause(AbortReason::kSsiPivot, 0);
       return Status::Unsafe("pivot at commit: in- and out-conflict set");
     }
     return Status::OK();
@@ -378,6 +394,11 @@ Status ConflictTracker::CommitCheck(TxnState* txn) {
   TidyRefLocked(&txn->out_ref);
   if (DangerousLocked(*txn, /*committing_now=*/true)) {
     unsafe_aborts_.fetch_add(1, std::memory_order_relaxed);
+    // References mode may still know the out-partner: record it.
+    const TxnId partner = txn->out_ref.kind == ConflictRef::Kind::kOther
+                              ? txn->out_ref.other->id
+                              : 0;
+    txn->SetAbortCause(AbortReason::kSsiPivot, partner);
     return Status::Unsafe("pivot at commit: out-partner committed first");
   }
   return Status::OK();

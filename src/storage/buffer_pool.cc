@@ -195,13 +195,17 @@ Status BufferPool::PinPage(uint64_t file_id, uint32_t page_no, Pin* out) {
       Frame& fr = *frames_[idx];
       Status st;
       if (wb.needed) {
+        const uint64_t t0 = obs::NowNanos();
         st = PwriteFull(wb.file->fd(), frame_data(idx), page_bytes_,
                         static_cast<uint64_t>(wb.page_no) * page_bytes_);
+        write_io_ns_.Record(obs::NowNanos() - t0);
         if (st.ok()) writebacks_.fetch_add(1, std::memory_order_relaxed);
       }
       if (st.ok()) {
+        const uint64_t t0 = obs::NowNanos();
         st = PreadFull(file->fd(), frame_data(idx), page_bytes_,
                        static_cast<uint64_t>(page_no) * page_bytes_);
+        read_io_ns_.Record(obs::NowNanos() - t0);
       }
       {
         std::lock_guard<std::mutex> io_guard(fr.io_mu);
@@ -267,8 +271,10 @@ Status BufferPool::PinForWrite(uint64_t file_id, uint32_t page_no,
   Frame& fr = *frames_[idx];
   Status st;
   if (wb.needed) {
+    const uint64_t t0 = obs::NowNanos();
     st = PwriteFull(wb.file->fd(), frame_data(idx), page_bytes_,
                     static_cast<uint64_t>(wb.page_no) * page_bytes_);
+    write_io_ns_.Record(obs::NowNanos() - t0);
     if (st.ok()) writebacks_.fetch_add(1, std::memory_order_relaxed);
   }
   memset(frame_data(idx), 0, page_bytes_);
@@ -324,13 +330,20 @@ Status BufferPool::FlushFile(uint64_t file_id) {
   Status st;
   for (const Work& w : work) {
     if (st.ok()) {
+      const uint64_t t0 = obs::NowNanos();
       st = PwriteFull(w.file->fd(), frame_data(w.frame), page_bytes_,
                       static_cast<uint64_t>(w.page_no) * page_bytes_);
+      write_io_ns_.Record(obs::NowNanos() - t0);
       if (st.ok()) writebacks_.fetch_add(1, std::memory_order_relaxed);
     }
     Unpin(w.frame);
   }
   return st;
+}
+
+void BufferPool::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->RegisterHistogram("pool.read_io_ns", &read_io_ns_);
+  registry->RegisterHistogram("pool.write_io_ns", &write_io_ns_);
 }
 
 }  // namespace ssidb

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 
 namespace ssidb {
 
@@ -128,6 +129,11 @@ class BufferPool {
     return writebacks_.load(std::memory_order_relaxed);
   }
 
+  /// Register pool I/O latency histograms (pread of a faulted page,
+  /// pwrite of a writeback). Always-on timing: every sample is a real
+  /// disk I/O, so the clock reads are noise.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
  private:
   enum class FrameState : uint8_t { kFree, kLoading, kValid, kFailed };
 
@@ -201,6 +207,8 @@ class BufferPool {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> writebacks_{0};
+  obs::Histogram read_io_ns_;
+  obs::Histogram write_io_ns_;
 };
 
 }  // namespace ssidb

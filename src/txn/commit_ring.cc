@@ -37,6 +37,10 @@ void CommitRing::Publish(Timestamp ts) {
     const Timestamp reuse_floor = ts - n;
     if (stable_.load(std::memory_order_acquire) < reuse_floor) {
       full_stalls_.fetch_add(1, std::memory_order_relaxed);
+      if (trace_ != nullptr) {
+        trace_->Emit(obs::TraceEvent::kRingStall, /*txn=*/0, /*arg16=*/0,
+                     /*arg32=*/static_cast<uint32_t>(n), reuse_floor);
+      }
       // Backpressure parks are counted by full_stalls_ alone — never as
       // commit-ack waits, so DBStats keeps the two distinguishable.
       WaitUntilCovered(reuse_floor, nullptr);

@@ -63,6 +63,7 @@
 #include <mutex>
 
 #include "src/common/epoch.h"  // RoundUpPow2, TopologyShards
+#include "src/obs/trace_ring.h"
 #include "src/storage/version.h"
 
 namespace ssidb {
@@ -133,6 +134,11 @@ class CommitRing {
     return max_depth_.load(std::memory_order_relaxed);
   }
 
+  /// Hook the trace ring: ring-full stalls emit kRingStall events
+  /// (payload = reuse floor, arg32 = ring size). Set once at DB::Open,
+  /// before commits flow.
+  void set_trace(obs::TraceRing* trace) { trace_ = trace; }
+
  private:
   /// Advance the watermark over consecutive stamped slots; wake newly
   /// covered waiter shards. Lock-free; any thread may call.
@@ -173,6 +179,7 @@ class CommitRing {
   std::atomic<uint64_t> wakeups_issued_{0};
   std::atomic<uint64_t> full_stalls_{0};
   std::atomic<uint64_t> max_depth_{0};
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace ssidb

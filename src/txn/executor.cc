@@ -16,7 +16,15 @@ Executor::Executor(const DBOptions& options, Catalog* catalog,
       txns_(txns),
       locks_(locks),
       tracker_(tracker),
-      history_(history) {}
+      history_(history),
+      sample_mask_(obs::SampleMask(options.metrics_sample_period)) {}
+
+void Executor::RegisterMetrics(obs::MetricsRegistry* registry,
+                               obs::TraceRing* trace) {
+  registry->RegisterHistogram("read.hit_ns", &read_hit_ns_);
+  registry->RegisterHistogram("read.fault_ns", &read_fault_ns_);
+  trace_ = trace;
+}
 
 Status Executor::CheckUsable(TxnCtx& txn) {
   if (txn.finished) {
@@ -41,6 +49,21 @@ void Executor::EnsureSnapshot(TxnCtx& txn) {
 }
 
 Status Executor::AbortWith(TxnCtx& txn, const Status& cause) {
+  // Taxonomy fallback from the status code. SetAbortCause is
+  // first-writer-wins, so a more specific classification made at the
+  // decision site (conflict tracker, FCW check) survives this mapping.
+  TxnState* state = txn.state.get();
+  if (cause.IsDeadlock()) {
+    state->SetAbortCause(AbortReason::kDeadlock, 0);
+  } else if (cause.IsTimedOut()) {
+    state->SetAbortCause(AbortReason::kLockTimeout, 0);
+  } else if (cause.IsUpdateConflict()) {
+    state->SetAbortCause(AbortReason::kFcwRow, 0);
+  } else if (cause.IsIOError()) {
+    state->SetAbortCause(AbortReason::kTierIo, 0);
+  } else if (cause.IsUnsafe()) {
+    state->SetAbortCause(AbortReason::kSsiPivot, 0);
+  }
   txns_->Abort(txn.state);
   if (!txn.finished && history_ != nullptr) {
     history_->Abort(txn.state->id);
@@ -168,19 +191,37 @@ Status Executor::ReadChainFaulting(TxnCtx& txn, Table* t, Slice key,
                                    const LockKey* page_lk,
                                    VersionChain* chain, std::string* value,
                                    ReadResult* out) {
+  // Hit latency is sampled; once a fault fires the I/O dominates, so an
+  // unsampled read starts its clock at the first fault and the fault
+  // histogram stays complete either way.
+  const bool sampled = obs::SampleTick(sample_mask_);
+  uint64_t t0 = sampled ? obs::NowNanos() : 0;
+  int attempt = 0;
   // A faulted chain can in principle be re-evicted by the sweeper between
   // our install and the re-read; the bound turns a pathological loop into
   // an abort the application can retry.
-  for (int attempt = 0;; ++attempt) {
+  for (;; ++attempt) {
     Status st = ReadChainAndMark(txn, page_lk, chain, value, out);
     if (!st.ok()) return st;
-    if (!out->evicted) return Status::OK();
+    if (!out->evicted) break;
     if (attempt >= 8) {
       return AbortWith(txn, Status::IOError("version fault retry limit"));
     }
+    if (attempt == 0 && !sampled) t0 = obs::NowNanos();
     st = t->FaultChain(key, chain);
     if (!st.ok()) return AbortWith(txn, st);
   }
+  if (attempt > 0) {
+    const uint64_t ns = obs::NowNanos() - t0;
+    read_fault_ns_.Record(ns);
+    if (trace_ != nullptr) {
+      trace_->Emit(obs::TraceEvent::kFault, txn.state->id,
+                   /*arg16=*/0, /*arg32=*/static_cast<uint32_t>(attempt), ns);
+    }
+  } else if (sampled) {
+    read_hit_ns_.Record(obs::NowNanos() - t0);
+  }
+  return Status::OK();
 }
 
 Status Executor::Get(TxnCtx& txn, TableId table, Slice key,
@@ -294,11 +335,13 @@ Status Executor::CheckFirstCommitterWins(TxnCtx& txn, VersionChain* chain,
                                          const LockKey& row_lk) {
   const Timestamp read_ts = txn.state->read_ts.load();
   if (chain->HasCommittedVersionAfter(read_ts)) {
+    txn.state->SetAbortCause(AbortReason::kFcwRow, 0);
     return Status::UpdateConflict("newer committed version");
   }
   if (options_.granularity == LockGranularity::kPage &&
       txns_->PageLastWriteTs(row_lk) > read_ts) {
     // §4.2: Berkeley DB applies first-committer-wins per page.
+    txn.state->SetAbortCause(AbortReason::kFcwPage, 0);
     return Status::UpdateConflict("page modified since snapshot");
   }
   return Status::OK();
@@ -571,6 +614,7 @@ Status Executor::Abort(TxnCtx& txn) {
   if (txn.finished) {
     return Status::OK();
   }
+  txn.state->SetAbortCause(AbortReason::kExplicit, 0);
   txns_->Abort(txn.state);
   if (history_ != nullptr) {
     history_->Abort(txn.state->id);

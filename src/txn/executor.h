@@ -33,6 +33,8 @@
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/lock/lock_manager.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_ring.h"
 #include "src/sgt/history.h"
 #include "src/ssi/conflict_tracker.h"
 #include "src/storage/catalog.h"
@@ -83,6 +85,10 @@ class Executor {
   uint64_t versions_pruned() const {
     return versions_pruned_.load(std::memory_order_relaxed);
   }
+
+  /// Register the read-latency split (hit vs storage-tier fault) and hook
+  /// the trace ring for kFault events. Called once by the DB façade.
+  void RegisterMetrics(obs::MetricsRegistry* registry, obs::TraceRing* trace);
 
  private:
   /// Pre-flight for every operation: reject finished transactions, honour
@@ -161,6 +167,14 @@ class Executor {
   sgt::HistoryRecorder* const history_;
 
   std::atomic<uint64_t> versions_pruned_{0};
+
+  /// Read-path latency, split by whether the chain had to be faulted back
+  /// from the storage tier. Hits are sampled (metrics_sample_period);
+  /// faults are always timed — the I/O dwarfs the clock reads.
+  obs::Histogram read_hit_ns_;
+  obs::Histogram read_fault_ns_;
+  const uint32_t sample_mask_;
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace ssidb

@@ -187,6 +187,10 @@ void LogManager::ForgetWalSegment(uint64_t seq) {
   if (wal_ != nullptr) wal_->ForgetSegment(seq);
 }
 
+void LogManager::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->RegisterHistogram("log.flush_batch_ns", &flush_batch_ns_);
+}
+
 void LogManager::FlusherLoop() {
   for (;;) {
     Lsn batch_end;
@@ -243,12 +247,14 @@ void LogManager::FlusherLoop() {
       last_take_records_ = total;
     }
     Status io = Status::OK();
+    const uint64_t t0 = obs::NowNanos();
     if (wal_ != nullptr) {
       io = wal_->AppendBatch(batch);
     } else if (options_.flush_latency_us > 0) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(options_.flush_latency_us));
     }
+    flush_batch_ns_.Record(obs::NowNanos() - t0);
     {
       std::lock_guard<std::mutex> guard(mu_);
       // Advance even on failure so waiters wake; the sticky io_status_

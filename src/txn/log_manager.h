@@ -34,6 +34,7 @@
 
 #include "src/common/options.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/storage/version.h"
 
 namespace ssidb {
@@ -155,6 +156,12 @@ class LogManager {
 
   bool durable() const { return !options_.wal_dir.empty(); }
 
+  /// Register the flush-batch latency histogram (the write+fsync — or
+  /// simulated sleep — of one group-commit batch). Always-on timing: the
+  /// flusher runs off the commit path and each sample covers a whole
+  /// batch, so the clock reads are free relative to the I/O they measure.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
  private:
   void FlusherLoop();
 
@@ -187,6 +194,8 @@ class LogManager {
   std::atomic<uint64_t> flush_batches_{0};
   /// Records covered by completed flush batches (mean_flush_batch).
   std::atomic<uint64_t> flushed_records_{0};
+  /// Wall time of one group-commit flush (flusher thread only records).
+  obs::Histogram flush_batch_ns_;
 
   std::atomic<bool> stop_{false};
   std::thread flusher_;

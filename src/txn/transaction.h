@@ -25,6 +25,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/common/abort_reason.h"
 #include "src/common/options.h"
 #include "src/common/status.h"
 #include "src/lock/lock_key.h"
@@ -111,6 +112,26 @@ struct TxnState {
   /// Why the mark was set; written before the release store of
   /// marked_for_abort, read only after an acquire load observes true.
   Status abort_reason;
+
+  /// Abort forensics (abort_reason.h): the taxonomy class of this abort
+  /// and, when the cause was an rw-antidependency, the conflicting
+  /// transaction's id. First writer wins — the classification made at the
+  /// decision site sticks; later generic fallbacks cannot overwrite it.
+  /// TxnManager::AbortInternal reads these exactly once per abort.
+  std::atomic<uint8_t> abort_cause{0};
+  std::atomic<TxnId> abort_conflict_txn{0};
+
+  /// Classify this abort (no-op if already classified).
+  void SetAbortCause(AbortReason r, TxnId conflict) {
+    uint8_t expected = 0;
+    if (abort_cause.compare_exchange_strong(expected,
+                                            static_cast<uint8_t>(r),
+                                            std::memory_order_relaxed)) {
+      if (conflict != 0) {
+        abort_conflict_txn.store(conflict, std::memory_order_relaxed);
+      }
+    }
+  }
 
   /// Per-transaction latch: guards the conflict state below and the
   /// active→committed/aborted transition of `status`. Lock ordering: when

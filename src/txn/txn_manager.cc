@@ -20,6 +20,7 @@ TxnManager::TxnManager(const DBOptions& options, LockManager* lock_manager,
       log_manager_(log_manager),
       ring_(options.commit_ring_slots),
       combiner_(&ring_, /*slots=*/0, options.certification_batching),
+      sample_mask_(obs::SampleMask(options.metrics_sample_period)),
       shard_mask_(RoundUpPow2(options.txn_registry_shards != 0
                                   ? options.txn_registry_shards
                                   : TopologyShards(),
@@ -32,6 +33,18 @@ TxnManager::TxnManager(const DBOptions& options, LockManager* lock_manager,
                            ? TopologyShards(/*floor=*/4) - 1
                            : 0),
       page_shards_(new PageShard[page_shard_mask_ + 1]) {}
+
+void TxnManager::RegisterMetrics(obs::MetricsRegistry* registry,
+                                 obs::TraceRing* trace) {
+  registry->RegisterHistogram("commit.certify_ns", &certify_ns_);
+  registry->RegisterHistogram("commit.stamp_publish_ns", &stamp_publish_ns_);
+  registry->RegisterHistogram("commit.watermark_ns", &watermark_ns_);
+  registry->RegisterHistogram("commit.wal_append_ns", &wal_append_ns_);
+  registry->RegisterHistogram("commit.fsync_wait_ns", &fsync_wait_ns_);
+  registry->RegisterHistogram("commit.total_ns", &total_ns_);
+  trace_ = trace;
+  ring_.set_trace(trace);
+}
 
 std::shared_ptr<TxnState> TxnManager::Begin(IsolationLevel isolation) {
   // Lock-free id allocation. Ids are a separate domain from commit
@@ -184,6 +197,11 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
   Timestamp commit_ts = 0;
   Status abort_cause;
   bool must_abort = false;
+  // Stage timing (sampled): a sampled commit records every stage it
+  // executes — entry..timestamp-final is "certify" whether it took the
+  // combiner or the fast path.
+  const bool sampled = obs::SampleTick(sample_mask_);
+  const uint64_t t_entry = sampled ? obs::NowNanos() : 0;
   // A commit with nothing to stamp never enters the ring and never waits
   // on the watermark: read-only transactions publish nothing. Their commit
   // timestamp is the watermark itself — the snapshot boundary they read
@@ -237,6 +255,11 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
     AbortInternal(txn);
     return abort_cause;
   }
+  uint64_t t_stage = 0;
+  if (sampled) {
+    t_stage = obs::NowNanos();
+    certify_ns_.Record(t_stage - t_entry);
+  }
 
   if (has_writes) {
     // Stamp the new versions. The row EXCLUSIVE locks are still held, so
@@ -276,7 +299,17 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
     // only released once every committed version of it is below the
     // watermark, so lock-then-snapshot always sees the newest version.
     ring_.Publish(commit_ts);
+    if (sampled) {
+      const uint64_t now = obs::NowNanos();
+      stamp_publish_ns_.Record(now - t_stage);
+      t_stage = now;
+    }
     ring_.WaitCovered(commit_ts);
+    if (sampled) {
+      const uint64_t now = obs::NowNanos();
+      watermark_ns_.Record(now - t_stage);
+      t_stage = now;
+    }
   }
 
   // Deregister from the active set. Only SSI transactions are retained
@@ -323,15 +356,23 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
     record.txn_id = txn->id;
     record.commit_ts = commit_ts;
     record.redo = std::move(redo);
+    const uint64_t t_append = sampled ? obs::NowNanos() : 0;
     const Lsn lsn = log_manager_->Append(std::move(record));
+    if (sampled) wal_append_ns_.Record(obs::NowNanos() - t_append);
 
+    auto wait_flushed = [&](Lsn wait_lsn) {
+      const uint64_t t_flush = sampled ? obs::NowNanos() : 0;
+      Status st = log_manager_->WaitFlushed(wait_lsn);
+      if (sampled) fsync_wait_ns_.Record(obs::NowNanos() - t_flush);
+      return st;
+    };
     if (options_.log.early_lock_release) {
       // InnoDB's original ordering (§4.4): locks released before the
       // flush.
       release_locks();
-      flush_status = log_manager_->WaitFlushed(lsn);
+      flush_status = wait_flushed(lsn);
     } else {
-      flush_status = log_manager_->WaitFlushed(lsn);
+      flush_status = wait_flushed(lsn);
       release_locks();
     }
   } else {
@@ -339,6 +380,7 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
   }
 
   CleanupSuspended();
+  if (sampled) total_ns_.Record(obs::NowNanos() - t_entry);
   // A failed flush cannot be rolled back — the commit is already visible.
   // Surface the I/O error so the client knows durability was not achieved.
   return flush_status;
@@ -358,6 +400,19 @@ void TxnManager::AbortInternal(const std::shared_ptr<TxnState>& txn) {
       return;
     }
     txn->status.store(TxnStatus::kAborted, std::memory_order_release);
+  }
+  // Forensics: the kActive->kAborted transition above happens exactly once
+  // per transaction, so this is the single counting point for the abort
+  // taxonomy. Unclassified aborts (client rollback without a recorded
+  // cause) fold into kExplicit.
+  uint8_t cause = txn->abort_cause.load(std::memory_order_relaxed);
+  if (cause == 0 || cause >= kAbortReasonCount) {
+    cause = static_cast<uint8_t>(AbortReason::kExplicit);
+  }
+  abort_counts_[cause].fetch_add(1, std::memory_order_relaxed);
+  if (trace_ != nullptr) {
+    trace_->Emit(obs::TraceEvent::kAbort, txn->id, cause, /*arg32=*/0,
+                 txn->abort_conflict_txn.load(std::memory_order_relaxed));
   }
   const Timestamp departed_read_ts =
       txn->read_ts.load(std::memory_order_relaxed);

@@ -118,6 +118,8 @@
 #include "src/common/options.h"
 #include "src/common/status.h"
 #include "src/lock/lock_manager.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_ring.h"
 #include "src/txn/commit_combiner.h"
 #include "src/txn/commit_ring.h"
 #include "src/txn/log_manager.h"
@@ -277,6 +279,19 @@ class TxnManager {
     return fastpath_commits_.load(std::memory_order_relaxed);
   }
 
+  /// Aborts whose TxnState carried this taxonomy class (abort_reason.h).
+  /// Counted exactly once per abort, in AbortInternal; an unclassified
+  /// abort counts as kExplicit.
+  uint64_t abort_count(AbortReason r) const {
+    return abort_counts_[static_cast<size_t>(r)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Register the commit-pipeline stage histograms and hook the trace ring
+  /// (abort + ring-stall events). Called once by the DB façade, before any
+  /// transaction begins.
+  void RegisterMetrics(obs::MetricsRegistry* registry, obs::TraceRing* trace);
+
   const DBOptions& options() const { return options_; }
   LockManager* lock_manager() { return lock_manager_; }
 
@@ -357,6 +372,20 @@ class TxnManager {
 
   /// SSI commits that skipped certification (triage class 2).
   std::atomic<uint64_t> fastpath_commits_{0};
+
+  // --- Observability (src/obs). Stage timing is sampled 1-in-N per
+  // thread (DBOptions::metrics_sample_period); a sampled commit records
+  // every stage it executes, so per-stage counts stay comparable. ---
+  obs::Histogram certify_ns_;        // Begin of Commit -> timestamp final.
+  obs::Histogram stamp_publish_ns_;  // Version stamping -> ring publish.
+  obs::Histogram watermark_ns_;      // Waiting for watermark coverage.
+  obs::Histogram wal_append_ns_;     // Encoding + flusher hand-off.
+  obs::Histogram fsync_wait_ns_;     // Group-commit flush wait.
+  obs::Histogram total_ns_;          // Whole Commit() call.
+  const uint32_t sample_mask_;
+  /// Per-reason abort counts (DBStats::abort_breakdown).
+  std::atomic<uint64_t> abort_counts_[kAbortReasonCount] = {};
+  obs::TraceRing* trace_ = nullptr;
 
   std::atomic<Timestamp> min_active_read_ts_{1};
   /// Prune floor of the in-progress checkpoint sweep (kMaxTimestamp when

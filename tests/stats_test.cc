@@ -150,6 +150,7 @@ TEST(StatsTest, CumulativeCountersAreMonotonicUnderLoad) {
   }
 
   uint64_t last_log = 0, last_unsafe = 0, last_deadlocks = 0, last_waits = 0;
+  uint64_t last_by_reason[kAbortReasonCount] = {};
   for (int i = 0; i < 2000; ++i) {
     DBStats s = db->GetStats();
     EXPECT_GE(s.log_records, last_log);
@@ -160,9 +161,28 @@ TEST(StatsTest, CumulativeCountersAreMonotonicUnderLoad) {
     last_unsafe = s.unsafe_aborts;
     last_deadlocks = s.deadlocks;
     last_waits = s.lock_waits;
+    // The abort taxonomy is cumulative too: each per-reason counter is a
+    // single relaxed atomic bumped exactly once per abort, so sampled
+    // values never regress either.
+    for (size_t r = 0; r < kAbortReasonCount; ++r) {
+      EXPECT_GE(s.aborts.by_reason[r], last_by_reason[r])
+          << AbortReasonName(static_cast<AbortReason>(r));
+      last_by_reason[r] = s.aborts.by_reason[r];
+    }
   }
   stop.store(true);
   for (auto& t : workers) t.join();
+
+  // Quiesced cross-check: SSI-classified aborts are bounded by the flat
+  // unsafe counter (which counts detected dangerous structures; a victim
+  // carrying an earlier cause, or a structure detected twice against the
+  // same victim, makes the taxonomy side strictly smaller).
+  DBStats s = db->GetStats();
+  const uint64_t ssi_classified =
+      s.aborts.Count(AbortReason::kSsiPivot) +
+      s.aborts.Count(AbortReason::kSsiInSide) +
+      s.aborts.Count(AbortReason::kSsiOutSide);
+  EXPECT_LE(ssi_classified, s.unsafe_aborts);
 }
 
 /// Commit-pipeline counters (the lock-free commit-slot ring): folded into
