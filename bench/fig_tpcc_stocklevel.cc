@@ -11,6 +11,13 @@
 // Additionally reproduces the §3.8 mixing configuration as a fourth series
 // ("SSI+SIRO"): updates at Serializable SI, read-only transactions at
 // plain SI — the deployment the paper predicts will be popular.
+//
+// Note: Stock Level's §2.8.2.2 window read is the real predicate path —
+// StockLevel (tpcc_txns.cc) reads the last-20-orders order-line window
+// through Executor::Scan, which leaves SIREAD locks on the window so
+// concurrent NEWO/DLVY writers raise the §3.2 rw-antidependency. Pinned by
+// tests/tpcc_test.cc (TpccStockLevelScanTest); this benchmark does not
+// approximate the scan.
 
 #include <cstdlib>
 

@@ -50,6 +50,10 @@ inline void RunFigure(const std::string& figure, const SetupFn& setup,
   DriverConfig config;
   config.measure_seconds = EnvSeconds(default_seconds);
   config.warmup_seconds = config.measure_seconds / 4;
+  // SSIDB_PIPELINE=N: every point runs the pipelined driver with N
+  // in-flight commits per worker (workloads without a SubmitOne override
+  // degrade to blocking behavior, one at a time).
+  config.pipeline_depth = EnvPipelineDepth(0);
   const std::vector<int> mpls = EnvMpls(DefaultMpls());
   FigureSetup shared;
   if (!fresh_db_per_point) shared = setup();

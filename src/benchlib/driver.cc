@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <cstdlib>
 #include <ctime>
 #include <sstream>
@@ -36,12 +38,59 @@ RunResult RunWorkload(DB* db, Workload* workload, const SeriesConfig& series,
     workers.emplace_back([&, w] {
       Random rng(config.seed * 7919 + w * 104729 + 1);
       RunResult& local = per_worker[w];
+      if (config.pipeline_depth <= 0) {
+        for (;;) {
+          const int p = phase.load(std::memory_order_acquire);
+          if (p == 2) break;
+          const Status st = workload->RunOne(db, series, w, &rng);
+          if (p == 1) local.Count(st);
+        }
+        return;
+      }
+      // Pipelined worker: submit through SubmitOne until `depth`
+      // transactions are unacknowledged, then wait for acks to open the
+      // window again. The acknowledgment may fire on any thread (group-
+      // commit flusher, another committer's watermark advance, or this
+      // thread inline) and concurrently with other acks of this worker,
+      // so counting happens under the worker's sync mutex — and the
+      // notify stays under it too, or the callback could race the
+      // worker's teardown of the condition variable. The 1ms re-drive in
+      // both waits is the liveness backstop for a completion whose
+      // covering watermark advance went stale (commit_ring.h).
+      const int depth = config.pipeline_depth;
+      auto session = db->CreateSession();
+      struct Sync {
+        std::mutex mu;
+        std::condition_variable cv;
+        int inflight = 0;
+      } sync;
+      const auto wait_with_redrive = [&](auto pred) {
+        std::unique_lock<std::mutex> guard(sync.mu);
+        while (!sync.cv.wait_for(guard, std::chrono::milliseconds(1), pred)) {
+          guard.unlock();
+          db->txn_manager()->DriveCommitPipeline();
+          guard.lock();
+        }
+      };
       for (;;) {
         const int p = phase.load(std::memory_order_acquire);
         if (p == 2) break;
-        const Status st = workload->RunOne(db, series, w, &rng);
-        if (p == 1) local.Count(st);
+        wait_with_redrive([&] { return sync.inflight < depth; });
+        {
+          std::lock_guard<std::mutex> guard(sync.mu);
+          ++sync.inflight;
+        }
+        workload->SubmitOne(db, session.get(), series, w, &rng,
+                            [&sync, &local, p](Status st) {
+                              std::lock_guard<std::mutex> guard(sync.mu);
+                              if (p == 1) local.Count(st);
+                              --sync.inflight;
+                              sync.cv.notify_one();
+                            });
       }
+      // Drain: every submitted transaction must acknowledge before the
+      // session (and this stack frame the callbacks point into) dies.
+      wait_with_redrive([&] { return sync.inflight == 0; });
     });
   }
 
@@ -162,6 +211,13 @@ std::string EnvWalDir() {
 std::string EnvMetricsDump() {
   const char* v = std::getenv("SSIDB_METRICS_DUMP");
   return v == nullptr ? std::string() : std::string(v);
+}
+
+int EnvPipelineDepth(int dflt) {
+  const char* v = std::getenv("SSIDB_PIPELINE");
+  if (v == nullptr) return dflt;
+  const long d = std::atol(v);
+  return d >= 0 ? static_cast<int>(d) : dflt;
 }
 
 void MaybeDumpMetrics(DB* db, const std::string& path) {

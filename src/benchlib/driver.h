@@ -6,6 +6,7 @@
 #ifndef SSIDB_BENCHLIB_DRIVER_H_
 #define SSIDB_BENCHLIB_DRIVER_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -14,6 +15,7 @@
 #include "src/common/options.h"
 #include "src/common/random.h"
 #include "src/db/db.h"
+#include "src/db/session.h"
 
 namespace ssidb::bench {
 
@@ -47,6 +49,20 @@ class Workload {
   /// simply calling again (the Chapter 6 retry discipline).
   virtual Status RunOne(DB* db, const SeriesConfig& series, uint64_t worker,
                         Random* rng) = 0;
+
+  /// Pipelined attempt (DriverConfig::pipeline_depth > 0): run ONE
+  /// transaction and deliver its final status through `done`, exactly
+  /// once, possibly on another thread after this returns. The default
+  /// runs RunOne to completion and acknowledges inline — correct for any
+  /// workload, pipelined for none. Workloads whose programs can commit
+  /// asynchronously override this to submit through `session`
+  /// (Session::CommitAsync) so the worker keeps many commits in flight.
+  virtual void SubmitOne(DB* db, Session* session, const SeriesConfig& series,
+                         uint64_t worker, Random* rng,
+                         std::function<void(Status)> done) {
+    (void)session;
+    done(RunOne(db, series, worker, rng));
+  }
 };
 
 struct DriverConfig {
@@ -54,6 +70,13 @@ struct DriverConfig {
   double warmup_seconds = 0.05;
   double measure_seconds = 0.25;
   uint64_t seed = 42;
+  /// 0: the classic blocking driver (one transaction in flight per
+  /// worker). >0: the pipelined driver — each worker owns a Session and
+  /// keeps up to this many submitted-but-unacknowledged transactions in
+  /// flight via Workload::SubmitOne, so the durable regime's group-commit
+  /// fsync amortizes across the whole window instead of across MPL
+  /// threads.
+  int pipeline_depth = 0;
 };
 
 /// Run `workload` on `db` with config.mpl concurrent workers and return
@@ -92,6 +115,9 @@ std::string EnvWalDir();
 
 /// SSIDB_METRICS_DUMP: base path for DumpMetrics() snapshots ("" = off).
 std::string EnvMetricsDump();
+
+/// SSIDB_PIPELINE: DriverConfig::pipeline_depth (0/unset = blocking).
+int EnvPipelineDepth(int dflt);
 
 /// Write db->DumpMetrics() (JSON) to `path` if non-empty. Figure binaries
 /// call this with EnvMetricsDump() plus a per-point suffix. Best-effort:

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "src/db/session.h"
 #include "src/recovery/checkpoint.h"
 #include "src/recovery/wal.h"
 
@@ -131,6 +132,10 @@ void DB::RegisterAllMetrics() {
   });
   r->RegisterGauge("engine.suspended_txns", [txns] {
     return static_cast<uint64_t>(txns->suspended_count());
+  });
+  r->RegisterGauge("session.open", [this] {
+    return static_cast<uint64_t>(
+        sessions_open_.load(std::memory_order_relaxed));
   });
   r->RegisterCounter("commit.waits", [txns] { return txns->commit_waits(); });
   r->RegisterCounter("commit.wakeups",
@@ -492,6 +497,11 @@ Status DB::FindTable(const std::string& name, TableId* id) const {
 std::unique_ptr<Transaction> DB::Begin(const TxnOptions& options) {
   return std::unique_ptr<Transaction>(new Transaction(
       executor_.get(), txn_manager_->Begin(options.isolation)));
+}
+
+std::unique_ptr<Session> DB::CreateSession() {
+  sessions_open_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Session>(new Session(this));
 }
 
 size_t DB::SpillChains(TableId id) {

@@ -55,6 +55,7 @@
 namespace ssidb {
 
 class DB;
+class Session;  // src/db/session.h
 
 /// A single client transaction. Obtained from DB::Begin; one thread only.
 class Transaction {
@@ -260,6 +261,16 @@ class DB {
 
   std::unique_ptr<Transaction> Begin(const TxnOptions& options = {});
 
+  /// Create a session: handle-keyed ownership of many open transactions,
+  /// the multiplexing alternative to one Transaction object per in-flight
+  /// transaction (src/db/session.h — include it to use the result). The
+  /// session must not outlive the DB.
+  std::unique_ptr<Session> CreateSession();
+  /// Sessions currently alive (created, not yet destroyed).
+  size_t sessions_open() const {
+    return sessions_open_.load(std::memory_order_relaxed);
+  }
+
   /// Write a checkpoint of committed state at the current stable watermark
   /// into wal_dir (durable mode only; kInvalidArgument otherwise). With
   /// LogOptions::checkpoint_max_deltas > 0 and a base image already on
@@ -343,6 +354,7 @@ class DB {
   StorageTier* storage_tier() { return tier_.get(); }
 
  private:
+  friend class Session;  // Sessions wire directly to executor_/txn_manager_.
   explicit DB(const DBOptions& options);
 
   /// Rebuild state from wal_dir (Open calls this before the first Begin)
@@ -387,6 +399,9 @@ class DB {
   std::unique_ptr<Executor> executor_;
 
   recovery::RecoveryStats recovery_stats_;
+  /// Live Session count (the session.open gauge); sessions decrement on
+  /// destruction.
+  std::atomic<size_t> sessions_open_{0};
   std::atomic<uint64_t> checkpoints_taken_{0};
   std::atomic<uint64_t> checkpoint_bytes_written_{0};
   std::atomic<uint64_t> wal_segments_deleted_{0};

@@ -1,0 +1,113 @@
+// Session: handle-keyed ownership of many open transactions.
+//
+// The Transaction handle (db.h) binds one transaction to one C++ object
+// driven by one thread — fine for the paper's MPL-style benchmarks, where
+// every in-flight transaction has a dedicated thread parked inside it, but
+// the wrong shape for a network front-end or a pipelined client, where a
+// few worker threads multiplex thousands of open transactions. A Session
+// is the multiplexing shape: transactions are begun into the session,
+// addressed by opaque TxnHandle values, and their engine state (an
+// Executor::TxnCtx) lives on the session's heap until commit/abort
+// retires it. Paired with Session::CommitAsync, one thread can keep
+// thousands of commits in flight — the completion-driven commit core
+// (txn_manager.h "Submit/finalize split") acknowledges each one as its
+// group-commit flush lands.
+//
+// Threading: a Session may be shared by threads (the handle map is
+// mutex-guarded), but each individual transaction follows the engine-wide
+// rule — one handle is driven by at most one thread at a time, and a
+// handle must not be used concurrently with its own Commit/Abort. After
+// CommitAsync returns, the handle is retired even though the
+// acknowledgment is still in flight; the outcome arrives via the
+// callback.
+
+#ifndef SSIDB_DB_SESSION_H_
+#define SSIDB_DB_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/db/db.h"
+
+namespace ssidb {
+
+/// Addresses one open transaction within a Session. Opaque, never reused
+/// within a session; 0 is never a valid handle.
+using TxnHandle = uint64_t;
+
+class Session {
+ public:
+  /// Aborts every transaction still open in the session.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Begin a transaction owned by this session. Never fails; the returned
+  /// handle stays valid until Commit/CommitAsync/Abort retires it.
+  TxnHandle Begin(const TxnOptions& options = {});
+
+  // Operations, mirroring Transaction (db.h) with the handle in place of
+  // `this`. kTxnInvalid when the handle is unknown or already retired. A
+  // status with IsAbort() true means the transaction rolled back AND the
+  // handle was retired (the session reaps aborted transactions so a
+  // pipelined client never leaks contexts it will not revisit).
+  Status Get(TxnHandle h, TableId table, Slice key, std::string* value);
+  Status GetForUpdate(TxnHandle h, TableId table, Slice key,
+                      std::string* value);
+  Status Put(TxnHandle h, TableId table, Slice key, Slice value);
+  Status Insert(TxnHandle h, TableId table, Slice key, Slice value);
+  Status Delete(TxnHandle h, TableId table, Slice key);
+  Status Scan(TxnHandle h, TableId table, Slice lo, Slice hi,
+              const ScanCallback& fn);
+
+  /// Blocking commit; retires the handle regardless of outcome.
+  Status Commit(TxnHandle h);
+
+  /// Asynchronous commit (Executor::CommitAsync): the handle is retired at
+  /// submit, before this returns; `done(status)` fires exactly once on the
+  /// acknowledging thread when the commit is covered and flushed (or
+  /// immediately, on this thread, for an abort verdict or an unknown
+  /// handle). `done` may Begin/submit new work on this session — the
+  /// session holds no lock while it runs — but must not block on another
+  /// commit's acknowledgment.
+  void CommitAsync(TxnHandle h, TxnManager::CommitCallback done);
+
+  /// Roll back and retire the handle. OK even if the handle is unknown
+  /// (mirrors Transaction::Abort's idempotence).
+  Status Abort(TxnHandle h);
+
+  /// Transactions currently open in this session (begun, not yet retired).
+  size_t open_transactions() const;
+
+  /// Forensics for an open transaction: 0 / kNone when the handle is
+  /// unknown (retired handles keep no state in the session).
+  TxnId id(TxnHandle h) const;
+  Timestamp snapshot_ts(TxnHandle h) const;
+
+ private:
+  friend class DB;
+  explicit Session(DB* db);
+
+  /// Look up an open context. The returned pointer is stable across map
+  /// rehash (contexts are heap-allocated) and valid until the handle is
+  /// retired — which, per the threading contract, cannot race an
+  /// in-progress operation on the same handle.
+  Executor::TxnCtx* Find(TxnHandle h) const;
+  /// Remove and return the context (nullptr if unknown).
+  std::unique_ptr<Executor::TxnCtx> Take(TxnHandle h);
+
+  DB* const db_;
+  Executor* const executor_;
+
+  mutable std::mutex mu_;
+  TxnHandle next_handle_ = 1;
+  std::unordered_map<TxnHandle, std::unique_ptr<Executor::TxnCtx>> open_;
+};
+
+}  // namespace ssidb
+
+#endif  // SSIDB_DB_SESSION_H_

@@ -53,6 +53,11 @@ void CommitRing::Publish(Timestamp ts) {
 }
 
 void CommitRing::Drive() {
+  // Completions drain into a local list and run only after the CAS loop
+  // exhausts: callbacks see the watermark as far forward as this drive
+  // could push it, and they run with no ring mutex held, so a completion
+  // may itself re-enter Drive (the acknowledgment backstop does).
+  std::vector<Completion> ready;
   for (;;) {
     Timestamp s = stable_.load(std::memory_order_acquire);
     // Collect the run of consecutively stamped slots, then advance the
@@ -63,10 +68,10 @@ void CommitRing::Drive() {
            end + 1) {
       ++end;
     }
-    if (end == s) return;
+    if (end == s) break;
     if (stable_.compare_exchange_strong(s, end, std::memory_order_seq_cst,
                                         std::memory_order_acquire)) {
-      WakeCovered(s, end);
+      WakeCovered(s, end, &ready);
       // A slot just past `end` may have been stamped while we scanned;
       // loop to pick it up (otherwise its owner — who saw our CAS in
       // flight — could be left waiting with no later driver).
@@ -75,21 +80,88 @@ void CommitRing::Drive() {
     // Lost the CAS to a concurrent driver that advanced past s; rescan
     // from the new watermark.
   }
+  for (Completion& fn : ready) fn();
 }
 
-void CommitRing::WakeCovered(Timestamp from, Timestamp to) {
+void CommitRing::WakeCovered(Timestamp from, Timestamp to,
+                             std::vector<Completion>* ready) {
   // Waiters for ts park on shard ts & waiter_mask_; only shards owning a
-  // newly covered timestamp can hold a waiter this advance releases. If
-  // the advance spans every shard, every shard qualifies.
+  // newly covered timestamp can hold a waiter (or completion) this
+  // advance releases. If the advance spans every shard, every shard
+  // qualifies.
   const uint64_t span = std::min<uint64_t>(to - from, waiter_mask_ + 1);
   for (uint64_t i = 1; i <= span; ++i) {
     WaiterShard& w = waiters_[(from + i) & waiter_mask_];
-    if (w.count.load(std::memory_order_seq_cst) == 0) continue;
-    wakeups_issued_.fetch_add(1, std::memory_order_relaxed);
-    // Empty critical section: serializes with a waiter between its final
-    // predicate check and its sleep, so the notify cannot be lost.
-    { std::lock_guard<std::mutex> guard(w.mu); }
-    w.cv.notify_all();
+    const bool waiters = w.count.load(std::memory_order_seq_cst) != 0;
+    const bool completions =
+        w.comp_count.load(std::memory_order_seq_cst) != 0;
+    if (!waiters && !completions) continue;
+    {
+      // With no completions to take this is the empty critical section
+      // that serializes with a waiter between its final predicate check
+      // and its sleep, so the notify cannot be lost.
+      std::lock_guard<std::mutex> guard(w.mu);
+      if (completions) TakeCoveredLocked(&w, to, ready);
+    }
+    if (waiters) {
+      wakeups_issued_.fetch_add(1, std::memory_order_relaxed);
+      w.cv.notify_all();
+    }
+  }
+}
+
+void CommitRing::TakeCoveredLocked(WaiterShard* w, Timestamp cover,
+                                   std::vector<Completion>* ready) {
+  // `cover` may trail the live watermark; entries it leaves behind belong
+  // to a later advance (whose WakeCovered span includes this shard) or to
+  // the registrant's own re-check drain.
+  auto& list = w->completions;
+  size_t taken = 0;
+  for (size_t i = 0; i < list.size();) {
+    if (list[i].ts <= cover) {
+      ready->push_back(std::move(list[i].fn));
+      list[i] = std::move(list.back());
+      list.pop_back();
+      ++taken;
+    } else {
+      ++i;
+    }
+  }
+  if (taken != 0) {
+    w->comp_count.fetch_sub(static_cast<uint32_t>(taken),
+                            std::memory_order_seq_cst);
+  }
+}
+
+void CommitRing::DrainShard(WaiterShard* w) {
+  const Timestamp cover = stable_.load(std::memory_order_seq_cst);
+  std::vector<Completion> ready;
+  {
+    std::lock_guard<std::mutex> guard(w->mu);
+    TakeCoveredLocked(w, cover, &ready);
+  }
+  for (Completion& fn : ready) fn();
+}
+
+void CommitRing::OnCovered(Timestamp ts, Completion fn) {
+  if (stable_.load(std::memory_order_seq_cst) >= ts) {
+    fn();
+    return;
+  }
+  WaiterShard& w = waiters_[ts & waiter_mask_];
+  {
+    std::lock_guard<std::mutex> guard(w.mu);
+    w.completions.push_back(PendingCompletion{ts, std::move(fn)});
+    w.comp_count.fetch_add(1, std::memory_order_seq_cst);
+  }
+  // Registration re-check, mirroring the blocking waiter's count-then-
+  // check: if a driver CASed past ts before our insert was visible to its
+  // drain, this seq_cst load is ordered after that CAS and sees coverage,
+  // so we drain our own shard. Exactly-once holds because removal happens
+  // under w.mu (a racing drain and this one split the list, never share
+  // an entry).
+  if (stable_.load(std::memory_order_seq_cst) >= ts) {
+    DrainShard(&w);
   }
 }
 

@@ -52,6 +52,25 @@
 // increment before the driver's CAS, so the driver's count read sees it
 // and the driver notifies — taking the shard mutex first, so the notify
 // cannot slip between the waiter's final predicate check and its sleep.
+//
+// Completions (asynchronous acknowledgment): the waiter registry doubles
+// as a completion registry — OnCovered(ts, fn) parks {ts, fn} on the
+// shard keyed by ts and the watermark-advance path drains every entry the
+// advance covered, running callbacks outside all ring mutexes. Exactly
+// the blocking-waiter protocol, with registration in place of parking:
+// the registrant inserts under the shard mutex, bumps the shard's
+// completion count (seq_cst), and only then re-checks the watermark; the
+// driver CASes (seq_cst) and only then reads the count. If the driver's
+// drain ran before the insert was visible, the registrant's re-check is
+// ordered after the CAS in the seq_cst total order, sees coverage, and
+// drains its own shard. Removal happens under the shard mutex, so every
+// completion runs exactly once no matter how many drains race. Liveness
+// matches the blocking path's caveat: coverage itself may require a
+// re-drive if every committer goes idle with a stale scan (the abstract
+// machine only promises finite-time visibility) — blocking waiters
+// re-drive on a 1ms tick; pure-async hosts get the same backstop from
+// Drive() being public (TxnManager::DriveCommitPipeline) plus a re-drive
+// after every acknowledgment.
 
 #ifndef SSIDB_TXN_COMMIT_RING_H_
 #define SSIDB_TXN_COMMIT_RING_H_
@@ -59,8 +78,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "src/common/epoch.h"  // RoundUpPow2, TopologyShards
 #include "src/obs/trace_ring.h"
@@ -93,6 +114,25 @@ class CommitRing {
   /// slow path self-drives before parking (see WaitUntilCovered) and
   /// counts the park in waits_parked().
   void WaitCovered(Timestamp ts);
+
+  /// Coverage completion: runs exactly once, after `stable() >= ts`. Fires
+  /// on whichever thread drives the covering watermark advance (usually a
+  /// later committer's Publish), or inline here when already covered.
+  /// Callbacks run outside every ring mutex but on a shared commit-path
+  /// thread: keep them short, and never block them on ring coverage.
+  using Completion = std::function<void()>;
+
+  /// Register `fn` against `ts` (see the completion protocol in the file
+  /// header for the exactly-once + missed-drain argument).
+  void OnCovered(Timestamp ts, Completion fn);
+
+  /// Advance the watermark over consecutive stamped slots, wake newly
+  /// covered waiter shards and drain newly covered completions. Lock-free
+  /// scan; any thread may call. Public as the visibility backstop for
+  /// hosts with no blocking waiter left to re-drive (an async client
+  /// draining its last in-flight acknowledgments calls this on a timeout
+  /// tick, exactly as WaitUntilCovered does internally).
+  void Drive();
 
   /// The snapshot watermark: every commit with commit_ts <= stable() has
   /// fully stamped its versions.
@@ -140,11 +180,20 @@ class CommitRing {
   void set_trace(obs::TraceRing* trace) { trace_ = trace; }
 
  private:
-  /// Advance the watermark over consecutive stamped slots; wake newly
-  /// covered waiter shards. Lock-free; any thread may call.
-  void Drive();
-  /// Wake waiter shards owning timestamps in (from, to].
-  void WakeCovered(Timestamp from, Timestamp to);
+  struct WaiterShard;
+
+  /// Wake waiter shards owning timestamps in (from, to] and move that
+  /// span's covered completions into `ready` (the caller runs them once
+  /// every shard is notified, outside all ring mutexes).
+  void WakeCovered(Timestamp from, Timestamp to,
+                   std::vector<Completion>* ready);
+  /// Move completions of `w` covered at `cover` into `ready`. Caller
+  /// holds w.mu.
+  void TakeCoveredLocked(WaiterShard* w, Timestamp cover,
+                         std::vector<Completion>* ready);
+  /// Drain one shard against the current watermark and run what matured
+  /// (the registrant's self-drain in OnCovered's re-check path).
+  void DrainShard(WaiterShard* w);
   /// WaitCovered body. `park_counter` (may be null) is bumped once if the
   /// wait actually parks — commit-ack waits and ring-full backpressure
   /// keep separate books. Self-drives before parking and re-drives on a
@@ -154,12 +203,24 @@ class CommitRing {
   /// depend on a later Publish that may never come.
   void WaitUntilCovered(Timestamp ts, std::atomic<uint64_t>* park_counter);
 
+  /// One registered completion, homed on the shard keyed by its ts.
+  struct PendingCompletion {
+    Timestamp ts = 0;
+    Completion fn;
+  };
+
   struct alignas(64) WaiterShard {
     std::mutex mu;
     std::condition_variable cv;
     /// Parked-or-parking waiters; lets drivers skip the mutex when the
     /// shard is empty (the common case).
     std::atomic<uint32_t> count{0};
+    /// Registered-not-yet-covered completions; mirrors completions.size()
+    /// so drivers skip the mutex when none is parked here. seq_cst for the
+    /// same missed-drain pairing as `count` (file header).
+    std::atomic<uint32_t> comp_count{0};
+    /// Guarded by mu. Unordered (a drain compares every entry's ts).
+    std::vector<PendingCompletion> completions;
   };
 
   const uint64_t mask_;

@@ -505,23 +505,48 @@ Status Executor::Scan(TxnCtx& txn, TableId table, Slice lo, Slice hi,
       st = lock_successor_gap(successor);
       if (!st.ok()) return st;
     } else {
-      // Page granularity: lock every page that holds an entry, plus the
-      // pages of the range bounds (covers empty ranges).
-      std::unordered_set<uint64_t> pages;
-      pages.insert(Table::PageOf(lo, options_.rows_per_page));
-      pages.insert(Table::PageOf(hi, options_.rows_per_page));
-      for (const ScanEntry& e : entries) {
-        pages.insert(Table::PageOf(e.key, options_.rows_per_page));
-      }
-      for (uint64_t p : pages) {
+      // Page granularity: every page overlapping [lo, hi] must be read-
+      // locked, or an insert into an *empty interior page* — one no
+      // current entry occupies — would slip past phantom detection: the
+      // writer locks only its own page, and none of our entry-derived
+      // page locks collide with it. For 8-byte keys the page image of
+      // [lo, hi] is the contiguous interval [PageOf(lo), PageOf(hi)]
+      // (PageOf divides the decoded key), so lock exactly that interval.
+      // Bounded by kMaxScanPageInterval so an unbounded range (the whole
+      // key space is ~2^61 pages) degrades to the entry+bounds cover
+      // rather than locking forever; non-8-byte keys hash to pages, so
+      // the range has no contiguous page image and also keeps the
+      // entry+bounds cover. In both fallback cases the residual hole is
+      // exactly the empty interior buckets (non-empty ones are locked
+      // via their entries).
+      auto lock_page = [&](uint64_t p) {
         txn.scratch_row_key.Assign(table, LockKind::kPage, EncodeU64Key(p));
         if (ssi) {
-          st = AcquireSIReadAndMark(txn, table, LockKind::kPage,
-                                    txn.scratch_row_key.key);
-        } else {
-          st = AcquireAndMark(txn, txn.scratch_row_key, LockMode::kShared);
+          return AcquireSIReadAndMark(txn, table, LockKind::kPage,
+                                      txn.scratch_row_key.key);
         }
-        if (!st.ok()) return st;
+        return AcquireAndMark(txn, txn.scratch_row_key, LockMode::kShared);
+      };
+      const uint64_t lo_page = Table::PageOf(lo, options_.rows_per_page);
+      const uint64_t hi_page = Table::PageOf(hi, options_.rows_per_page);
+      constexpr uint64_t kMaxScanPageInterval = 4096;
+      if (lo.size() == 8 && hi.size() == 8 && lo_page <= hi_page &&
+          hi_page - lo_page <= kMaxScanPageInterval) {
+        for (uint64_t p = lo_page; p <= hi_page; ++p) {
+          st = lock_page(p);
+          if (!st.ok()) return st;
+        }
+      } else {
+        std::unordered_set<uint64_t> pages;
+        pages.insert(lo_page);
+        pages.insert(hi_page);
+        for (const ScanEntry& e : entries) {
+          pages.insert(Table::PageOf(e.key, options_.rows_per_page));
+        }
+        for (uint64_t p : pages) {
+          st = lock_page(p);
+          if (!st.ok()) return st;
+        }
       }
     }
 
@@ -608,6 +633,50 @@ Status Executor::Commit(TxnCtx& txn) {
     }
   }
   return st;
+}
+
+void Executor::CommitAsync(TxnCtx& txn, TxnManager::CommitCallback done) {
+  if (txn.finished) {
+    done(Status::TxnInvalid("transaction already finished"));
+    return;
+  }
+  // Everything the acknowledgment path needs outlives the TxnCtx: the
+  // TxnState travels by shared_ptr, the redo by value, the recorder by
+  // pointer (it is engine-lifetime and mutex-guarded).
+  std::shared_ptr<TxnState> state = txn.state;
+  std::vector<RedoEntry> redo;
+  redo.reserve(state->write_set.size());
+  for (const TxnState::WriteRecord& w : state->write_set) {
+    redo.push_back(RedoEntry{w.table, w.key, w.version->value,
+                             w.version->tombstone});
+  }
+
+  TxnManager::CommitCheck check;
+  if (state->isolation == IsolationLevel::kSerializableSSI) {
+    ConflictTracker* tracker = tracker_;
+    check = [tracker](TxnState* t) { return tracker->CommitCheck(t); };
+  }
+
+  // Finished at submit: the handle's job ends here, the outcome arrives
+  // via `done`. Set before the call because an inline acknowledgment
+  // (read-only, non-durable, or abort) fires inside it.
+  txn.finished = true;
+  sgt::HistoryRecorder* history = history_;
+  txns_->CommitAsync(
+      state, check, std::move(redo),
+      [history, state, done = std::move(done)](Status st) {
+        if (history != nullptr) {
+          // kIOError means committed-in-memory but not durable: the
+          // history oracle reasons about the in-memory execution, so it
+          // is a commit.
+          if (st.ok() || st.IsIOError()) {
+            history->Commit(state->id, state->commit_ts.load());
+          } else {
+            history->Abort(state->id);
+          }
+        }
+        done(st);
+      });
 }
 
 Status Executor::Abort(TxnCtx& txn) {

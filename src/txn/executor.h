@@ -78,6 +78,20 @@ class Executor {
   Status Scan(TxnCtx& txn, TableId table, Slice lo, Slice hi,
               const ScanCallback& fn);
   Status Commit(TxnCtx& txn);
+
+  /// Asynchronous Commit: submit on the calling thread (certification,
+  /// version stamping, WAL append — the same TxnManager path Commit takes)
+  /// and return with the commit in flight; `done(status)` runs exactly
+  /// once when it is acknowledged (watermark coverage plus, for writers,
+  /// the covering log flush). The TxnCtx is finished at submit — it may be
+  /// destroyed as soon as this returns; the engine-side state the
+  /// acknowledgment needs travels in the callback. `done` runs on
+  /// whichever thread drives the completion (the group-commit flusher,
+  /// another committer's watermark advance, or this thread inline) and
+  /// must not touch the TxnCtx. An abort verdict also arrives through
+  /// `done`; it may fire before this returns.
+  void CommitAsync(TxnCtx& txn, TxnManager::CommitCallback done);
+
   Status Abort(TxnCtx& txn);
 
   /// Versions reclaimed by the inline write-path prune (one slice of

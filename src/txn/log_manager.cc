@@ -118,15 +118,29 @@ LogManager::LogManager(const LogOptions& options) : options_(options) {
   }
 }
 
-LogManager::~LogManager() {
+LogManager::~LogManager() { Quiesce(); }
+
+void LogManager::Quiesce() {
   {
     std::lock_guard<std::mutex> guard(mu_);
     stop_.store(true);
   }
   work_cv_.notify_all();
   // Joining drains pending_: a clean shutdown leaves every appended record
-  // in the WAL.
+  // in the WAL. Idempotent — a second call finds the flusher already
+  // joined and the subscription list empty.
   if (flusher_.joinable()) flusher_.join();
+  // The final batch fired every subscription it covered; anything left
+  // subscribed past the last appended LSN (API misuse, but survivable)
+  // fires now with the sticky status so no completion is ever dropped.
+  std::vector<FlushSub> leftover;
+  Status sticky;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    leftover.swap(flush_subs_);
+    sticky = io_status_;
+  }
+  for (FlushSub& sub : leftover) sub.cb(sticky);
 }
 
 Lsn LogManager::Append(LogRecord record) {
@@ -160,6 +174,26 @@ Status LogManager::WaitFlushed(Lsn lsn) {
   std::unique_lock<std::mutex> guard(mu_);
   flushed_cv_.wait(guard, [&] { return flushed_lsn_ >= lsn || stop_.load(); });
   return io_status_;
+}
+
+void LogManager::OnFlushed(Lsn lsn, FlushCallback cb) {
+  // Same satisfaction condition as WaitFlushed's wake predicate; when it
+  // already holds, fire inline with the sticky status — the subscriber
+  // never learns whether it raced the flush or followed it.
+  if (!options_.flush_on_commit) {
+    cb(Status::OK());
+    return;
+  }
+  Status st;
+  {
+    std::unique_lock<std::mutex> guard(mu_);
+    if (flushed_lsn_ < lsn && !stop_.load()) {
+      flush_subs_.push_back(FlushSub{lsn, std::move(cb)});
+      return;
+    }
+    st = io_status_;
+  }
+  cb(st);
 }
 
 std::vector<std::string> LogManager::RetainedRecords() const {
@@ -255,6 +289,8 @@ void LogManager::FlusherLoop() {
           std::chrono::microseconds(options_.flush_latency_us));
     }
     flush_batch_ns_.Record(obs::NowNanos() - t0);
+    std::vector<FlushSub> matured;
+    Status sticky;
     {
       std::lock_guard<std::mutex> guard(mu_);
       // Advance even on failure so waiters wake; the sticky io_status_
@@ -263,8 +299,21 @@ void LogManager::FlusherLoop() {
       if (!io.ok() && io_status_.ok()) io_status_ = io;
       flush_batches_.fetch_add(1, std::memory_order_relaxed);
       flushed_records_.fetch_add(batch.size(), std::memory_order_relaxed);
+      // Pull out the flush subscriptions this batch covered; they fire
+      // below, after blocking waiters are notified and mu_ is released.
+      for (size_t i = 0; i < flush_subs_.size();) {
+        if (flush_subs_[i].lsn <= flushed_lsn_) {
+          matured.push_back(std::move(flush_subs_[i]));
+          flush_subs_[i] = std::move(flush_subs_.back());
+          flush_subs_.pop_back();
+        } else {
+          ++i;
+        }
+      }
+      sticky = io_status_;
     }
     flushed_cv_.notify_all();
+    for (FlushSub& sub : matured) sub.cb(sticky);
   }
 }
 

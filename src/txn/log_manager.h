@@ -25,6 +25,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -103,6 +104,15 @@ class LogManager {
   explicit LogManager(const LogOptions& options);
   ~LogManager();
 
+  /// Stop and join the group-commit flusher, then fire every remaining
+  /// flush subscription with the sticky I/O status. Idempotent; the
+  /// destructor calls it. TxnManager's destructor quiesces the log first
+  /// so no flusher-thread callback (flush subscription -> FinalizeAcked ->
+  /// ring drive) can run concurrently with its teardown — the flusher
+  /// outlives the TxnManager in every owner (DB members, test fixtures)
+  /// because the log must be constructed first.
+  void Quiesce();
+
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
@@ -117,6 +127,21 @@ class LogManager {
   /// kIOError is sticky: once a WAL write or fsync fails, every subsequent
   /// wait reports it — the in-memory commit stands, but it is not durable.
   Status WaitFlushed(Lsn lsn);
+
+  /// Flush-subscription callback: receives the sticky I/O status as of the
+  /// covering flush (WaitFlushed's return value, without the block).
+  using FlushCallback = std::function<void(Status)>;
+
+  /// Asynchronous WaitFlushed: run `cb(status)` exactly once, as soon as a
+  /// flush covering `lsn` has completed. Mirrors WaitFlushed's contract:
+  /// fires immediately (inline, on the calling thread) when commits do not
+  /// wait on flushes (!flush_on_commit), when the covering flush already
+  /// happened, or during shutdown. Otherwise the group-commit flusher
+  /// fires it right after the covering batch's bookkeeping, with mu_
+  /// released — the callback may take engine locks and block briefly, but
+  /// every subscriber behind it in the same batch waits for it, so keep it
+  /// short.
+  void OnFlushed(Lsn lsn, FlushCallback cb);
 
   /// Retain encoded records in memory for test inspection. Set before any
   /// concurrent appends (flips Append off its lock-free fast path).
@@ -181,6 +206,13 @@ class LogManager {
   std::vector<std::string> retained_;
   /// First WAL write/fsync failure, sticky (guarded by mu_).
   Status io_status_;
+  /// Flush subscriptions not yet covered by flushed_lsn_ (guarded by mu_;
+  /// unordered — the flusher compares every entry against the batch end).
+  struct FlushSub {
+    Lsn lsn = 0;
+    FlushCallback cb;
+  };
+  std::vector<FlushSub> flush_subs_;
 
   // Adaptive group-commit state (flusher thread only): EWMA of the
   // record arrival rate (records per microsecond, measured between batch

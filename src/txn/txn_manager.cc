@@ -34,6 +34,14 @@ TxnManager::TxnManager(const DBOptions& options, LockManager* lock_manager,
                            : 0),
       page_shards_(new PageShard[page_shard_mask_ + 1]) {}
 
+TxnManager::~TxnManager() {
+  // Join the group-commit flusher before any member is torn down: a flush
+  // subscription registered by FinalizeCovered runs FinalizeAcked (ring
+  // drive, suspended cleanup) on the flusher thread, and that tail can
+  // still be running after the client's `done` callback already fired.
+  if (log_manager_ != nullptr) log_manager_->Quiesce();
+}
+
 void TxnManager::RegisterMetrics(obs::MetricsRegistry* registry,
                                  obs::TraceRing* trace) {
   registry->RegisterHistogram("commit.certify_ns", &certify_ns_);
@@ -41,7 +49,11 @@ void TxnManager::RegisterMetrics(obs::MetricsRegistry* registry,
   registry->RegisterHistogram("commit.watermark_ns", &watermark_ns_);
   registry->RegisterHistogram("commit.wal_append_ns", &wal_append_ns_);
   registry->RegisterHistogram("commit.fsync_wait_ns", &fsync_wait_ns_);
+  registry->RegisterHistogram("commit.ack_lag_ns", &ack_lag_ns_);
   registry->RegisterHistogram("commit.total_ns", &total_ns_);
+  registry->RegisterGauge("commit.inflight", [this] {
+    return commits_inflight_.load(std::memory_order_relaxed);
+  });
   trace_ = trace;
   ring_.set_trace(trace);
 }
@@ -194,6 +206,72 @@ void TxnManager::AdvanceClockTo(Timestamp ts) {
 Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
                           const CommitCheck& check,
                           std::vector<RedoEntry> redo) {
+  // Blocking commit IS the async path: submit, then park until the
+  // completion pipeline acknowledges. No certification, stamping, or
+  // acknowledgment logic lives here — one commit code path (file header).
+  // The waiter lives on this stack frame, so a callback arriving from
+  // another thread (ring driver or group-commit flusher) must make its
+  // LAST touch of it ordered before Commit can return: everything —
+  // status, flag, notify — happens under w.mu, and the notify stays under
+  // the lock (the waiter cannot re-acquire mu and observe `done` until
+  // the callback has left the critical section, so it cannot destroy cv
+  // mid-notify). The common case, though, acknowledges inline on THIS
+  // thread before CommitAsync returns (coverage at publish + non-durable
+  // flush ack); that is ordinary program order and takes no lock —
+  // `done_inline` is written and read by this thread only.
+  struct SyncWaiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;         // Guarded by mu (cross-thread acks).
+    bool done_inline = false;  // Submitting-thread acks only.
+    Status status;
+  } w;
+  const std::thread::id self = std::this_thread::get_id();
+  CommitAsync(txn, check, std::move(redo), [&w, self](Status st) {
+    if (std::this_thread::get_id() == self) {
+      w.status = std::move(st);
+      w.done_inline = true;
+      return;
+    }
+    std::lock_guard<std::mutex> guard(w.mu);
+    w.status = std::move(st);
+    w.done = true;
+    w.cv.notify_one();
+  });
+  if (w.done_inline) return w.status;
+  // Not acknowledged inline: self-drive once before parking, exactly as
+  // the ring's own WaitUntilCovered does — our slot store is visible to
+  // our own scan by program order, which closes the last-publisher case,
+  // and when this Drive drains our completion the whole finalize chain
+  // (including the ack callback's same-thread branch) runs right here,
+  // lock free. Completions drain exactly once, so the inline and
+  // cross-thread branches are mutually exclusive per commit.
+  ring_.Drive();
+  if (w.done_inline) return w.status;
+  std::unique_lock<std::mutex> guard(w.mu);
+  if (!w.done) {
+    ack_parks_.fetch_add(1, std::memory_order_relaxed);
+    while (!w.cv.wait_for(guard, std::chrono::milliseconds(1),
+                          [&] { return w.done; })) {
+      // Timed out: re-drive as a visibility backstop, exactly as the
+      // ring's blocking waiters do (WaitUntilCovered) — with this thread
+      // parked here instead of inside the ring, it must not depend on a
+      // later Publish rescanning on its behalf. That drive may run our
+      // own completion on THIS thread, which acknowledges through
+      // done_inline rather than done, so check both flags.
+      guard.unlock();
+      ring_.Drive();
+      if (w.done_inline) return w.status;
+      guard.lock();
+    }
+  }
+  return w.status;
+}
+
+void TxnManager::CommitAsync(const std::shared_ptr<TxnState>& txn,
+                             const CommitCheck& check,
+                             std::vector<RedoEntry> redo,
+                             CommitCallback done) {
   Timestamp commit_ts = 0;
   Status abort_cause;
   bool must_abort = false;
@@ -215,7 +293,8 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
     // (and is seen) or observes the committed status afterwards.
     std::lock_guard<std::mutex> latch(txn->ssi_mu);
     if (txn->status.load(std::memory_order_relaxed) != TxnStatus::kActive) {
-      return Status::TxnInvalid("commit of finished transaction");
+      done(Status::TxnInvalid("commit of finished transaction"));
+      return;
     }
     if (txn->marked_for_abort.load(std::memory_order_acquire)) {
       const Status reason = txn->abort_reason;
@@ -253,7 +332,8 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
   }
   if (must_abort) {
     AbortInternal(txn);
-    return abort_cause;
+    done(abort_cause);
+    return;
   }
   uint64_t t_stage = 0;
   if (sampled) {
@@ -261,57 +341,127 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
     certify_ns_.Record(t_stage - t_entry);
   }
 
-  if (has_writes) {
-    // Stamp the new versions. The row EXCLUSIVE locks are still held, so
-    // no first-committer-wins check can interleave with the stamping of
-    // any individual chain; the watermark keeps snapshots away from the
-    // commit as a whole until its ring slot is published.
-    for (const TxnState::WriteRecord& w : txn->write_set) {
-      w.version->commit_ts.store(commit_ts, std::memory_order_release);
-      // Raise the storage shard's max-commit-ts hint before this commit's
-      // slot is published: once the stable watermark covers commit_ts, an
-      // incremental checkpoint sweeping at that watermark must find the
-      // hint raised, or it would skip the shard and lose the write from
-      // the delta image. The slot store is a release and the watermark
-      // scan acquires it, so coverage implies hint visibility.
-      if (w.table_ref != nullptr) {
-        w.table_ref->NoteCommit(w.key, commit_ts);
-      }
+  // The per-commit record starts on this stack frame; it moves to the
+  // heap only if the pipeline actually defers (coverage or flush), so the
+  // common inline commit never allocates.
+  AsyncCommit acs;
+  acs.mgr = this;
+  acs.txn = txn;
+  acs.done = std::move(done);
+  acs.commit_ts = commit_ts;
+  acs.sampled = sampled;
+  acs.t_entry = t_entry;
+
+  if (!has_writes) {
+    // Read-only: nothing to stamp, publish, or log — covered by
+    // construction at its watermark timestamp. Finalize (and acknowledge)
+    // inline on the submitting thread.
+    FinalizeCoveredStep(&acs);
+    return;
+  }
+
+  // Stamp the new versions. The row EXCLUSIVE locks are still held, so
+  // no first-committer-wins check can interleave with the stamping of
+  // any individual chain; the watermark keeps snapshots away from the
+  // commit as a whole until its ring slot is published.
+  for (const TxnState::WriteRecord& w : txn->write_set) {
+    w.version->commit_ts.store(commit_ts, std::memory_order_release);
+    // Raise the storage shard's max-commit-ts hint before this commit's
+    // slot is published: once the stable watermark covers commit_ts, an
+    // incremental checkpoint sweeping at that watermark must find the
+    // hint raised, or it would skip the shard and lose the write from
+    // the delta image. The slot store is a release and the watermark
+    // scan acquires it, so coverage implies hint visibility.
+    if (w.table_ref != nullptr) {
+      w.table_ref->NoteCommit(w.key, commit_ts);
     }
-    for (const LockKey& pk : txn->page_writes) {
-      PageShard& ps = PageShardFor(pk);
-      std::lock_guard<std::mutex> page_guard(ps.mu);
-      auto inserted = ps.writes.emplace(pk, PageWrite{commit_ts, txn->id});
-      if (inserted.second) {
-        page_entries_.fetch_add(1, std::memory_order_relaxed);
-      } else if (commit_ts > inserted.first->second.ts) {
-        inserted.first->second = PageWrite{commit_ts, txn->id};
-      }
-    }
-    // Publish the ring slot (lock-free watermark advance; may park
-    // briefly on ring-full backpressure), then wait for coverage. Do not
-    // acknowledge (or release this commit's locks) before the watermark
-    // covers it: once Commit returns, any transaction the client starts —
-    // and any writer that acquires a lock this commit held — must get a
-    // snapshot that includes it. This is what keeps the §4.5
-    // "single-statement updates never abort under first-committer-wins"
-    // invariant true with watermark snapshots: a key's exclusive lock is
-    // only released once every committed version of it is below the
-    // watermark, so lock-then-snapshot always sees the newest version.
-    ring_.Publish(commit_ts);
-    if (sampled) {
-      const uint64_t now = obs::NowNanos();
-      stamp_publish_ns_.Record(now - t_stage);
-      t_stage = now;
-    }
-    ring_.WaitCovered(commit_ts);
-    if (sampled) {
-      const uint64_t now = obs::NowNanos();
-      watermark_ns_.Record(now - t_stage);
-      t_stage = now;
+  }
+  for (const LockKey& pk : txn->page_writes) {
+    PageShard& ps = PageShardFor(pk);
+    std::lock_guard<std::mutex> page_guard(ps.mu);
+    auto inserted = ps.writes.emplace(pk, PageWrite{commit_ts, txn->id});
+    if (inserted.second) {
+      page_entries_.fetch_add(1, std::memory_order_relaxed);
+    } else if (commit_ts > inserted.first->second.ts) {
+      inserted.first->second = PageWrite{commit_ts, txn->id};
     }
   }
 
+  // Durability: append the redo record BEFORE publishing the ring slot,
+  // so it reaches the group-commit flusher at submit time and a deep
+  // async pipeline coalesces into one fsync (admissibility argument in
+  // the file header: dependency order is preserved because a dependent
+  // reader begins only after this commit's coverage, hence appends at a
+  // higher LSN). Read-only commits skip the log entirely: nothing to
+  // redo, and in the durable regime an empty record would still cost a
+  // group-commit fsync and permanent log bytes.
+  LogRecord record;
+  record.type = LogRecordType::kCommit;
+  record.txn_id = txn->id;
+  record.commit_ts = commit_ts;
+  record.redo = std::move(redo);
+  const uint64_t t_append = sampled ? obs::NowNanos() : 0;
+  acs.lsn = log_manager_->Append(std::move(record));
+  if (sampled) wal_append_ns_.Record(obs::NowNanos() - t_append);
+
+  commits_inflight_.fetch_add(1, std::memory_order_relaxed);
+  // Publish the ring slot (lock-free watermark advance; may park briefly
+  // on ring-full backpressure) and hand the rest of the commit to the
+  // completion pipeline. Nothing is acknowledged — and none of this
+  // commit's locks are released — before the watermark covers it: once
+  // `done` fires, any transaction the client starts, and any writer that
+  // acquires a lock this commit held, must get a snapshot that includes
+  // it. This is what keeps the §4.5 "single-statement updates never abort
+  // under first-committer-wins" invariant true with watermark snapshots:
+  // a key's exclusive lock is only released once every committed version
+  // of it is below the watermark, so lock-then-snapshot always sees the
+  // newest version.
+  ring_.Publish(commit_ts);
+  if (sampled) {
+    const uint64_t now = obs::NowNanos();
+    stamp_publish_ns_.Record(now - t_stage);
+    acs.t_publish = now;
+  }
+  if (!options_.log.flush_on_commit) {
+    // Self-drive once after publishing: in steady state our own Drive
+    // advances stable past our ts (our slot store is visible to our own
+    // scan by program order), making the inline finalize below the common
+    // case. Other commits' completions drained by this Drive run their
+    // finalize chains here, exactly as on any driver thread.
+    if (ring_.stable() < commit_ts) ring_.Drive();
+    if (ring_.stable() >= commit_ts) {
+      // Covered, and the flush ack is unconditional in this regime: the
+      // whole finalize chain runs inline on this stack frame — no
+      // completion registration, no heap. Exactly-once holds trivially
+      // (the record was never handed to the ring).
+      FinalizeCoveredStep(&acs);
+      return;
+    }
+  }
+  AsyncCommit* ac = new AsyncCommit(std::move(acs));
+  ac->heap = true;
+  ring_.OnCovered(commit_ts, [ac] { ac->mgr->FinalizeCovered(ac); });
+}
+
+void TxnManager::FinalizeCovered(AsyncCommit* ac) {
+  if (FinalizeCoveredStep(ac)) return;
+  // Must wait on the group-commit flusher: hand the record to the flush
+  // subscription. The raw-pointer capture is trivially copyable, so the
+  // std::function stays in its small buffer — no allocation on this edge.
+  log_manager_->OnFlushed(ac->lsn, [ac](Status st) {
+    TxnManager* mgr = ac->mgr;
+    if (!mgr->options_.log.early_lock_release) {
+      mgr->ReleaseCommitLocks(ac->txn.get());
+    }
+    mgr->FinalizeAcked(ac, st);
+  });
+}
+
+bool TxnManager::FinalizeCoveredStep(AsyncCommit* ac) {
+  const std::shared_ptr<TxnState>& txn = ac->txn;
+  if (ac->sampled && ac->t_publish != 0) {
+    watermark_ns_.Record(obs::NowNanos() - ac->t_publish);
+  }
   // Deregister from the active set. Only SSI transactions are retained
   // past commit (§3.3): they may still be resolved by conflict marking
   // against their retained SIREAD state. SI/S2PL transactions are
@@ -330,60 +480,73 @@ Status TxnManager::Commit(const std::shared_ptr<TxnState>& txn,
   active_count_.fetch_sub(1, std::memory_order_relaxed);
   if (retain) {
     txn->suspended = true;  // Published by the Retire slot release.
-    suspended_.Retire(commit_ts, txn);
+    suspended_.Retire(ac->commit_ts, txn);
   }
   PublishMinActive();
 
-  auto release_locks = [&] {
-    if (txn->isolation == IsolationLevel::kSerializableSSI) {
-      // Fig 3.2 line 9: keep SIREAD locks active past commit.
-      lock_manager_->ReleaseAllExceptSIRead(txn->id);
-    } else {
-      lock_manager_->ReleaseAll(txn->id);
-    }
-  };
-
-  Status flush_status;
-  if (has_writes) {
-    // Durability: append the redo record; under flush_on_commit the wait
-    // rides the group-commit flusher (§6.1.3 regime — simulated latency
-    // or a real WAL write+fsync, per LogOptions::wal_dir). Read-only
-    // commits skip the log entirely: they have nothing to redo, and in
-    // the durable regime an empty record would still cost a group-commit
-    // fsync wait and permanent log bytes.
-    LogRecord record;
-    record.type = LogRecordType::kCommit;
-    record.txn_id = txn->id;
-    record.commit_ts = commit_ts;
-    record.redo = std::move(redo);
-    const uint64_t t_append = sampled ? obs::NowNanos() : 0;
-    const Lsn lsn = log_manager_->Append(std::move(record));
-    if (sampled) wal_append_ns_.Record(obs::NowNanos() - t_append);
-
-    auto wait_flushed = [&](Lsn wait_lsn) {
-      const uint64_t t_flush = sampled ? obs::NowNanos() : 0;
-      Status st = log_manager_->WaitFlushed(wait_lsn);
-      if (sampled) fsync_wait_ns_.Record(obs::NowNanos() - t_flush);
-      return st;
-    };
-    if (options_.log.early_lock_release) {
-      // InnoDB's original ordering (§4.4): locks released before the
-      // flush.
-      release_locks();
-      flush_status = wait_flushed(lsn);
-    } else {
-      flush_status = wait_flushed(lsn);
-      release_locks();
-    }
-  } else {
-    release_locks();
+  if (ac->lsn == 0) {
+    // Nothing was appended (read-only): acknowledge straight away.
+    ReleaseCommitLocks(txn.get());
+    FinalizeAcked(ac, Status::OK());
+    return true;
   }
+  if (options_.log.early_lock_release) {
+    // InnoDB's original ordering (§4.4): locks released before the flush
+    // (but still after coverage — the §4.5 invariant holds either way).
+    ReleaseCommitLocks(txn.get());
+  }
+  if (ac->sampled) ac->t_flush = obs::NowNanos();
+  if (!options_.log.flush_on_commit) {
+    // The flush ack is unconditional in this regime — LogManager::
+    // OnFlushed's first branch would fire inline with OK — so skip the
+    // subscription machinery and acknowledge here.
+    if (!options_.log.early_lock_release) ReleaseCommitLocks(txn.get());
+    FinalizeAcked(ac, Status::OK());
+    return true;
+  }
+  return false;
+}
 
+void TxnManager::FinalizeAcked(AsyncCommit* ac, Status flush_status) {
+  if (ac->lsn != 0) {
+    commits_inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (ac->sampled) {
+    const uint64_t now = obs::NowNanos();
+    if (ac->t_flush != 0) fsync_wait_ns_.Record(now - ac->t_flush);
+    if (ac->t_publish != 0) ack_lag_ns_.Record(now - ac->t_publish);
+    total_ns_.Record(now - ac->t_entry);
+  }
+  // The acknowledgment is the latency-critical edge: fire it first, then
+  // amortize cleanup on this thread. A failed flush cannot be rolled back
+  // — the commit is already visible; surface the I/O error so the client
+  // knows durability was not achieved.
+  CommitCallback done = std::move(ac->done);
+  if (ac->heap) delete ac;  // Stack instances are owned by CommitAsync.
+  ac = nullptr;
+  done(flush_status);
   CleanupSuspended();
-  if (sampled) total_ns_.Record(obs::NowNanos() - t_entry);
-  // A failed flush cannot be rolled back — the commit is already visible.
-  // Surface the I/O error so the client knows durability was not achieved.
-  return flush_status;
+  // Re-drive the pipeline after each acknowledgment: in the durable
+  // regime acks fire on the group-commit flusher thread, which thereby
+  // becomes a periodic driver for completions whose covering advance went
+  // stale — the pure-async analogue of the blocking waiters' 1ms re-drive
+  // backstop. Guarded against unbounded recursion (a drive can run a
+  // completion whose inline-satisfied flush subscription re-enters here).
+  static thread_local bool driving = false;
+  if (!driving) {
+    driving = true;
+    ring_.Drive();
+    driving = false;
+  }
+}
+
+void TxnManager::ReleaseCommitLocks(TxnState* txn) {
+  if (txn->isolation == IsolationLevel::kSerializableSSI) {
+    // Fig 3.2 line 9: keep SIREAD locks active past commit.
+    lock_manager_->ReleaseAllExceptSIRead(txn->id);
+  } else {
+    lock_manager_->ReleaseAll(txn->id);
+  }
 }
 
 void TxnManager::Abort(const std::shared_ptr<TxnState>& txn) {

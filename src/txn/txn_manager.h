@@ -103,6 +103,29 @@
 // commits may therefore collide (the epoch reclaimer permits duplicate
 // epochs); a read-only commit never blocks on, and never blocks, the
 // watermark.
+//
+// Submit/finalize split (asynchronous commit): a commit's verdict is final
+// at stamp-publish, long before the fsync-bound acknowledgment, so the
+// pipeline is cut there. CommitAsync runs the *submit* half on the calling
+// thread — triage/certify, status transition, version stamping, WAL
+// append, ring publication — and registers the *finalize* half as a
+// CommitRing coverage completion: registry departure, SSI suspension and
+// min-active publication once the watermark covers the commit
+// (FinalizeCovered), then a LogManager flush subscription whose firing
+// releases locks, records the ack histograms, runs the client callback
+// and re-drives the pipeline (FinalizeAcked). The WAL append deliberately
+// moves BEFORE ring publication: records reach the group-commit flusher at
+// submit, so a deep async pipeline batches into one fsync instead of one
+// per blocked thread. That ordering is admissible because WAL durability
+// order only needs to respect dependency order, and a reader of commit A's
+// writes began after A's coverage — hence after A's append — so its own
+// record lands at a higher LSN and prefix-durable flushes can never keep
+// the dependent while dropping A. Lock release keeps the §4.5 invariant
+// (below) because it stays strictly after coverage in FinalizeAcked; the
+// early_lock_release knob moves it to FinalizeCovered (after coverage,
+// before the flush — InnoDB's original §4.4 ordering). Blocking Commit()
+// is a thin wrapper: submit + park until `done`, with a 1ms re-drive
+// backstop mirroring the ring's blocking waiters.
 
 #ifndef SSIDB_TXN_TXN_MANAGER_H_
 #define SSIDB_TXN_TXN_MANAGER_H_
@@ -132,6 +155,13 @@ class TxnManager {
   TxnManager(const DBOptions& options, LockManager* lock_manager,
              LogManager* log_manager);
 
+  /// Quiesces the log's group-commit flusher before teardown: an
+  /// acknowledged async commit's pipeline tail (flush subscription ->
+  /// FinalizeAcked -> cleanup + ring re-drive) runs on the flusher thread
+  /// and may still be touching this object after the client saw its
+  /// `done` fire — the destructor must not race it.
+  ~TxnManager();
+
   /// Start a transaction. S2PL transactions get their begin timestamp
   /// immediately; SI/SSI transactions defer it when late_snapshot is set
   /// (§4.5) until EnsureSnapshot. The transaction id is a lock-free
@@ -155,14 +185,43 @@ class TxnManager {
   /// with every other certifying commit's check and timestamp.
   using CommitCheck = std::function<Status(TxnState*)>;
 
-  /// Commit: check hook, timestamp + version stamping, log append (+ group
-  /// commit wait), lock release or suspension, cleanup. `redo` is the
-  /// transaction's per-key redo, captured by the executor; it lands in the
-  /// commit's WAL record so recovery can reinstall the write set.
-  /// Returns kIOError if the commit succeeded in memory but its log flush
-  /// failed (durable mode): the transaction is visible but not durable.
+  /// Commit acknowledgment callback: fires exactly once with the commit's
+  /// final status — OK; the abort cause if certification (or a pending
+  /// abort mark) killed the transaction during submit; kIOError if the
+  /// commit stands in memory but its log flush failed (visible, not
+  /// durable). Runs on an internal thread: whichever commit thread drives
+  /// the covering watermark advance, or the group-commit flusher when the
+  /// commit waits on a flush (or inline in CommitAsync for commits
+  /// acknowledged at submit). It runs with no engine locks held, but on a
+  /// shared pipeline thread — keep it short, and do not submit new
+  /// transactions from inside it (signal the owning worker instead).
+  using CommitCallback = std::function<void(Status)>;
+
+  /// Commit, blocking: a thin wrapper over CommitAsync that parks until
+  /// the completion pipeline acknowledges — submit and finalize share one
+  /// code path with the asynchronous form (differentially tested).
+  /// `redo` is the transaction's per-key redo, captured by the executor;
+  /// it lands in the commit's WAL record so recovery can reinstall the
+  /// write set. Returns kIOError if the commit succeeded in memory but its
+  /// log flush failed (durable mode).
   Status Commit(const std::shared_ptr<TxnState>& txn,
                 const CommitCheck& check, std::vector<RedoEntry> redo);
+
+  /// Commit, asynchronous: submit on the calling thread, acknowledge via
+  /// `done`. The submit half — certification triage (flat combiner or
+  /// fast path), version stamping, WAL append, ring publication — runs
+  /// here, so when CommitAsync returns the verdict is final and the
+  /// commit is ordered; only watermark coverage and the group-commit
+  /// flush complete off-thread (the finalize half, driven by the
+  /// CommitRing completion registry and the LogManager flush
+  /// subscriptions). A certification failure aborts and fires `done` with
+  /// the cause before returning. Ring-full backpressure may briefly park
+  /// the submitting thread: commit_ring_slots bounds the in-flight
+  /// window, so an async client can keep at most that many unacknowledged
+  /// commits open.
+  void CommitAsync(const std::shared_ptr<TxnState>& txn,
+                   const CommitCheck& check, std::vector<RedoEntry> redo,
+                   CommitCallback done);
 
   /// Abort: roll back installed versions, release all locks (including
   /// SIREAD — aborted transactions never participate in conflicts), drop
@@ -256,8 +315,13 @@ class TxnManager {
   uint64_t page_entries_pruned() const;
 
   // --- Commit-pipeline counters (DBStats). ---
-  /// Commit-acknowledgment waits that parked on a condvar.
-  uint64_t commit_waits() const { return ring_.waits_parked(); }
+  /// Commit-acknowledgment waits that parked on a condvar: blocking
+  /// Commit() calls that parked on their completion (the wrapper's sync
+  /// waiter) plus ring-internal coverage parks.
+  uint64_t commit_waits() const {
+    return ring_.waits_parked() +
+           ack_parks_.load(std::memory_order_relaxed);
+  }
   /// Waiter-shard notifications issued by watermark advances.
   uint64_t commit_wakeups() const { return ring_.wakeups_issued(); }
   /// Commits that stalled on a full commit-slot ring.
@@ -278,6 +342,19 @@ class TxnManager {
   uint64_t commit_fastpath() const {
     return fastpath_commits_.load(std::memory_order_relaxed);
   }
+  /// Writing commits submitted but not yet acknowledged (published to the
+  /// ring, completion not yet fired) — the live async pipeline depth.
+  uint64_t commits_inflight() const {
+    return commits_inflight_.load(std::memory_order_relaxed);
+  }
+
+  /// One watermark-drive + completion-drain pass. The acknowledgment
+  /// backstop for purely asynchronous clients: a host whose commit
+  /// threads all went idle after submitting (nobody left inside Publish
+  /// or a blocking wait to rescan the ring) calls this on its timeout
+  /// tick while draining, exactly as the ring's blocking waiters re-drive
+  /// internally. Cheap when there is nothing to do.
+  void DriveCommitPipeline() { ring_.Drive(); }
 
   /// Aborts whose TxnState carried this taxonomy class (abort_reason.h).
   /// Counted exactly once per abort, in AbortInternal; an unclassified
@@ -348,6 +425,51 @@ class TxnManager {
   /// hold the transaction's ssi_mu latch.
   void AbortInternal(const std::shared_ptr<TxnState>& txn);
 
+  /// Per-commit state that travels from submit to acknowledgment.
+  /// Ownership is linear — exactly one stage (submit, coverage completion,
+  /// flush subscription) holds the record at a time — so the deferred path
+  /// passes a raw heap pointer between std::function stages (a raw pointer
+  /// is trivially copyable and fits the small-buffer store, so the
+  /// hand-offs never allocate), and a commit whose whole pipeline runs
+  /// inline on the submitting thread lives on its stack and never touches
+  /// the heap. FinalizeAcked frees heap instances (`heap` flag) at the
+  /// same point the old shared_ptr release sat: after `done` is extracted,
+  /// before it fires.
+  struct AsyncCommit {
+    TxnManager* mgr = nullptr;
+    std::shared_ptr<TxnState> txn;
+    CommitCallback done;
+    Timestamp commit_ts = 0;
+    /// True for deferred commits (new'd at the OnCovered hand-off).
+    bool heap = false;
+    /// 0 = nothing appended (read-only commit): no flush subscription.
+    Lsn lsn = 0;
+    /// Sampled stage timing (obs::SampleTick at submit; the flag travels
+    /// so every stage of a sampled commit records, across threads).
+    bool sampled = false;
+    uint64_t t_entry = 0;    ///< CommitAsync entry (ack lag + total).
+    uint64_t t_publish = 0;  ///< Ring publication (watermark stage).
+    uint64_t t_flush = 0;    ///< Flush-subscription start (fsync stage).
+  };
+
+  /// Finalize, first half — runs once the watermark covers commit_ts
+  /// (CommitRing completion; inline at submit for read-only commits and
+  /// for writes covered at publish in the non-durable regime): registry
+  /// departure, SSI suspension, then the acknowledgment whenever the
+  /// flush ack is unconditional. Returns true when the commit was fully
+  /// acknowledged; false when the caller must subscribe it to the
+  /// group-commit flusher (FinalizeCovered does exactly that).
+  bool FinalizeCoveredStep(AsyncCommit* ac);
+  /// FinalizeCoveredStep + the flush subscription, for deferred (heap)
+  /// commits arriving from the ring's completion registry.
+  void FinalizeCovered(AsyncCommit* ac);
+  /// Finalize, second half — the acknowledgment: stage/ack histograms,
+  /// the client callback, cleanup, and a pipeline re-drive. Frees heap
+  /// instances.
+  void FinalizeAcked(AsyncCommit* ac, Status flush_status);
+  /// Post-commit lock release: SSI keeps SIREAD locks (Fig 3.2 line 9).
+  void ReleaseCommitLocks(TxnState* txn);
+
   /// Release suspended transactions no longer overlapping anything active.
   /// Fast path: one atomic compare inside the epoch reclaimer (oldest
   /// retired commit_ts vs the maintained min_active_read_ts) — no lock
@@ -373,15 +495,25 @@ class TxnManager {
   /// SSI commits that skipped certification (triage class 2).
   std::atomic<uint64_t> fastpath_commits_{0};
 
+  /// Writing commits published but not yet acknowledged (commit.inflight).
+  std::atomic<uint64_t> commits_inflight_{0};
+  /// Blocking Commit() wrappers that parked on their completion.
+  std::atomic<uint64_t> ack_parks_{0};
+
   // --- Observability (src/obs). Stage timing is sampled 1-in-N per
   // thread (DBOptions::metrics_sample_period); a sampled commit records
   // every stage it executes, so per-stage counts stay comparable. ---
-  obs::Histogram certify_ns_;        // Begin of Commit -> timestamp final.
+  obs::Histogram certify_ns_;        // Begin of submit -> timestamp final.
   obs::Histogram stamp_publish_ns_;  // Version stamping -> ring publish.
-  obs::Histogram watermark_ns_;      // Waiting for watermark coverage.
+  obs::Histogram watermark_ns_;      // Ring publish -> watermark coverage.
   obs::Histogram wal_append_ns_;     // Encoding + flusher hand-off.
   obs::Histogram fsync_wait_ns_;     // Group-commit flush wait.
-  obs::Histogram total_ns_;          // Whole Commit() call.
+  obs::Histogram total_ns_;          // Submit entry -> acknowledgment.
+  obs::Histogram ack_lag_ns_;        // Ring publication (submit complete)
+                                     // -> `done` fired: how long an async
+                                     // client's submitted commit dangles
+                                     // before acknowledgment (coverage +
+                                     // group-commit flush). Writes only.
   const uint32_t sample_mask_;
   /// Per-reason abort counts (DBStats::abort_breakdown).
   std::atomic<uint64_t> abort_counts_[kAbortReasonCount] = {};

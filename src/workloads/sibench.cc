@@ -100,6 +100,36 @@ Status SiBench::RunOne(DB* db, const bench::SeriesConfig& series,
   return IncrementValue(db, series, rng->Uniform(config_.items));
 }
 
+void SiBench::SubmitOne(DB* db, Session* session,
+                        const bench::SeriesConfig& series, uint64_t worker,
+                        Random* rng, std::function<void(Status)> done) {
+  (void)worker;
+  const uint64_t q = config_.queries_per_update;
+  if (rng->Uniform(q + 1) < q) {
+    done(MinValueQuery(db, series, nullptr));
+    return;
+  }
+  // IncrementValue, restated against the session API with the commit
+  // asynchronous. Any pre-commit failure aborts and acknowledges inline.
+  const uint64_t id = rng->Uniform(config_.items);
+  const TxnHandle h = session->Begin({series.For(/*read_only=*/false)});
+  std::string v;
+  Status st = session->GetForUpdate(h, table_, EncodeU64Key(id), &v);
+  int64_t value = 0;
+  if (st.ok() && !DecodeValue(v, &value)) {
+    st = Status::InvalidArgument("corrupt sibench value");
+  }
+  if (st.ok()) {
+    st = session->Put(h, table_, EncodeU64Key(id), EncodeValue(value + 1));
+  }
+  if (!st.ok()) {
+    session->Abort(h);  // No-op if the failed operation already retired h.
+    done(st);
+    return;
+  }
+  session->CommitAsync(h, std::move(done));
+}
+
 Status SiBench::SumValues(DB* db, int64_t* sum) {
   auto txn = db->Begin({IsolationLevel::kSnapshot});
   int64_t total = 0;

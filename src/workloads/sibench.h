@@ -40,6 +40,17 @@ class SiBench : public bench::Workload {
   Status RunOne(DB* db, const bench::SeriesConfig& series, uint64_t worker,
                 Random* rng) override;
 
+  /// Pipelined attempt: the update program submits through
+  /// Session::CommitAsync — certify + WAL-append on the worker thread,
+  /// fsync acknowledgment via the completion pipeline — so one worker
+  /// keeps pipeline_depth increments in flight and the durable regime's
+  /// group commit batches across them. The query program stays blocking
+  /// (a read-only commit never waits on the log; pipelining it buys
+  /// nothing).
+  void SubmitOne(DB* db, Session* session, const bench::SeriesConfig& series,
+                 uint64_t worker, Random* rng,
+                 std::function<void(Status)> done) override;
+
   /// The query program: scan all rows, return the id of the minimum value.
   /// (SELECT id FROM sitest ORDER BY value ASC LIMIT 1.)
   Status MinValueQuery(DB* db, const bench::SeriesConfig& series,

@@ -20,6 +20,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -32,6 +33,7 @@
 
 #include "src/common/encoding.h"
 #include "src/db/db.h"
+#include "src/db/session.h"
 #include "src/recovery/checkpoint.h"
 #include "src/recovery/recovery.h"
 #include "src/recovery/wal.h"
@@ -1159,6 +1161,64 @@ TEST(RecoveryTest, BackgroundCheckpointerProducesUsableImages) {
     EXPECT_TRUE(txn->Get(t, "k" + std::to_string(i), &v).ok()) << i;
   }
   EXPECT_TRUE(txn->Commit().ok());
+}
+
+TEST(RecoveryTest, KillMidAsyncPipelineRecoversAckedNeverTorn) {
+  // The asynchronous commit pipeline under crash: a session submits a
+  // burst of CommitAsync transactions and the child _exits from INSIDE the
+  // acknowledgment callback once kAckTarget acks have streamed out — the
+  // process dies on the flusher thread, mid-pipeline, with most of the
+  // burst submitted-but-unacknowledged. The recovery contract is exactly
+  // the blocking one: every acknowledged commit is present atomically
+  // (flush_on_commit: the ack fired only after the covering fsync), and
+  // every unacknowledged submission is all-or-nothing — never torn.
+  TempDir dir;
+  constexpr uint64_t kSubmit = 40;
+  constexpr uint64_t kAckTarget = 12;
+  ChildRun run = RunCrashingChild([&](int ack_fd) {
+    std::unique_ptr<DB> db;
+    if (!DB::Open(DurableOptions(dir.path, /*flush_on_commit=*/true), &db)
+             .ok()) {
+      _exit(2);
+    }
+    TableId t = 0;
+    if (!db->CreateTable("kill", &t).ok()) _exit(2);
+    auto session = db->CreateSession();
+    static std::atomic<uint64_t> acked{0};
+    for (uint64_t i = 1; i <= kSubmit; ++i) {
+      const TxnHandle h = session->Begin({IsolationLevel::kSerializableSSI});
+      for (int j = 0; j < kKeysPerTxn; ++j) {
+        if (!session->Put(h, t, TxnKey(i, j), TxnValue(i, j)).ok()) _exit(2);
+      }
+      session->CommitAsync(h, [ack_fd, i](Status st) {
+        if (!st.ok()) _exit(2);
+        SendAck(ack_fd, i, 0);
+        if (acked.fetch_add(1) + 1 == kAckTarget) _exit(0);  // The crash.
+      });
+    }
+    // Park: the acknowledgment thread kills the process. (The pipeline
+    // will certainly reach kAckTarget acks — all kSubmit are submitted.)
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  });
+  ASSERT_EQ(run.exit_code, 0);
+  ASSERT_EQ(run.acks.size(), kAckTarget);
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(DurableOptions(dir.path, true), &db).ok());
+  TableId t = 0;
+  ASSERT_TRUE(db->FindTable("kill", &t).ok());
+  // PresentTxns asserts per-transaction atomicity for everything 1..40:
+  // no submission — acked or not — may recover torn.
+  const std::vector<uint64_t> present = PresentTxns(db.get(), t, kSubmit);
+  std::vector<bool> is_present(kSubmit + 1, false);
+  for (const uint64_t seq : present) is_present[seq] = true;
+  for (const Ack& a : run.acks) {
+    EXPECT_TRUE(is_present[a.seq])
+        << "acknowledged transaction " << a.seq << " lost";
+  }
+  // Unacknowledged submissions may go either way (flushed-but-unacked
+  // survives, unflushed is lost) — but never below the acked floor.
+  EXPECT_GE(present.size(), kAckTarget);
 }
 
 // ---------------------------------------------------------------------------

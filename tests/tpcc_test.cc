@@ -673,6 +673,119 @@ TEST(TpccDeliveryTest, EmptyDistrictsAreSkipped) {
   EXPECT_TRUE(workload->CheckConsistency(db.get()).ok());
 }
 
+TEST(TpccStockLevelScanTest, OrderLineScanRaisesTheRwEdgeSsiNeeds) {
+  // Regression pin for the Stock Level predicate read. A planning note
+  // once claimed the stock-level benchmark "never calls Scan" and merely
+  // approximates the §2.8.2.2 window read; that premise is false —
+  // StockLevel reads the last-20-orders order-line window through
+  // txn->Scan (tpcc_txns.cc, StockLevel) and has since the workload
+  // landed. This test pins the property that claim was really about: the
+  // window Scan acquires SIREAD locks on every line it reads, so a
+  // concurrent writer touching the window raises the rw-antidependency
+  // §3.2 needs and SSI breaks the cycle. If StockLevel's read ever
+  // regresses to an unlocked approximation, the history below becomes
+  // admissible and this test fails.
+  DBOptions opts;
+  opts.record_history = true;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+  TpccConfig cfg;
+  cfg.warehouses = 1;
+  cfg.tiny = true;
+  std::unique_ptr<TpccWorkload> workload;
+  ASSERT_TRUE(TpccWorkload::Setup(db.get(), cfg, 23, &workload).ok());
+  const TpccTables& t = *workload->context().tables;
+
+  // The window StockLevel computes: the last 20 orders of district (1,1).
+  uint32_t hi_o = 0;
+  {
+    auto setup = db->Begin({IsolationLevel::kSnapshot});
+    std::string v;
+    ASSERT_TRUE(setup->Get(t.district, DistrictKey(1, 1), &v).ok());
+    DistrictRow d;
+    ASSERT_TRUE(DistrictRow::Decode(v, &d));
+    hi_o = d.next_o_id;
+    ASSERT_TRUE(setup->Commit().ok());
+  }
+  ASSERT_GT(hi_o, 20u);
+  const uint32_t lo_o = hi_o - 20;
+
+  auto slev = db->Begin({IsolationLevel::kSerializableSSI});
+  auto writer = db->Begin({IsolationLevel::kSerializableSSI});
+  // slev issues the program's exact predicate read.
+  std::string line_key;
+  OrderLineRow first_line;
+  ASSERT_TRUE(slev->Scan(t.order_line, OrderLineKey(1, 1, lo_o, 0),
+                         OrderLineKey(1, 1, hi_o - 1, UINT32_MAX),
+                         [&](Slice key, Slice value) {
+                           if (line_key.empty()) {
+                             line_key = key.ToString();
+                             EXPECT_TRUE(
+                                 OrderLineRow::Decode(value, &first_line));
+                           }
+                           return true;
+                         })
+                  .ok());
+  ASSERT_FALSE(line_key.empty());
+  // writer reads the stock row slev is about to write, then re-stamps a
+  // line inside slev's scanned window (Delivery's shape): writer -rw-> slev
+  // on the stock row, slev -rw-> writer on the scanned line — a cycle that
+  // exists only because the Scan left SIREAD locks behind.
+  std::string sv;
+  ASSERT_TRUE(writer->Get(t.stock, StockKey(1, first_line.i_id), &sv).ok());
+  OrderLineRow restamped = first_line;
+  restamped.delivery_d = 777;
+  const Status wline = writer->Put(t.order_line, line_key,
+                                   restamped.Encode());
+  // The spec's SLEV is read-only; the stock write stands in for any
+  // successor that would complete the pivot.
+  StockRow stock;
+  ASSERT_TRUE(StockRow::Decode(sv, &stock));
+  stock.quantity -= 1;
+  const Status wstock =
+      slev->Put(t.stock, StockKey(1, first_line.i_id), stock.Encode());
+  Status c1 = wstock.ok() ? slev->Commit() : wstock;
+  if (slev->active()) slev->Abort();
+  Status c2 = wline.ok() ? writer->Commit() : wline;
+  if (writer->active()) writer->Abort();
+  EXPECT_FALSE(c1.ok() && c2.ok())
+      << "both sides of the scan-window cycle committed";
+  EXPECT_TRUE(sgt::AnalyzeHistory(db->history()->Snapshot()).serializable);
+}
+
+TEST(TpccStockLevelScanTest, ConcurrentStockLevelMixStaysSerializable) {
+  // The §6.4.3 mix (New Order + Stock Level) under SSI, checked against
+  // the multiversion serialization graph: the windows Stock Level scans
+  // overlap the lines New Order inserts and the stock rows it updates, so
+  // any gap in the Scan's predicate locking shows up as a cycle here.
+  DBOptions opts;
+  opts.record_history = true;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+  TpccConfig cfg;
+  cfg.warehouses = 1;
+  cfg.tiny = true;
+  cfg.mix = Mix::kStockLevel;
+  std::unique_ptr<TpccWorkload> workload;
+  ASSERT_TRUE(TpccWorkload::Setup(db.get(), cfg, 29, &workload).ok());
+  bench::SeriesConfig series{"SSI", IsolationLevel::kSerializableSSI,
+                             std::nullopt};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(900 + t);
+      for (int i = 0; i < 50; ++i) {
+        workload->RunOne(db.get(), series, t, &rng);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(workload->CheckConsistency(db.get()).ok());
+  auto analysis = sgt::AnalyzeHistory(db->history()->Snapshot());
+  EXPECT_TRUE(analysis.serializable) << sgt::DescribeResult(analysis);
+}
+
 TEST(TpccConcurrencyTest, ConcurrentStandardMixStaysConsistent) {
   std::unique_ptr<DB> db;
   ASSERT_TRUE(DB::Open({}, &db).ok());
