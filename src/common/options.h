@@ -10,6 +10,10 @@
 
 namespace ssidb {
 
+namespace io {
+class Env;  // src/io/env.h
+}  // namespace io
+
 /// Concurrency-control mode of a transaction (paper §2.2.1, §2.5, Ch. 3).
 enum class IsolationLevel {
   /// Snapshot isolation with first-committer-wins; fast but admits write
@@ -240,6 +244,13 @@ struct DBOptions {
 
   /// Target file of the background metrics dumper (appended, JSON lines).
   std::string metrics_dump_path;
+
+  /// I/O environment every durable artifact (WAL, checkpoints, run files,
+  /// buffer-pool page I/O) routes through. nullptr (default) means the
+  /// real filesystem (io::Env::Default()); tests install an
+  /// io::FaultInjectingEnv to script disk failures. Borrowed — the caller
+  /// keeps it alive for the life of the DB.
+  io::Env* env = nullptr;
 };
 
 /// Per-transaction options.

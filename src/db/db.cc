@@ -6,9 +6,9 @@
 
 #include <chrono>
 #include <cstdio>
-#include <filesystem>
 
 #include "src/db/session.h"
+#include "src/io/env.h"
 #include "src/recovery/checkpoint.h"
 #include "src/recovery/wal.h"
 
@@ -65,7 +65,7 @@ Status Transaction::Abort() { return executor_->Abort(ctx_); }
 
 DB::DB(const DBOptions& options)
     : options_(options),
-      log_manager_(std::make_unique<LogManager>(options.log)),
+      log_manager_(std::make_unique<LogManager>(options.log, options.env)),
       lock_manager_(std::make_unique<LockManager>(LockManager::Config{
           options.deadlock_policy, options.deadlock_scan_interval_ms,
           options.lock_timeout_ms, options.upgrade_siread_locks})),
@@ -90,7 +90,22 @@ DB::DB(const DBOptions& options)
                                          txn_manager_.get(),
                                          lock_manager_.get(), tracker_.get(),
                                          history_.get());
+  // Degraded-mode wiring: the WAL flusher's first unrecoverable I/O
+  // failure flips the DB read-only. Registered after txn_manager_ exists
+  // (the callback targets it); fires inline if the flusher already failed.
+  log_manager_->SetIOErrorCallback(
+      [this](const Status& cause) { EnterReadOnlyMode(cause); });
   RegisterAllMetrics();
+}
+
+void DB::EnterReadOnlyMode(const Status& cause) {
+  (void)cause;
+  if (read_only_.exchange(true, std::memory_order_acq_rel)) return;
+  // Gate up before any commit can observe the WAL failure status: the
+  // LogManager fires this callback before waking matured flush waiters.
+  txn_manager_->EnterReadOnly();
+  trace_.Emit(obs::TraceEvent::kIOError, /*txn=*/0, /*arg16=*/1,
+              /*arg32=*/0, /*payload=*/0);
 }
 
 DB::~DB() {
@@ -106,7 +121,10 @@ void DB::RegisterAllMetrics() {
   txn_manager_->RegisterMetrics(r, &trace_);
   executor_->RegisterMetrics(r, &trace_);
   log_manager_->RegisterMetrics(r);
-  if (tier_ != nullptr) tier_->pool()->RegisterMetrics(r);
+  if (tier_ != nullptr) {
+    tier_->pool()->RegisterMetrics(r, &trace_);
+    tier_->SetTraceRing(&trace_);
+  }
 
   // Counters and gauges read through the subsystems' existing relaxed
   // accessors: the recording site stays a single fetch-add (or narrow
@@ -167,6 +185,20 @@ void DB::RegisterAllMetrics() {
     return versions_pruned_.load(std::memory_order_relaxed) +
            exec->versions_pruned();
   });
+  // Fault model / degraded mode (ARCHITECTURE.md "Fault model &
+  // degradation"): the read-only gate plus per-subsystem I/O failure
+  // counters, one per failure domain so forensics can tell which artifact
+  // the disk hurt.
+  r->RegisterGauge("db.read_only",
+                   [this] { return read_only() ? uint64_t{1} : uint64_t{0}; });
+  r->RegisterCounter("io.errors.wal", [log] { return log->io_errors(); });
+  r->RegisterCounter("io.errors.checkpoint", [this] {
+    return checkpoint_io_errors_.load(std::memory_order_relaxed);
+  });
+  if (io::Env* env = options_.env; env != nullptr) {
+    r->RegisterCounter("io.injected_faults",
+                       [env] { return env->injected_faults(); });
+  }
   if (tier_ != nullptr) {
     BufferPool* pool = tier_->pool();
     StorageTier* tier = tier_.get();
@@ -180,6 +212,11 @@ void DB::RegisterAllMetrics() {
                        [tier] { return tier->spilled_chains(); });
     r->RegisterCounter("tier.faulted_chains",
                        [tier] { return tier->faulted_chains(); });
+    r->RegisterCounter("io.retries", [pool] { return pool->io_retries(); });
+    r->RegisterCounter("io.errors.pool",
+                       [pool] { return pool->io_errors(); });
+    r->RegisterCounter("io.errors.tier",
+                       [tier] { return tier->io_errors(); });
   }
   // One counter per abort-taxonomy reason (kNone excluded: it is never
   // counted — unclassified aborts fold into kExplicit).
@@ -268,7 +305,7 @@ Status DB::Open(const DBOptions& options, std::unique_ptr<DB>* db) {
 
 Status DB::RecoverOnOpen() {
   Status st = recovery::Recover(options_.log.wal_dir, &catalog_,
-                                &recovery_stats_);
+                                &recovery_stats_, options_.env);
   if (!st.ok()) return st;
   // New transactions must draw ids/snapshots above every recovered commit.
   txn_manager_->AdvanceClockTo(recovery_stats_.max_commit_ts);
@@ -367,11 +404,14 @@ void DB::SweepVersions() {
   if (freed > 0) {
     versions_pruned_.fetch_add(freed, std::memory_order_relaxed);
   }
-  if (tier_ != nullptr) {
+  if (tier_ != nullptr && !read_only()) {
     // Spill the cold tail the prune left behind: chains whose anchor is at
     // or below the horizon and that stayed untouched for two sweeps move
     // to a run file; the merge daemon then keeps each table's run count
     // bounded. Best effort — a failed run write just retries next sweep.
+    // Skipped entirely in degraded mode: spills and compactions write new
+    // durable artifacts, and the chains they would evict are safer
+    // resident (pruning above still runs — it only frees memory).
     for (TableId id = 0; id < tables; ++id) {
       Table* t = catalog_.table(id);
       if (t == nullptr) continue;
@@ -384,6 +424,11 @@ void DB::SweepVersions() {
 Status DB::Checkpoint() {
   if (options_.log.wal_dir.empty()) {
     return Status::InvalidArgument("checkpoint requires LogOptions::wal_dir");
+  }
+  if (read_only()) {
+    // Degraded mode: the WAL can no longer extend the durable history, so
+    // a new image would cover commits whose log records may be lost.
+    return Status::IOError("database is read-only: WAL I/O failure");
   }
   // One checkpoint at a time: a manual call racing the background tick
   // would interleave writes into the same image file.
@@ -407,9 +452,18 @@ Status DB::Checkpoint() {
   recovery::CheckpointWriteResult written;
   Status st = recovery::WriteCheckpoint(catalog_, watermark, prev,
                                         options_.log.wal_dir,
-                                        options_.log.wal_fsync, &written);
+                                        options_.log.wal_fsync, &written,
+                                        options_.env);
   txn_manager_->EndCheckpointSweep();
-  if (!st.ok()) return st;
+  if (!st.ok()) {
+    // WriteCheckpoint removed its tmp file; the previous chain on disk is
+    // untouched and stays loadable. The next call (or background tick)
+    // simply retries the same image.
+    checkpoint_io_errors_.fetch_add(1, std::memory_order_relaxed);
+    trace_.Emit(obs::TraceEvent::kIOError, /*txn=*/0, /*arg16=*/2,
+                /*arg32=*/0, /*payload=*/watermark);
+    return st;
+  }
   checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
   checkpoint_bytes_written_.fetch_add(written.bytes,
                                       std::memory_order_relaxed);
@@ -453,9 +507,7 @@ Status DB::Checkpoint() {
           m.max_table_id_created >= last_base_table_count_) {
         continue;
       }
-      std::error_code ec;
-      std::filesystem::remove(segments[i], ec);
-      if (!ec) {
+      if (io::ResolveEnv(options_.env)->RemoveFile(segments[i]).ok()) {
         wal_segments_deleted_.fetch_add(1, std::memory_order_relaxed);
         log_manager_->ForgetWalSegment(seq);
       }
@@ -505,7 +557,11 @@ std::unique_ptr<Session> DB::CreateSession() {
 }
 
 size_t DB::SpillChains(TableId id) {
-  if (tier_ == nullptr) return 0;
+  // Read-only gate: a spill evicts chains to a new run file, and in
+  // degraded mode that run could durably capture in-memory commits whose
+  // WAL records never reached the disk — recovery would then resurrect
+  // unacknowledged writes. No new durable artifacts past the failure.
+  if (tier_ == nullptr || read_only()) return 0;
   Table* t = catalog_.table(id);
   if (t == nullptr) return 0;
   return t->SpillShards(txn_manager_->prune_horizon());

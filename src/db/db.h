@@ -310,6 +310,16 @@ class DB {
     return recovery_stats_;
   }
 
+  /// Degraded (read-only) mode: set when the WAL flusher reports an
+  /// unrecoverable I/O failure (fsync or append). Reads and read-only
+  /// commits keep serving from memory; writing commits fail fast with
+  /// kIOError before certification; checkpoints, spills and compactions
+  /// halt. One-way for the process lifetime — reopen against healthy
+  /// storage to clear it. Surfaced as the db.read_only gauge.
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
   DBStats GetStats() const;
   const DBOptions& options() const { return options_; }
 
@@ -378,6 +388,10 @@ class DB {
   /// metrics_dump_path): appends one DumpMetrics() JSON line per tick.
   void StartMetricsDumper();
   void StopMetricsDumper();
+  /// The LogManager I/O-failure callback target: flip the DB-wide
+  /// read-only gate (first caller wins), tell the TxnManager to fail
+  /// writing commits fast, and trace the transition.
+  void EnterReadOnlyMode(const Status& cause);
 
   const DBOptions options_;
   /// Observability primitives. Declared before every subsystem (destroyed
@@ -406,6 +420,10 @@ class DB {
   std::atomic<uint64_t> checkpoint_bytes_written_{0};
   std::atomic<uint64_t> wal_segments_deleted_{0};
   std::atomic<uint64_t> versions_pruned_{0};
+  /// Degraded-mode gate — see read_only().
+  std::atomic<bool> read_only_{false};
+  /// Checkpoint images that failed on I/O (io.errors.checkpoint).
+  std::atomic<uint64_t> checkpoint_io_errors_{0};
   /// Serializes Checkpoint() calls (manual vs background interval) and
   /// guards the chain bookkeeping below.
   std::mutex checkpoint_write_mu_;

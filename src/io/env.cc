@@ -1,0 +1,311 @@
+#include "src/io/env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+
+namespace ssidb::io {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Env (the POSIX passthrough — also the base the injector delegates to).
+// ---------------------------------------------------------------------------
+
+Env* Env::Default() {
+  static Env env;
+  return &env;
+}
+
+int Env::Open(const char* path, int flags, int mode) {
+  return ::open(path, flags, mode);
+}
+
+int Env::Close(int fd) { return ::close(fd); }
+
+ssize_t Env::Read(int fd, void* buf, size_t count) {
+  return ::read(fd, buf, count);
+}
+
+ssize_t Env::Write(int fd, const void* buf, size_t count) {
+  return ::write(fd, buf, count);
+}
+
+ssize_t Env::Pread(int fd, void* buf, size_t count, off_t offset) {
+  return ::pread(fd, buf, count, offset);
+}
+
+ssize_t Env::Pwrite(int fd, const void* buf, size_t count, off_t offset) {
+  return ::pwrite(fd, buf, count, offset);
+}
+
+int Env::Fsync(int fd) { return ::fsync(fd); }
+
+Status Env::Rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) return Status::IOError("rename " + from + ": " + ec.message());
+  return Status::OK();
+}
+
+Status Env::RemoveFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::IOError("remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status Env::CreateDirs(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("mkdir " + dir + ": " + ec.message());
+  return Status::OK();
+}
+
+Status Env::ResizeFile(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  if (ec) return Status::IOError("resize " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingEnv
+// ---------------------------------------------------------------------------
+
+void FaultInjectingEnv::InjectFault(FaultKind kind,
+                                    const std::string& path_substr,
+                                    uint64_t skip, uint64_t count) {
+  std::lock_guard<std::mutex> guard(mu_);
+  faults_.push_back(Fault{kind, path_substr, skip, count});
+}
+
+void FaultInjectingEnv::InjectRandom(uint64_t seed, uint32_t denominator,
+                                     const std::string& path_substr) {
+  std::lock_guard<std::mutex> guard(mu_);
+  rng_.seed(seed);
+  random_denominator_ = denominator;
+  random_substr_ = path_substr;
+}
+
+void FaultInjectingEnv::FailWritesAfter(uint64_t write_ops) {
+  std::lock_guard<std::mutex> guard(mu_);
+  fail_all_armed_ = true;
+  writes_until_fail_all_ = write_ops;
+}
+
+void FaultInjectingEnv::ClearFaults() {
+  std::lock_guard<std::mutex> guard(mu_);
+  faults_.clear();
+  random_denominator_ = 0;
+  random_substr_.clear();
+  fail_all_armed_ = false;
+  writes_until_fail_all_ = 0;
+}
+
+bool FaultInjectingEnv::Applies(FaultKind kind, OpClass op) {
+  switch (op) {
+    case OpClass::kRead:
+      return kind == FaultKind::kReadError;
+    case OpClass::kWrite:
+      return kind == FaultKind::kWriteError ||
+             kind == FaultKind::kShortWrite ||
+             kind == FaultKind::kTornWrite || kind == FaultKind::kNoSpace;
+    case OpClass::kFsync:
+      return kind == FaultKind::kFsyncError;
+    case OpClass::kCreate:
+      return kind == FaultKind::kNoSpace;
+  }
+  return false;
+}
+
+bool FaultInjectingEnv::NextFault(OpClass op, const std::string& path,
+                                  FaultKind* kind) {
+  std::lock_guard<std::mutex> guard(mu_);
+  // Device-loss mode: write-class ops (and fsync, which cannot be trusted
+  // once the device vanished) all fail once the countdown expires.
+  if (fail_all_armed_) {
+    const bool write_class = op == OpClass::kWrite || op == OpClass::kCreate;
+    if (write_class || op == OpClass::kFsync) {
+      if (writes_until_fail_all_ == 0) {
+        *kind = FaultKind::kWriteError;
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (write_class) --writes_until_fail_all_;
+    }
+  }
+  // Scripted schedule: the first matching, non-exhausted entry decides.
+  for (Fault& f : faults_) {
+    if (f.count == 0) continue;
+    if (!Applies(f.kind, op)) continue;
+    if (!f.path_substr.empty() &&
+        path.find(f.path_substr) == std::string::npos) {
+      continue;
+    }
+    if (f.skip > 0) {
+      --f.skip;
+      return false;
+    }
+    --f.count;
+    *kind = f.kind;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Seeded random schedule.
+  if (random_denominator_ > 0 && op != OpClass::kCreate &&
+      (random_substr_.empty() ||
+       path.find(random_substr_) != std::string::npos)) {
+    if (rng_() % random_denominator_ == 0) {
+      if (op == OpClass::kRead) {
+        *kind = FaultKind::kReadError;
+      } else if (op == OpClass::kFsync) {
+        *kind = FaultKind::kFsyncError;
+      } else {
+        *kind = rng_() % 4 == 0 ? FaultKind::kNoSpace
+                                : FaultKind::kWriteError;
+      }
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultInjectingEnv::PathOf(int fd) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = fd_paths_.find(fd);
+  return it != fd_paths_.end() ? it->second : std::string();
+}
+
+int FaultInjectingEnv::Open(const char* path, int flags, int mode) {
+  FaultKind kind;
+  if ((flags & O_CREAT) != 0 && NextFault(OpClass::kCreate, path, &kind)) {
+    errno = ENOSPC;
+    return -1;
+  }
+  const int fd = base_->Open(path, flags, mode);
+  if (fd >= 0) {
+    std::lock_guard<std::mutex> guard(mu_);
+    fd_paths_[fd] = path;
+  }
+  return fd;
+}
+
+int FaultInjectingEnv::Close(int fd) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    fd_paths_.erase(fd);
+  }
+  return base_->Close(fd);
+}
+
+ssize_t FaultInjectingEnv::Read(int fd, void* buf, size_t count) {
+  FaultKind kind;
+  if (NextFault(OpClass::kRead, PathOf(fd), &kind)) {
+    errno = EIO;
+    return -1;
+  }
+  return base_->Read(fd, buf, count);
+}
+
+ssize_t FaultInjectingEnv::Write(int fd, const void* buf, size_t count) {
+  FaultKind kind;
+  if (NextFault(OpClass::kWrite, PathOf(fd), &kind)) {
+    switch (kind) {
+      case FaultKind::kNoSpace:
+        errno = ENOSPC;
+        return -1;
+      case FaultKind::kShortWrite:
+        return count > 1 ? base_->Write(fd, buf, count / 2)
+                         : base_->Write(fd, buf, count);
+      case FaultKind::kTornWrite:
+        if (count > 1) base_->Write(fd, buf, count / 2);
+        errno = EIO;
+        return -1;
+      default:
+        errno = EIO;
+        return -1;
+    }
+  }
+  return base_->Write(fd, buf, count);
+}
+
+ssize_t FaultInjectingEnv::Pread(int fd, void* buf, size_t count,
+                                 off_t offset) {
+  FaultKind kind;
+  if (NextFault(OpClass::kRead, PathOf(fd), &kind)) {
+    errno = EIO;
+    return -1;
+  }
+  return base_->Pread(fd, buf, count, offset);
+}
+
+ssize_t FaultInjectingEnv::Pwrite(int fd, const void* buf, size_t count,
+                                  off_t offset) {
+  FaultKind kind;
+  if (NextFault(OpClass::kWrite, PathOf(fd), &kind)) {
+    switch (kind) {
+      case FaultKind::kNoSpace:
+        errno = ENOSPC;
+        return -1;
+      case FaultKind::kShortWrite:
+        return count > 1 ? base_->Pwrite(fd, buf, count / 2, offset)
+                         : base_->Pwrite(fd, buf, count, offset);
+      case FaultKind::kTornWrite:
+        if (count > 1) base_->Pwrite(fd, buf, count / 2, offset);
+        errno = EIO;
+        return -1;
+      default:
+        errno = EIO;
+        return -1;
+    }
+  }
+  return base_->Pwrite(fd, buf, count, offset);
+}
+
+int FaultInjectingEnv::Fsync(int fd) {
+  FaultKind kind;
+  if (NextFault(OpClass::kFsync, PathOf(fd), &kind)) {
+    errno = EIO;
+    return -1;
+  }
+  return base_->Fsync(fd);
+}
+
+Status FaultInjectingEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  FaultKind kind;
+  if (NextFault(OpClass::kWrite, to, &kind)) {
+    return Status::IOError("rename " + from + ": injected " +
+                           (kind == FaultKind::kNoSpace
+                                ? std::string("ENOSPC")
+                                : std::string("EIO")));
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);  // Deletes always succeed: faults must
+                                   // never block cleanup paths.
+}
+
+Status FaultInjectingEnv::CreateDirs(const std::string& dir) {
+  FaultKind kind;
+  if (NextFault(OpClass::kCreate, dir, &kind)) {
+    return Status::IOError("mkdir " + dir + ": injected ENOSPC");
+  }
+  return base_->CreateDirs(dir);
+}
+
+Status FaultInjectingEnv::ResizeFile(const std::string& path, uint64_t size) {
+  FaultKind kind;
+  if (NextFault(OpClass::kWrite, path, &kind)) {
+    return Status::IOError("resize " + path + ": injected EIO");
+  }
+  return base_->ResizeFile(path, size);
+}
+
+}  // namespace ssidb::io

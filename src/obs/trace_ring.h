@@ -41,6 +41,10 @@ enum class TraceEvent : uint16_t {
   kFault = 3,
   /// A checkpoint completed. payload = watermark covered.
   kCheckpoint = 4,
+  /// A durable-artifact I/O operation failed. arg16 = subsystem (1 = WAL,
+  /// 2 = checkpoint, 3 = buffer pool, 4 = storage tier), arg32 =
+  /// subsystem-specific detail (pool: page number; tier: table id).
+  kIOError = 5,
 };
 
 inline const char* TraceEventName(TraceEvent e) {
@@ -50,6 +54,7 @@ inline const char* TraceEventName(TraceEvent e) {
     case TraceEvent::kRingStall: return "ring_stall";
     case TraceEvent::kFault: return "fault";
     case TraceEvent::kCheckpoint: return "checkpoint";
+    case TraceEvent::kIOError: return "io_error";
   }
   return "unknown";
 }

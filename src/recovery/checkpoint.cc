@@ -145,10 +145,12 @@ bool ParseDeltaCheckpointFileName(const std::string& name, Timestamp* prev,
 
 Status WriteCheckpoint(const Catalog& catalog, Timestamp watermark,
                        Timestamp prev_watermark, const std::string& dir,
-                       bool do_fsync, CheckpointWriteResult* result) {
+                       bool do_fsync, CheckpointWriteResult* result,
+                       io::Env* env) {
+  env = io::ResolveEnv(env);
   std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) return Status::IOError("mkdir " + dir + ": " + ec.message());
+  Status mkdir_st = env->CreateDirs(dir);
+  if (!mkdir_st.ok()) return mkdir_st;
 
   const bool is_delta = prev_watermark != 0;
   CheckpointWriteResult local;
@@ -212,16 +214,21 @@ Status WriteCheckpoint(const Catalog& catalog, Timestamp watermark,
                : CheckpointFileName(watermark);
   const fs::path final_path = fs::path(dir) / file_name;
   const fs::path tmp_path = final_path.string() + ".tmp";
-  Status st = WriteFileDurably(tmp_path.string(), image, do_fsync);
-  if (!st.ok()) return st;
-  std::error_code rename_ec;
-  fs::rename(tmp_path, final_path, rename_ec);
-  if (rename_ec) {
-    return Status::IOError("rename " + tmp_path.string() + ": " +
-                           rename_ec.message());
+  Status st = WriteFileDurably(tmp_path.string(), image, do_fsync, env);
+  if (!st.ok()) {
+    // ENOSPC/EIO mid-image: drop the partial .tmp so the directory holds
+    // only the previous (still loadable) chain, and return the failure —
+    // the next checkpoint attempt starts from scratch.
+    env->RemoveFile(tmp_path.string());
+    return st;
+  }
+  st = env->Rename(tmp_path.string(), final_path.string());
+  if (!st.ok()) {
+    env->RemoveFile(tmp_path.string());
+    return st;
   }
   if (do_fsync) {
-    st = SyncDir(dir);
+    st = SyncDir(dir, env);
     if (!st.ok()) return st;
   }
   if (is_delta) return Status::OK();  // The chain grows; nothing to GC.

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/io/env.h"
 #include "src/storage/catalog.h"
 
 namespace ssidb::recovery {
@@ -101,9 +102,13 @@ struct CheckpointWriteResult {
 /// new image supersedes them. With prev_watermark > 0 a delta image
 /// covering (prev_watermark, watermark] is written and nothing is deleted
 /// (the chain grows). `fsync=false` is test-only. `result` may be null.
+/// On a write/rename failure (e.g. ENOSPC) the partial .tmp is removed
+/// (best effort) and the previous checkpoint chain is left untouched, so
+/// it stays fully loadable and the next attempt resumes cleanly.
 Status WriteCheckpoint(const Catalog& catalog, Timestamp watermark,
                        Timestamp prev_watermark, const std::string& dir,
-                       bool fsync, CheckpointWriteResult* result = nullptr);
+                       bool fsync, CheckpointWriteResult* result = nullptr,
+                       io::Env* env = nullptr);
 
 /// Load the newest *complete* base checkpoint in `dir` into `out`.
 /// Incomplete or damaged files (bad magic, CRC, or truncation) are skipped

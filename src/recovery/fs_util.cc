@@ -14,50 +14,59 @@ Status ErrnoStatus(const char* op, const std::string& path) {
                          std::strerror(errno));
 }
 
-Status SyncDir(const std::string& dir) {
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+Status SyncDir(const std::string& dir, io::Env* env) {
+  env = io::ResolveEnv(env);
+  const int dfd = env->Open(dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
   if (dfd < 0) return ErrnoStatus("open dir", dir);
-  const int rc = ::fsync(dfd);
-  ::close(dfd);
+  const int rc = env->Fsync(dfd);
+  env->Close(dfd);
   if (rc != 0) return ErrnoStatus("fsync dir", dir);
   return Status::OK();
 }
 
-Status ReadFileToString(const std::string& path, std::string* out) {
+Status ReadFileToString(const std::string& path, std::string* out,
+                        io::Env* env) {
+  env = io::ResolveEnv(env);
   out->clear();
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return ErrnoStatus("open", path);
+  const int fd = env->Open(path.c_str(), O_RDONLY, 0);
+  if (fd < 0) return ErrnoStatus("open", path);
   char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    out->append(buf, n);
+  for (;;) {
+    const ssize_t n = env->Read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      env->Close(fd);
+      return ErrnoStatus("read", path);
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
   }
-  const bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) return ErrnoStatus("read", path);
+  env->Close(fd);
   return Status::OK();
 }
 
 Status WriteFileDurably(const std::string& path, const std::string& contents,
-                        bool do_fsync) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+                        bool do_fsync, io::Env* env) {
+  env = io::ResolveEnv(env);
+  const int fd =
+      env->Open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return ErrnoStatus("create", path);
   size_t written = 0;
   while (written < contents.size()) {
     const ssize_t n =
-        ::write(fd, contents.data() + written, contents.size() - written);
+        env->Write(fd, contents.data() + written, contents.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
+      env->Close(fd);
       return ErrnoStatus("write", path);
     }
     written += static_cast<size_t>(n);
   }
-  if (do_fsync && ::fsync(fd) != 0) {
-    ::close(fd);
+  if (do_fsync && env->Fsync(fd) != 0) {
+    env->Close(fd);
     return ErrnoStatus("fsync", path);
   }
-  if (::close(fd) != 0) return ErrnoStatus("close", path);
+  if (env->Close(fd) != 0) return ErrnoStatus("close", path);
   return Status::OK();
 }
 

@@ -85,7 +85,8 @@ Status ApplyCheckpointData(const CheckpointData& data, Catalog* catalog) {
 }  // namespace
 
 Status Recover(const std::string& dir, Catalog* catalog,
-               RecoveryStats* stats) {
+               RecoveryStats* stats, io::Env* env) {
+  env = io::ResolveEnv(env);
   *stats = RecoveryStats{};
   std::error_code ec;
   if (!std::filesystem::exists(dir, ec)) return Status::OK();
@@ -122,7 +123,7 @@ Status Recover(const std::string& dir, Catalog* catalog,
   if (!st.ok()) return st;
   for (size_t i = 0; i < segments.size(); ++i) {
     WalScanResult scan;
-    st = ScanWalSegment(segments[i], &scan);
+    st = ScanWalSegment(segments[i], &scan, env);
     if (!st.ok()) return st;
     ++stats->segments_scanned;
     // Rebuild the segment's metadata from this (obligatory) scan, so the
@@ -149,13 +150,8 @@ Status Recover(const std::string& dir, Catalog* catalog,
         // segment past this one, leaving the tear mid-log where the
         // session after that must refuse it as corruption.
         stats->torn_tail = true;
-        std::error_code trunc_ec;
-        std::filesystem::resize_file(segments[i], scan.valid_bytes,
-                                     trunc_ec);
-        if (trunc_ec) {
-          return Status::IOError("truncate torn tail of " + segments[i] +
-                                 ": " + trunc_ec.message());
-        }
+        Status trunc = env->ResizeFile(segments[i], scan.valid_bytes);
+        if (!trunc.ok()) return trunc;
         break;
       }
       return Status::Corruption("damaged record mid-log in " + segments[i] +

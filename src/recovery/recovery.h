@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/io/env.h"
 #include "src/recovery/wal.h"
 #include "src/storage/catalog.h"
 
@@ -74,9 +75,10 @@ struct RecoveryStats {
 };
 
 /// Rebuild `catalog` (which must be empty) from `dir`. A missing or empty
-/// directory is a fresh database: OK with zeroed stats.
+/// directory is a fresh database: OK with zeroed stats. `env` (nullptr =
+/// real filesystem) carries segment reads and the torn-tail truncation.
 Status Recover(const std::string& dir, Catalog* catalog,
-               RecoveryStats* stats);
+               RecoveryStats* stats, io::Env* env = nullptr);
 
 }  // namespace ssidb::recovery
 

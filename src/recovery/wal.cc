@@ -81,12 +81,13 @@ Status ListWalSegments(const std::string& dir,
   return Status::OK();
 }
 
-Status ScanWalSegment(const std::string& path, WalScanResult* out) {
+Status ScanWalSegment(const std::string& path, WalScanResult* out,
+                      io::Env* env) {
   g_scan_calls.fetch_add(1, std::memory_order_relaxed);
   out->records.clear();
   out->tail = Status::OK();
   std::string contents;
-  Status st = ReadFileToString(path, &contents);
+  Status st = ReadFileToString(path, &contents, env);
   if (!st.ok()) return st;
   out->file_bytes = contents.size();
   size_t offset = 0;
@@ -103,23 +104,27 @@ Status ScanWalSegment(const std::string& path, WalScanResult* out) {
   return Status::OK();
 }
 
-WalWriter::WalWriter(std::string dir, uint64_t segment_bytes, bool fsync)
+WalWriter::WalWriter(std::string dir, uint64_t segment_bytes, bool fsync,
+                     io::Env* env)
     : dir_(std::move(dir)),
       segment_bytes_(segment_bytes == 0 ? 1 : segment_bytes),
-      fsync_(fsync) {}
+      fsync_(fsync),
+      env_(io::ResolveEnv(env)) {}
 
 WalWriter::~WalWriter() {
   if (fd_ >= 0) {
-    if (fsync_) ::fsync(fd_);
-    ::close(fd_);
+    // Never fsync a poisoned descriptor: after a failed fsync the kernel
+    // may have dropped the dirty pages while marking them clean, so a
+    // "successful" retry would report durability that does not exist.
+    if (fsync_ && io_status_.ok()) env_->Fsync(fd_);
+    env_->Close(fd_);
   }
 }
 
 Status WalWriter::EnsureOpen() {
   if (opened_) return Status::OK();
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  if (ec) return Status::IOError("mkdir " + dir_ + ": " + ec.message());
+  Status st_dir = env_->CreateDirs(dir_);
+  if (!st_dir.ok()) return st_dir;
   // Start one past the highest existing segment: a pre-crash segment may
   // end in a torn frame, and appending after it would bury the tear
   // mid-segment where recovery must treat it as corruption.
@@ -144,8 +149,8 @@ void WalWriter::PublishCurrentMeta() {
 
 Status WalWriter::RotateSegment() {
   if (fd_ >= 0) {
-    if (fsync_ && ::fsync(fd_) != 0) return ErrnoStatus("fsync", dir_);
-    ::close(fd_);
+    if (fsync_ && env_->Fsync(fd_) != 0) return ErrnoStatus("fsync", dir_);
+    env_->Close(fd_);
     fd_ = -1;
     // Seal the segment's registry entry *before* the next segment's file
     // exists, so any directory listing that sees the newer name can trust
@@ -154,7 +159,7 @@ Status WalWriter::RotateSegment() {
   }
   const std::string path =
       (fs::path(dir_) / WalSegmentName(next_seq_)).string();
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  fd_ = env_->Open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
   if (fd_ < 0) return ErrnoStatus("create", path);
   current_seq_ = next_seq_;
   ++next_seq_;
@@ -164,16 +169,20 @@ Status WalWriter::RotateSegment() {
   current_meta_.seq = current_seq_;
   PublishCurrentMeta();  // The open segment is listed, even while empty.
   // Make the new name itself durable before any record relies on it.
-  return fsync_ ? SyncDir(dir_) : Status::OK();
+  return fsync_ ? SyncDir(dir_, env_) : Status::OK();
 }
 
 Status WalWriter::AppendBatch(const std::vector<WalFrame>& frames) {
+  // Sticky failure: once any write or fsync has failed, the segment may
+  // end in a torn frame, and durability of earlier "flushed" bytes is
+  // unknowable. Refuse all further appends (see header).
+  if (!io_status_.ok()) return io_status_;
   Status st = EnsureOpen();
   if (!st.ok()) return st;
   for (const WalFrame& frame : frames) {
     if (segment_offset_ >= segment_bytes_) {
       st = RotateSegment();
-      if (!st.ok()) return st;
+      if (!st.ok()) return io_status_ = st;
     }
     // Accumulated lock-free; counted even if the write below fails —
     // overstating a segment is the conservative direction for GC.
@@ -181,11 +190,11 @@ Status WalWriter::AppendBatch(const std::vector<WalFrame>& frames) {
                           &current_meta_);
     size_t written = 0;
     while (written < frame.bytes.size()) {
-      const ssize_t n = ::write(fd_, frame.bytes.data() + written,
-                                frame.bytes.size() - written);
+      const ssize_t n = env_->Write(fd_, frame.bytes.data() + written,
+                                    frame.bytes.size() - written);
       if (n < 0) {
         if (errno == EINTR) continue;
-        return ErrnoStatus("write", dir_);
+        return io_status_ = ErrnoStatus("write", dir_);
       }
       written += static_cast<size_t>(n);
     }
@@ -193,7 +202,9 @@ Status WalWriter::AppendBatch(const std::vector<WalFrame>& frames) {
     bytes_written_.fetch_add(frame.bytes.size(), std::memory_order_relaxed);
   }
   PublishCurrentMeta();
-  if (fsync_ && ::fsync(fd_) != 0) return ErrnoStatus("fsync", dir_);
+  if (fsync_ && env_->Fsync(fd_) != 0) {
+    return io_status_ = ErrnoStatus("fsync", dir_);
+  }
   return Status::OK();
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/io/env.h"
 #include "src/txn/log_manager.h"
 
 namespace ssidb::recovery {
@@ -115,13 +116,16 @@ struct WalScanResult {
 
 /// Read and parse one segment. kIOError only for filesystem failures;
 /// format problems are reported through WalScanResult::tail.
-Status ScanWalSegment(const std::string& path, WalScanResult* out);
+Status ScanWalSegment(const std::string& path, WalScanResult* out,
+                      io::Env* env = nullptr);
 
 class WalWriter {
  public:
   /// `fsync`: sync file data after each batch (and the directory when a
-  /// segment is created).
-  WalWriter(std::string dir, uint64_t segment_bytes, bool fsync);
+  /// segment is created). `env` (nullptr = real filesystem) carries every
+  /// write/fsync.
+  WalWriter(std::string dir, uint64_t segment_bytes, bool fsync,
+            io::Env* env = nullptr);
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
@@ -135,6 +139,15 @@ class WalWriter {
   /// segment's file exists) and at the end of each batch — exactly the
   /// granularity the registry invariant needs, since GC never touches the
   /// open (highest-sequence) segment.
+  ///
+  /// Failure policy (fsyncgate-correct): the first write or fsync failure
+  /// poisons the writer permanently — every later AppendBatch returns the
+  /// same sticky status without touching the file, and the destructor
+  /// never re-fsyncs the poisoned descriptor. Retrying an fsync that
+  /// failed proves nothing (the kernel may already have dropped the dirty
+  /// pages while marking them clean), and appending past a possibly-torn
+  /// frame would bury the tear mid-segment where recovery must treat it
+  /// as corruption rather than a clean tail.
   Status AppendBatch(const std::vector<WalFrame>& frames);
 
   /// Install metadata for segments that predate this writer (recovery's
@@ -167,6 +180,11 @@ class WalWriter {
   const std::string dir_;
   const uint64_t segment_bytes_;
   const bool fsync_;
+  io::Env* const env_;
+
+  /// First write/fsync failure, sticky (flusher thread only). See
+  /// AppendBatch's failure policy.
+  Status io_status_;
 
   /// Publish current_meta_ into the registry (overwrites the open
   /// segment's entry with the authoritative accumulation).

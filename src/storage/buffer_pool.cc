@@ -3,19 +3,27 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <thread>
+
+#include "src/obs/trace_ring.h"
 
 namespace ssidb {
 
 namespace {
 
-Status PreadFull(int fd, void* buf, size_t n, uint64_t offset) {
+/// Writeback retry budget: the first attempt plus this many retries, with
+/// exponential backoff, before the failure is surfaced to the claimer.
+constexpr int kWritebackRetries = 2;
+constexpr uint32_t kWritebackBackoffUs = 50;
+
+Status PreadFull(io::Env* env, int fd, void* buf, size_t n, uint64_t offset) {
   uint8_t* p = static_cast<uint8_t*>(buf);
   size_t done = 0;
   while (done < n) {
-    const ssize_t r = ::pread(fd, p + done, n - done,
-                              static_cast<off_t>(offset + done));
+    const ssize_t r = env->Pread(fd, p + done, n - done,
+                                 static_cast<off_t>(offset + done));
     if (r < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(std::string("pread: ") + strerror(errno));
@@ -32,12 +40,13 @@ Status PreadFull(int fd, void* buf, size_t n, uint64_t offset) {
   return Status::OK();
 }
 
-Status PwriteFull(int fd, const void* buf, size_t n, uint64_t offset) {
+Status PwriteFull(io::Env* env, int fd, const void* buf, size_t n,
+                  uint64_t offset) {
   const uint8_t* p = static_cast<const uint8_t*>(buf);
   size_t done = 0;
   while (done < n) {
-    const ssize_t r = ::pwrite(fd, p + done, n - done,
-                               static_cast<off_t>(offset + done));
+    const ssize_t r = env->Pwrite(fd, p + done, n - done,
+                                  static_cast<off_t>(offset + done));
     if (r < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(std::string("pwrite: ") + strerror(errno));
@@ -50,11 +59,13 @@ Status PwriteFull(int fd, const void* buf, size_t n, uint64_t offset) {
 }  // namespace
 
 PoolFile::~PoolFile() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) env_->Close(fd_);
 }
 
-BufferPool::BufferPool(uint64_t pool_bytes, uint32_t page_bytes)
+BufferPool::BufferPool(uint64_t pool_bytes, uint32_t page_bytes,
+                       io::Env* env)
     : page_bytes_(page_bytes),
+      env_(io::ResolveEnv(env)),
       arena_(new uint8_t[static_cast<size_t>(
           (pool_bytes / page_bytes < 4 ? 4 : pool_bytes / page_bytes) *
           page_bytes)]) {
@@ -116,10 +127,6 @@ bool BufferPool::ClaimVictimLocked(uint32_t* idx) {
       fr.referenced = false;  // Second chance.
       continue;
     }
-    if (fr.state != FrameState::kFree) {
-      map_.erase(TagKey{fr.file_id, fr.page_no});
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-    }
     *idx = at;
     return true;
   }
@@ -135,9 +142,21 @@ Status BufferPool::ClaimFrameLocked(uint64_t file_id, uint32_t page_no,
   }
   Frame& fr = *frames_[victim];
   if (fr.state != FrameState::kFree && fr.dirty) {
+    // Dirty victim: nothing is claimed. Pin it in place (it keeps its tag,
+    // its mapping and its content) and hand the writeback to the caller —
+    // the dirty bit only clears on a successful write, so a failure can
+    // never lose the page; the frame just stays ineligible for reuse.
+    fr.pins.fetch_add(1, std::memory_order_acq_rel);
     wb->needed = true;
     wb->file = fr.file;
+    wb->file_id = fr.file_id;
     wb->page_no = fr.page_no;
+    wb->frame = victim;
+    return Status::OK();
+  }
+  if (fr.state != FrameState::kFree) {
+    map_.erase(TagKey{fr.file_id, fr.page_no});
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   fr.file_id = file_id;
   fr.page_no = page_no;
@@ -149,6 +168,42 @@ Status BufferPool::ClaimFrameLocked(uint64_t file_id, uint32_t page_no,
   map_[TagKey{file_id, page_no}] = victim;
   *idx = victim;
   return Status::OK();
+}
+
+Status BufferPool::WritebackFrame(const Writeback& wb) {
+  Status st;
+  for (int attempt = 0; attempt <= kWritebackRetries; ++attempt) {
+    if (attempt > 0) {
+      io_retries_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(kWritebackBackoffUs << attempt));
+    }
+    const uint64_t t0 = obs::NowNanos();
+    st = PwriteFull(env_, wb.file->fd(), frame_data(wb.frame), page_bytes_,
+                    static_cast<uint64_t>(wb.page_no) * page_bytes_);
+    write_io_ns_.Record(obs::NowNanos() - t0);
+    if (st.ok()) break;
+  }
+  if (!st.ok()) {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::TraceRing* trace = trace_.load(std::memory_order_acquire)) {
+      trace->Emit(obs::TraceEvent::kIOError, 0, /*arg16=*/3,
+                  /*arg32=*/wb.page_no, /*payload=*/wb.file_id);
+    }
+    return st;  // Frame stays dirty + mapped: nothing lost.
+  }
+  {
+    // The caller's pin keeps the tag stable; the re-check is belt and
+    // braces against a future claim-path change.
+    std::lock_guard<std::mutex> guard(map_mu_);
+    Frame& fr = *frames_[wb.frame];
+    if (fr.file_id == wb.file_id && fr.page_no == wb.page_no &&
+        fr.state == FrameState::kValid) {
+      fr.dirty = false;
+    }
+  }
+  writebacks_.fetch_add(1, std::memory_order_relaxed);
+  return st;
 }
 
 Status BufferPool::PinPage(uint64_t file_id, uint32_t page_no, Pin* out) {
@@ -182,28 +237,31 @@ Status BufferPool::PinPage(uint64_t file_id, uint32_t page_no, Pin* out) {
           }
           return st;
         }
-        loader = true;
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        if (!wb.needed) {
+          loader = true;
+          misses_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     }
 
+    if (wb.needed) {
+      // The victim was dirty: write it back in place (outside map_mu_),
+      // then try the claim again — only a clean frame is ever retagged.
+      Status st = WritebackFrame(wb);
+      Unpin(wb.frame);
+      if (!st.ok()) return st;
+      continue;
+    }
+
     if (loader) {
-      // I/O outside map_mu_. Writeback of the evicted occupant must finish
-      // before its bytes are overwritten by the new page's read — both
-      // happen here, in order, while the frame is exclusively ours (one
-      // pin, state kLoading keeps waiters parked and the clock away).
+      // Read the page outside map_mu_, while the frame is exclusively
+      // ours (one pin, state kLoading keeps waiters parked and the clock
+      // away).
       Frame& fr = *frames_[idx];
       Status st;
-      if (wb.needed) {
+      {
         const uint64_t t0 = obs::NowNanos();
-        st = PwriteFull(wb.file->fd(), frame_data(idx), page_bytes_,
-                        static_cast<uint64_t>(wb.page_no) * page_bytes_);
-        write_io_ns_.Record(obs::NowNanos() - t0);
-        if (st.ok()) writebacks_.fetch_add(1, std::memory_order_relaxed);
-      }
-      if (st.ok()) {
-        const uint64_t t0 = obs::NowNanos();
-        st = PreadFull(file->fd(), frame_data(idx), page_bytes_,
+        st = PreadFull(env_, file->fd(), frame_data(idx), page_bytes_,
                        static_cast<uint64_t>(page_no) * page_bytes_);
         read_io_ns_.Record(obs::NowNanos() - t0);
       }
@@ -231,6 +289,7 @@ Status BufferPool::PinPage(uint64_t file_id, uint32_t page_no, Pin* out) {
       // load ended.
       Frame& fr = *frames_[idx];
       FrameState state;
+      bool tag_matches;
       {
         std::unique_lock<std::mutex> io_guard(fr.io_mu);
         fr.io_cv.wait(io_guard, [&] {
@@ -239,8 +298,12 @@ Status BufferPool::PinPage(uint64_t file_id, uint32_t page_no, Pin* out) {
         });
         std::lock_guard<std::mutex> guard(map_mu_);
         state = fr.state;
+        // Our pin (taken under map_mu_ at lookup) blocks any retag, so the
+        // tag must still be ours; re-validate anyway — returning another
+        // page's bytes on a mismatch would be silent corruption.
+        tag_matches = fr.file_id == file_id && fr.page_no == page_no;
       }
-      if (state == FrameState::kValid) {
+      if (state == FrameState::kValid && tag_matches) {
         out->data = frame_data(idx);
         out->frame = idx;
         return Status::OK();
@@ -257,46 +320,40 @@ Status BufferPool::PinPage(uint64_t file_id, uint32_t page_no, Pin* out) {
 
 Status BufferPool::PinForWrite(uint64_t file_id, uint32_t page_no,
                                WritePin* out) {
-  uint32_t idx = 0;
-  Writeback wb;
-  {
-    std::lock_guard<std::mutex> guard(map_mu_);
-    auto fit = files_.find(file_id);
-    if (fit == files_.end()) {
-      return Status::IOError("buffer pool: unregistered file");
+  for (;;) {
+    uint32_t idx = 0;
+    Writeback wb;
+    {
+      std::lock_guard<std::mutex> guard(map_mu_);
+      auto fit = files_.find(file_id);
+      if (fit == files_.end()) {
+        return Status::IOError("buffer pool: unregistered file");
+      }
+      Status st = ClaimFrameLocked(file_id, page_no, fit->second, &idx, &wb);
+      if (!st.ok()) return st;
     }
-    Status st = ClaimFrameLocked(file_id, page_no, fit->second, &idx, &wb);
-    if (!st.ok()) return st;
-  }
-  Frame& fr = *frames_[idx];
-  Status st;
-  if (wb.needed) {
-    const uint64_t t0 = obs::NowNanos();
-    st = PwriteFull(wb.file->fd(), frame_data(idx), page_bytes_,
-                    static_cast<uint64_t>(wb.page_no) * page_bytes_);
-    write_io_ns_.Record(obs::NowNanos() - t0);
-    if (st.ok()) writebacks_.fetch_add(1, std::memory_order_relaxed);
-  }
-  memset(frame_data(idx), 0, page_bytes_);
-  {
-    std::lock_guard<std::mutex> io_guard(fr.io_mu);
-    std::lock_guard<std::mutex> guard(map_mu_);
-    if (st.ok()) {
+    if (wb.needed) {
+      // Dirty victim: write it back in place first. A failure surfaces
+      // here (run creation fails, caller cleans up) while the victim's
+      // page survives, dirty and mapped.
+      Status st = WritebackFrame(wb);
+      Unpin(wb.frame);
+      if (!st.ok()) return st;
+      continue;
+    }
+    Frame& fr = *frames_[idx];
+    memset(frame_data(idx), 0, page_bytes_);
+    {
+      std::lock_guard<std::mutex> io_guard(fr.io_mu);
+      std::lock_guard<std::mutex> guard(map_mu_);
       fr.state = FrameState::kValid;
       fr.dirty = true;
-    } else {
-      fr.state = FrameState::kFailed;
-      map_.erase(TagKey{file_id, page_no});
     }
+    fr.io_cv.notify_all();
+    out->data = frame_data(idx);
+    out->frame = idx;
+    return Status::OK();
   }
-  fr.io_cv.notify_all();
-  if (!st.ok()) {
-    Unpin(idx);
-    return st;
-  }
-  out->data = frame_data(idx);
-  out->frame = idx;
-  return Status::OK();
 }
 
 void BufferPool::Unpin(uint32_t frame) {
@@ -305,13 +362,11 @@ void BufferPool::Unpin(uint32_t frame) {
 
 Status BufferPool::FlushFile(uint64_t file_id) {
   // Collect the dirty pages under the mutex, pinning each so the clock
-  // cannot steal a frame mid-write; pwrite outside.
-  struct Work {
-    uint32_t frame;
-    uint32_t page_no;
-    std::shared_ptr<PoolFile> file;
-  };
-  std::vector<Work> work;
+  // cannot steal a frame mid-write; write outside. The dirty bit clears
+  // only when WritebackFrame's write succeeds — a failed flush leaves
+  // every unwritten page dirty and mapped, so a retried FlushFile (or the
+  // eviction path) finds exactly the pages that still need the disk.
+  std::vector<Writeback> work;
   {
     std::lock_guard<std::mutex> guard(map_mu_);
     for (uint32_t i = 0; i < frames_.size(); ++i) {
@@ -321,29 +376,28 @@ Status BufferPool::FlushFile(uint64_t file_id) {
         continue;
       }
       fr.pins.fetch_add(1, std::memory_order_acq_rel);
-      // Run pages are immutable once the writer unpins, so clearing the
-      // bit before the write cannot lose an update.
-      fr.dirty = false;
-      work.push_back(Work{i, fr.page_no, fr.file});
+      Writeback wb;
+      wb.needed = true;
+      wb.file = fr.file;
+      wb.file_id = fr.file_id;
+      wb.page_no = fr.page_no;
+      wb.frame = i;
+      work.push_back(std::move(wb));
     }
   }
   Status st;
-  for (const Work& w : work) {
-    if (st.ok()) {
-      const uint64_t t0 = obs::NowNanos();
-      st = PwriteFull(w.file->fd(), frame_data(w.frame), page_bytes_,
-                      static_cast<uint64_t>(w.page_no) * page_bytes_);
-      write_io_ns_.Record(obs::NowNanos() - t0);
-      if (st.ok()) writebacks_.fetch_add(1, std::memory_order_relaxed);
-    }
+  for (const Writeback& w : work) {
+    if (st.ok()) st = WritebackFrame(w);
     Unpin(w.frame);
   }
   return st;
 }
 
-void BufferPool::RegisterMetrics(obs::MetricsRegistry* registry) {
+void BufferPool::RegisterMetrics(obs::MetricsRegistry* registry,
+                                 obs::TraceRing* trace) {
   registry->RegisterHistogram("pool.read_io_ns", &read_io_ns_);
   registry->RegisterHistogram("pool.write_io_ns", &write_io_ns_);
+  if (trace != nullptr) trace_.store(trace, std::memory_order_release);
 }
 
 }  // namespace ssidb

@@ -8,6 +8,15 @@
 // the second. Dirty frames (pages of a run being written) are written back
 // to their file before the frame is reused.
 //
+// Writeback failure policy: a dirty victim is written back *in place* —
+// still mapped under its own tag, pinned, state kValid — and only a
+// successful write clears the dirty bit; the frame is retagged on a later
+// claim attempt, once clean. A failed writeback (bounded retry with
+// backoff) therefore never loses the page: the frame stays dirty, mapped
+// and readable, and the pin/claim that needed the frame fails with
+// kIOError instead. Every durable byte moves through an io::Env, so tests
+// can script the failures.
+//
 // Concurrency:
 //   * map_mu_ guards the tag map, the free list, the clock hand and each
 //     frame's tag/state transitions. It is never held across I/O: a miss
@@ -43,9 +52,14 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/io/env.h"
 #include "src/obs/metrics.h"
 
 namespace ssidb {
+
+namespace obs {
+class TraceRing;  // src/obs/trace_ring.h
+}  // namespace obs
 
 /// A registered backing file: the pool reads (pread) and writes back
 /// (pwrite) through the owned descriptor. Shared ownership keeps the
@@ -54,7 +68,10 @@ namespace ssidb {
 /// while a faulter is mid-read; POSIX keeps the unlinked inode readable).
 class PoolFile {
  public:
-  PoolFile(uint64_t id, int fd) : id_(id), fd_(fd) {}
+  /// `env` must be the Env the descriptor was opened through (nullptr =
+  /// the real filesystem), so the close balances the open.
+  PoolFile(uint64_t id, int fd, io::Env* env = nullptr)
+      : id_(id), fd_(fd), env_(io::ResolveEnv(env)) {}
   ~PoolFile();
 
   PoolFile(const PoolFile&) = delete;
@@ -66,13 +83,16 @@ class PoolFile {
  private:
   const uint64_t id_;
   const int fd_;
+  io::Env* const env_;
 };
 
 class BufferPool {
  public:
   /// `pool_bytes / page_bytes` frames, floored at 4 so a tiny test pool
-  /// still admits concurrent pins.
-  BufferPool(uint64_t pool_bytes, uint32_t page_bytes);
+  /// still admits concurrent pins. `env` (nullptr = real filesystem)
+  /// carries every pread/pwrite.
+  BufferPool(uint64_t pool_bytes, uint32_t page_bytes,
+             io::Env* env = nullptr);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -128,11 +148,21 @@ class BufferPool {
   uint64_t writebacks() const {
     return writebacks_.load(std::memory_order_relaxed);
   }
+  /// Writeback attempts retried after a failure (io.retries).
+  uint64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+  /// Writebacks that failed even after the bounded retries (io.errors.pool).
+  uint64_t io_errors() const {
+    return io_errors_.load(std::memory_order_relaxed);
+  }
 
   /// Register pool I/O latency histograms (pread of a faulted page,
   /// pwrite of a writeback). Always-on timing: every sample is a real
-  /// disk I/O, so the clock reads are noise.
-  void RegisterMetrics(obs::MetricsRegistry* registry);
+  /// disk I/O, so the clock reads are noise. `trace` (optional) receives a
+  /// kIOError event per exhausted writeback.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       obs::TraceRing* trace = nullptr);
 
  private:
   enum class FrameState : uint8_t { kFree, kLoading, kValid, kFailed };
@@ -178,22 +208,38 @@ class BufferPool {
   }
 
   /// Claim an unpinned frame: free list first, then the clock scan.
-  /// Returns false when every frame is pinned. Caller holds map_mu_.
+  /// Returns false when every frame is pinned. Does NOT unmap the chosen
+  /// occupant — ClaimFrameLocked decides that (a dirty occupant stays
+  /// mapped for in-place writeback). Caller holds map_mu_.
   bool ClaimVictimLocked(uint32_t* idx);
 
-  /// Claim + retag a frame for (file, page) in state kLoading with one pin
-  /// held, returning the evicted occupant's writeback work (if dirty).
-  /// Caller holds map_mu_.
+  /// One dirty frame to write back in place: still mapped under its own
+  /// (file_id, page_no) tag, pinned by the filler of this struct.
   struct Writeback {
     std::shared_ptr<PoolFile> file;
+    uint64_t file_id = 0;
     uint32_t page_no = 0;
+    uint32_t frame = 0;
     bool needed = false;
   };
+
+  /// Claim + retag a frame for (file, page) in state kLoading with one pin
+  /// held. When the chosen victim is dirty, nothing is claimed: the victim
+  /// is pinned in place and returned through `wb` — the caller must
+  /// WritebackFrame + Unpin it outside map_mu_, then try again (the frame
+  /// is only retagged once clean). Caller holds map_mu_.
   Status ClaimFrameLocked(uint64_t file_id, uint32_t page_no,
                           const std::shared_ptr<PoolFile>& file, uint32_t* idx,
                           Writeback* wb);
 
+  /// Write one dirty frame back to its file (bounded retry with backoff),
+  /// clearing the dirty bit only on success. The caller holds a pin on
+  /// wb.frame, so the tag cannot change underneath. On exhausted retries
+  /// the frame stays dirty and mapped — the page is never lost.
+  Status WritebackFrame(const Writeback& wb);
+
   const uint32_t page_bytes_;
+  io::Env* const env_;
   const std::unique_ptr<uint8_t[]> arena_;
   std::vector<std::unique_ptr<Frame>> frames_;
 
@@ -207,6 +253,9 @@ class BufferPool {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> writebacks_{0};
+  std::atomic<uint64_t> io_retries_{0};
+  std::atomic<uint64_t> io_errors_{0};
+  std::atomic<obs::TraceRing*> trace_{nullptr};
   obs::Histogram read_io_ns_;
   obs::Histogram write_io_ns_;
 };

@@ -25,12 +25,12 @@ constexpr size_t kTrailerLen = 8 + kMagicLen;  // u64 footer_offset + magic.
 /// Data-page header: u32 crc, u32 payload_bytes, u32 entry_count.
 constexpr uint32_t kPageHeaderLen = 12;
 
-Status PreadFull(int fd, void* buf, size_t n, uint64_t offset) {
+Status PreadFull(io::Env* env, int fd, void* buf, size_t n, uint64_t offset) {
   uint8_t* p = static_cast<uint8_t*>(buf);
   size_t done = 0;
   while (done < n) {
     const ssize_t r =
-        ::pread(fd, p + done, n - done, static_cast<off_t>(offset + done));
+        env->Pread(fd, p + done, n - done, static_cast<off_t>(offset + done));
     if (r < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(std::string("pread run: ") + strerror(errno));
@@ -41,12 +41,13 @@ Status PreadFull(int fd, void* buf, size_t n, uint64_t offset) {
   return Status::OK();
 }
 
-Status PwriteFull(int fd, const void* buf, size_t n, uint64_t offset) {
+Status PwriteFull(io::Env* env, int fd, const void* buf, size_t n,
+                  uint64_t offset) {
   const uint8_t* p = static_cast<const uint8_t*>(buf);
   size_t done = 0;
   while (done < n) {
     const ssize_t r =
-        ::pwrite(fd, p + done, n - done, static_cast<off_t>(offset + done));
+        env->Pwrite(fd, p + done, n - done, static_cast<off_t>(offset + done));
     if (r < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(std::string("pwrite run: ") + strerror(errno));
@@ -85,7 +86,8 @@ uint64_t RunFile::MaxEntryBytes(uint32_t page_bytes) {
 RunFile::RunFile(std::string path, std::shared_ptr<PoolFile> file,
                  uint32_t table_id, uint64_t seq, uint32_t page_bytes,
                  uint32_t page_count, uint64_t entry_count,
-                 std::vector<std::string> fences, BufferPool* pool)
+                 std::vector<std::string> fences, BufferPool* pool,
+                 io::Env* env)
     : path_(std::move(path)),
       file_(std::move(file)),
       table_id_(table_id),
@@ -94,20 +96,23 @@ RunFile::RunFile(std::string path, std::shared_ptr<PoolFile> file,
       page_count_(page_count),
       entry_count_(entry_count),
       fences_(std::move(fences)),
-      pool_(pool) {}
+      pool_(pool),
+      env_(env) {}
 
 RunFile::~RunFile() { pool_->Purge(file_->id()); }
 
 Status RunFile::Create(const std::string& path, uint32_t table_id,
                        uint64_t seq, uint64_t file_id, uint32_t page_bytes,
                        const std::vector<RunEntry>& entries, BufferPool* pool,
-                       bool fsync, std::shared_ptr<RunFile>* out) {
+                       bool fsync, std::shared_ptr<RunFile>* out,
+                       io::Env* env) {
+  env = io::ResolveEnv(env);
   assert(!entries.empty());
   assert(pool->page_bytes() == page_bytes);
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  const int fd = env->Open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return recovery::ErrnoStatus("open", tmp);
-  auto file = std::make_shared<PoolFile>(file_id, fd);
+  auto file = std::make_shared<PoolFile>(file_id, fd, env);
   pool->RegisterFile(file);
 
   // Header page.
@@ -117,7 +122,7 @@ Status RunFile::Create(const std::string& path, uint32_t table_id,
   PutBig32(&header, page_bytes);
   PutBig64(&header, seq);
   header.resize(page_bytes, '\0');
-  Status st = PwriteFull(fd, header.data(), header.size(), 0);
+  Status st = PwriteFull(env, fd, header.data(), header.size(), 0);
 
   // Data pages, through the pool: build each page's payload, frame it with
   // its CRC, and hand the bytes to a dirty frame. FlushFile below performs
@@ -178,38 +183,37 @@ Status RunFile::Create(const std::string& path, uint32_t table_id,
         static_cast<uint64_t>(page_no + 1) * page_bytes;
     PutBig64(&footer, footer_offset);
     footer.append(kEndMagic, kMagicLen);
-    st = PwriteFull(fd, footer.data(), footer.size(), footer_offset);
-    if (st.ok() && fsync && ::fsync(fd) != 0) {
+    st = PwriteFull(env, fd, footer.data(), footer.size(), footer_offset);
+    if (st.ok() && fsync && env->Fsync(fd) != 0) {
       st = recovery::ErrnoStatus("fsync", tmp);
     }
     if (st.ok()) {
-      std::error_code ec;
-      std::filesystem::rename(tmp, path, ec);
-      if (ec) st = Status::IOError("rename " + tmp + ": " + ec.message());
+      st = env->Rename(tmp, path);
     }
     if (st.ok() && fsync) {
       st = recovery::SyncDir(
-          std::filesystem::path(path).parent_path().string());
+          std::filesystem::path(path).parent_path().string(), env);
     }
     if (st.ok()) {
       out->reset(new RunFile(path, std::move(file), table_id, seq,
                              page_bytes, page_no,
                              static_cast<uint64_t>(entries.size()),
-                             std::move(fences), pool));
+                             std::move(fences), pool, env));
       return Status::OK();
     }
   }
   pool->Purge(file_id);
-  std::error_code ec;
-  std::filesystem::remove(tmp, ec);
+  env->RemoveFile(tmp);
   return st;
 }
 
 Status RunFile::Open(const std::string& path, uint64_t file_id,
-                     BufferPool* pool, std::shared_ptr<RunFile>* out) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+                     BufferPool* pool, std::shared_ptr<RunFile>* out,
+                     io::Env* env) {
+  env = io::ResolveEnv(env);
+  const int fd = env->Open(path.c_str(), O_RDONLY, 0);
   if (fd < 0) return recovery::ErrnoStatus("open", path);
-  auto file = std::make_shared<PoolFile>(file_id, fd);
+  auto file = std::make_shared<PoolFile>(file_id, fd, env);
 
   std::error_code ec;
   const uint64_t size = std::filesystem::file_size(path, ec);
@@ -218,7 +222,7 @@ Status RunFile::Open(const std::string& path, uint64_t file_id,
   }
   // Trailer → footer offset → footer (fence index).
   char trailer[kTrailerLen];
-  Status st = PreadFull(fd, trailer, kTrailerLen, size - kTrailerLen);
+  Status st = PreadFull(env, fd, trailer, kTrailerLen, size - kTrailerLen);
   if (!st.ok()) return st;
   if (memcmp(trailer + 8, kEndMagic, kMagicLen) != 0) {
     return Status::Corruption("bad run trailer: " + path);
@@ -232,7 +236,7 @@ Status RunFile::Open(const std::string& path, uint64_t file_id,
     return Status::Corruption("bad run footer offset: " + path);
   }
   std::string footer(size - kTrailerLen - footer_offset, '\0');
-  st = PreadFull(fd, footer.data(), footer.size(), footer_offset);
+  st = PreadFull(env, fd, footer.data(), footer.size(), footer_offset);
   if (!st.ok()) return st;
   if (footer.size() < kMagicLen + 12 ||
       memcmp(footer.data(), kIndexMagic, kMagicLen) != 0) {
@@ -263,7 +267,7 @@ Status RunFile::Open(const std::string& path, uint64_t file_id,
 
   // Header.
   std::string header(kMagicLen + 16, '\0');
-  st = PreadFull(fd, header.data(), header.size(), 0);
+  st = PreadFull(env, fd, header.data(), header.size(), 0);
   if (!st.ok()) return st;
   if (memcmp(header.data(), kRunMagic, kMagicLen) != 0) {
     return Status::Corruption("bad run magic: " + path);
@@ -283,7 +287,8 @@ Status RunFile::Open(const std::string& path, uint64_t file_id,
 
   pool->RegisterFile(file);
   out->reset(new RunFile(path, std::move(file), table_id, seq, page_bytes,
-                         page_count, entry_count, std::move(fences), pool));
+                         page_count, entry_count, std::move(fences), pool,
+                         env));
   return Status::OK();
 }
 
@@ -350,7 +355,7 @@ Status RunFile::ForEachEntry(
     const std::function<void(const RunEntry&)>& fn) const {
   std::string page(page_bytes_, '\0');
   for (uint32_t p = 0; p < page_count_; ++p) {
-    Status st = PreadFull(file_->fd(), page.data(), page.size(),
+    Status st = PreadFull(env_, file_->fd(), page.data(), page.size(),
                           static_cast<uint64_t>(p + 1) * page_bytes_);
     if (!st.ok()) return st;
     st = SearchPage(reinterpret_cast<const uint8_t*>(page.data()),

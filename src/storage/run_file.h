@@ -64,16 +64,21 @@ class RunFile {
   /// into `path` and open it: the data pages flow through `pool` (written
   /// back by FlushFile before the fsync) under the pool file id `file_id`,
   /// so the new run's pages are warm. On success *out holds the opened,
-  /// pool-registered run.
+  /// pool-registered run. On any failure (ENOSPC, EIO, writeback) the
+  /// partial "<path>.tmp" is removed and the pool purged of the file id —
+  /// the directory never accumulates garbage and the caller may retry.
+  /// `env` (nullptr = real filesystem) carries every byte.
   static Status Create(const std::string& path, uint32_t table_id,
                        uint64_t seq, uint64_t file_id, uint32_t page_bytes,
                        const std::vector<RunEntry>& entries, BufferPool* pool,
-                       bool fsync, std::shared_ptr<RunFile>* out);
+                       bool fsync, std::shared_ptr<RunFile>* out,
+                       io::Env* env = nullptr);
 
   /// Open an existing run (recovery): validate header/footer, load the
   /// fence index, register the descriptor with the pool under `file_id`.
   static Status Open(const std::string& path, uint64_t file_id,
-                     BufferPool* pool, std::shared_ptr<RunFile>* out);
+                     BufferPool* pool, std::shared_ptr<RunFile>* out,
+                     io::Env* env = nullptr);
 
   ~RunFile();
 
@@ -101,7 +106,7 @@ class RunFile {
   RunFile(std::string path, std::shared_ptr<PoolFile> file, uint32_t table_id,
           uint64_t seq, uint32_t page_bytes, uint32_t page_count,
           uint64_t entry_count, std::vector<std::string> fences,
-          BufferPool* pool);
+          BufferPool* pool, io::Env* env);
 
   /// Parse one CRC-framed data page; search for `key` if non-null.
   static Status SearchPage(const uint8_t* page, uint32_t page_bytes,
@@ -119,6 +124,8 @@ class RunFile {
   const std::vector<std::string> fences_;
   /// The pool this run is registered with (for unregistration on destroy).
   BufferPool* const pool_;
+  /// Carries ForEachEntry's direct preads.
+  io::Env* const env_;
 };
 
 }  // namespace ssidb

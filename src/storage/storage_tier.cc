@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <map>
 
+#include "src/obs/trace_ring.h"
 #include "src/recovery/fs_util.h"
 #include "src/storage/catalog.h"
 
@@ -14,7 +15,8 @@ namespace fs = std::filesystem;
 StorageTier::StorageTier(const DBOptions& options, std::string dir)
     : options_(options),
       dir_(std::move(dir)),
-      pool_(options.buffer_pool_bytes, options.run_page_bytes) {}
+      env_(io::ResolveEnv(options.env)),
+      pool_(options.buffer_pool_bytes, options.run_page_bytes, options.env) {}
 
 StorageTier::~StorageTier() {
   // Run lists drop first (each RunFile purges its pool pages), then the
@@ -23,8 +25,8 @@ StorageTier::~StorageTier() {
 
 Status StorageTier::Init(bool wipe) {
   std::error_code ec;
-  fs::create_directories(dir_, ec);
-  if (ec) return Status::IOError("create " + dir_ + ": " + ec.message());
+  Status st = env_->CreateDirs(dir_);
+  if (!st.ok()) return st;
   if (wipe) {
     for (const auto& entry : fs::directory_iterator(dir_, ec)) {
       if (entry.path().extension() == ".run" ||
@@ -43,6 +45,15 @@ std::string StorageTier::RunPath(uint32_t table_id, uint64_t seq) const {
   return dir_ + "/" + name;
 }
 
+Status StorageTier::NoteIOError(const Status& st, uint32_t table_id) {
+  io_errors_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::TraceRing* trace = trace_.load(std::memory_order_acquire)) {
+    trace->Emit(obs::TraceEvent::kIOError, 0, /*arg16=*/4,
+                /*arg32=*/table_id, /*payload=*/0);
+  }
+  return st;
+}
+
 Status StorageTier::WriteRun(uint32_t table_id,
                              const std::vector<RunEntry>& entries) {
   const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -51,8 +62,8 @@ Status StorageTier::WriteRun(uint32_t table_id,
   std::shared_ptr<RunFile> run;
   Status st = RunFile::Create(RunPath(table_id, seq), table_id, seq, file_id,
                               options_.run_page_bytes, entries, &pool_,
-                              /*fsync=*/true, &run);
-  if (!st.ok()) return st;
+                              /*fsync=*/true, &run, env_);
+  if (!st.ok()) return NoteIOError(st, table_id);
   std::unique_lock<std::shared_mutex> guard(runs_mu_);
   auto& list = runs_[table_id];
   list.insert(list.begin(), std::move(run));  // Newest first.
@@ -119,8 +130,8 @@ Status StorageTier::MaybeCompact(uint32_t table_id) {
   std::shared_ptr<RunFile> replacement;
   Status st = RunFile::Create(RunPath(table_id, seq), table_id, seq, file_id,
                               options_.run_page_bytes, entries, &pool_,
-                              /*fsync=*/true, &replacement);
-  if (!st.ok()) return st;
+                              /*fsync=*/true, &replacement, env_);
+  if (!st.ok()) return NoteIOError(st, table_id);
 
   // Publish the replacement and unlink the inputs. Only after the rename +
   // dir fsync above: a crash in between leaves both generations on disk,
@@ -144,8 +155,7 @@ Status StorageTier::MaybeCompact(uint32_t table_id) {
               [](const auto& a, const auto& b) { return a->seq() > b->seq(); });
   }
   for (const std::shared_ptr<RunFile>& run : dead) {
-    std::error_code ec;
-    fs::remove(run->path(), ec);  // In-flight faulters read the open fd.
+    env_->RemoveFile(run->path());  // In-flight faulters read the open fd.
   }
   return Status::OK();
 }
@@ -166,7 +176,7 @@ Status StorageTier::RecoverRuns(Catalog* catalog, Timestamp* max_commit_ts) {
     const uint64_t file_id =
         next_file_id_.fetch_add(1, std::memory_order_relaxed);
     std::shared_ptr<RunFile> run;
-    Status st = RunFile::Open(path, file_id, &pool_, &run);
+    Status st = RunFile::Open(path, file_id, &pool_, &run, env_);
     if (!st.ok()) return st;
     Table* table = catalog->table(run->table_id());
     if (table == nullptr) {

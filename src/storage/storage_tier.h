@@ -47,6 +47,8 @@ class Catalog;
 
 class StorageTier {
  public:
+  /// All run-file I/O (and the pool's page I/O) routes through
+  /// `options.env` (nullptr = real filesystem).
   StorageTier(const DBOptions& options, std::string dir);
   ~StorageTier();
 
@@ -101,11 +103,25 @@ class StorageTier {
     faulted_chains_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// Run creations/compactions that failed on I/O (io.errors.tier).
+  uint64_t io_errors() const {
+    return io_errors_.load(std::memory_order_relaxed);
+  }
+
+  /// Receive a kIOError trace event per failed run write/compaction.
+  void SetTraceRing(obs::TraceRing* trace) {
+    trace_.store(trace, std::memory_order_release);
+  }
+
  private:
   std::string RunPath(uint32_t table_id, uint64_t seq) const;
 
+  /// Count + trace a failed durable-run operation; returns `st` through.
+  Status NoteIOError(const Status& st, uint32_t table_id);
+
   const DBOptions options_;
   const std::string dir_;
+  io::Env* const env_;
   BufferPool pool_;
 
   std::atomic<uint64_t> next_file_id_{1};
@@ -117,6 +133,8 @@ class StorageTier {
 
   std::atomic<uint64_t> spilled_chains_{0};
   std::atomic<uint64_t> faulted_chains_{0};
+  std::atomic<uint64_t> io_errors_{0};
+  std::atomic<obs::TraceRing*> trace_{nullptr};
 };
 
 }  // namespace ssidb

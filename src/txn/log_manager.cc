@@ -4,6 +4,7 @@
 
 #include "src/common/crc32c.h"
 #include "src/common/encoding.h"
+#include "src/io/env.h"
 #include "src/recovery/wal.h"
 
 namespace ssidb {
@@ -105,10 +106,12 @@ Status LogRecord::Decode(Slice in, LogRecord* out) {
   return Status::OK();
 }
 
-LogManager::LogManager(const LogOptions& options) : options_(options) {
+LogManager::LogManager(const LogOptions& options, io::Env* env)
+    : options_(options), env_(io::ResolveEnv(env)) {
   if (durable()) {
     wal_ = std::make_unique<recovery::WalWriter>(
-        options_.wal_dir, options_.wal_segment_bytes, options_.wal_fsync);
+        options_.wal_dir, options_.wal_segment_bytes, options_.wal_fsync,
+        env_);
   }
   // The flusher runs whenever batches have somewhere to go: always in
   // durable mode (even without flush_on_commit, records drain to disk
@@ -174,6 +177,22 @@ Status LogManager::WaitFlushed(Lsn lsn) {
   std::unique_lock<std::mutex> guard(mu_);
   flushed_cv_.wait(guard, [&] { return flushed_lsn_ >= lsn || stop_.load(); });
   return io_status_;
+}
+
+void LogManager::SetIOErrorCallback(IOErrorCallback cb) {
+  Status already_failed;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (io_status_.ok()) {
+      io_error_cb_ = std::move(cb);
+      return;
+    }
+    already_failed = io_status_;
+  }
+  // The flusher failed before registration (it starts in the constructor,
+  // so the window is real): the transition already happened — fire inline
+  // so the owner still observes it.
+  cb(already_failed);
 }
 
 void LogManager::OnFlushed(Lsn lsn, FlushCallback cb) {
@@ -289,14 +308,22 @@ void LogManager::FlusherLoop() {
           std::chrono::microseconds(options_.flush_latency_us));
     }
     flush_batch_ns_.Record(obs::NowNanos() - t0);
+    if (!io.ok()) io_errors_.fetch_add(1, std::memory_order_relaxed);
     std::vector<FlushSub> matured;
     Status sticky;
+    IOErrorCallback fire_io_cb;
     {
       std::lock_guard<std::mutex> guard(mu_);
       // Advance even on failure so waiters wake; the sticky io_status_
       // tells them their commit did not reach the disk.
       if (batch_end > flushed_lsn_) flushed_lsn_ = batch_end;
-      if (!io.ok() && io_status_.ok()) io_status_ = io;
+      if (!io.ok() && io_status_.ok()) {
+        io_status_ = io;
+        // First failure: the log just became permanently non-durable.
+        // Fire the owner's transition callback below, outside mu_.
+        fire_io_cb = std::move(io_error_cb_);
+        io_error_cb_ = nullptr;
+      }
       flush_batches_.fetch_add(1, std::memory_order_relaxed);
       flushed_records_.fetch_add(batch.size(), std::memory_order_relaxed);
       // Pull out the flush subscriptions this batch covered; they fire
@@ -313,6 +340,9 @@ void LogManager::FlusherLoop() {
       sticky = io_status_;
     }
     flushed_cv_.notify_all();
+    // Enter read-only *before* the covered commits learn their fate, so a
+    // subscriber observing kIOError can rely on the gate already being up.
+    if (fire_io_cb) fire_io_cb(io);
     for (FlushSub& sub : matured) sub.cb(sticky);
   }
 }

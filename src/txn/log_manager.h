@@ -101,7 +101,9 @@ struct LogRecord {
 
 class LogManager {
  public:
-  explicit LogManager(const LogOptions& options);
+  /// `env` (nullptr = real filesystem) carries all WAL file I/O in durable
+  /// mode; ignored otherwise.
+  explicit LogManager(const LogOptions& options, io::Env* env = nullptr);
   ~LogManager();
 
   /// Stop and join the group-commit flusher, then fire every remaining
@@ -142,6 +144,26 @@ class LogManager {
   /// every subscriber behind it in the same batch waits for it, so keep it
   /// short.
   void OnFlushed(Lsn lsn, FlushCallback cb);
+
+  /// Callback fired exactly once, at the *first* WAL write/fsync failure
+  /// (the io_status_ OK -> failed transition), from the flusher thread
+  /// with mu_ released. DB uses it to enter read-only mode. If the log is
+  /// already poisoned when the callback is registered, it fires inline on
+  /// the registering thread — the owner never misses the transition.
+  using IOErrorCallback = std::function<void(const Status&)>;
+  void SetIOErrorCallback(IOErrorCallback cb);
+
+  /// Sticky WAL I/O status: OK until the first write/fsync failure, that
+  /// failure forever after (the WAL never heals — see WalWriter's policy).
+  Status io_status() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return io_status_;
+  }
+
+  /// Group-commit batches that failed to reach the disk (io.errors.wal).
+  uint64_t io_errors() const {
+    return io_errors_.load(std::memory_order_relaxed);
+  }
 
   /// Retain encoded records in memory for test inspection. Set before any
   /// concurrent appends (flips Append off its lock-free fast path).
@@ -191,6 +213,7 @@ class LogManager {
   void FlusherLoop();
 
   const LogOptions options_;
+  io::Env* const env_;
   /// Non-null in durable mode; written to only by the flusher thread.
   std::unique_ptr<recovery::WalWriter> wal_;
 
@@ -206,6 +229,11 @@ class LogManager {
   std::vector<std::string> retained_;
   /// First WAL write/fsync failure, sticky (guarded by mu_).
   Status io_status_;
+  /// Fired on io_status_'s OK -> failed transition (guarded by mu_; called
+  /// with mu_ released).
+  IOErrorCallback io_error_cb_;
+  /// Failed flush batches.
+  std::atomic<uint64_t> io_errors_{0};
   /// Flush subscriptions not yet covered by flushed_lsn_ (guarded by mu_;
   /// unordered — the flusher compares every entry against the batch end).
   struct FlushSub {

@@ -300,6 +300,12 @@ void TxnManager::CommitAsync(const std::shared_ptr<TxnState>& txn,
       const Status reason = txn->abort_reason;
       abort_cause = reason.ok() ? Status::Unsafe("marked for abort") : reason;
       must_abort = true;
+    } else if (has_writes && read_only_.load(std::memory_order_acquire)) {
+      // Degraded mode (WAL I/O failure): writing commits fail fast before
+      // certification or timestamp allocation — nothing new may claim to
+      // be durable. Read-only transactions fall through and commit.
+      abort_cause = Status::IOError("database is read-only: WAL I/O failure");
+      must_abort = true;
     } else {
       // Certification triage (txn_manager.h): only an SSI commit with
       // recorded conflict state must order its check and timestamp

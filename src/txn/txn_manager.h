@@ -369,6 +369,19 @@ class TxnManager {
   /// transaction begins.
   void RegisterMetrics(obs::MetricsRegistry* registry, obs::TraceRing* trace);
 
+  /// Degraded mode: once the WAL reports an unrecoverable I/O failure
+  /// (LogManager::SetIOErrorCallback fires), every subsequent writing
+  /// commit fails fast with kIOError before certification or timestamp
+  /// allocation — nothing new may claim durability. Read-only transactions
+  /// keep committing. One-way for the process lifetime; a restart against
+  /// healthy storage clears it.
+  void EnterReadOnly() {
+    read_only_.store(true, std::memory_order_release);
+  }
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
   const DBOptions& options() const { return options_; }
   LockManager* lock_manager() { return lock_manager_; }
 
@@ -494,6 +507,9 @@ class TxnManager {
 
   /// SSI commits that skipped certification (triage class 2).
   std::atomic<uint64_t> fastpath_commits_{0};
+
+  /// Degraded (read-only) mode flag — see EnterReadOnly().
+  std::atomic<bool> read_only_{false};
 
   /// Writing commits published but not yet acknowledged (commit.inflight).
   std::atomic<uint64_t> commits_inflight_{0};

@@ -1,0 +1,206 @@
+// Env seam unit tests: the POSIX passthrough round trip and the
+// FaultInjectingEnv schedule semantics — scripted skip/count windows, path
+// filters, every FaultKind's observable behaviour (EIO, ENOSPC, short
+// write, torn write, fsync failure), device-loss mode, the seeded random
+// schedule's determinism, and the injected_faults counter the DB exports
+// as io.injected_faults.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "src/io/env.h"
+#include "tests/test_util.h"
+
+namespace ssidb {
+namespace {
+
+using io::Env;
+using io::FaultInjectingEnv;
+using FaultKind = FaultInjectingEnv::FaultKind;
+
+int OpenRW(Env* env, const std::string& path) {
+  return env->Open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+}
+
+TEST(EnvTest, DefaultEnvRoundTrip) {
+  ScratchDir dir;
+  Env* env = Env::Default();
+  ASSERT_TRUE(env->CreateDirs(dir.path + "/a/b").ok());
+
+  const std::string path = dir.path + "/a/b/file";
+  const int fd = OpenRW(env, path);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(env->Write(fd, "hello", 5), 5);
+  ASSERT_EQ(env->Pwrite(fd, "HE", 2, 0), 2);
+  ASSERT_EQ(env->Fsync(fd), 0);
+  char buf[8] = {};
+  ASSERT_EQ(env->Pread(fd, buf, 5, 0), 5);
+  EXPECT_EQ(std::string(buf, 5), "HEllo");
+  ASSERT_EQ(env->Close(fd), 0);
+
+  ASSERT_TRUE(env->ResizeFile(path, 2).ok());
+  const std::string moved = dir.path + "/a/b/file2";
+  ASSERT_TRUE(env->Rename(path, moved).ok());
+  const int fd2 = env->Open(moved.c_str(), O_RDONLY, 0);
+  ASSERT_GE(fd2, 0);
+  ASSERT_EQ(env->Read(fd2, buf, sizeof(buf)), 2);
+  EXPECT_EQ(std::string(buf, 2), "HE");
+  ASSERT_EQ(env->Close(fd2), 0);
+  ASSERT_TRUE(env->RemoveFile(moved).ok());
+  EXPECT_EQ(env->injected_faults(), 0u);
+}
+
+TEST(EnvTest, ScriptedWriteFaultSkipsThenFails) {
+  ScratchDir dir;
+  FaultInjectingEnv env;
+  const int fd = OpenRW(&env, dir.path + "/f");
+  ASSERT_GE(fd, 0);
+  // Let two write-class ops through, then fail exactly one.
+  env.InjectFault(FaultKind::kWriteError, "", /*skip=*/2, /*count=*/1);
+  EXPECT_EQ(env.Write(fd, "a", 1), 1);
+  EXPECT_EQ(env.Write(fd, "b", 1), 1);
+  errno = 0;
+  EXPECT_EQ(env.Write(fd, "c", 1), -1);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(env.Write(fd, "d", 1), 1);  // Window exhausted.
+  EXPECT_EQ(env.injected_faults(), 1u);
+  env.Close(fd);
+}
+
+TEST(EnvTest, PathSubstringFilterSelectsTargets) {
+  ScratchDir dir;
+  FaultInjectingEnv env;
+  const int wal = OpenRW(&env, dir.path + "/wal-0001");
+  const int run = OpenRW(&env, dir.path + "/run-0001");
+  ASSERT_GE(wal, 0);
+  ASSERT_GE(run, 0);
+  env.InjectFault(FaultKind::kWriteError, "wal-");
+  EXPECT_EQ(env.Write(run, "x", 1), 1);  // Not matched: passes.
+  errno = 0;
+  EXPECT_EQ(env.Write(wal, "x", 1), -1);
+  EXPECT_EQ(errno, EIO);
+  env.ClearFaults();
+  EXPECT_EQ(env.Write(wal, "x", 1), 1);  // Disk fixed.
+  env.Close(wal);
+  env.Close(run);
+}
+
+TEST(EnvTest, ShortWriteReturnsShortCount) {
+  ScratchDir dir;
+  FaultInjectingEnv env;
+  const int fd = OpenRW(&env, dir.path + "/f");
+  ASSERT_GE(fd, 0);
+  env.InjectFault(FaultKind::kShortWrite, "", 0, 1);
+  const ssize_t n = env.Pwrite(fd, "abcdefgh", 8, 0);
+  EXPECT_EQ(n, 4);  // Half landed, reported as a short success.
+  char buf[8] = {};
+  ASSERT_EQ(env.Pread(fd, buf, 8, 0), 4);
+  EXPECT_EQ(std::string(buf, 4), "abcd");
+  env.Close(fd);
+}
+
+TEST(EnvTest, TornWriteLandsHalfThenFails) {
+  ScratchDir dir;
+  FaultInjectingEnv env;
+  const int fd = OpenRW(&env, dir.path + "/f");
+  ASSERT_GE(fd, 0);
+  env.InjectFault(FaultKind::kTornWrite, "", 0, 1);
+  errno = 0;
+  EXPECT_EQ(env.Pwrite(fd, "abcdefgh", 8, 0), -1);
+  EXPECT_EQ(errno, EIO);
+  // The tear is real: the first half is on disk.
+  char buf[8] = {};
+  ASSERT_EQ(env.Pread(fd, buf, 8, 0), 4);
+  EXPECT_EQ(std::string(buf, 4), "abcd");
+  env.Close(fd);
+}
+
+TEST(EnvTest, FsyncAndReadFaults) {
+  ScratchDir dir;
+  FaultInjectingEnv env;
+  const int fd = OpenRW(&env, dir.path + "/f");
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(env.Write(fd, "x", 1), 1);
+  env.InjectFault(FaultKind::kFsyncError, "", 0, 1);
+  env.InjectFault(FaultKind::kReadError, "", 0, 1);
+  errno = 0;
+  EXPECT_EQ(env.Fsync(fd), -1);
+  EXPECT_EQ(errno, EIO);
+  char c;
+  errno = 0;
+  EXPECT_EQ(env.Pread(fd, &c, 1, 0), -1);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(env.Fsync(fd), 0);  // Both windows exhausted.
+  EXPECT_EQ(env.Pread(fd, &c, 1, 0), 1);
+  EXPECT_EQ(env.injected_faults(), 2u);
+  env.Close(fd);
+}
+
+TEST(EnvTest, NoSpaceFailsWritesAndCreates) {
+  ScratchDir dir;
+  FaultInjectingEnv env;
+  const int fd = OpenRW(&env, dir.path + "/f");
+  ASSERT_GE(fd, 0);
+  env.InjectFault(FaultKind::kNoSpace, "");
+  errno = 0;
+  EXPECT_EQ(env.Write(fd, "x", 1), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  // O_CREAT opens are write-class for ENOSPC purposes.
+  errno = 0;
+  EXPECT_LT(OpenRW(&env, dir.path + "/g"), 0);
+  EXPECT_EQ(errno, ENOSPC);
+  // Deletes must never fault: cleanup paths depend on them.
+  ASSERT_EQ(env.Close(fd), 0);
+  EXPECT_TRUE(env.RemoveFile(dir.path + "/f").ok());
+}
+
+TEST(EnvTest, FailWritesAfterCountsDownThenFailsEverything) {
+  ScratchDir dir;
+  FaultInjectingEnv env;
+  const int fd = OpenRW(&env, dir.path + "/f");  // Creating open is
+  ASSERT_GE(fd, 0);                              // write-class too.
+  env.FailWritesAfter(2);
+  EXPECT_EQ(env.Write(fd, "a", 1), 1);
+  EXPECT_EQ(env.Write(fd, "b", 1), 1);
+  errno = 0;
+  EXPECT_EQ(env.Write(fd, "c", 1), -1);  // Device gone.
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(env.Fsync(fd), -1);  // Fsync is untrustworthy too.
+  char buf[2];
+  EXPECT_EQ(env.Pread(fd, buf, 2, 0), 2);  // Reads keep serving.
+  env.ClearFaults();
+  EXPECT_EQ(env.Write(fd, "c", 1), 1);
+  env.Close(fd);
+}
+
+TEST(EnvTest, SeededRandomScheduleIsDeterministic) {
+  ScratchDir dir;
+  auto run = [&](uint64_t seed, const char* name) {
+    FaultInjectingEnv env;
+    env.InjectRandom(seed, /*denominator=*/4);
+    const int fd = OpenRW(&env, dir.path + name);
+    EXPECT_GE(fd, 0);
+    std::string outcome;
+    for (int i = 0; i < 64; ++i) {
+      outcome.push_back(env.Write(fd, "x", 1) == 1 ? 'o' : 'x');
+    }
+    env.Close(fd);
+    return outcome;
+  };
+  const std::string a = run(42, "/a");
+  const std::string b = run(42, "/b");
+  const std::string c = run(43, "/c");
+  EXPECT_EQ(a, b) << "same seed, same op sequence, same faults";
+  EXPECT_NE(a.find('x'), std::string::npos) << "1/4 rate must fire in 64 ops";
+  EXPECT_NE(a.find('o'), std::string::npos);
+  EXPECT_NE(a, c) << "different seed should differ (64 ops at 1/4)";
+}
+
+}  // namespace
+}  // namespace ssidb
